@@ -1,0 +1,252 @@
+// Benchmarks regenerating the paper's evaluation via `go test -bench`.
+// Each table/figure of Section 5 has a bench family:
+//
+//   - BenchmarkTable1/<tool>: slowdown comparison of the seven tools on
+//     a representative workload mix (Table 1);
+//   - BenchmarkTable2VCWork/<tool>: the vector-clock allocation and
+//     operation counters behind Table 2, reported as metrics;
+//   - BenchmarkTable3Granularity/<tool>/<granularity>: fine vs coarse
+//     shadow locations (Table 3);
+//   - BenchmarkRuleFastPaths/<rule>: the O(1) fast paths of Figure 5;
+//   - BenchmarkCompose/<checker>/<filter>: the Section 5.2 prefilter
+//     pipelines;
+//   - BenchmarkEclipse/<tool>: the Section 5.3 large-workload run.
+//
+// The full paper-style tables (with per-benchmark rows and averages) are
+// printed by cmd/racebench; these benches give the same comparisons in
+// testing.B form.
+package fasttrack_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fasttrack"
+	"fasttrack/trace"
+
+	"fasttrack/internal/atomicity"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/sim"
+)
+
+// table1Workloads is a representative subset covering the main pattern
+// classes: thread-local (crypt), read-shared (raytracer), lock-heavy
+// (tsp), and barrier-phased (sor).
+var table1Workloads = []string{"crypt", "raytracer", "tsp", "sor"}
+
+func workloadTraces(b *testing.B, scale float64, names []string) []trace.Trace {
+	b.Helper()
+	traces := make([]trace.Trace, 0, len(names))
+	for _, name := range names {
+		w, ok := sim.ByName(name)
+		if !ok {
+			b.Fatalf("unknown workload %q", name)
+		}
+		traces = append(traces, w.Trace(scale))
+	}
+	return traces
+}
+
+func replayAll(b *testing.B, toolName string, traces []trace.Trace, g fasttrack.Granularity) {
+	b.Helper()
+	events := 0
+	for _, tr := range traces {
+		events += len(tr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range traces {
+			tool, err := fasttrack.NewTool(toolName, fasttrack.Hints{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fasttrack.Replay(tr, tool, g)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+}
+
+// BenchmarkTable1 compares all seven tools on the workload mix.
+func BenchmarkTable1(b *testing.B) {
+	traces := workloadTraces(b, 0.3, table1Workloads)
+	for _, tool := range []string{"Empty", "Eraser", "MultiRace", "Goldilocks", "BasicVC", "DJIT+", "FastTrack"} {
+		b.Run(tool, func(b *testing.B) {
+			replayAll(b, tool, traces, fasttrack.Fine)
+		})
+	}
+}
+
+// BenchmarkTable2VCWork reports the vector-clock counters of Table 2 as
+// benchmark metrics for DJIT+ vs FastTrack.
+func BenchmarkTable2VCWork(b *testing.B) {
+	traces := workloadTraces(b, 0.3, table1Workloads)
+	for _, toolName := range []string{"DJIT+", "FastTrack"} {
+		b.Run(toolName, func(b *testing.B) {
+			var alloc, ops int64
+			events := 0
+			for i := 0; i < b.N; i++ {
+				alloc, ops, events = 0, 0, 0
+				for _, tr := range traces {
+					tool, err := fasttrack.NewTool(toolName, fasttrack.Hints{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					fasttrack.Replay(tr, tool, fasttrack.Fine)
+					st := tool.Stats()
+					alloc += st.VCAlloc
+					ops += st.VCOp
+					events += len(tr)
+				}
+			}
+			b.ReportMetric(float64(alloc), "VCs-allocated")
+			b.ReportMetric(float64(ops), "VC-ops")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+		})
+	}
+}
+
+// BenchmarkTable3Granularity compares fine vs coarse shadow locations.
+func BenchmarkTable3Granularity(b *testing.B) {
+	traces := workloadTraces(b, 0.3, table1Workloads)
+	for _, toolName := range []string{"DJIT+", "FastTrack"} {
+		for _, g := range []struct {
+			name string
+			g    fasttrack.Granularity
+		}{{"fine", fasttrack.Fine}, {"coarse", fasttrack.Coarse}} {
+			b.Run(toolName+"/"+g.name, func(b *testing.B) {
+				replayAll(b, toolName, traces, g.g)
+			})
+		}
+	}
+}
+
+// BenchmarkRuleFastPaths isolates the constant-time fast paths of
+// Figure 5 (same-epoch reads/writes, read-shared reads, exclusive
+// reads) plus the synchronization slow path, in ns/op.
+func BenchmarkRuleFastPaths(b *testing.B) {
+	b.Run("ReadSameEpoch", func(b *testing.B) {
+		tool, _ := fasttrack.NewTool("FastTrack", fasttrack.Hints{Vars: 1})
+		tool.HandleEvent(0, trace.Rd(0, 0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tool.HandleEvent(i, trace.Rd(0, 0))
+		}
+	})
+	b.Run("WriteSameEpoch", func(b *testing.B) {
+		tool, _ := fasttrack.NewTool("FastTrack", fasttrack.Hints{Vars: 1})
+		tool.HandleEvent(0, trace.Wr(0, 0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tool.HandleEvent(i, trace.Wr(0, 0))
+		}
+	})
+	b.Run("ReadShared", func(b *testing.B) {
+		tool, _ := fasttrack.NewTool("FastTrack", fasttrack.Hints{Threads: 2, Vars: 1})
+		tool.HandleEvent(0, trace.ForkOf(0, 1))
+		tool.HandleEvent(1, trace.Rd(0, 0))
+		tool.HandleEvent(2, trace.Rd(1, 0)) // inflate to read-shared
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tool.HandleEvent(i, trace.Rd(int32(i%2), 0))
+		}
+	})
+	b.Run("ReadExclusiveRotating", func(b *testing.B) {
+		// Alternating same-thread reads of two variables: exercises
+		// [FT READ EXCLUSIVE] -> [FT READ SAME EPOCH] mixes.
+		tool, _ := fasttrack.NewTool("FastTrack", fasttrack.Hints{Vars: 2})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tool.HandleEvent(i, trace.Rd(0, uint64(i%2)))
+		}
+	})
+	b.Run("AcquireRelease", func(b *testing.B) {
+		tool, _ := fasttrack.NewTool("FastTrack", fasttrack.Hints{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tool.HandleEvent(i, trace.Acq(0, 0))
+			tool.HandleEvent(i, trace.Rel(0, 0))
+		}
+	})
+}
+
+// BenchmarkCompose runs the Section 5.2 pipelines on the tsp workload.
+func BenchmarkCompose(b *testing.B) {
+	w, _ := sim.ByName("tsp")
+	tr := w.Trace(0.3)
+	checkers := map[string]func() rr.Tool{
+		"Atomizer":    func() rr.Tool { return atomicity.NewAtomizer() },
+		"Velodrome":   func() rr.Tool { return atomicity.NewVelodrome() },
+		"SingleTrack": func() rr.Tool { return atomicity.NewSingleTrack() },
+	}
+	for _, checker := range []string{"Atomizer", "Velodrome", "SingleTrack"} {
+		for _, filter := range []string{"NONE", "TL", "ERASER", "DJIT+", "FASTTRACK"} {
+			b.Run(checker+"/"+filter, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var tool fasttrack.Tool = checkers[checker]()
+					if filter != "NONE" {
+						name := map[string]string{
+							"TL": "TL", "ERASER": "Eraser",
+							"DJIT+": "DJIT+", "FASTTRACK": "FastTrack",
+						}[filter]
+						pre, err := fasttrack.NewTool(name, fasttrack.Hints{})
+						if err != nil {
+							b.Fatal(err)
+						}
+						tool = fasttrack.Compose(pre.(fasttrack.Prefilter), tool)
+					}
+					fasttrack.Replay(tr, tool, fasttrack.Fine)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(tr)), "ns/event")
+			})
+		}
+	}
+}
+
+// BenchmarkEclipse runs the Section 5.3 tools over one Eclipse-shaped
+// operation.
+func BenchmarkEclipse(b *testing.B) {
+	w, _ := sim.ByName("eclipse-import")
+	tr := w.Trace(0.3)
+	for _, tool := range []string{"Empty", "Eraser", "DJIT+", "FastTrack"} {
+		b.Run(tool, func(b *testing.B) {
+			replayAll(b, tool, []trace.Trace{tr}, fasttrack.Fine)
+		})
+	}
+}
+
+// BenchmarkThreadScaling is the ablation behind the epoch optimization:
+// an identical per-thread workload at growing thread counts. FastTrack's
+// ns/event stays flat while the vector-clock detectors' grows with n.
+func BenchmarkThreadScaling(b *testing.B) {
+	for _, threads := range []int{4, 16, 64} {
+		p := sim.Benchmark{
+			Seed: int64(300 + threads),
+			Profile: sim.Profile{
+				Name: "scale", Threads: threads,
+				ThreadLocalVars: 200, ThreadLocalReps: 2, ReadsPerSweep: 3, WritesPerSweep: 1,
+				RandomSweep: true,
+				Locks:       threads, LockVars: threads * 8, LockReps: 60, CSAccesses: 6,
+				SharedVars: 600, SharedReps: 3,
+			},
+		}
+		tr := p.Trace(1)
+		for _, tool := range []string{"FastTrack", "DJIT+", "BasicVC"} {
+			b.Run(fmt.Sprintf("%s/threads=%d", tool, threads), func(b *testing.B) {
+				replayAll(b, tool, []trace.Trace{tr}, fasttrack.Fine)
+			})
+		}
+	}
+}
+
+// BenchmarkMonitorOverhead measures the thread-safe online front end on
+// the locked-counter pattern.
+func BenchmarkMonitorOverhead(b *testing.B) {
+	m := fasttrack.NewMonitor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Acquire(0, 0)
+		m.Read(0, 1)
+		m.Write(0, 1)
+		m.Release(0, 0)
+	}
+}

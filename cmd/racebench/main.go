@@ -1,0 +1,101 @@
+// Command racebench regenerates the tables and figures of the FastTrack
+// paper's evaluation (Section 5) from this module's synthetic workloads.
+//
+// Usage:
+//
+//	racebench [-table all|1|2|3|rules|compose|eclipse] [-scale N] [-runs N]
+//
+// Table 1: slowdown and warnings for seven tools on sixteen benchmarks.
+// Table 2: vector clocks allocated / O(n) VC operations, DJIT+ vs
+// FastTrack. Table 3: memory overhead and slowdown, fine vs coarse
+// granularity. "rules": the Figure 2 rule-frequency percentages.
+// "compose": the Section 5.2 prefilter experiment. "eclipse": the
+// Section 5.3 Eclipse-shaped experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fasttrack/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
+	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Runs = *runs
+
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "racebench:", err)
+			os.Exit(1)
+		}
+	}
+	run := func(name string) {
+		if *asCSV {
+			switch name {
+			case "1":
+				check(bench.Table1CSV(os.Stdout, bench.Table1(cfg)))
+			case "2":
+				check(bench.Table2CSV(os.Stdout, bench.Table2(cfg)))
+			case "3":
+				check(bench.Table3CSV(os.Stdout, bench.Table3(cfg)))
+			case "compose":
+				check(bench.ComposeCSV(os.Stdout, bench.Compose(cfg)))
+			case "scaling":
+				check(bench.ScalingCSV(os.Stdout, bench.Scaling(cfg, nil)))
+			case "accordion":
+				check(bench.AccordionCSV(os.Stdout, bench.Accordion(cfg, nil)))
+			default:
+				fmt.Fprintf(os.Stderr, "racebench: no CSV renderer for table %q\n", name)
+				os.Exit(2)
+			}
+			return
+		}
+		switch name {
+		case "1":
+			fmt.Println("=== Table 1: slowdowns and warnings ===")
+			bench.FprintTable1(os.Stdout, bench.Table1(cfg))
+		case "2":
+			fmt.Println("=== Table 2: vector clock allocation and usage ===")
+			bench.FprintTable2(os.Stdout, bench.Table2(cfg))
+		case "3":
+			fmt.Println("=== Table 3: fine vs coarse granularity ===")
+			bench.FprintTable3(os.Stdout, bench.Table3(cfg))
+		case "rules":
+			fmt.Println("=== Figure 2: operation mix and rule frequencies ===")
+			bench.FprintRules(os.Stdout, bench.RuleFrequencies(cfg))
+		case "compose":
+			fmt.Println("=== Section 5.2: analysis composition ===")
+			bench.FprintCompose(os.Stdout, bench.Compose(cfg))
+		case "eclipse":
+			fmt.Println("=== Section 5.3: Eclipse-shaped workloads ===")
+			bench.FprintEclipse(os.Stdout, bench.Eclipse(cfg))
+		case "scaling":
+			fmt.Println("=== Ablation: thread-count scaling (O(1) epochs vs O(n) VCs) ===")
+			bench.FprintScaling(os.Stdout, bench.Scaling(cfg, nil))
+		case "accordion":
+			fmt.Println("=== Extension: accordion-style dead-thread compaction ===")
+			bench.FprintAccordion(os.Stdout, bench.Accordion(cfg, nil))
+		default:
+			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *table == "all" {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion"} {
+			run(name)
+		}
+		return
+	}
+	run(*table)
+}

@@ -1,0 +1,196 @@
+// Command racedetect runs one or more dynamic race detectors over a
+// recorded trace file (text or binary; the format is auto-detected) and
+// prints each tool's warnings and statistics.
+//
+// Usage:
+//
+//	racedetect [-tool FastTrack] [-all] [-granularity fine|coarse]
+//	           [-validate] [-stats] trace-file
+//
+// With "-" as the file name the trace is read from standard input.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fasttrack"
+	"fasttrack/internal/hb"
+	"fasttrack/trace"
+)
+
+func main() {
+	toolName := flag.String("tool", "FastTrack", "detector to run (see -list)")
+	all := flag.Bool("all", false, "run every detector and compare")
+	gran := flag.String("granularity", "fine", "shadow granularity: fine or coarse")
+	validate := flag.Bool("validate", true, "check trace feasibility")
+	stats := flag.Bool("stats", false, "print instrumentation statistics")
+	explain := flag.Bool("explain", false, "for each FastTrack warning, show both racing accesses and why nothing orders them (implies -tool FastTrack)")
+	stream := flag.Bool("stream", false, "process the trace incrementally without loading it into memory (single tool only)")
+	list := flag.Bool("list", false, "list available detectors and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range fasttrack.ToolNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: racedetect [flags] trace-file")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	g := fasttrack.Fine
+	switch *gran {
+	case "fine":
+	case "coarse":
+		g = fasttrack.Coarse
+	default:
+		fatal(fmt.Errorf("unknown granularity %q", *gran))
+	}
+
+	if *stream {
+		if *all {
+			fatal(fmt.Errorf("-stream runs a single tool; drop -all"))
+		}
+		tool, err := fasttrack.NewTool(*toolName, fasttrack.Hints{})
+		if err != nil {
+			fatal(err)
+		}
+		r, closeFn, err := openInput(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer closeFn()
+		races, events, err := fasttrack.ReplayStream(r, tool, g, *validate)
+		if err != nil {
+			fatal(err)
+		}
+		printReport(tool, races, *stats)
+		fmt.Printf("(%d events, streamed)\n", events)
+		if len(races) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	tr, err := readTrace(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		if err := tr.Validate(); err != nil {
+			fatal(fmt.Errorf("infeasible trace: %w", err))
+		}
+	}
+
+	if *explain {
+		explainRaces(tr, g)
+		return
+	}
+
+	names := []string{*toolName}
+	if *all {
+		names = []string{"Eraser", "MultiRace", "Goldilocks", "BasicVC", "DJIT+", "FastTrack"}
+	}
+
+	exit := 0
+	for _, name := range names {
+		tool, err := fasttrack.NewTool(name, fasttrack.Hints{Threads: tr.Threads()})
+		if err != nil {
+			fatal(err)
+		}
+		races := fasttrack.Replay(tr, tool, g)
+		printReport(tool, races, *stats)
+		if len(races) > 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// explainRaces runs FastTrack with detailed reports and renders, for
+// each warning, both racing accesses and the happens-before evidence (or
+// its absence) from the oracle.
+func explainRaces(tr trace.Trace, g fasttrack.Granularity) {
+	tool, err := fasttrack.NewTool("FastTrack", fasttrack.Hints{DetailedReports: true})
+	if err != nil {
+		fatal(err)
+	}
+	races := fasttrack.Replay(tr, tool, g)
+	fmt.Printf("FastTrack: %d warning(s)\n", len(races))
+	if len(races) == 0 {
+		return
+	}
+	oracle := hb.New(tr)
+	for _, r := range races {
+		fmt.Printf("\n%s\n", r)
+		if r.PrevIndex < 0 || r.Index >= len(tr) {
+			fmt.Println("  (no recorded prior access; re-run the producer with detailed reports)")
+			continue
+		}
+		fmt.Printf("  first access:  event %d: %s\n", r.PrevIndex, tr[r.PrevIndex])
+		fmt.Printf("  second access: event %d: %s\n", r.Index, tr[r.Index])
+		ex := oracle.Explain(r.PrevIndex, r.Index)
+		for _, line := range strings.Split(ex.Render(tr), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	os.Exit(1)
+}
+
+func printReport(tool fasttrack.Tool, races []fasttrack.Report, stats bool) {
+	fmt.Printf("%s: %d warning(s)\n", tool.Name(), len(races))
+	for _, r := range races {
+		fmt.Printf("  %s\n", r)
+	}
+	if stats {
+		st := tool.Stats()
+		fmt.Printf("  events=%d reads=%d writes=%d syncs=%d vcAlloc=%d vcOps=%d shadowBytes=%d\n",
+			st.Events, st.Reads, st.Writes, st.Syncs, st.VCAlloc, st.VCOp, st.ShadowBytes)
+	}
+}
+
+// openInput opens the trace source ("-" = stdin).
+func openInput(path string) (io.Reader, func(), error) {
+	if path == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func readTrace(path string) (trace.Trace, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	isBinary, err := trace.Sniff(br)
+	if err != nil {
+		return nil, err
+	}
+	if isBinary {
+		return trace.ReadBinary(br)
+	}
+	return trace.ReadText(br)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "racedetect:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,123 @@
+// Bank: lock-protected accounts checked by replaying recorded traces.
+//
+// This example exercises the offline half of the API: it builds two
+// event traces for a small banking workload — one where every transfer
+// holds both account locks, and a buggy variant whose audit thread scans
+// balances without locking — validates their feasibility, and replays
+// them through several detectors.
+//
+// It shows the paper's central contrast: the precise FastTrack analysis
+// accepts the correct program and pinpoints the buggy read, while
+// Eraser's LockSet heuristic additionally misfires on the race-free
+// initialization pattern.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fasttrack"
+	"fasttrack/trace"
+)
+
+const (
+	numAccounts = 8
+	numTellers  = 3 // threads 1..3; thread 4 is the auditor
+	transfers   = 40
+)
+
+// account i is variable i and is protected by lock i.
+func buildTrace(buggyAudit bool) trace.Trace {
+	r := rand.New(rand.NewSource(99))
+	var tr trace.Trace
+
+	// The bank opens: the main thread funds every account, then starts
+	// the tellers and the auditor. Fork ordering makes this race-free.
+	for a := uint64(0); a < numAccounts; a++ {
+		tr = append(tr, trace.Wr(0, a))
+	}
+	for u := int32(1); u <= numTellers+1; u++ {
+		tr = append(tr, trace.ForkOf(0, u))
+	}
+
+	// Tellers transfer between random account pairs, always locking the
+	// lower-numbered account first (deadlock-free two-lock protocol).
+	for i := 0; i < transfers; i++ {
+		teller := int32(1 + i%numTellers)
+		from := uint64(r.Intn(numAccounts))
+		to := uint64(r.Intn(numAccounts))
+		if from == to {
+			to = (to + 1) % numAccounts
+		}
+		lo, hi := from, to
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr = append(tr,
+			trace.Acq(teller, lo),
+			trace.Acq(teller, hi),
+			trace.Rd(teller, from),
+			trace.Wr(teller, from),
+			trace.Rd(teller, to),
+			trace.Wr(teller, to),
+			trace.Rel(teller, hi),
+			trace.Rel(teller, lo),
+		)
+	}
+
+	// The auditor sums all balances.
+	auditor := int32(numTellers + 1)
+	for a := uint64(0); a < numAccounts; a++ {
+		if buggyAudit {
+			tr = append(tr, trace.Rd(auditor, a)) // no lock: races with tellers
+		} else {
+			tr = append(tr,
+				trace.Acq(auditor, a),
+				trace.Rd(auditor, a),
+				trace.Rel(auditor, a),
+			)
+		}
+	}
+
+	for u := int32(1); u <= numTellers+1; u++ {
+		tr = append(tr, trace.JoinOf(0, u))
+	}
+	// Closing report, after all joins: race-free even without locks.
+	for a := uint64(0); a < numAccounts; a++ {
+		tr = append(tr, trace.Rd(0, a))
+	}
+	return tr
+}
+
+func main() {
+	for _, buggy := range []bool{false, true} {
+		label := "correct audit (locks held)"
+		if buggy {
+			label = "buggy audit (lock-free balance scan)"
+		}
+		fmt.Printf("=== %s ===\n", label)
+		tr := buildTrace(buggy)
+		if err := tr.Validate(); err != nil {
+			log.Fatalf("trace infeasible: %v", err)
+		}
+		for _, name := range []string{"FastTrack", "DJIT+", "Eraser"} {
+			tool, err := fasttrack.NewTool(name, fasttrack.Hints{Threads: numTellers + 2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			races := fasttrack.Replay(tr, tool, fasttrack.Fine)
+			fmt.Printf("%-10s %d warning(s)\n", name+":", len(races))
+			for _, rep := range races {
+				fmt.Printf("           account %d: %s by thread %d\n", rep.Var, rep.Kind, rep.Tid)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how the precise detectors flag only the buggy audit's accounts,")
+	fmt.Println("while Eraser also warns on the correct program: the funding writes and")
+	fmt.Println("the closing report happen before the tellers exist and after they have")
+	fmt.Println("been joined, so no lock is needed — fork/join ordering Eraser ignores.")
+}

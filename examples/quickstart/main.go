@@ -1,0 +1,76 @@
+// Quickstart: watch a real Go program with the FastTrack monitor.
+//
+// Two goroutines increment a shared counter — once without
+// synchronization (a textbook data race) and once under a mutex. The
+// monitor reports the first version and stays silent on the second,
+// demonstrating FastTrack's precision: no false alarms, no missed
+// first races.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"fasttrack"
+)
+
+// Location names for the monitor. Any uint64 naming scheme works; real
+// integrations typically use object addresses.
+const (
+	locCounter = iota
+	lockMu
+)
+
+func main() {
+	fmt.Println("--- buggy version: unsynchronized counter ---")
+	runCounter(false)
+	fmt.Println("\n--- fixed version: mutex-protected counter ---")
+	runCounter(true)
+}
+
+func runCounter(useLock bool) {
+	m := fasttrack.NewMonitor(fasttrack.WithRaceHandler(func(r fasttrack.Report) {
+		fmt.Printf("RACE DETECTED: %s\n", r)
+	}))
+
+	var mu sync.Mutex
+	counter := 0
+
+	var wg sync.WaitGroup
+	worker := func(tid int32) {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if useLock {
+				mu.Lock()
+				m.Acquire(tid, lockMu)
+			}
+			m.Read(tid, locCounter)
+			v := counter
+			m.Write(tid, locCounter)
+			counter = v + 1
+			if useLock {
+				m.Release(tid, lockMu)
+				mu.Unlock()
+			}
+		}
+	}
+
+	wg.Add(2)
+	m.Fork(0, 1) // announce the children before they run
+	m.Fork(0, 2)
+	go worker(1)
+	go worker(2)
+	wg.Wait()
+	m.Join(0, 1)
+	m.Join(0, 2)
+
+	races := m.Races()
+	if len(races) == 0 {
+		fmt.Println("no races detected")
+	}
+	st := m.Stats()
+	fmt.Printf("(monitored %d events: %d reads, %d writes, %d sync ops)\n",
+		st.Events, st.Reads, st.Writes, st.Syncs)
+}

@@ -1,0 +1,104 @@
+// RWCache: a read-write-lock protected cache with a WaitGroup, checked
+// online through the syncmodel high-level primitives.
+//
+// The paper's Section 4 notes that the remaining java.util.concurrent
+// primitives "can all be modeled in our representation"; package
+// syncmodel is that modeling. This example runs three scenarios over a
+// cache shared by one writer and several readers:
+//
+//  1. correct: lookups hold the read lock, refreshes the write lock,
+//     shutdown is ordered by a latch — silent;
+//  2. a reader that updates a hit counter under only its read lock —
+//     read critical sections are unordered, so FastTrack reports it;
+//  3. a shutdown path that reads the cache after Wait() without any
+//     countdown from one worker — reported.
+//
+// Run with: go run ./examples/rwcache
+package main
+
+import (
+	"fmt"
+
+	"fasttrack"
+	"fasttrack/syncmodel"
+)
+
+const (
+	readers  = 3
+	entries  = 4
+	hitsVar  = 100 // the shared hit counter (scenario 2's bug)
+	statsVar = 200 // shutdown statistics (scenario 3's bug)
+)
+
+func main() {
+	fmt.Println("--- scenario 1: correct rwlock + latch discipline ---")
+	report(run(false, false))
+	fmt.Println("\n--- scenario 2: hit counter updated under a read lock ---")
+	report(run(true, false))
+	fmt.Println("\n--- scenario 3: shutdown without all countdowns ---")
+	report(run(false, true))
+}
+
+func run(buggyHitCounter, buggyShutdown bool) *fasttrack.Monitor {
+	m := fasttrack.NewMonitor(fasttrack.WithHints(fasttrack.Hints{Threads: readers + 2}))
+	rw := syncmodel.NewRWMutex(m, 1)
+	done := syncmodel.NewLatch(m, 1)
+
+	// Thread ids: 0 = main, 1 = writer, 2.. = readers.
+	writer := int32(1)
+	m.Fork(0, writer)
+	for r := 0; r < readers; r++ {
+		m.Fork(0, int32(2+r))
+	}
+
+	// The writer populates the cache under the write lock.
+	rw.Lock(writer)
+	for e := uint64(0); e < entries; e++ {
+		m.Write(writer, e)
+	}
+	m.Write(writer, hitsVar) // reset the hit counter
+	rw.Unlock(writer)
+	done.CountDown(writer)
+
+	// Readers perform lookups under the read lock.
+	for r := 0; r < readers; r++ {
+		tid := int32(2 + r)
+		rw.RLock(tid)
+		for e := uint64(0); e < entries; e++ {
+			m.Read(tid, e)
+		}
+		if buggyHitCounter {
+			m.Read(tid, hitsVar)
+			m.Write(tid, hitsVar) // bug: mutation under a read lock
+		}
+		rw.RUnlock(tid)
+		m.Write(tid, statsVar+uint64(r)) // private slot, race-free
+		if !buggyShutdown || r != 0 {
+			done.CountDown(tid)
+		}
+	}
+
+	// Main awaits the latch, then aggregates.
+	done.Await(0)
+	for r := 0; r < readers; r++ {
+		m.Read(0, statsVar+uint64(r)) // races for r=0 in scenario 3
+	}
+	rw.Lock(0)
+	for e := uint64(0); e < entries; e++ {
+		m.Read(0, e)
+	}
+	m.Read(0, hitsVar)
+	rw.Unlock(0)
+	return m
+}
+
+func report(m *fasttrack.Monitor) {
+	races := m.Races()
+	if len(races) == 0 {
+		fmt.Println("no races detected")
+		return
+	}
+	for _, r := range races {
+		fmt.Printf("RACE: %s\n", r)
+	}
+}

@@ -1,0 +1,325 @@
+package atomicity
+
+import (
+	"testing"
+
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+func feed(t *testing.T, tool rr.Tool, tr trace.Trace) []rr.Report {
+	t.Helper()
+	for i, e := range tr {
+		tool.HandleEvent(i, e)
+	}
+	return tool.Races()
+}
+
+// tx wraps a thread's events in TxBegin/TxEnd.
+func tx(tid int32, events ...trace.Event) trace.Trace {
+	out := trace.Trace{{Kind: trace.TxBegin, Tid: tid}}
+	out = append(out, events...)
+	return append(out, trace.Event{Kind: trace.TxEnd, Tid: tid})
+}
+
+// TestVelodromeSerializableIsSilent: two transactions that conflict in
+// one direction only are serializable.
+func TestVelodromeSerializableIsSilent(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	tr = append(tr, tx(0, trace.Wr(0, 1), trace.Wr(0, 2))...)
+	tr = append(tr, tx(1, trace.Rd(1, 1), trace.Rd(1, 2))...)
+	if got := feed(t, NewVelodrome(), tr); len(got) != 0 {
+		t.Errorf("violations on serializable history: %v", got)
+	}
+}
+
+// TestVelodromeDetectsNonSerializableInterleaving: the classic
+// non-atomic check-then-act interleaving forms a cycle:
+// t0 reads x inside its transaction, t1 writes x, t0 writes x again.
+func TestVelodromeDetectsNonSerializableInterleaving(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		{Kind: trace.TxBegin, Tid: 0},
+		trace.Rd(0, 1), // t0's txn reads x
+		trace.Wr(1, 1), // t1 writes x: edge t0 -> t1
+		trace.Wr(0, 1), // t0 writes x: edge t1 -> t0 closes the cycle
+		{Kind: trace.TxEnd, Tid: 0},
+	}
+	got := feed(t, NewVelodrome(), tr)
+	if len(got) != 1 || got[0].Kind != rr.AtomicityViolation {
+		t.Errorf("violations = %v, want one atomicity violation", got)
+	}
+}
+
+// TestVelodromeLockInducedCycle: two transactions that exchange data
+// through two locks in opposite orders are not serializable.
+func TestVelodromeLockInducedCycle(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		{Kind: trace.TxBegin, Tid: 0},
+		{Kind: trace.TxBegin, Tid: 1},
+		trace.Acq(0, 1), trace.Rel(0, 1), // t0 releases lock 1
+		trace.Acq(1, 1), trace.Rel(1, 1), // t1 after t0 on lock 1
+		trace.Acq(1, 2), trace.Rel(1, 2), // t1 releases lock 2
+		trace.Acq(0, 2), trace.Rel(0, 2), // t0 after t1 on lock 2: cycle
+		{Kind: trace.TxEnd, Tid: 0},
+		{Kind: trace.TxEnd, Tid: 1},
+	}
+	got := feed(t, NewVelodrome(), tr)
+	if len(got) == 0 {
+		t.Error("lock-induced cycle not detected")
+	}
+}
+
+// TestVelodromeUnaryTransactionsNeverCycle: without explicit transaction
+// blocks every operation is its own transaction; conflicts are then
+// always serializable in trace order.
+func TestVelodromeUnaryTransactionsNeverCycle(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Rd(0, 1),
+		trace.Wr(1, 1),
+		trace.Wr(0, 1),
+		trace.Rd(1, 1),
+	}
+	if got := feed(t, NewVelodrome(), tr); len(got) != 0 {
+		t.Errorf("unary transactions produced violations: %v", got)
+	}
+}
+
+// TestVelodromeBarrierAndForkJoin: structured synchronization does not
+// produce cycles.
+func TestVelodromeBarrierAndForkJoin(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	tr = append(tr, tx(0, trace.Wr(0, 1))...)
+	tr = append(tr, tx(1, trace.Wr(1, 2))...)
+	tr = append(tr, trace.Barrier(0, 0, 1))
+	tr = append(tr, tx(0, trace.Rd(0, 2))...)
+	tr = append(tr, tx(1, trace.Rd(1, 1))...)
+	tr = append(tr, trace.JoinOf(0, 1))
+	tr = append(tr, tx(0, trace.Wr(0, 2))...)
+	if got := feed(t, NewVelodrome(), tr); len(got) != 0 {
+		t.Errorf("violations: %v", got)
+	}
+}
+
+// TestAtomizerAcceptsReducibleTransaction: acq, locked accesses, rel is
+// the canonical R* N L* shape.
+func TestAtomizerAcceptsReducibleTransaction(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	for tid := int32(0); tid < 2; tid++ {
+		tr = append(tr, tx(tid,
+			trace.Acq(tid, 9),
+			trace.Rd(tid, 1),
+			trace.Wr(tid, 1),
+			trace.Rel(tid, 9),
+		)...)
+	}
+	if got := feed(t, NewAtomizer(), tr); len(got) != 0 {
+		t.Errorf("violations on reducible transactions: %v", got)
+	}
+}
+
+// TestAtomizerRejectsAcquireAfterRelease: lock operations out of R* L*
+// order within a transaction violate reducibility.
+func TestAtomizerRejectsAcquireAfterRelease(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	tr = append(tr, tx(0,
+		trace.Acq(0, 9),
+		trace.Rel(0, 9),
+		trace.Acq(0, 8), // right mover after a left mover
+		trace.Rel(0, 8),
+	)...)
+	got := feed(t, NewAtomizer(), tr)
+	if len(got) != 1 || got[0].Kind != rr.AtomicityViolation {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+// TestAtomizerRejectsTwoRacyAccesses: two non-movers cannot both be the
+// commit point. The racy variable is established first so the embedded
+// Eraser classifies its accesses as non-movers.
+func TestAtomizerRejectsTwoRacyAccesses(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	// Make variables 1 and 2 racy (no locks, two writers).
+	tr = append(tr, trace.Wr(0, 1), trace.Wr(1, 1), trace.Wr(1, 1))
+	tr = append(tr, trace.Wr(0, 2), trace.Wr(1, 2), trace.Wr(1, 2))
+	tr = append(tr, tx(0,
+		trace.Wr(0, 1), // first non-mover: commit point
+		trace.Wr(0, 2), // second non-mover: violation
+	)...)
+	got := feed(t, NewAtomizer(), tr)
+	if len(got) != 1 || got[0].Var != 2 {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+// TestAtomizerIgnoresOutsideTransactions: non-transactional code is not
+// checked.
+func TestAtomizerIgnoresOutsideTransactions(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1),
+		trace.Wr(1, 1),
+		trace.Acq(0, 9),
+		trace.Rel(0, 9),
+		trace.Acq(0, 8),
+		trace.Rel(0, 8),
+	}
+	if got := feed(t, NewAtomizer(), tr); len(got) != 0 {
+		t.Errorf("violations outside transactions: %v", got)
+	}
+}
+
+// TestSingleTrackAcceptsForkJoinProgram: purely fork/join-ordered
+// communication is deterministic.
+func TestSingleTrackAcceptsForkJoinProgram(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(0, 1),
+		trace.ForkOf(0, 1),
+		trace.Rd(1, 1),
+		trace.Wr(1, 2),
+		trace.JoinOf(0, 1),
+		trace.Rd(0, 2),
+	}
+	if got := feed(t, NewSingleTrack(), tr); len(got) != 0 {
+		t.Errorf("violations on fork/join program: %v", got)
+	}
+}
+
+// TestSingleTrackAcceptsBarrierProgram: barrier-ordered phases are
+// deterministic.
+func TestSingleTrackAcceptsBarrierProgram(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1),
+		trace.Wr(1, 2),
+		trace.Barrier(0, 0, 1),
+		trace.Rd(0, 2),
+		trace.Rd(1, 1),
+	}
+	if got := feed(t, NewSingleTrack(), tr); len(got) != 0 {
+		t.Errorf("violations on barrier program: %v", got)
+	}
+}
+
+// TestSingleTrackFlagsLockOrderedCommunication: a lock-protected shared
+// counter is race-free but scheduler-dependent: nondeterministic.
+func TestSingleTrackFlagsLockOrderedCommunication(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(0, 9),
+		trace.Wr(0, 1),
+		trace.Rel(0, 9),
+		trace.Acq(1, 9),
+		trace.Wr(1, 1),
+		trace.Rel(1, 9),
+	}
+	got := feed(t, NewSingleTrack(), tr)
+	if len(got) != 1 || got[0].Kind != rr.DeterminismViolation {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+// TestSingleTrackFlagsRace: racy pairs are a fortiori nondeterministic.
+func TestSingleTrackFlagsRace(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1),
+		trace.Wr(1, 1),
+	}
+	got := feed(t, NewSingleTrack(), tr)
+	if len(got) != 1 {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+// TestVelodromeVolatileEdge: volatile write/read pairs create
+// transactional dependencies just like lock release/acquire.
+func TestVelodromeVolatileEdge(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		{Kind: trace.TxBegin, Tid: 0},
+		{Kind: trace.TxBegin, Tid: 1},
+		trace.VWr(0, 1), // t0 publishes
+		trace.VRd(1, 1), // t1 observes: edge t0 -> t1
+		trace.VWr(1, 2), // t1 publishes
+		trace.VRd(0, 2), // t0 observes: edge t1 -> t0 closes the cycle
+		{Kind: trace.TxEnd, Tid: 0},
+		{Kind: trace.TxEnd, Tid: 1},
+	}
+	if got := feed(t, NewVelodrome(), tr); len(got) == 0 {
+		t.Error("volatile-induced cycle not detected")
+	}
+}
+
+// TestVelodromeReadersBound: the bounded reader list must not lose the
+// conflict edge from the most recent readers.
+func TestVelodromeReadersBound(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	tr = append(tr, trace.Event{Kind: trace.TxBegin, Tid: 1})
+	tr = append(tr, trace.Rd(1, 1)) // reader inside open txn
+	// Lots of unary readers from thread 0 push the ring.
+	for i := 0; i < 20; i++ {
+		tr = append(tr, trace.Rd(0, 1))
+	}
+	tr = append(tr, trace.Wr(1, 1)) // write inside t1's txn
+	// Thread 0 writes: anti-dependency from recent readers -> t0's txn;
+	// then t1's open txn writes again -> cycle through t0.
+	tr = append(tr, trace.Event{Kind: trace.TxEnd, Tid: 1})
+	if got := feed(t, NewVelodrome(), tr); len(got) != 0 {
+		// Serializable history: the bound must not create spurious cycles.
+		t.Errorf("spurious violations: %v", got)
+	}
+}
+
+// TestSingleTrackVolatileOrderIsNondeterministic: ordering that exists
+// only through a volatile is scheduler-dependent.
+func TestSingleTrackVolatileOrderIsNondeterministic(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1),
+		trace.VWr(0, 0),
+		trace.VRd(1, 0),
+		trace.Wr(1, 1), // race-free via the volatile, but nondeterministic
+	}
+	got := feed(t, NewSingleTrack(), tr)
+	if len(got) != 1 || got[0].Kind != rr.DeterminismViolation {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+// TestCheckersReportStats: every checker counts events and reports a
+// shadow footprint.
+func TestCheckersReportStats(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(0, 9),
+		trace.Wr(0, 1),
+		trace.Rel(0, 9),
+	}
+	for _, tool := range []rr.Tool{NewVelodrome(), NewAtomizer(), NewSingleTrack()} {
+		feed(t, tool, tr)
+		st := tool.Stats()
+		if st.Events != int64(len(tr)) {
+			t.Errorf("%s: Events = %d, want %d", tool.Name(), st.Events, len(tr))
+		}
+		if st.ShadowBytes <= 0 {
+			t.Errorf("%s: ShadowBytes = %d", tool.Name(), st.ShadowBytes)
+		}
+	}
+}
+
+func TestCheckerNames(t *testing.T) {
+	if NewVelodrome().Name() != "Velodrome" ||
+		NewAtomizer().Name() != "Atomizer" ||
+		NewSingleTrack().Name() != "SingleTrack" {
+		t.Error("checker names wrong")
+	}
+}

@@ -1,0 +1,236 @@
+package atomicity
+
+import (
+	"fasttrack/internal/detectors/eraser"
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// Atomizer checks atomicity via Lipton's theory of reduction: a
+// serializable block has the shape R* [N] L* — right movers (lock
+// acquires), at most one non-mover (an access to racy data) at the
+// commit point, then left movers (lock releases). Accesses to data that
+// follows a consistent locking discipline are both-movers and never
+// change phase; the discipline is judged by an embedded Eraser instance,
+// exactly as in the published tool (which is why Eraser cannot be a
+// meaningful *prefilter* for Atomizer — the paper's footnote 7).
+//
+// Each transaction runs a two-phase state machine: violations are a lock
+// acquire after the commit point, or a second non-mover.
+type Atomizer struct {
+	disc      *eraser.Detector // locking-discipline oracle
+	inLeft    []bool           // per thread: past the commit point
+	committed []bool           // per thread: consumed the one non-mover
+	explicit  []bool
+	held      [][]uint64 // locks currently held, per thread
+	access    []accessSets
+	racySet   map[uint64]bool // variables the oracle has warned about
+	racySeen  int             // how many oracle warnings are in racySet
+	flagged   map[uint64]bool
+	races     []rr.Report
+	st        rr.Stats
+}
+
+// accessSets are Atomizer's per-variable read and write lock sets,
+// intersected with the accessor's held locks on every access (the
+// published tool's per-access mover classification).
+type accessSets struct {
+	read, write  []uint64
+	haveR, haveW bool
+}
+
+var _ rr.Tool = (*Atomizer)(nil)
+
+// NewAtomizer returns an Atomizer checker.
+func NewAtomizer() *Atomizer {
+	return &Atomizer{
+		disc:    eraser.New(0, 0),
+		racySet: map[uint64]bool{},
+		flagged: map[uint64]bool{},
+	}
+}
+
+// Name implements rr.Tool.
+func (a *Atomizer) Name() string { return "Atomizer" }
+
+func (a *Atomizer) thread(t int32) {
+	for int(t) >= len(a.inLeft) {
+		a.inLeft = append(a.inLeft, false)
+		a.committed = append(a.committed, false)
+		a.explicit = append(a.explicit, false)
+	}
+}
+
+func (a *Atomizer) violation(x uint64, t int32, i int) {
+	if a.flagged[x] {
+		return
+	}
+	a.flagged[x] = true
+	a.races = append(a.races, rr.Report{
+		Var: x, Kind: rr.AtomicityViolation, Tid: t, PrevTid: -1, Index: i, PrevIndex: -1,
+	})
+}
+
+// HandleEvent implements rr.Tool.
+func (a *Atomizer) HandleEvent(i int, e trace.Event) {
+	a.st.Events++
+	// Feed the discipline oracle first so racy classification is current.
+	a.disc.HandleEvent(i, e)
+
+	switch e.Kind {
+	case trace.TxBegin:
+		a.thread(e.Tid)
+		a.explicit[e.Tid] = true
+		a.inLeft[e.Tid] = false
+		a.committed[e.Tid] = false
+	case trace.TxEnd:
+		a.thread(e.Tid)
+		a.explicit[e.Tid] = false
+		a.inLeft[e.Tid] = false
+		a.committed[e.Tid] = false
+	case trace.Acquire:
+		a.st.Syncs++
+		a.thread(e.Tid)
+		a.heldBy(e.Tid)
+		a.held[e.Tid] = insertSorted(a.held[e.Tid], e.Target)
+		if a.explicit[e.Tid] && a.inLeft[e.Tid] {
+			// A right mover after the commit point: not reducible.
+			a.violation(e.Target, e.Tid, i)
+		}
+	case trace.Release:
+		a.st.Syncs++
+		a.thread(e.Tid)
+		a.heldBy(e.Tid)
+		a.held[e.Tid] = removeSorted(a.held[e.Tid], e.Target)
+		if a.explicit[e.Tid] {
+			a.inLeft[e.Tid] = true
+		}
+	case trace.Read, trace.Write:
+		if e.Kind == trace.Read {
+			a.st.Reads++
+		} else {
+			a.st.Writes++
+		}
+		a.thread(e.Tid)
+		a.updateAccessSets(e.Tid, e.Target, e.Kind == trace.Write)
+		if !a.explicit[e.Tid] {
+			return
+		}
+		if !a.racy(e.Target) {
+			return // both-mover: lock-protected or thread-local
+		}
+		// Non-mover: the single commit point of the transaction.
+		if a.committed[e.Tid] {
+			a.violation(e.Target, e.Tid, i)
+			return
+		}
+		a.committed[e.Tid] = true
+		a.inLeft[e.Tid] = true
+	default:
+		a.st.Syncs++
+	}
+}
+
+func (a *Atomizer) heldBy(t int32) {
+	for int(t) >= len(a.held) {
+		a.held = append(a.held, nil)
+	}
+}
+
+// updateAccessSets intersects the variable's per-access lock sets with
+// the accessor's held locks, the mover-classification bookkeeping the
+// published Atomizer performs on every access.
+func (a *Atomizer) updateAccessSets(t int32, x uint64, isWrite bool) {
+	for x >= uint64(len(a.access)) {
+		a.access = append(a.access, accessSets{})
+	}
+	a.heldBy(t)
+	as := &a.access[x]
+	a.st.LockSetOps++
+	if isWrite {
+		if !as.haveW {
+			as.write = append(as.write[:0], a.held[t]...)
+			as.haveW = true
+		} else {
+			as.write = intersectSorted(as.write, a.held[t])
+		}
+		return
+	}
+	if !as.haveR {
+		as.read = append(as.read[:0], a.held[t]...)
+		as.haveR = true
+	} else {
+		as.read = intersectSorted(as.read, a.held[t])
+	}
+}
+
+// racy reports whether the discipline oracle has warned about x,
+// caching warnings in a set as they appear.
+func (a *Atomizer) racy(x uint64) bool {
+	if races := a.disc.Races(); len(races) > a.racySeen {
+		for _, r := range races[a.racySeen:] {
+			a.racySet[r.Var] = true
+		}
+		a.racySeen = len(races)
+	}
+	return a.racySet[x]
+}
+
+func insertSorted(s []uint64, m uint64) []uint64 {
+	lo := 0
+	for lo < len(s) && s[lo] < m {
+		lo++
+	}
+	if lo < len(s) && s[lo] == m {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = m
+	return s
+}
+
+func removeSorted(s []uint64, m uint64) []uint64 {
+	for i, v := range s {
+		if v == m {
+			return append(s[:i], s[i+1:]...)
+		}
+		if v > m {
+			break
+		}
+	}
+	return s
+}
+
+func intersectSorted(a, b []uint64) []uint64 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Races implements rr.Tool.
+func (a *Atomizer) Races() []rr.Report { return a.races }
+
+// Stats implements rr.Tool.
+func (a *Atomizer) Stats() rr.Stats {
+	st := a.st
+	ds := a.disc.Stats()
+	st.LockSetOps += ds.LockSetOps
+	st.ShadowBytes = ds.ShadowBytes
+	for i := range a.access {
+		st.ShadowBytes += 16 + int64(cap(a.access[i].read)+cap(a.access[i].write))*8
+	}
+	return st
+}

@@ -1,0 +1,142 @@
+package atomicity
+
+import (
+	"fasttrack/internal/detectors/vcbase"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+// SingleTrack checks determinism: a program is deterministic when every
+// pair of conflicting accesses is ordered the same way in every
+// schedule. Orderings induced by fork/join and barriers are fixed by the
+// program structure; orderings induced only by lock-acquisition or
+// volatile-access order depend on the scheduler. SingleTrack therefore
+// tracks two happens-before relations — the full one and the
+// "deterministic" one that ignores locks and volatiles — and reports a
+// violation when a conflicting pair is unordered in the deterministic
+// relation (racy pairs are a fortiori nondeterministic).
+//
+// This is the double-vector-clock structure that makes SingleTrack the
+// most expensive checker of the composition experiment (104x unfiltered
+// in the paper's Section 5.2): every access pays two BasicVC-style
+// analyses.
+type SingleTrack struct {
+	full vcbase.Sync // all synchronization
+	det  vcbase.Sync // fork/join/barrier only
+	vars []stVar
+
+	flagged map[uint64]bool
+	races   []rr.Report
+}
+
+type stVar struct {
+	rFull, wFull vc.VC
+	rDet, wDet   vc.VC
+}
+
+var _ rr.Tool = (*SingleTrack)(nil)
+
+// NewSingleTrack returns a SingleTrack checker.
+func NewSingleTrack() *SingleTrack {
+	return &SingleTrack{
+		full:    vcbase.NewSync(0),
+		det:     vcbase.NewSync(0),
+		flagged: map[uint64]bool{},
+	}
+}
+
+// Name implements rr.Tool.
+func (s *SingleTrack) Name() string { return "SingleTrack" }
+
+func (s *SingleTrack) variable(x uint64) *stVar {
+	for x >= uint64(len(s.vars)) {
+		s.vars = append(s.vars, stVar{})
+	}
+	return &s.vars[x]
+}
+
+func (s *SingleTrack) violation(x uint64, t int32, prev vc.Tid, i int) {
+	if s.flagged[x] {
+		return
+	}
+	s.flagged[x] = true
+	s.races = append(s.races, rr.Report{
+		Var: x, Kind: rr.DeterminismViolation, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: -1,
+	})
+}
+
+// HandleEvent implements rr.Tool.
+func (s *SingleTrack) HandleEvent(i int, e trace.Event) {
+	s.full.St.Events++
+	switch e.Kind {
+	case trace.Read, trace.Write:
+		// handled below
+	case trace.Fork, trace.Join, trace.BarrierRelease:
+		s.full.HandleSync(e)
+		s.det.HandleSync(e)
+		return
+	default:
+		// Locks and volatiles order the full relation only.
+		s.full.HandleSync(e)
+		return
+	}
+
+	tf := s.full.Thread(e.Tid)
+	td := s.det.Thread(e.Tid)
+	vs := s.variable(e.Target)
+	t := vc.Tid(e.Tid)
+	if e.Kind == trace.Read {
+		s.full.St.Reads++
+		// Nondeterministic iff the last write is unordered with this read
+		// in the deterministic relation.
+		s.full.St.VCOp += 2
+		if prev := vs.wDet.FirstExceeding(td.C); prev >= 0 {
+			s.violation(e.Target, e.Tid, prev, i)
+		}
+		_ = vs.wFull.FirstExceeding(tf.C) // full-relation race check (subsumed)
+		if vs.rFull == nil {
+			vs.rFull = vc.New(len(s.full.Threads))
+			vs.rDet = vc.New(len(s.det.Threads))
+			s.full.St.VCAlloc += 2
+		}
+		vs.rFull = vs.rFull.Set(t, tf.C.Get(t))
+		vs.rDet = vs.rDet.Set(t, td.C.Get(t))
+		return
+	}
+	s.full.St.Writes++
+	s.full.St.VCOp += 4
+	if prev := vs.wDet.FirstExceeding(td.C); prev >= 0 {
+		s.violation(e.Target, e.Tid, prev, i)
+	}
+	if prev := vs.rDet.FirstExceeding(td.C); prev >= 0 {
+		s.violation(e.Target, e.Tid, prev, i)
+	}
+	_ = vs.wFull.FirstExceeding(tf.C)
+	_ = vs.rFull.FirstExceeding(tf.C)
+	if vs.wFull == nil {
+		vs.wFull = vc.New(len(s.full.Threads))
+		vs.wDet = vc.New(len(s.det.Threads))
+		s.full.St.VCAlloc += 2
+	}
+	vs.wFull = vs.wFull.Set(t, tf.C.Get(t))
+	vs.wDet = vs.wDet.Set(t, td.C.Get(t))
+}
+
+// Races implements rr.Tool.
+func (s *SingleTrack) Races() []rr.Report { return s.races }
+
+// Stats implements rr.Tool.
+func (s *SingleTrack) Stats() rr.Stats {
+	st := s.full.St
+	ds := s.det.St
+	st.VCAlloc += ds.VCAlloc
+	st.VCOp += ds.VCOp
+	bytes := s.full.SyncShadowBytes() + s.det.SyncShadowBytes()
+	for i := range s.vars {
+		v := &s.vars[i]
+		bytes += int64(v.rFull.Bytes() + v.wFull.Bytes() + v.rDet.Bytes() + v.wDet.Bytes())
+	}
+	st.ShadowBytes = bytes
+	return st
+}

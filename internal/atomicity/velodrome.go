@@ -1,0 +1,292 @@
+// Package atomicity implements the three heavyweight downstream checkers
+// of the FastTrack paper's analysis-composition experiment (Section 5.2):
+//
+//   - Velodrome, a sound-and-complete dynamic atomicity checker that
+//     detects cycles in the transactional happens-before graph
+//     (Flanagan, Freund & Yi, PLDI 2008);
+//   - Atomizer, a Lipton-reduction-based atomicity checker (Flanagan &
+//     Freund, SCP 2008);
+//   - SingleTrack, a dynamic determinism checker (Sadowski, Freund &
+//     Flanagan, ESOP 2009).
+//
+// All three are deliberately expensive per memory access — that is what
+// makes race-free-access prefiltering (FastTrack:Velodrome pipelines)
+// profitable. They are faithful to the cited algorithms' structure but
+// simplified where the originals require machinery far outside this
+// paper's scope; the simplifications are noted on each type.
+//
+// Transactions are delimited by trace.TxBegin/TxEnd events; operations
+// outside any transaction form unary transactions.
+package atomicity
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// txn is a node of Velodrome's transactional happens-before graph.
+type txn struct {
+	id      int64
+	tid     int32
+	succs   []*txn
+	active  bool
+	mark    int64 // DFS visit stamp
+	flagged bool
+}
+
+// Velodrome detects non-serializable transactions as cycles in the
+// transactional happens-before graph. Edges are created by transactional
+// conflicts (two accesses to the same variable, at least one write, in
+// different transactions), by lock release/acquire pairs, by volatiles,
+// and by fork/join; program order totally orders each thread's own
+// transactions. A cycle containing a transaction means no serial
+// execution produces the same dependencies: an atomicity violation.
+//
+// Simplification vs. the published system: completed transactions are
+// never garbage-collected, and cycle detection is a DFS at edge-insertion
+// time rather than the paper's incremental algorithm. Both choices keep
+// the checker simple and (intentionally) heavyweight.
+type Velodrome struct {
+	cur        []*txn // active transaction per thread
+	explicit   []bool // thread is inside TxBegin/TxEnd
+	lastOf     []*txn // most recent transaction per thread (program order)
+	lastWrite  map[uint64]*txn
+	lastReads  map[uint64][]*txn
+	lockRel    map[uint64]*txn // last releasing transaction per lock
+	volWrite   map[uint64]*txn
+	nextID     int64
+	dfsStamp   int64
+	races      []rr.Report
+	st         rr.Stats
+	flaggedVar map[uint64]bool
+}
+
+var _ rr.Tool = (*Velodrome)(nil)
+
+// NewVelodrome returns a Velodrome checker.
+func NewVelodrome() *Velodrome {
+	return &Velodrome{
+		lastWrite:  map[uint64]*txn{},
+		lastReads:  map[uint64][]*txn{},
+		lockRel:    map[uint64]*txn{},
+		volWrite:   map[uint64]*txn{},
+		flaggedVar: map[uint64]bool{},
+	}
+}
+
+// Name implements rr.Tool.
+func (v *Velodrome) Name() string { return "Velodrome" }
+
+func (v *Velodrome) thread(t int32) {
+	for int(t) >= len(v.cur) {
+		v.cur = append(v.cur, nil)
+		v.explicit = append(v.explicit, false)
+		v.lastOf = append(v.lastOf, nil)
+	}
+}
+
+// current returns thread t's active transaction, opening a unary one if
+// none is active.
+func (v *Velodrome) current(t int32) *txn {
+	v.thread(t)
+	if v.cur[t] == nil {
+		v.nextID++
+		n := &txn{id: v.nextID, tid: t, active: true}
+		if prev := v.lastOf[t]; prev != nil {
+			prev.succs = append(prev.succs, n) // program order
+		}
+		v.lastOf[t] = n
+		v.cur[t] = n
+	}
+	return v.cur[t]
+}
+
+// closeTxn ends thread t's active transaction (if any).
+func (v *Velodrome) closeTxn(t int32) {
+	v.thread(t)
+	if n := v.cur[t]; n != nil {
+		n.active = false
+		v.cur[t] = nil
+	}
+}
+
+// noVar marks edges not attributable to a variable (fork/join/barrier).
+const noVar = ^uint64(0)
+
+// edge adds u -> w and reports an atomicity violation if it closes a
+// cycle through an active transaction. Duplicate suppression only
+// inspects the most recent successors: a bounded check that keeps edge
+// insertion O(1) while catching the overwhelmingly common immediate
+// repeats.
+func (v *Velodrome) edge(u, w *txn, x uint64, i int) {
+	if u == nil || u == w {
+		return
+	}
+	dup := u.succs
+	if len(dup) > 8 {
+		dup = dup[len(dup)-8:]
+	}
+	for _, s := range dup {
+		if s == w {
+			return // duplicate
+		}
+	}
+	// Cycle iff w already reaches u.
+	if v.reaches(w, u) {
+		v.flag(w, x, i)
+	}
+	u.succs = append(u.succs, w)
+}
+
+// reaches performs a stamped DFS from a through succs looking for b.
+func (v *Velodrome) reaches(a, b *txn) bool {
+	v.dfsStamp++
+	stamp := v.dfsStamp
+	stack := []*txn{a}
+	a.mark = stamp
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		for _, s := range n.succs {
+			if s.mark != stamp {
+				s.mark = stamp
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func (v *Velodrome) flag(n *txn, x uint64, i int) {
+	if n.flagged || v.flaggedVar[x] {
+		return
+	}
+	n.flagged = true
+	v.flaggedVar[x] = true
+	v.races = append(v.races, rr.Report{
+		Var: x, Kind: rr.AtomicityViolation, Tid: n.tid, PrevTid: -1, Index: i, PrevIndex: -1,
+	})
+}
+
+// HandleEvent implements rr.Tool.
+func (v *Velodrome) HandleEvent(i int, e trace.Event) {
+	v.st.Events++
+	switch e.Kind {
+	case trace.TxBegin:
+		v.thread(e.Tid)
+		v.closeTxn(e.Tid)
+		v.current(e.Tid)
+		v.explicit[e.Tid] = true
+	case trace.TxEnd:
+		v.closeTxn(e.Tid)
+		v.explicit[e.Tid] = false
+	case trace.Read:
+		v.st.Reads++
+		n := v.current(e.Tid)
+		v.edge(v.lastWrite[e.Target], n, e.Target, i)
+		v.lastReads[e.Target] = appendTxn(v.lastReads[e.Target], n)
+		v.maybeCloseUnary(e.Tid)
+	case trace.Write:
+		v.st.Writes++
+		n := v.current(e.Tid)
+		v.edge(v.lastWrite[e.Target], n, e.Target, i)
+		for _, r := range v.lastReads[e.Target] {
+			v.edge(r, n, e.Target, i)
+		}
+		v.lastReads[e.Target] = v.lastReads[e.Target][:0]
+		v.lastWrite[e.Target] = n
+		v.maybeCloseUnary(e.Tid)
+	case trace.Acquire:
+		v.st.Syncs++
+		n := v.current(e.Tid)
+		v.edge(v.lockRel[e.Target], n, e.Target, i)
+		v.maybeCloseUnary(e.Tid)
+	case trace.Release:
+		v.st.Syncs++
+		n := v.current(e.Tid)
+		v.lockRel[e.Target] = n
+		v.maybeCloseUnary(e.Tid)
+	case trace.VolatileRead:
+		v.st.Syncs++
+		n := v.current(e.Tid)
+		v.edge(v.volWrite[e.Target], n, e.Target, i)
+		v.maybeCloseUnary(e.Tid)
+	case trace.VolatileWrite:
+		v.st.Syncs++
+		n := v.current(e.Tid)
+		v.volWrite[e.Target] = n
+		v.maybeCloseUnary(e.Tid)
+	case trace.Fork:
+		v.st.Syncs++
+		parent := v.current(e.Tid)
+		v.maybeCloseUnary(e.Tid)
+		child := v.current(int32(e.Target))
+		v.edge(parent, child, noVar, i)
+		v.maybeCloseUnary(int32(e.Target))
+	case trace.Join:
+		v.st.Syncs++
+		v.thread(int32(e.Target))
+		childLast := v.lastOf[e.Target]
+		n := v.current(e.Tid)
+		v.edge(childLast, n, noVar, i)
+		v.maybeCloseUnary(e.Tid)
+	case trace.BarrierRelease:
+		v.st.Syncs++
+		// Model the barrier as a dedicated transaction every participant
+		// synchronizes through.
+		v.nextID++
+		b := &txn{id: v.nextID, tid: -1}
+		for _, t := range e.Tids {
+			v.thread(t)
+			if last := v.lastOf[t]; last != nil {
+				v.edge(last, b, noVar, i)
+			}
+			v.closeTxn(t)
+		}
+		for _, t := range e.Tids {
+			n := v.current(t)
+			v.edge(b, n, noVar, i)
+			v.maybeCloseUnary(t)
+		}
+	}
+}
+
+// maybeCloseUnary ends the implicit transaction of a thread that is not
+// inside an explicit TxBegin/TxEnd block.
+func (v *Velodrome) maybeCloseUnary(t int32) {
+	if !v.explicit[t] {
+		v.closeTxn(t)
+	}
+}
+
+// Races implements rr.Tool.
+func (v *Velodrome) Races() []rr.Report { return v.races }
+
+// Stats implements rr.Tool.
+func (v *Velodrome) Stats() rr.Stats {
+	st := v.st
+	st.ShadowBytes = int64(v.nextID) * 64
+	return st
+}
+
+// appendTxn records a reader transaction, keeping at most the last eight
+// distinct readers per variable. Older readers' anti-dependency edges are
+// dropped — a documented bound that keeps per-access cost constant on
+// read-shared data (the published Velodrome bounds this with transaction
+// garbage collection instead).
+func appendTxn(s []*txn, n *txn) []*txn {
+	for _, m := range s {
+		if m == n {
+			return s
+		}
+	}
+	if len(s) >= 8 {
+		copy(s, s[1:])
+		s[len(s)-1] = n
+		return s
+	}
+	return append(s, n)
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/detectors/djit"
+	"fasttrack/internal/sim"
+	"fasttrack/trace"
+)
+
+// AccordionRow is one configuration of the accordion experiment: shadow
+// memory for DJIT+, plain FastTrack, and FastTrack with the
+// accordion-style Compact pass run after each wave of worker threads
+// exits.
+type AccordionRow struct {
+	Waves, Workers int
+	TotalThreads   int
+	Events         int
+	DJITBytes      int64
+	FTBytes        int64
+	FTCompactBytes int64
+	Dropped        int // threads fully reclaimed
+	Warnings       int // must be zero; the workload is race-free
+}
+
+// Accordion measures the space effect of dead-thread compaction on
+// workloads with many short-lived threads (cf. accordion clocks,
+// Christiaens & De Bosschere, cited in the paper's Sections 4 and 6).
+func Accordion(cfg Config, shapes [][2]int) []AccordionRow {
+	if len(shapes) == 0 {
+		shapes = [][2]int{{4, 8}, {16, 8}, {64, 8}, {16, 32}}
+	}
+	vars, reps := 64, 2
+	var rows []AccordionRow
+	for _, s := range shapes {
+		waves, workers := s[0], s[1]
+		tr := sim.Waves(waves, workers, vars, reps)
+		row := AccordionRow{
+			Waves:        waves,
+			Workers:      workers,
+			TotalThreads: waves*workers + 1,
+			Events:       len(tr),
+		}
+
+		dj := djit.New(0, 0)
+		feed(dj.HandleEvent, tr)
+		row.DJITBytes = dj.Stats().ShadowBytes
+
+		plain := core.New(0, 0)
+		feed(plain.HandleEvent, tr)
+		row.FTBytes = plain.Stats().ShadowBytes
+
+		compacted := core.New(0, 0)
+		var dead []int32
+		for i, e := range tr {
+			compacted.HandleEvent(i, e)
+			if e.Kind == trace.Join {
+				dead = append(dead, int32(e.Target))
+				if len(dead)%workers == 0 { // end of a wave
+					st := compacted.Compact(dead)
+					row.Dropped += st.DroppedThreads
+				}
+			}
+		}
+		row.FTCompactBytes = compacted.Stats().ShadowBytes
+		row.Warnings = len(plain.Races()) + len(compacted.Races()) + len(dj.Races())
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func feed(h func(int, trace.Event), tr trace.Trace) {
+	for i, e := range tr {
+		h(i, e)
+	}
+}
+
+// FprintAccordion renders the accordion experiment.
+func FprintAccordion(w io.Writer, rows []AccordionRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Waves\tWorkers\tThreads\tEvents\tDJIT+ KB\tFastTrack KB\tFT+Compact KB\tDropped\tReduction")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1fx\n",
+			r.Waves, r.Workers, r.TotalThreads, r.Events,
+			r.DJITBytes/1024, r.FTBytes/1024, r.FTCompactBytes/1024,
+			r.Dropped, float64(r.FTBytes)/float64(r.FTCompactBytes))
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\n(race-free waves of short-lived worker threads; Compact runs once per")
+	fmt.Fprintln(w, " joined wave and reclaims all shadow state referencing the dead threads)")
+}

@@ -1,0 +1,104 @@
+// Package bench is the measurement harness that regenerates every table
+// and figure of the FastTrack paper's evaluation (Section 5) from the
+// synthetic benchmark workloads of internal/sim. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+//
+// Methodology: for each benchmark a trace is generated once, then each
+// tool consumes the identical in-memory trace through the rr.Dispatcher.
+// "Base time" is the cost of iterating the trace with no analysis
+// attached (the analog of the uninstrumented run), and a tool's slowdown
+// is its run time divided by the base time. Absolute numbers depend on
+// the host; the paper's claims are about the ratios between tools.
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// Config tunes a harness run.
+type Config struct {
+	// Scale multiplies workload repetition counts (1 = default size).
+	Scale float64
+	// Runs is the number of timed repetitions; the fastest is kept.
+	Runs int
+	// Granularity applies to every tool (Table 3 varies it).
+	Granularity rr.Granularity
+}
+
+// DefaultConfig returns the configuration used by cmd/racebench.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Runs: 3, Granularity: rr.Fine}
+}
+
+func (c Config) runs() int {
+	if c.Runs < 1 {
+		return 1
+	}
+	return c.Runs
+}
+
+// Measurement is one (benchmark, tool) cell.
+type Measurement struct {
+	Tool     string
+	Elapsed  time.Duration
+	Slowdown float64
+	Warnings int
+	Stats    rr.Stats
+}
+
+// BaseTime measures the no-analysis iteration cost of a trace: the
+// stand-in for the uninstrumented program's running time.
+func BaseTime(tr trace.Trace, runs int) time.Duration {
+	runtime.GC() // steady heap before timing
+	best := time.Duration(0)
+	var sink uint64
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		for i := range tr {
+			// Touch the event so the loop cannot be optimized away and
+			// the memory traffic matches what every tool also pays.
+			sink += uint64(tr[i].Kind) + tr[i].Target
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	if sink == 0xdeadbeef {
+		panic("unreachable")
+	}
+	if best <= 0 {
+		best = time.Nanosecond
+	}
+	return best
+}
+
+// MeasureTool runs a fresh tool (from mk) over the trace cfg.runs()
+// times and reports the fastest run together with the tool's warnings
+// and statistics.
+func MeasureTool(tr trace.Trace, mk func() rr.Tool, cfg Config, base time.Duration) Measurement {
+	var m Measurement
+	for r := 0; r < cfg.runs(); r++ {
+		runtime.GC() // drop the previous run's shadow state before timing
+		tool := mk()
+		d := rr.NewDispatcher(tool)
+		d.Granularity = cfg.Granularity
+		start := time.Now()
+		d.Feed(tr)
+		elapsed := time.Since(start)
+		if m.Elapsed == 0 || elapsed < m.Elapsed {
+			m.Elapsed = elapsed
+		}
+		if r == cfg.runs()-1 {
+			m.Tool = tool.Name()
+			m.Warnings = len(tool.Races())
+			m.Stats = tool.Stats()
+		}
+	}
+	m.Slowdown = float64(m.Elapsed) / float64(base)
+	return m
+}

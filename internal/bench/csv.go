@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// This file renders every table as CSV so results can be consumed by
+// plotting scripts and regression-tracking tooling (racebench -csv).
+
+func writeCSV(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table1CSV renders Table 1 rows as CSV.
+func Table1CSV(w io.Writer, rows []BenchRow) error {
+	out := [][]string{{"benchmark", "compute_bound", "threads", "events", "base_ns"}}
+	for _, tool := range Table1Tools {
+		out[0] = append(out[0], "slowdown_"+tool, "warnings_"+tool)
+	}
+	out[0] = append(out[0], "seeded_races")
+	for _, r := range rows {
+		row := []string{
+			r.Bench, fmt.Sprint(r.ComputeBound), fmt.Sprint(r.Threads),
+			fmt.Sprint(r.Events), fmt.Sprint(r.Base.Nanoseconds()),
+		}
+		for _, tool := range Table1Tools {
+			c := r.Cells[tool]
+			row = append(row, fmt.Sprintf("%.3f", c.Slowdown), fmt.Sprint(c.Warnings))
+		}
+		row = append(row, fmt.Sprint(r.KnownRaces))
+		out = append(out, row)
+	}
+	return writeCSV(w, out)
+}
+
+// Table2CSV renders Table 2 rows as CSV.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	out := [][]string{{"benchmark", "djit_vc_alloc", "fasttrack_vc_alloc", "djit_vc_ops", "fasttrack_vc_ops"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Bench,
+			fmt.Sprint(r.DJITAlloc), fmt.Sprint(r.FTAlloc),
+			fmt.Sprint(r.DJITOps), fmt.Sprint(r.FTOps),
+		})
+	}
+	return writeCSV(w, out)
+}
+
+// Table3CSV renders Table 3 rows as CSV.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	out := [][]string{{
+		"benchmark", "data_bytes",
+		"mem_fine_djit", "mem_fine_ft", "mem_coarse_djit", "mem_coarse_ft",
+		"slow_fine_djit", "slow_fine_ft", "slow_coarse_djit", "slow_coarse_ft",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Bench, fmt.Sprint(r.BaseBytes),
+			fmt.Sprintf("%.3f", r.MemFine["DJIT+"]), fmt.Sprintf("%.3f", r.MemFine["FastTrack"]),
+			fmt.Sprintf("%.3f", r.MemCoarse["DJIT+"]), fmt.Sprintf("%.3f", r.MemCoarse["FastTrack"]),
+			fmt.Sprintf("%.3f", r.SlowFine["DJIT+"]), fmt.Sprintf("%.3f", r.SlowFine["FastTrack"]),
+			fmt.Sprintf("%.3f", r.SlowCoarse["DJIT+"]), fmt.Sprintf("%.3f", r.SlowCoarse["FastTrack"]),
+		})
+	}
+	return writeCSV(w, out)
+}
+
+// ComposeCSV renders the Section 5.2 table as CSV.
+func ComposeCSV(w io.Writer, rows []ComposeRow) error {
+	header := []string{"checker"}
+	for _, f := range ComposeFilters {
+		header = append(header, "slowdown_"+f, "warnings_"+f)
+	}
+	out := [][]string{header}
+	for _, r := range rows {
+		row := []string{r.Checker}
+		for _, f := range ComposeFilters {
+			row = append(row, fmt.Sprintf("%.3f", r.Slowdowns[f]), fmt.Sprint(r.Warnings[f]))
+		}
+		out = append(out, row)
+	}
+	return writeCSV(w, out)
+}
+
+// ScalingCSV renders the scaling ablation as CSV.
+func ScalingCSV(w io.Writer, rows []ScalingRow) error {
+	header := []string{"threads", "events"}
+	for _, tool := range ScalingTools {
+		header = append(header, "ns_per_event_"+tool, "vc_ops_"+tool, "shadow_kb_"+tool)
+	}
+	out := [][]string{header}
+	for _, r := range rows {
+		row := []string{fmt.Sprint(r.Threads), fmt.Sprint(r.Events)}
+		for _, tool := range ScalingTools {
+			row = append(row,
+				fmt.Sprintf("%.2f", r.NsPerEv[tool]),
+				fmt.Sprint(r.VCOps[tool]),
+				fmt.Sprint(r.ShadowKB[tool]))
+		}
+		out = append(out, row)
+	}
+	return writeCSV(w, out)
+}
+
+// AccordionCSV renders the accordion experiment as CSV.
+func AccordionCSV(w io.Writer, rows []AccordionRow) error {
+	out := [][]string{{
+		"waves", "workers", "threads", "events",
+		"djit_bytes", "fasttrack_bytes", "fasttrack_compact_bytes", "dropped_threads",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.Waves), fmt.Sprint(r.Workers), fmt.Sprint(r.TotalThreads),
+			fmt.Sprint(r.Events), fmt.Sprint(r.DJITBytes), fmt.Sprint(r.FTBytes),
+			fmt.Sprint(r.FTCompactBytes), fmt.Sprint(r.Dropped),
+		})
+	}
+	return writeCSV(w, out)
+}

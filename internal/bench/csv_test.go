@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// parseCSV reads back what a renderer wrote, enforcing rectangularity.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("renderer emitted invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestCSVRenderers(t *testing.T) {
+	cfg := Config{Scale: 0.05, Runs: 1}
+	var buf bytes.Buffer
+
+	if err := Table1CSV(&buf, Table1(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 17 { // header + 16 benchmarks
+		t.Errorf("table 1: %d rows, want 17", len(rows))
+	}
+	if rows[0][0] != "benchmark" || !strings.Contains(strings.Join(rows[0], ","), "slowdown_FastTrack") {
+		t.Errorf("table 1 header: %v", rows[0])
+	}
+
+	buf.Reset()
+	if err := Table2CSV(&buf, Table2(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 17 || len(rows[1]) != 5 {
+		t.Errorf("table 2 shape: %dx%d", len(rows), len(rows[1]))
+	}
+
+	buf.Reset()
+	if err := Table3CSV(&buf, Table3(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 17 || len(rows[1]) != 10 {
+		t.Errorf("table 3 shape: %dx%d", len(rows), len(rows[1]))
+	}
+
+	buf.Reset()
+	if err := ComposeCSV(&buf, Compose(Config{Scale: 0.03, Runs: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 4 { // header + 3 checkers
+		t.Errorf("compose rows = %d", len(rows))
+	}
+
+	buf.Reset()
+	if err := ScalingCSV(&buf, Scaling(Config{Scale: 0.1, Runs: 1}, []int{2, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 3 {
+		t.Errorf("scaling rows = %d", len(rows))
+	}
+
+	buf.Reset()
+	if err := AccordionCSV(&buf, Accordion(cfg, [][2]int{{2, 4}})); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 2 {
+		t.Errorf("accordion rows = %d", len(rows))
+	}
+}

@@ -1,0 +1,46 @@
+// Package conformance cross-checks every race detector in this module
+// against the independent happens-before oracle of internal/hb. Its
+// exported helpers are consumed by the package's own property tests and
+// by the benchmark harness's self-checks.
+package conformance
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// RacyVars runs a tool over a trace and returns the set of variables it
+// flagged.
+func RacyVars(tool rr.Tool, tr trace.Trace) map[uint64]bool {
+	for i, e := range tr {
+		tool.HandleEvent(i, e)
+	}
+	out := map[uint64]bool{}
+	for _, r := range tool.Races() {
+		out[r.Var] = true
+	}
+	return out
+}
+
+// SameVars reports whether two variable sets are equal.
+func SameVars(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for x := range a {
+		if !b[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether a ⊆ b.
+func Subset(a, b map[uint64]bool) bool {
+	for x := range a {
+		if !b[x] {
+			return false
+		}
+	}
+	return true
+}

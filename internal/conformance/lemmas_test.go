@@ -1,0 +1,148 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/hb"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+// TestLemmas3And4ClocksCharacterizeHappensBefore checks the key
+// technical device of the paper's soundness/completeness proofs
+// (Appendix A, Lemmas 3 and 4) on random feasible traces: for two data
+// accesses a (by thread t) and b (by thread u ≠ t) with a before b in
+// the trace,
+//
+//	a happens-before b  ⟺  C_t^a(t) <= C_u^b(t)
+//
+// where C^a is the analysis clock at the time of the access (accesses do
+// not change clocks, so pre- and post-state agree). The forward
+// direction is Lemma 4 (restricted to accesses, where K = C); the
+// backward direction is Lemma 3. The oracle supplies the ground-truth
+// happens-before relation.
+func TestLemmas3And4ClocksCharacterizeHappensBefore(t *testing.T) {
+	cfg := sim.DefaultRandomConfig()
+	cfg.Events = 100
+	for seed := int64(0); seed < 40; seed++ {
+		tr := sim.RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+		oracle := hb.New(tr)
+		d := core.New(4, 8)
+
+		type snap struct {
+			idx int
+			tid int32
+			c   vc.VC
+		}
+		var accesses []snap
+		for i, e := range tr {
+			if e.Kind.IsAccess() {
+				// Clock before the access == clock after it.
+				accesses = append(accesses, snap{idx: i, tid: e.Tid, c: d.ClockOf(e.Tid)})
+			}
+			d.HandleEvent(i, e)
+		}
+
+		for ai := 0; ai < len(accesses); ai++ {
+			for bi := ai + 1; bi < len(accesses); bi++ {
+				a, b := accesses[ai], accesses[bi]
+				if a.tid == b.tid {
+					continue
+				}
+				clockLeq := a.c.Get(vc.Tid(a.tid)) <= b.c.Get(vc.Tid(a.tid))
+				ordered := oracle.HappensBefore(a.idx, b.idx)
+				if clockLeq != ordered {
+					t.Fatalf("seed %d: events %d (thread %d) and %d (thread %d): clock test %v but happens-before %v\nC_a = %v, C_b = %v\ntrace:\n%s",
+						seed, a.idx, a.tid, b.idx, b.tid, clockLeq, ordered, a.c, b.c, tr)
+				}
+			}
+		}
+	}
+}
+
+// TestClocksAgreeAcrossPreciseDetectors: FastTrack's thread clocks and
+// the vcbase-driven detectors' clocks must evolve identically, since
+// they implement the same Figure 3 rules. Divergence here would break
+// the apples-to-apples comparison silently.
+func TestClocksAgreeAcrossPreciseDetectors(t *testing.T) {
+	cfg := sim.DefaultRandomConfig()
+	cfg.Events = 150
+	for seed := int64(100); seed < 120; seed++ {
+		tr := sim.RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+		ft := core.New(4, 8)
+		for i, e := range tr {
+			ft.HandleEvent(i, e)
+		}
+		// Replaying through the oracle-equivalent BasicVC shadow is
+		// indirect; instead, rebuild the expected clock of each thread
+		// with a tiny reference interpreter of Figure 3.
+		ref := referenceClocks(tr)
+		for tid, want := range ref {
+			if got := ft.ClockOf(int32(tid)); !got.Equal(want) {
+				t.Fatalf("seed %d: thread %d clock %v, reference %v\ntrace:\n%s",
+					seed, tid, got, want, tr)
+			}
+		}
+	}
+}
+
+// referenceClocks is a deliberately naive, allocation-happy
+// reimplementation of the Figure 3 synchronization rules, used only as a
+// test oracle for clock evolution.
+func referenceClocks(tr trace.Trace) []vc.VC {
+	clocks := []vc.VC{}
+	locks := map[uint64]vc.VC{}
+	vols := map[uint64]vc.VC{}
+	at := func(t int32) vc.VC {
+		for int(t) >= len(clocks) {
+			clocks = append(clocks, vc.New(0).Inc(vc.Tid(len(clocks))))
+		}
+		return clocks[t]
+	}
+	for _, e := range tr {
+		switch e.Kind {
+		case trace.Acquire:
+			if l, ok := locks[e.Target]; ok {
+				clocks[e.Tid] = at(e.Tid).Join(l)
+			} else {
+				at(e.Tid)
+			}
+		case trace.Release:
+			locks[e.Target] = at(e.Tid).Copy()
+			clocks[e.Tid] = clocks[e.Tid].Inc(vc.Tid(e.Tid))
+		case trace.Fork:
+			u := int32(e.Target)
+			at(u)
+			clocks[u] = clocks[u].Join(at(e.Tid))
+			clocks[e.Tid] = clocks[e.Tid].Inc(vc.Tid(e.Tid))
+		case trace.Join:
+			u := int32(e.Target)
+			at(u)
+			clocks[e.Tid] = at(e.Tid).Join(clocks[u])
+			clocks[u] = clocks[u].Inc(vc.Tid(u))
+		case trace.VolatileRead:
+			if l, ok := vols[e.Target]; ok {
+				clocks[e.Tid] = at(e.Tid).Join(l)
+			} else {
+				at(e.Tid)
+			}
+		case trace.VolatileWrite:
+			vols[e.Target] = vols[e.Target].Join(at(e.Tid))
+			clocks[e.Tid] = clocks[e.Tid].Inc(vc.Tid(e.Tid))
+		case trace.BarrierRelease:
+			join := vc.New(0)
+			for _, u := range e.Tids {
+				join = join.Join(at(u))
+			}
+			for _, u := range e.Tids {
+				clocks[u] = at(u).CopyInto(join).Inc(vc.Tid(u))
+			}
+		case trace.Read, trace.Write:
+			at(e.Tid)
+		}
+	}
+	return clocks
+}

@@ -1,0 +1,171 @@
+package core
+
+import "fasttrack/internal/vc"
+
+// This file implements an accordion-clock-style compaction pass
+// (Christiaens & De Bosschere, Euro-Par 2001 — cited in the paper's
+// Sections 4 and 6 as a complementary space optimization): programs with
+// many short-lived threads accumulate shadow state referring to dead
+// threads, and that state can be reclaimed once it is dominated by every
+// live thread's clock.
+//
+// The key observation: a reference to dead thread u — a write epoch
+// c@u, a read-vector component R_x(u) = c, or a lock component
+// L_m(u) = c — only ever participates in future checks against live
+// threads' clocks. If c <= C_t(u) for every live thread t (and every
+// thread created later inherits its knowledge of u from live threads, so
+// the bound persists), each such check is guaranteed to pass, and the
+// reference can be replaced by the minimal value without changing any
+// future analysis outcome. Once nothing references u, its own clock
+// C_u can be dropped entirely.
+//
+// Compaction is sound but changes nothing about precision — the
+// conformance property tests replay random traces with compaction
+// injected at arbitrary points and require identical warnings.
+
+// CompactStats reports what a compaction pass reclaimed.
+type CompactStats struct {
+	// DroppedThreads is the number of dead threads whose clocks were
+	// fully reclaimed.
+	DroppedThreads int
+	// ClearedWriteEpochs and ClearedReadRefs count shadow references
+	// rewritten to the minimal value.
+	ClearedWriteEpochs int
+	ClearedReadRefs    int
+	// RetainedThreads counts dead threads still referenced above the
+	// live-dominated bound (they stay until a later pass).
+	RetainedThreads int
+}
+
+// Compact reclaims shadow state referring to the given dead threads.
+// The caller asserts that each listed thread has terminated and been
+// joined (or synchronized past a barrier) — i.e. no further events by it
+// will arrive; feeding an event for a dropped thread afterwards yields
+// unspecified analysis results, exactly as an infeasible trace would.
+//
+// The pass is O(vars + locks + threads) and intended to be run
+// occasionally (e.g. after a wave of worker threads exits), not per
+// event.
+func (d *Detector) Compact(dead []int32) CompactStats {
+	var st CompactStats
+	deadSet := make(map[vc.Tid]bool, len(dead))
+	for _, u := range dead {
+		if int(u) < len(d.threads) {
+			deadSet[vc.Tid(u)] = true
+		}
+	}
+	if len(deadSet) == 0 {
+		return st
+	}
+
+	// minLive[u] = min over live threads t of C_t(u): the clock of u
+	// that every live thread has already absorbed.
+	minLive := make(map[vc.Tid]vc.Clock, len(deadSet))
+	for u := range deadSet {
+		first := true
+		var m vc.Clock
+		for t := range d.threads {
+			if deadSet[vc.Tid(t)] || d.threads[t].c == nil {
+				continue
+			}
+			c := d.threads[t].c.Get(u)
+			if first || c < m {
+				m = c
+				first = false
+			}
+		}
+		if first {
+			m = 0 // no live threads at all: nothing is dominated
+		}
+		minLive[u] = m
+	}
+
+	dominated := func(e vc.Epoch) bool {
+		return deadSet[e.Tid()] && e.Clock() <= minLive[e.Tid()]
+	}
+	// retained marks dead threads still referenced somewhere.
+	retained := map[vc.Tid]bool{}
+
+	for x := range d.vars {
+		vs := &d.vars[x]
+		if vs.w != vc.Bottom && deadSet[vs.w.Tid()] {
+			if dominated(vs.w) {
+				vs.w = vc.Bottom
+				st.ClearedWriteEpochs++
+			} else {
+				retained[vs.w.Tid()] = true
+			}
+		}
+		if vs.r == readShared {
+			changed := false
+			for u := range deadSet {
+				if c := vs.rvc.Get(u); c > 0 {
+					if c <= minLive[u] {
+						vs.rvc = vs.rvc.Set(u, 0)
+						st.ClearedReadRefs++
+						changed = true
+					} else {
+						retained[u] = true
+					}
+				}
+			}
+			if changed {
+				vs.rvc = vs.rvc.Trim()
+				if len(vs.rvc) == 0 {
+					// All recorded readers reclaimed: back to epoch mode.
+					vs.rvc = nil
+					vs.r = vc.Bottom
+				}
+			}
+		} else if vs.r != vc.Bottom && deadSet[vs.r.Tid()] {
+			if dominated(vs.r) {
+				vs.r = vc.Bottom
+				st.ClearedReadRefs++
+			} else {
+				retained[vs.r.Tid()] = true
+			}
+		}
+	}
+
+	// Lock and volatile clocks: dominated dead components are zeroed.
+	compactL := func(m map[uint64]vc.VC) {
+		for k, l := range m {
+			changed := false
+			for u := range deadSet {
+				if c := l.Get(u); c > 0 {
+					if c <= minLive[u] {
+						l = l.Set(u, 0)
+						changed = true
+					} else {
+						retained[u] = true
+					}
+				}
+			}
+			if changed {
+				m[k] = l.Trim()
+			}
+		}
+	}
+	compactL(d.locks)
+	compactL(d.vols)
+
+	// Drop fully-unreferenced dead threads' own clocks.
+	for u := range deadSet {
+		if retained[u] {
+			st.RetainedThreads++
+			continue
+		}
+		if d.threads[u].c != nil {
+			d.threads[u].c = nil
+			d.threads[u].epoch = vc.Bottom
+			st.DroppedThreads++
+		}
+	}
+	// Live threads' vectors can shed trailing zeros too.
+	for t := range d.threads {
+		if d.threads[t].c != nil {
+			d.threads[t].c = d.threads[t].c.Trim()
+		}
+	}
+	return st
+}

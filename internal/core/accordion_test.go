@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+// waveTrace forks `workers` threads that each write their own variables
+// plus one shared (fork/join ordered) variable, then joins them all.
+func waveTrace(workers int) trace.Trace {
+	var tr trace.Trace
+	for w := 1; w <= workers; w++ {
+		tr = append(tr, trace.ForkOf(0, int32(w)))
+	}
+	for w := 1; w <= workers; w++ {
+		tid := int32(w)
+		for j := 0; j < 4; j++ {
+			tr = append(tr, trace.Wr(tid, uint64(w*10+j)), trace.Rd(tid, uint64(w*10+j)))
+		}
+	}
+	for w := 1; w <= workers; w++ {
+		tr = append(tr, trace.JoinOf(0, int32(w)))
+	}
+	return tr
+}
+
+func TestCompactReclaimsJoinedWave(t *testing.T) {
+	d := New(8, 64)
+	tr := waveTrace(6)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	before := d.Stats().ShadowBytes
+	dead := []int32{1, 2, 3, 4, 5, 6}
+	st := d.Compact(dead)
+	if st.DroppedThreads != 6 {
+		t.Errorf("DroppedThreads = %d, want 6 (%+v)", st.DroppedThreads, st)
+	}
+	if st.RetainedThreads != 0 {
+		t.Errorf("RetainedThreads = %d, want 0", st.RetainedThreads)
+	}
+	if st.ClearedWriteEpochs == 0 || st.ClearedReadRefs == 0 {
+		t.Errorf("nothing cleared: %+v", st)
+	}
+	after := d.Stats().ShadowBytes
+	if after >= before {
+		t.Errorf("ShadowBytes %d -> %d, want reduction", before, after)
+	}
+	if err := d.CheckWellFormed(); err != nil {
+		t.Errorf("state ill-formed after compaction: %v", err)
+	}
+	// The main thread continues; accesses to the reclaimed variables are
+	// race-free (join-ordered) and must stay silent.
+	base := len(tr)
+	for w := 1; w <= 6; w++ {
+		for j := 0; j < 4; j++ {
+			d.HandleEvent(base, trace.Wr(0, uint64(w*10+j)))
+			base++
+		}
+	}
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarms after compaction: %v", races)
+	}
+}
+
+func TestCompactRetainsUnjoinedReferences(t *testing.T) {
+	d := New(4, 8)
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Wr(1, 5),
+		trace.JoinOf(0, 1), // thread 0 knows about the write; thread 2 doesn't
+	}
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	st := d.Compact([]int32{1})
+	if st.DroppedThreads != 0 || st.RetainedThreads != 1 {
+		t.Errorf("stats = %+v, want retained", st)
+	}
+	// The write epoch must survive: thread 2 can still race with it.
+	d.HandleEvent(10, trace.Wr(2, 5))
+	races := d.Races()
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want the race against the dead thread's write", races)
+	}
+	if races[0].PrevTid != 1 {
+		t.Errorf("PrevTid = %d, want 1", races[0].PrevTid)
+	}
+}
+
+func TestCompactReclaimsAfterAllLiveCatchUp(t *testing.T) {
+	d := New(4, 8)
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Wr(1, 5),
+		trace.JoinOf(0, 1),
+		// Thread 2 catches up through a lock handoff from thread 0.
+		trace.Acq(0, 9),
+		trace.Rel(0, 9),
+		trace.Acq(2, 9),
+		trace.Rel(2, 9),
+	}
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	st := d.Compact([]int32{1})
+	if st.DroppedThreads != 1 {
+		t.Errorf("stats = %+v, want thread 1 dropped", st)
+	}
+	// Now ordered for everyone: no race.
+	d.HandleEvent(10, trace.Wr(2, 5))
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarm after full catch-up: %v", races)
+	}
+}
+
+func TestCompactReadSharedDemotion(t *testing.T) {
+	d := New(4, 8)
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Rd(1, 5),
+		trace.Rd(2, 5), // read-shared: R_5 is a vector clock
+		trace.JoinOf(0, 1),
+		trace.JoinOf(0, 2),
+	}
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	st := d.Compact([]int32{1, 2})
+	if st.ClearedReadRefs != 2 {
+		t.Errorf("ClearedReadRefs = %d, want 2", st.ClearedReadRefs)
+	}
+	// With every recorded reader reclaimed the variable returns to epoch
+	// mode with R = bottom.
+	e, rvc, shared := d.ReadStateOf(5)
+	if shared || rvc != nil || e != vc.Bottom {
+		t.Errorf("read state = (%v, %v, shared=%v), want bottom epoch", e, rvc, shared)
+	}
+	if err := d.CheckWellFormed(); err != nil {
+		t.Errorf("ill-formed: %v", err)
+	}
+}
+
+func TestCompactNoDeadThreadsIsNoop(t *testing.T) {
+	d := New(2, 2)
+	d.HandleEvent(0, trace.Wr(0, 1))
+	if st := d.Compact(nil); st != (CompactStats{}) {
+		t.Errorf("stats = %+v, want zero", st)
+	}
+	if st := d.Compact([]int32{42}); st != (CompactStats{}) {
+		t.Errorf("unknown thread id: stats = %+v, want zero", st)
+	}
+}
+
+func TestCompactLockClocks(t *testing.T) {
+	d := New(4, 8)
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(1, 9),
+		trace.Rel(1, 9), // L_9 references thread 1
+		trace.JoinOf(0, 1),
+	}
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	// Thread 0 joined thread 1, so L_9's component for thread 1 is
+	// dominated and reclaimable.
+	st := d.Compact([]int32{1})
+	if st.DroppedThreads != 1 {
+		t.Errorf("stats = %+v, want thread 1 dropped", st)
+	}
+	// Lock still functions.
+	d.HandleEvent(10, trace.Acq(0, 9))
+	d.HandleEvent(11, trace.Wr(0, 5))
+	d.HandleEvent(12, trace.Rel(0, 9))
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarms: %v", races)
+	}
+}

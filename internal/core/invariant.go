@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"fasttrack/internal/vc"
+)
+
+// CheckWellFormed verifies Definition 1 of the paper's Appendix A on the
+// current analysis state σ = (C, L, R, W):
+//
+//  1. for all u ≠ t: C_u(t) < C_t(t) — a thread's own clock entry is
+//     strictly ahead of every other thread's view of it;
+//  2. for all locks m, threads t: L_m(t) < C_t(t);
+//  3. for all variables x, threads t: R_x(t) ≤ C_t(t);
+//  4. for all variables x, threads t: W_x(t) ≤ C_t(t).
+//
+// Lemma 1 states σ0 is well-formed and Lemma 2 that every transition
+// preserves well-formedness; the soundness proof (Theorem 2) rests on
+// these invariants. The property tests drive random feasible traces
+// through the detector and call this after every step. It returns the
+// first violation found, or nil.
+//
+// An epoch is interpreted as the vector clock λu. if u = t then c else 0
+// (Appendix A), so conditions 3 and 4 reduce to a single component check
+// for epoch-mode variables.
+func (d *Detector) CheckWellFormed() error {
+	// Condition 1. Threads dropped by Compact (nil clock) are no longer
+	// part of the analysis state and are skipped.
+	for u := range d.threads {
+		cu := d.threads[u].c
+		if cu == nil {
+			continue
+		}
+		for t := range d.threads {
+			if t == u || d.threads[t].c == nil {
+				continue
+			}
+			if cu.Get(vc.Tid(t)) >= d.threads[t].c.Get(vc.Tid(t)) {
+				return fmt.Errorf("C_%d(%d) = %d >= C_%d(%d) = %d",
+					u, t, cu.Get(vc.Tid(t)), t, t, d.threads[t].c.Get(vc.Tid(t)))
+			}
+		}
+	}
+	// Condition 2 (locks and volatiles both instantiate L).
+	check2 := func(kind string, id uint64, l vc.VC) error {
+		for t := range d.threads {
+			if d.threads[t].c == nil {
+				continue
+			}
+			if l.Get(vc.Tid(t)) >= d.threads[t].c.Get(vc.Tid(t)) {
+				return fmt.Errorf("L_%s%d(%d) = %d >= C_%d(%d) = %d",
+					kind, id, t, l.Get(vc.Tid(t)), t, t, d.threads[t].c.Get(vc.Tid(t)))
+			}
+		}
+		return nil
+	}
+	for m, l := range d.locks {
+		if err := check2("m", m, l); err != nil {
+			return err
+		}
+	}
+	for v, l := range d.vols {
+		if err := check2("v", v, l); err != nil {
+			return err
+		}
+	}
+	// Conditions 3 and 4.
+	checkEpoch := func(what string, x uint64, e vc.Epoch) error {
+		t := e.Tid()
+		if int(t) >= len(d.threads) || d.threads[t].c == nil {
+			if e != vc.Bottom {
+				return fmt.Errorf("%s_%d = %v refers to unknown or dropped thread", what, x, e)
+			}
+			return nil
+		}
+		if e.Clock() > d.threads[t].c.Get(t) {
+			return fmt.Errorf("%s_%d = %v > C_%d(%d) = %d",
+				what, x, e, t, t, d.threads[t].c.Get(t))
+		}
+		return nil
+	}
+	for x := range d.vars {
+		vs := &d.vars[x]
+		if err := checkEpoch("W", uint64(x), vs.w); err != nil {
+			return err
+		}
+		if vs.r == readShared {
+			for t := range d.threads {
+				if d.threads[t].c == nil {
+					if vs.rvc.Get(vc.Tid(t)) > 0 {
+						return fmt.Errorf("R_%d(%d) references dropped thread", x, t)
+					}
+					continue
+				}
+				if vs.rvc.Get(vc.Tid(t)) > d.threads[t].c.Get(vc.Tid(t)) {
+					return fmt.Errorf("R_%d(%d) = %d > C_%d(%d) = %d",
+						x, t, vs.rvc.Get(vc.Tid(t)), t, t, d.threads[t].c.Get(vc.Tid(t)))
+				}
+			}
+			continue
+		}
+		if err := checkEpoch("R", uint64(x), vs.r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Package basicvc implements BASICVC, the traditional vector-clock race
+// detector the FastTrack paper uses as its unoptimized baseline
+// (Section 5.1): it maintains a read VC and a write VC for every memory
+// location and performs at least one O(n) vector-clock comparison on
+// every memory access — no same-epoch fast paths at all. The roughly 10x
+// gap between BasicVC and FastTrack is the headline result of Table 1.
+package basicvc
+
+import (
+	"fasttrack/internal/detectors/vcbase"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+type varState struct {
+	r, w    vc.VC
+	flagged bool
+}
+
+// Detector is the BasicVC analysis state. It implements rr.Tool.
+type Detector struct {
+	sync  vcbase.Sync
+	vars  []varState
+	races []rr.Report
+}
+
+var _ rr.Tool = (*Detector)(nil)
+
+// New returns a BasicVC detector with capacity hints.
+func New(threadHint, varHint int) *Detector {
+	d := &Detector{sync: vcbase.NewSync(threadHint)}
+	if varHint > 0 {
+		d.vars = make([]varState, 0, varHint)
+	}
+	return d
+}
+
+// Name implements rr.Tool.
+func (d *Detector) Name() string { return "BasicVC" }
+
+func (d *Detector) variable(x uint64) *varState {
+	for x >= uint64(len(d.vars)) {
+		d.vars = append(d.vars, varState{})
+	}
+	return &d.vars[x]
+}
+
+func (d *Detector) report(vs *varState, x uint64, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
+	if vs.flagged {
+		return
+	}
+	vs.flagged = true
+	d.races = append(d.races, rr.Report{Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: -1})
+}
+
+// HandleEvent implements rr.Tool.
+func (d *Detector) HandleEvent(i int, e trace.Event) {
+	d.sync.St.Events++
+	if d.sync.HandleSync(e) {
+		return
+	}
+	ts := d.sync.Thread(e.Tid)
+	vs := d.variable(e.Target)
+	t := vc.Tid(e.Tid)
+	if e.Kind == trace.Read {
+		d.sync.St.Reads++
+		d.sync.St.ReadExclusive++
+		// Race-free read: W_x ⊑ C_t. Always a full comparison.
+		d.sync.St.VCOp++
+		if prev := vs.w.FirstExceeding(ts.C); prev >= 0 {
+			d.report(vs, e.Target, rr.WriteRead, e.Tid, prev, i)
+		}
+		if vs.r == nil {
+			vs.r = vc.New(len(d.sync.Threads))
+			d.sync.St.VCAlloc++
+		}
+		vs.r = vs.r.Set(t, ts.C.Get(t))
+		return
+	}
+	d.sync.St.Writes++
+	d.sync.St.WriteExclusive++
+	// Race-free write: W_x ⊑ C_t and R_x ⊑ C_t. Two full comparisons.
+	d.sync.St.VCOp += 2
+	if prev := vs.w.FirstExceeding(ts.C); prev >= 0 {
+		d.report(vs, e.Target, rr.WriteWrite, e.Tid, prev, i)
+	}
+	if prev := vs.r.FirstExceeding(ts.C); prev >= 0 {
+		d.report(vs, e.Target, rr.ReadWrite, e.Tid, prev, i)
+	}
+	if vs.w == nil {
+		vs.w = vc.New(len(d.sync.Threads))
+		d.sync.St.VCAlloc++
+	}
+	vs.w = vs.w.Set(t, ts.C.Get(t))
+}
+
+// Races implements rr.Tool.
+func (d *Detector) Races() []rr.Report { return d.races }
+
+// Stats implements rr.Tool.
+func (d *Detector) Stats() rr.Stats {
+	st := d.sync.St
+	bytes := d.sync.SyncShadowBytes()
+	for i := range d.vars {
+		bytes += 8
+		bytes += int64(d.vars[i].r.Bytes() + d.vars[i].w.Bytes())
+	}
+	st.ShadowBytes = bytes
+	return st
+}

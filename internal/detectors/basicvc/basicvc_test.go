@@ -1,0 +1,74 @@
+package basicvc
+
+import (
+	"testing"
+
+	"fasttrack/trace"
+)
+
+func run(t *testing.T, tr trace.Trace) *Detector {
+	t.Helper()
+	d := New(4, 8)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	return d
+}
+
+func TestDetectsRaces(t *testing.T) {
+	d := run(t, trace.Trace{trace.ForkOf(0, 1), trace.Wr(0, 1), trace.Wr(1, 1)})
+	if races := d.Races(); len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+}
+
+func TestAcceptsLockDiscipline(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(0, 9), trace.Wr(0, 1), trace.Rel(0, 9),
+		trace.Acq(1, 9), trace.Rd(1, 1), trace.Rel(1, 9),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Fatalf("false alarm: %v", races)
+	}
+}
+
+// TestNoFastPath is BasicVC's defining property: every access costs at
+// least one O(n) vector-clock comparison — there is no same-epoch
+// shortcut.
+func TestNoFastPath(t *testing.T) {
+	d := New(1, 1)
+	for i := 0; i < 10; i++ {
+		d.HandleEvent(i, trace.Rd(0, 0))
+	}
+	st := d.Stats()
+	if st.VCOp < 10 {
+		t.Errorf("VCOp = %d after 10 reads; BasicVC must compare on every access", st.VCOp)
+	}
+	if st.ReadSameEpoch != 0 {
+		t.Errorf("BasicVC has no same-epoch rule; counter = %d", st.ReadSameEpoch)
+	}
+	before := st.VCOp
+	for i := 0; i < 10; i++ {
+		d.HandleEvent(100+i, trace.Wr(0, 0))
+	}
+	if got := d.Stats().VCOp - before; got < 20 {
+		t.Errorf("writes cost %d VC ops, want >= 20 (two comparisons each)", got)
+	}
+}
+
+func TestOneReportPerVariable(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1), trace.Wr(1, 1), trace.Wr(0, 1),
+	})
+	if races := d.Races(); len(races) != 1 {
+		t.Errorf("races = %v", races)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(0, 0).Name() != "BasicVC" {
+		t.Error("bad name")
+	}
+}

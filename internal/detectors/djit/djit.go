@@ -1,0 +1,165 @@
+// Package djit implements the DJIT+ race detection algorithm of
+// Pozniansky & Schuster (as presented in Section 2.2 and the right-hand
+// column of Figure 2 of the FastTrack paper). DJIT+ is precise: it keeps
+// full read and write vector clocks R_x and W_x for every variable and
+// compares them against the accessing thread's clock. Its only fast paths
+// are the same-epoch checks R_x(t) = C_t(t) and W_x(t) = C_t(t); every
+// other access costs an O(n) vector-clock comparison.
+package djit
+
+import (
+	"fasttrack/internal/detectors/vcbase"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+// varState holds R_x and W_x, allocated lazily on first read/write.
+type varState struct {
+	r, w    vc.VC
+	flagged bool
+}
+
+// Detector is the DJIT+ analysis state. It implements rr.Tool and
+// rr.Prefilter.
+type Detector struct {
+	sync  vcbase.Sync
+	vars  []varState
+	races []rr.Report
+}
+
+var (
+	_ rr.Tool      = (*Detector)(nil)
+	_ rr.Prefilter = (*Detector)(nil)
+)
+
+// New returns a DJIT+ detector with capacity hints.
+func New(threadHint, varHint int) *Detector {
+	d := &Detector{sync: vcbase.NewSync(threadHint)}
+	if varHint > 0 {
+		d.vars = make([]varState, 0, varHint)
+	}
+	return d
+}
+
+// Name implements rr.Tool.
+func (d *Detector) Name() string { return "DJIT+" }
+
+func (d *Detector) variable(x uint64) *varState {
+	for x >= uint64(len(d.vars)) {
+		d.vars = append(d.vars, varState{})
+	}
+	return &d.vars[x]
+}
+
+func (d *Detector) report(vs *varState, x uint64, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
+	if vs.flagged {
+		return
+	}
+	vs.flagged = true
+	d.races = append(d.races, rr.Report{Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: -1})
+}
+
+// HandleEvent implements rr.Tool.
+func (d *Detector) HandleEvent(i int, e trace.Event) {
+	d.sync.St.Events++
+	if d.sync.HandleSync(e) {
+		return
+	}
+	if e.Kind == trace.Read {
+		d.read(i, e.Tid, e.Target)
+	} else {
+		d.write(i, e.Tid, e.Target)
+	}
+}
+
+// HandleFilter implements rr.Prefilter with the same semantics as
+// FastTrack's: accesses proven race-free are filtered; only accesses to
+// variables already involved in a race pass downstream (Section 5.2).
+// DJIT+ filters exactly as much as FastTrack — being equally precise —
+// but pays its own O(n) vector-clock cost per filtered event, which is
+// why it is a worse prefilter in the paper's composition table.
+func (d *Detector) HandleFilter(i int, e trace.Event) bool {
+	switch e.Kind {
+	case trace.Read:
+		d.read(i, e.Tid, e.Target)
+		return d.variable(e.Target).flagged
+	case trace.Write:
+		d.write(i, e.Tid, e.Target)
+		return d.variable(e.Target).flagged
+	default:
+		d.HandleEvent(i, e)
+		return true
+	}
+}
+
+// read implements [DJIT+ READ SAME EPOCH] and [DJIT+ READ].
+func (d *Detector) read(i int, tid int32, x uint64) {
+	d.sync.St.Reads++
+	ts := d.sync.Thread(tid)
+	vs := d.variable(x)
+	t := vc.Tid(tid)
+
+	// [DJIT+ READ SAME EPOCH]: R_x(t) = C_t(t). (C_t(t) >= 1 always, so a
+	// variable never read by t — R_x(t) = 0 — cannot take this path.)
+	if vs.r.Get(t) == ts.C.Get(t) {
+		d.sync.St.ReadSameEpoch++
+		return
+	}
+
+	// [DJIT+ READ]: W_x ⊑ C_t, an O(n) comparison on every slow read.
+	d.sync.St.VCOp++
+	d.sync.St.ReadExclusive++
+	if prev := vs.w.FirstExceeding(ts.C); prev >= 0 {
+		d.report(vs, x, rr.WriteRead, tid, prev, i)
+	}
+	if vs.r == nil {
+		vs.r = vc.New(len(d.sync.Threads))
+		d.sync.St.VCAlloc++
+	}
+	vs.r = vs.r.Set(t, ts.C.Get(t))
+}
+
+// write implements [DJIT+ WRITE SAME EPOCH] and [DJIT+ WRITE].
+func (d *Detector) write(i int, tid int32, x uint64) {
+	d.sync.St.Writes++
+	ts := d.sync.Thread(tid)
+	vs := d.variable(x)
+	t := vc.Tid(tid)
+
+	// [DJIT+ WRITE SAME EPOCH]: W_x(t) = C_t(t).
+	if vs.w.Get(t) == ts.C.Get(t) {
+		d.sync.St.WriteSameEpoch++
+		return
+	}
+
+	// [DJIT+ WRITE]: W_x ⊑ C_t and R_x ⊑ C_t, two O(n) comparisons.
+	d.sync.St.VCOp += 2
+	d.sync.St.WriteExclusive++
+	if prev := vs.w.FirstExceeding(ts.C); prev >= 0 {
+		d.report(vs, x, rr.WriteWrite, tid, prev, i)
+	}
+	if prev := vs.r.FirstExceeding(ts.C); prev >= 0 {
+		d.report(vs, x, rr.ReadWrite, tid, prev, i)
+	}
+	if vs.w == nil {
+		vs.w = vc.New(len(d.sync.Threads))
+		d.sync.St.VCAlloc++
+	}
+	vs.w = vs.w.Set(t, ts.C.Get(t))
+}
+
+// Races implements rr.Tool.
+func (d *Detector) Races() []rr.Report { return d.races }
+
+// Stats implements rr.Tool.
+func (d *Detector) Stats() rr.Stats {
+	st := d.sync.St
+	bytes := d.sync.SyncShadowBytes()
+	for i := range d.vars {
+		bytes += 8 // flag word
+		bytes += int64(d.vars[i].r.Bytes() + d.vars[i].w.Bytes())
+	}
+	st.ShadowBytes = bytes
+	return st
+}

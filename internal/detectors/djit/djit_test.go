@@ -1,0 +1,140 @@
+package djit
+
+import (
+	"testing"
+
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+func run(t *testing.T, tr trace.Trace) *Detector {
+	t.Helper()
+	d := New(4, 8)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	return d
+}
+
+func TestDetectsThreeRaceKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   trace.Trace
+		kind rr.RaceKind
+	}{
+		{"write-write", trace.Trace{trace.ForkOf(0, 1), trace.Wr(0, 1), trace.Wr(1, 1)}, rr.WriteWrite},
+		{"write-read", trace.Trace{trace.ForkOf(0, 1), trace.Wr(0, 1), trace.Rd(1, 1)}, rr.WriteRead},
+		{"read-write", trace.Trace{trace.ForkOf(0, 1), trace.Rd(0, 1), trace.Wr(1, 1)}, rr.ReadWrite},
+	}
+	for _, c := range cases {
+		d := run(t, c.tr)
+		races := d.Races()
+		if len(races) != 1 || races[0].Kind != c.kind {
+			t.Errorf("%s: races = %v", c.name, races)
+		}
+	}
+}
+
+func TestAcceptsSynchronizedPatterns(t *testing.T) {
+	traces := []trace.Trace{
+		// lock-protected
+		{trace.ForkOf(0, 1), trace.Acq(0, 9), trace.Wr(0, 1), trace.Rel(0, 9),
+			trace.Acq(1, 9), trace.Rd(1, 1), trace.Wr(1, 1), trace.Rel(1, 9)},
+		// fork-join
+		{trace.Wr(0, 1), trace.ForkOf(0, 1), trace.Wr(1, 1), trace.JoinOf(0, 1), trace.Rd(0, 1)},
+		// volatile publication
+		{trace.ForkOf(0, 1), trace.Wr(0, 1), trace.VWr(0, 0), trace.VRd(1, 0), trace.Rd(1, 1)},
+		// barrier
+		{trace.ForkOf(0, 1), trace.Wr(0, 1), trace.Barrier(0, 0, 1), trace.Rd(1, 1)},
+	}
+	for i, tr := range traces {
+		if races := run(t, tr).Races(); len(races) != 0 {
+			t.Errorf("case %d: false alarm: %v", i, races)
+		}
+	}
+}
+
+func TestSameEpochFastPathCounters(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.Wr(0, 1),
+		trace.Wr(0, 1), // same epoch
+		trace.Rd(0, 1),
+		trace.Rd(0, 1), // same epoch
+	})
+	st := d.Stats()
+	if st.WriteSameEpoch != 1 || st.ReadSameEpoch != 1 {
+		t.Errorf("same-epoch counters: %+v", st)
+	}
+	// The slow rules ran once each, at one (read) and two (write) VC
+	// comparisons respectively.
+	if st.VCOp < 3 {
+		t.Errorf("VCOp = %d, want >= 3", st.VCOp)
+	}
+}
+
+func TestDJITAllocatesPerVariableVCs(t *testing.T) {
+	d := New(2, 8)
+	d.HandleEvent(-1, trace.Acq(0, 99)) // materialize thread 0's clock
+	base := d.Stats().VCAlloc
+	for x := uint64(0); x < 8; x++ {
+		d.HandleEvent(int(x), trace.Wr(0, x))
+		d.HandleEvent(int(x)+100, trace.Rd(0, x))
+	}
+	// One write VC and one read VC per variable: the O(n)-space-per-
+	// location overhead FastTrack eliminates.
+	if got := d.Stats().VCAlloc - base; got != 16 {
+		t.Errorf("allocated %d VCs for 8 variables, want 16", got)
+	}
+}
+
+func TestOneReportPerVariable(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1),
+		trace.Wr(1, 1),
+		trace.Wr(0, 1),
+		trace.Wr(1, 1),
+	})
+	if races := d.Races(); len(races) != 1 {
+		t.Errorf("races = %v, want 1 report", races)
+	}
+}
+
+func TestPrefilterPassesOnlyRacyAccesses(t *testing.T) {
+	d := New(2, 2)
+	if !d.HandleFilter(0, trace.ForkOf(0, 1)) {
+		t.Error("sync events must pass")
+	}
+	if d.HandleFilter(1, trace.Wr(0, 1)) {
+		t.Error("race-free write must be filtered")
+	}
+	if d.HandleFilter(2, trace.Rd(0, 1)) {
+		t.Error("race-free read must be filtered")
+	}
+	if !d.HandleFilter(3, trace.Wr(1, 1)) {
+		t.Error("racing write must pass")
+	}
+	if !d.HandleFilter(4, trace.Rd(1, 1)) {
+		t.Error("flagged variable's accesses must pass")
+	}
+	if d.HandleFilter(5, trace.Wr(1, 0)) {
+		t.Error("other race-free variables stay filtered")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(0, 0).Name() != "DJIT+" {
+		t.Error("bad name")
+	}
+}
+
+func TestShadowBytesGrow(t *testing.T) {
+	d := New(2, 2)
+	before := d.Stats().ShadowBytes
+	for x := uint64(0); x < 64; x++ {
+		d.HandleEvent(int(x), trace.Wr(0, x))
+	}
+	if after := d.Stats().ShadowBytes; after <= before {
+		t.Errorf("ShadowBytes %d -> %d", before, after)
+	}
+}

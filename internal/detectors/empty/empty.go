@@ -1,0 +1,118 @@
+// Package empty implements the EMPTY tool of the FastTrack paper's
+// evaluation: it performs no analysis at all and exists to measure the
+// overhead of the event-stream framework itself (the 4.1x "EMPTY"
+// column of Table 1). It also provides the TL prefilter of Section 5.2,
+// which filters only accesses to (dynamically) thread-local data.
+package empty
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// Tool is the no-op analysis. It implements rr.Tool.
+type Tool struct {
+	st rr.Stats
+}
+
+var _ rr.Tool = (*Tool)(nil)
+
+// New returns an EMPTY tool.
+func New() *Tool { return &Tool{} }
+
+// Name implements rr.Tool.
+func (t *Tool) Name() string { return "Empty" }
+
+// HandleEvent implements rr.Tool: it only counts.
+func (t *Tool) HandleEvent(_ int, e trace.Event) {
+	t.st.Events++
+	switch e.Kind {
+	case trace.Read:
+		t.st.Reads++
+	case trace.Write:
+		t.st.Writes++
+	default:
+		t.st.Syncs++
+	}
+}
+
+// Races implements rr.Tool: the EMPTY tool never warns.
+func (t *Tool) Races() []rr.Report { return nil }
+
+// Stats implements rr.Tool.
+func (t *Tool) Stats() rr.Stats { return t.st }
+
+// TLFilter is the "TL" prefilter of the composition experiment
+// (Section 5.2): a lightweight dynamic escape analysis that filters out
+// accesses to variables that only one thread has ever touched and passes
+// everything else. It implements rr.Prefilter.
+type TLFilter struct {
+	st rr.Stats
+	// owner[x] = only accessing thread so far; escaped[x] marks
+	// multi-thread variables.
+	owner   []int32
+	escaped []bool
+}
+
+var _ rr.Prefilter = (*TLFilter)(nil)
+
+// NewTL returns a TL prefilter.
+func NewTL(varHint int) *TLFilter {
+	f := &TLFilter{}
+	if varHint > 0 {
+		f.owner = make([]int32, 0, varHint)
+		f.escaped = make([]bool, 0, varHint)
+	}
+	return f
+}
+
+// Name implements rr.Tool.
+func (f *TLFilter) Name() string { return "TL" }
+
+func (f *TLFilter) slot(x uint64) int {
+	for x >= uint64(len(f.owner)) {
+		f.owner = append(f.owner, -1)
+		f.escaped = append(f.escaped, false)
+	}
+	return int(x)
+}
+
+// HandleEvent implements rr.Tool.
+func (f *TLFilter) HandleEvent(i int, e trace.Event) { f.HandleFilter(i, e) }
+
+// HandleFilter implements rr.Prefilter.
+func (f *TLFilter) HandleFilter(_ int, e trace.Event) bool {
+	f.st.Events++
+	if !e.Kind.IsAccess() {
+		f.st.Syncs++
+		return true
+	}
+	if e.Kind == trace.Read {
+		f.st.Reads++
+	} else {
+		f.st.Writes++
+	}
+	s := f.slot(e.Target)
+	if f.escaped[s] {
+		return true
+	}
+	if f.owner[s] < 0 {
+		f.owner[s] = e.Tid
+		return false
+	}
+	if f.owner[s] == e.Tid {
+		return false
+	}
+	f.escaped[s] = true
+	return true
+}
+
+// Races implements rr.Tool.
+func (f *TLFilter) Races() []rr.Report { return nil }
+
+// Stats implements rr.Tool.
+func (f *TLFilter) Stats() rr.Stats {
+	st := f.st
+	st.ShadowBytes = int64(cap(f.owner))*4 + int64(cap(f.escaped))
+	return st
+}

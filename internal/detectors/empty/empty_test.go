@@ -1,0 +1,73 @@
+package empty
+
+import (
+	"testing"
+
+	"fasttrack/trace"
+)
+
+func TestEmptyCountsAndNeverWarns(t *testing.T) {
+	e := New()
+	events := trace.Trace{
+		trace.Rd(0, 1), trace.Wr(0, 1), trace.Acq(0, 2), trace.Rel(0, 2),
+		trace.ForkOf(0, 1), trace.Rd(1, 1),
+	}
+	for i, ev := range events {
+		e.HandleEvent(i, ev)
+	}
+	if e.Races() != nil {
+		t.Error("Empty must never warn")
+	}
+	st := e.Stats()
+	if st.Events != 6 || st.Reads != 2 || st.Writes != 1 || st.Syncs != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if e.Name() != "Empty" {
+		t.Error("bad name")
+	}
+}
+
+func TestTLFilterEscapeAnalysis(t *testing.T) {
+	f := NewTL(4)
+	if f.Name() != "TL" {
+		t.Error("bad name")
+	}
+	// First access claims ownership: filtered.
+	if f.HandleFilter(0, trace.Wr(0, 1)) {
+		t.Error("first access must be filtered")
+	}
+	// Same-thread re-accesses stay filtered.
+	if f.HandleFilter(1, trace.Rd(0, 1)) {
+		t.Error("owner re-access must be filtered")
+	}
+	// Sync always passes.
+	if !f.HandleFilter(2, trace.ForkOf(0, 1)) {
+		t.Error("sync must pass")
+	}
+	// The escaping access passes, and everything after it.
+	if !f.HandleFilter(3, trace.Rd(1, 1)) {
+		t.Error("escaping access must pass")
+	}
+	if !f.HandleFilter(4, trace.Wr(0, 1)) {
+		t.Error("accesses to escaped variables must pass")
+	}
+	// Other variables remain independent.
+	if f.HandleFilter(5, trace.Wr(1, 2)) {
+		t.Error("fresh variable must be filtered")
+	}
+	if f.Races() != nil {
+		t.Error("TL filter never warns")
+	}
+	if st := f.Stats(); st.Events != 6 || st.ShadowBytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTLFilterHandleEventDelegates(t *testing.T) {
+	f := NewTL(0)
+	f.HandleEvent(0, trace.Wr(0, 9))
+	f.HandleEvent(1, trace.Wr(1, 9))
+	if st := f.Stats(); st.Writes != 2 {
+		t.Errorf("writes = %d", st.Writes)
+	}
+}

@@ -1,0 +1,125 @@
+// Package epochwr implements the intermediate design point between
+// DJIT+ and FastTrack that Section 3 of the paper walks through: the
+// last write to each variable is a single epoch (all non-racy writes are
+// totally ordered, so write-write and write-read checks become O(1)),
+// but the read history stays a full vector clock — no adaptive epoch
+// representation for reads.
+//
+// It exists as an ablation: comparing BasicVC → DJIT+ → WriteEpochsOnly
+// → FastTrack isolates how much of FastTrack's win comes from write
+// epochs versus from the adaptive read representation (reads outnumber
+// writes 4:1, so the read side matters more — which is exactly what the
+// paper's Figure 2 frequencies predict).
+package epochwr
+
+import (
+	"fasttrack/internal/detectors/vcbase"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+type varState struct {
+	w       vc.Epoch
+	r       vc.VC
+	flagged bool
+}
+
+// Detector is the write-epochs-only analysis state. It implements
+// rr.Tool.
+type Detector struct {
+	sync  vcbase.Sync
+	vars  []varState
+	races []rr.Report
+}
+
+var _ rr.Tool = (*Detector)(nil)
+
+// New returns a write-epochs-only detector with capacity hints.
+func New(threadHint, varHint int) *Detector {
+	d := &Detector{sync: vcbase.NewSync(threadHint)}
+	if varHint > 0 {
+		d.vars = make([]varState, 0, varHint)
+	}
+	return d
+}
+
+// Name implements rr.Tool.
+func (d *Detector) Name() string { return "WriteEpochsOnly" }
+
+func (d *Detector) variable(x uint64) *varState {
+	for x >= uint64(len(d.vars)) {
+		d.vars = append(d.vars, varState{})
+	}
+	return &d.vars[x]
+}
+
+func (d *Detector) report(vs *varState, x uint64, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
+	if vs.flagged {
+		return
+	}
+	vs.flagged = true
+	d.races = append(d.races, rr.Report{Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: -1})
+}
+
+// HandleEvent implements rr.Tool.
+func (d *Detector) HandleEvent(i int, e trace.Event) {
+	d.sync.St.Events++
+	if d.sync.HandleSync(e) {
+		return
+	}
+	ts := d.sync.Thread(e.Tid)
+	vs := d.variable(e.Target)
+	t := vc.Tid(e.Tid)
+
+	if e.Kind == trace.Read {
+		d.sync.St.Reads++
+		// Same-epoch read (as in DJIT+).
+		if vs.r.Get(t) == ts.C.Get(t) {
+			d.sync.St.ReadSameEpoch++
+			return
+		}
+		// Write-read check is O(1) thanks to the write epoch.
+		if !vs.w.LEq(ts.C) {
+			d.report(vs, e.Target, rr.WriteRead, e.Tid, vs.w.Tid(), i)
+		}
+		d.sync.St.ReadExclusive++
+		if vs.r == nil {
+			vs.r = vc.New(len(d.sync.Threads))
+			d.sync.St.VCAlloc++
+		}
+		vs.r = vs.r.Set(t, ts.C.Get(t))
+		return
+	}
+
+	d.sync.St.Writes++
+	if vs.w == ts.Epoch {
+		d.sync.St.WriteSameEpoch++
+		return
+	}
+	if !vs.w.LEq(ts.C) {
+		d.report(vs, e.Target, rr.WriteWrite, e.Tid, vs.w.Tid(), i)
+	}
+	// The read check is the one remaining O(n) comparison per write.
+	d.sync.St.VCOp++
+	d.sync.St.WriteExclusive++
+	if prev := vs.r.FirstExceeding(ts.C); prev >= 0 {
+		d.report(vs, e.Target, rr.ReadWrite, e.Tid, prev, i)
+	}
+	vs.w = ts.Epoch
+}
+
+// Races implements rr.Tool.
+func (d *Detector) Races() []rr.Report { return d.races }
+
+// Stats implements rr.Tool.
+func (d *Detector) Stats() rr.Stats {
+	st := d.sync.St
+	bytes := d.sync.SyncShadowBytes()
+	for i := range d.vars {
+		bytes += 16 // write epoch + flag
+		bytes += int64(d.vars[i].r.Bytes())
+	}
+	st.ShadowBytes = bytes
+	return st
+}

@@ -1,0 +1,74 @@
+package epochwr
+
+import (
+	"testing"
+
+	"fasttrack/trace"
+)
+
+func run(t *testing.T, tr trace.Trace) *Detector {
+	t.Helper()
+	d := New(4, 8)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	return d
+}
+
+func TestDetectsRaces(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"write-write", trace.Trace{trace.ForkOf(0, 1), trace.Wr(0, 1), trace.Wr(1, 1)}},
+		{"write-read", trace.Trace{trace.ForkOf(0, 1), trace.Wr(0, 1), trace.Rd(1, 1)}},
+		{"read-write", trace.Trace{trace.ForkOf(0, 1), trace.Rd(0, 1), trace.Wr(1, 1)}},
+	}
+	for _, c := range cases {
+		if races := run(t, c.tr).Races(); len(races) != 1 {
+			t.Errorf("%s: races = %v", c.name, races)
+		}
+	}
+}
+
+func TestAcceptsSynchronized(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(0, 9), trace.Wr(0, 1), trace.Rel(0, 9),
+		trace.Acq(1, 9), trace.Rd(1, 1), trace.Wr(1, 1), trace.Rel(1, 9),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarm: %v", races)
+	}
+}
+
+// TestWriteEpochNoWriteVCs is the point of the ablation: no write vector
+// clocks exist, so reads perform zero O(n) comparisons, while writes
+// still pay one for the read check.
+func TestWriteEpochNoWriteVCs(t *testing.T) {
+	d := New(2, 2)
+	d.HandleEvent(0, trace.ForkOf(0, 1))
+	base := d.Stats().VCOp
+	for i := 0; i < 10; i++ {
+		d.HandleEvent(1+i, trace.Rd(0, 1))
+		d.HandleEvent(20+i, trace.Rd(1, 1))
+	}
+	if got := d.Stats().VCOp - base; got != 0 {
+		t.Errorf("reads cost %d VC ops, want 0 (write epoch check is O(1))", got)
+	}
+	d.HandleEvent(50, trace.Wr(0, 1))
+	if got := d.Stats().VCOp - base; got != 1 {
+		t.Errorf("write cost %d VC ops, want exactly 1 (the read-VC check)", got)
+	}
+	// Read VCs are still allocated per variable — the memory the adaptive
+	// representation would save.
+	if d.Stats().VCAlloc == 0 {
+		t.Error("read vector clocks should have been allocated")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(0, 0).Name() != "WriteEpochsOnly" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,251 @@
+// Package eraser implements the Eraser LockSet race detection algorithm
+// of Savage et al. (TOCS 1997), as reimplemented for the FastTrack
+// paper's evaluation: extended to handle barrier synchronization (the
+// MultiRace extension the paper cites) but otherwise the classic,
+// deliberately unsound-and-imprecise protocol.
+//
+// Eraser enforces a locking discipline rather than computing
+// happens-before: each location's candidate lock set C(x) is the
+// intersection of the locks held at every access, and an empty C(x) on a
+// location in the shared-modified state produces a warning. The protocol
+// intentionally ignores fork/join and volatile ordering (source of the
+// paper's Eraser false alarms) and delays checking until a location
+// leaves its thread-local initialization states (source of the missed
+// hedc races, Section 5.1).
+package eraser
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// state is the Eraser per-location state machine.
+type state uint8
+
+const (
+	virgin state = iota
+	exclusive
+	shared
+	sharedModified
+)
+
+type varState struct {
+	st      state
+	owner   int32
+	lockset []uint64 // nil until first shared access
+	haveSet bool     // distinguishes nil "not yet tracked" from empty
+	gen     uint32   // barrier generation at last access
+	flagged bool
+}
+
+// Detector is the Eraser analysis state. It implements rr.Tool and
+// rr.Prefilter.
+type Detector struct {
+	vars  []varState
+	held  [][]uint64 // sorted lock sets currently held, per thread
+	gen   uint32     // global barrier generation
+	races []rr.Report
+	st    rr.Stats
+}
+
+var (
+	_ rr.Tool      = (*Detector)(nil)
+	_ rr.Prefilter = (*Detector)(nil)
+)
+
+// New returns an Eraser detector with capacity hints.
+func New(threadHint, varHint int) *Detector {
+	d := &Detector{}
+	if threadHint > 0 {
+		d.held = make([][]uint64, 0, threadHint)
+	}
+	if varHint > 0 {
+		d.vars = make([]varState, 0, varHint)
+	}
+	return d
+}
+
+// Name implements rr.Tool.
+func (d *Detector) Name() string { return "Eraser" }
+
+func (d *Detector) variable(x uint64) *varState {
+	for x >= uint64(len(d.vars)) {
+		d.vars = append(d.vars, varState{})
+	}
+	return &d.vars[x]
+}
+
+func (d *Detector) heldBy(t int32) []uint64 {
+	for int(t) >= len(d.held) {
+		d.held = append(d.held, nil)
+	}
+	return d.held[t]
+}
+
+// HandleEvent implements rr.Tool.
+func (d *Detector) HandleEvent(i int, e trace.Event) {
+	d.st.Events++
+	switch e.Kind {
+	case trace.Read:
+		d.st.Reads++
+		d.access(i, e.Tid, e.Target, false)
+	case trace.Write:
+		d.st.Writes++
+		d.access(i, e.Tid, e.Target, true)
+	case trace.Acquire:
+		d.st.Syncs++
+		d.heldBy(e.Tid) // materialize
+		d.held[e.Tid] = insertSorted(d.held[e.Tid], e.Target)
+	case trace.Release:
+		d.st.Syncs++
+		d.heldBy(e.Tid)
+		d.held[e.Tid] = removeSorted(d.held[e.Tid], e.Target)
+	case trace.BarrierRelease:
+		d.st.Syncs++
+		// Barrier extension: all locations restart the ownership protocol
+		// after a barrier, so barrier-phased programs (sor, lufact,
+		// moldyn) do not flood the user with spurious warnings.
+		d.gen++
+	case trace.Fork, trace.Join, trace.VolatileRead, trace.VolatileWrite:
+		// Classic Eraser tracks no happens-before: these are ignored,
+		// which is exactly why it false-alarms on fork-join and
+		// volatile-publication idioms.
+		d.st.Syncs++
+	}
+}
+
+// HandleFilter implements rr.Prefilter: accesses to locations still in a
+// thread-local state (virgin/exclusive) are proven race-free by the
+// locking discipline and filtered; shared locations pass (Section 5.2).
+func (d *Detector) HandleFilter(i int, e trace.Event) bool {
+	d.HandleEvent(i, e)
+	if !e.Kind.IsAccess() {
+		return true
+	}
+	st := d.variable(e.Target).st
+	return st == shared || st == sharedModified
+}
+
+// access runs the Eraser state machine for one read or write.
+func (d *Detector) access(i int, tid int32, x uint64, isWrite bool) {
+	vs := d.variable(x)
+	if vs.gen != d.gen {
+		// First access after a barrier: restart the protocol.
+		vs.st = virgin
+		vs.lockset = nil
+		vs.haveSet = false
+		vs.gen = d.gen
+	}
+	switch vs.st {
+	case virgin:
+		vs.st = exclusive
+		vs.owner = tid
+	case exclusive:
+		if tid == vs.owner {
+			return
+		}
+		// First genuinely shared access: initialize the candidate set to
+		// the locks held right now. Any race against the initializing
+		// thread's accesses is missed here — Eraser's documented
+		// unsoundness for thread-local data.
+		vs.lockset = append([]uint64(nil), d.heldBy(tid)...)
+		vs.haveSet = true
+		d.st.LockSetOps++
+		if isWrite {
+			vs.st = sharedModified
+			d.check(vs, x, tid, i)
+		} else {
+			vs.st = shared
+		}
+	case shared:
+		d.intersect(vs, tid)
+		if isWrite {
+			vs.st = sharedModified
+			d.check(vs, x, tid, i)
+		}
+	case sharedModified:
+		d.intersect(vs, tid)
+		d.check(vs, x, tid, i)
+	}
+}
+
+// intersect refines C(x) with the accessor's held locks.
+func (d *Detector) intersect(vs *varState, tid int32) {
+	d.st.LockSetOps++
+	vs.lockset = intersectSorted(vs.lockset, d.heldBy(tid))
+}
+
+// check warns (once per location) if C(x) is empty in shared-modified.
+func (d *Detector) check(vs *varState, x uint64, tid int32, i int) {
+	if vs.flagged || !vs.haveSet || len(vs.lockset) != 0 {
+		return
+	}
+	vs.flagged = true
+	d.races = append(d.races, rr.Report{
+		Var: x, Kind: rr.LockSetViolation, Tid: tid, PrevTid: -1, Index: i, PrevIndex: -1,
+	})
+}
+
+// Races implements rr.Tool.
+func (d *Detector) Races() []rr.Report { return d.races }
+
+// Stats implements rr.Tool.
+func (d *Detector) Stats() rr.Stats {
+	st := d.st
+	var bytes int64
+	for i := range d.vars {
+		bytes += 24 + int64(cap(d.vars[i].lockset))*8
+	}
+	for _, h := range d.held {
+		bytes += int64(cap(h)) * 8
+	}
+	st.ShadowBytes = bytes
+	return st
+}
+
+// insertSorted adds m to a sorted slice if absent.
+func insertSorted(s []uint64, m uint64) []uint64 {
+	lo := 0
+	for lo < len(s) && s[lo] < m {
+		lo++
+	}
+	if lo < len(s) && s[lo] == m {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = m
+	return s
+}
+
+// removeSorted deletes m from a sorted slice if present.
+func removeSorted(s []uint64, m uint64) []uint64 {
+	for i, v := range s {
+		if v == m {
+			return append(s[:i], s[i+1:]...)
+		}
+		if v > m {
+			break
+		}
+	}
+	return s
+}
+
+// intersectSorted intersects two sorted slices, reusing a's storage.
+func intersectSorted(a, b []uint64) []uint64 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package eraser
+
+import (
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+func run(t *testing.T, tr trace.Trace) *Detector {
+	t.Helper()
+	d := New(4, 8)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	return d
+}
+
+func TestStateMachineVirginToExclusive(t *testing.T) {
+	// A single-threaded variable never warns, with or without locks.
+	d := run(t, trace.Trace{
+		trace.Wr(0, 1), trace.Rd(0, 1), trace.Wr(0, 1),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("thread-local data warned: %v", races)
+	}
+}
+
+func TestReadSharedNeverWarns(t *testing.T) {
+	// Shared (read-only after initialization) data stays silent even
+	// with an empty lock set: the classic Eraser refinement.
+	d := run(t, trace.Trace{
+		trace.Wr(0, 1),
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Rd(1, 1),
+		trace.Rd(2, 1),
+		trace.Rd(1, 1),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("read-shared data warned: %v", races)
+	}
+}
+
+func TestSharedModifiedEmptyLocksetWarns(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.Wr(0, 1),
+		trace.ForkOf(0, 1),
+		trace.Rd(1, 1), // shared
+		trace.Wr(1, 1), // shared-modified, no lock: warn
+	})
+	races := d.Races()
+	if len(races) != 1 || races[0].Kind != rr.LockSetViolation {
+		t.Fatalf("races = %v", races)
+	}
+}
+
+func TestConsistentLockNeverWarns(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	for i := 0; i < 10; i++ {
+		for tid := int32(0); tid < 2; tid++ {
+			tr = append(tr, trace.Acq(tid, 5), trace.Rd(tid, 1), trace.Wr(tid, 1), trace.Rel(tid, 5))
+		}
+	}
+	if races := run(t, tr).Races(); len(races) != 0 {
+		t.Errorf("lock-disciplined data warned: %v", races)
+	}
+}
+
+func TestLocksetIntersectionAcrossLocks(t *testing.T) {
+	// The candidate set is initialized at the first shared access (the
+	// exclusive owner's locks are never consulted — Eraser's documented
+	// unsoundness), then intersected on every later access: {1,2} ∩
+	// {2,3} = {2} stays nonempty; a final access under {3} empties it.
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 9), // exclusive(0)
+		trace.Acq(1, 1), trace.Acq(1, 2), trace.Wr(1, 9), trace.Rel(1, 2), trace.Rel(1, 1),
+		trace.Acq(0, 2), trace.Acq(0, 3), trace.Wr(0, 9), trace.Rel(0, 3), trace.Rel(0, 2),
+	}
+	d := run(t, tr)
+	if races := d.Races(); len(races) != 0 {
+		t.Fatalf("nonempty intersection warned: %v", races)
+	}
+	d.HandleEvent(100, trace.Acq(1, 3))
+	d.HandleEvent(101, trace.Wr(1, 9))
+	d.HandleEvent(102, trace.Rel(1, 3))
+	if races := d.Races(); len(races) != 1 {
+		t.Errorf("empty intersection should warn once: %v", races)
+	}
+}
+
+func TestIgnoresForkJoinOrdering(t *testing.T) {
+	// Fork-join ordered handoff: race-free, but Eraser warns — its
+	// defining imprecision (Table 1's spurious warnings).
+	d := run(t, trace.Trace{
+		trace.Wr(0, 1),
+		trace.ForkOf(0, 1),
+		trace.Wr(1, 1),
+	})
+	if races := d.Races(); len(races) != 1 {
+		t.Errorf("expected the classic fork-join false alarm, got %v", races)
+	}
+}
+
+func TestBarrierGenerationReset(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1),
+		trace.Barrier(0, 0, 1),
+		trace.Wr(1, 1), // fresh generation: protocol restarts
+		trace.Rd(1, 1),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("barrier extension failed: %v", races)
+	}
+}
+
+func TestPrefilterPassesSharedOnly(t *testing.T) {
+	d := New(2, 4)
+	if d.HandleFilter(0, trace.Wr(0, 1)) {
+		t.Error("virgin->exclusive access must be filtered")
+	}
+	if d.HandleFilter(1, trace.Wr(0, 1)) {
+		t.Error("exclusive access must be filtered")
+	}
+	if !d.HandleFilter(2, trace.ForkOf(0, 1)) {
+		t.Error("sync must pass")
+	}
+	if !d.HandleFilter(3, trace.Rd(1, 1)) {
+		t.Error("shared access must pass")
+	}
+	if !d.HandleFilter(4, trace.Wr(1, 1)) {
+		t.Error("shared-modified access must pass")
+	}
+}
+
+func TestSortedSetHelpers(t *testing.T) {
+	s := insertSorted(nil, 5)
+	s = insertSorted(s, 1)
+	s = insertSorted(s, 9)
+	s = insertSorted(s, 5) // duplicate
+	if !reflect.DeepEqual(s, []uint64{1, 5, 9}) {
+		t.Fatalf("insertSorted = %v", s)
+	}
+	s = removeSorted(s, 5)
+	if !reflect.DeepEqual(s, []uint64{1, 9}) {
+		t.Fatalf("removeSorted = %v", s)
+	}
+	s = removeSorted(s, 7) // absent
+	if !reflect.DeepEqual(s, []uint64{1, 9}) {
+		t.Fatalf("removeSorted(absent) = %v", s)
+	}
+	got := intersectSorted([]uint64{1, 3, 5, 7}, []uint64{3, 4, 7, 9})
+	if !reflect.DeepEqual(got, []uint64{3, 7}) {
+		t.Fatalf("intersectSorted = %v", got)
+	}
+	if got := intersectSorted([]uint64{1}, nil); len(got) != 0 {
+		t.Fatalf("intersect with empty = %v", got)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(0, 5), trace.Rd(0, 1), trace.Wr(0, 1), trace.Rel(0, 5),
+	})
+	st := d.Stats()
+	if st.Events != 5 || st.Reads != 1 || st.Writes != 1 || st.Syncs != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}

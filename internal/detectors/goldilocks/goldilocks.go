@@ -1,0 +1,219 @@
+// Package goldilocks implements the GOLDILOCKS race detection algorithm
+// of Elmas, Qadeer & Tasiran (PLDI 2007), as reimplemented for the
+// FastTrack paper's evaluation (Section 5.1).
+//
+// Goldilocks represents the happens-before relation without vector
+// clocks: each memory location carries a set of "synchronization
+// devices" — locks, volatile variables, and thread identifiers. A thread
+// in the set may access the location; synchronization operations transfer
+// membership (releasing a lock adds the lock if the releaser is in the
+// set; acquiring it adds the acquirer if the lock is in the set; fork and
+// join transfer between parent and child; volatiles behave like locks).
+//
+// The transfer rules are applied lazily: synchronization operations are
+// appended to a global log, and each location catches up on the portion
+// of the log it has not yet seen when it is next accessed — the
+// "synchronization-event queue" scheme of the original paper. This makes
+// the per-access cost proportional to the synchronization activity since
+// the location's previous access, which is why Goldilocks is slow
+// without deep VM integration (Table 1) and why its log can exhaust
+// memory on synchronization-heavy programs (it ran out of memory on
+// lufact in the paper).
+//
+// Like the paper's reimplementation, this version includes the unsound
+// thread-local fast path: a location stays in an "owned" mode while a
+// single thread accesses it, and ownership is handed to the next thread
+// without a race check. That extension is what caused the paper's
+// Goldilocks to miss the three hedc races; this implementation
+// reproduces exactly that behaviour.
+package goldilocks
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// device encodes a synchronization device: a lock, a volatile variable,
+// or a thread id, tagged into disjoint ranges of uint64.
+type device uint64
+
+const (
+	lockTag   = uint64(1) << 62
+	volTag    = uint64(2) << 62
+	threadTag = uint64(3) << 62
+)
+
+func lockDev(m uint64) device  { return device(lockTag | m) }
+func volDev(v uint64) device   { return device(volTag | v) }
+func threadDev(t int32) device { return device(threadTag | uint64(t)) }
+
+// logEntry is one synchronization operation in the global log. Each entry
+// denotes the transfer rule "if trigger ∈ GLS(x) then GLS(x) ∪= {adds}".
+type logEntry struct {
+	trigger device
+	adds    device
+}
+
+type varState struct {
+	owned   bool
+	owner   int32
+	gls     map[device]struct{}
+	pos     int  // log prefix already applied
+	written bool // gls is seeded from a write (reads must check membership)
+	flagged bool
+	init    bool
+}
+
+// Detector is the Goldilocks analysis state. It implements rr.Tool.
+type Detector struct {
+	log   []logEntry
+	vars  []varState
+	races []rr.Report
+	st    rr.Stats
+}
+
+var _ rr.Tool = (*Detector)(nil)
+
+// New returns a Goldilocks detector with capacity hints.
+func New(threadHint, varHint int) *Detector {
+	_ = threadHint
+	d := &Detector{}
+	if varHint > 0 {
+		d.vars = make([]varState, 0, varHint)
+	}
+	return d
+}
+
+// Name implements rr.Tool.
+func (d *Detector) Name() string { return "Goldilocks" }
+
+func (d *Detector) variable(x uint64) *varState {
+	for x >= uint64(len(d.vars)) {
+		d.vars = append(d.vars, varState{})
+	}
+	return &d.vars[x]
+}
+
+// HandleEvent implements rr.Tool.
+func (d *Detector) HandleEvent(i int, e trace.Event) {
+	d.st.Events++
+	switch e.Kind {
+	case trace.Read:
+		d.st.Reads++
+		d.access(i, e.Tid, e.Target, false)
+	case trace.Write:
+		d.st.Writes++
+		d.access(i, e.Tid, e.Target, true)
+	case trace.Acquire:
+		d.st.Syncs++
+		d.log = append(d.log, logEntry{trigger: lockDev(e.Target), adds: threadDev(e.Tid)})
+	case trace.Release:
+		d.st.Syncs++
+		d.log = append(d.log, logEntry{trigger: threadDev(e.Tid), adds: lockDev(e.Target)})
+	case trace.VolatileRead:
+		d.st.Syncs++
+		d.log = append(d.log, logEntry{trigger: volDev(e.Target), adds: threadDev(e.Tid)})
+	case trace.VolatileWrite:
+		d.st.Syncs++
+		d.log = append(d.log, logEntry{trigger: threadDev(e.Tid), adds: volDev(e.Target)})
+	case trace.Fork:
+		d.st.Syncs++
+		d.log = append(d.log, logEntry{trigger: threadDev(e.Tid), adds: threadDev(int32(e.Target))})
+	case trace.Join:
+		d.st.Syncs++
+		d.log = append(d.log, logEntry{trigger: threadDev(int32(e.Target)), adds: threadDev(e.Tid)})
+	case trace.BarrierRelease:
+		d.st.Syncs++
+		// A barrier behaves like every participant releasing and then
+		// re-acquiring a common barrier-phase lock: pre-barrier accesses
+		// of all participants happen before post-barrier accesses of all
+		// participants.
+		dev := lockDev(lockTag>>1 | e.Target) // distinct from user locks
+		for _, t := range e.Tids {
+			d.log = append(d.log, logEntry{trigger: threadDev(t), adds: dev})
+		}
+		for _, t := range e.Tids {
+			d.log = append(d.log, logEntry{trigger: dev, adds: threadDev(t)})
+		}
+	}
+}
+
+func (d *Detector) access(i int, tid int32, x uint64, isWrite bool) {
+	vs := d.variable(x)
+	if !vs.init {
+		vs.init = true
+		vs.owned = true
+		vs.owner = tid
+		vs.written = isWrite
+		vs.pos = len(d.log)
+		return
+	}
+	if vs.owned {
+		if vs.owner == tid {
+			vs.written = vs.written || isWrite
+			return // thread-local fast path
+		}
+		// Unsound ownership handoff (the paper's thread-local extension):
+		// the previous owner's accesses are forgotten without a check, so
+		// a one-shot race at the handoff is missed.
+		vs.owned = false
+		vs.gls = map[device]struct{}{threadDev(tid): {}}
+		vs.pos = len(d.log)
+		vs.written = isWrite
+		return
+	}
+
+	// Lockset mode: catch up on the synchronization log, then check
+	// membership. A read only conflicts with the last write, so it checks
+	// membership only when the set is seeded from a write; a write
+	// conflicts with both the last write and all reads since, all of
+	// which are in the set.
+	d.replay(vs)
+	me := threadDev(tid)
+	if _, ok := vs.gls[me]; !ok && len(vs.gls) > 0 && (isWrite || vs.written) {
+		d.reportRace(vs, x, tid, i, isWrite)
+	}
+	if isWrite {
+		clear(vs.gls)
+		vs.written = true
+	}
+	vs.gls[me] = struct{}{}
+}
+
+// replay applies the pending transfer rules to the location's set.
+func (d *Detector) replay(vs *varState) {
+	for _, ent := range d.log[vs.pos:] {
+		d.st.LockSetOps++
+		if _, ok := vs.gls[ent.trigger]; ok {
+			vs.gls[ent.adds] = struct{}{}
+		}
+	}
+	vs.pos = len(d.log)
+}
+
+func (d *Detector) reportRace(vs *varState, x uint64, tid int32, i int, isWrite bool) {
+	if vs.flagged {
+		return
+	}
+	vs.flagged = true
+	kind := rr.WriteRead
+	if isWrite {
+		kind = rr.WriteWrite
+	}
+	d.races = append(d.races, rr.Report{Var: x, Kind: kind, Tid: tid, PrevTid: -1, Index: i, PrevIndex: -1})
+}
+
+// Races implements rr.Tool.
+func (d *Detector) Races() []rr.Report { return d.races }
+
+// Stats implements rr.Tool; the synchronization log is charged to shadow
+// memory, reflecting Goldilocks' real footprint problem.
+func (d *Detector) Stats() rr.Stats {
+	st := d.st
+	bytes := int64(cap(d.log)) * 16
+	for i := range d.vars {
+		bytes += 40 + int64(len(d.vars[i].gls))*16
+	}
+	st.ShadowBytes = bytes
+	return st
+}

@@ -1,0 +1,155 @@
+package goldilocks
+
+import (
+	"testing"
+
+	"fasttrack/trace"
+)
+
+func run(t *testing.T, tr trace.Trace) *Detector {
+	t.Helper()
+	d := New(4, 8)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	return d
+}
+
+func TestLockTransferAcceptsDiscipline(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1), trace.ForkOf(0, 2))
+	for i := 0; i < 6; i++ {
+		for tid := int32(0); tid < 3; tid++ {
+			tr = append(tr, trace.Acq(tid, 5), trace.Rd(tid, 1), trace.Wr(tid, 1), trace.Rel(tid, 5))
+		}
+	}
+	if races := run(t, tr).Races(); len(races) != 0 {
+		t.Errorf("false alarm on lock discipline: %v", races)
+	}
+}
+
+func TestForkJoinTransfer(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		// Establish lockset mode with an ordered handoff first.
+		trace.Acq(1, 5), trace.Wr(1, 1), trace.Rel(1, 5),
+		trace.Acq(2, 5), trace.Wr(2, 1), trace.Rel(2, 5),
+		trace.JoinOf(0, 2), // thread 2's accesses transfer to thread 0
+		trace.Wr(0, 1),     // no race: join ordered it
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarm across join: %v", races)
+	}
+}
+
+func TestVolatileTransfer(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Wr(1, 1),  // handoff target below
+		trace.Wr(2, 1),  // unsound handoff: lockset mode begins
+		trace.VWr(2, 0), // thread 2 publishes
+		trace.VRd(0, 0), // thread 0 observes
+		trace.Wr(0, 1),  // ordered via the volatile: no race
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarm across volatile: %v", races)
+	}
+}
+
+func TestBarrierTransfer(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Wr(1, 1),
+		trace.Wr(2, 1), // handoff: lockset mode, GLS={2}
+		trace.Barrier(0, 0, 1, 2),
+		trace.Wr(0, 1), // ordered by the barrier
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarm across barrier: %v", races)
+	}
+}
+
+func TestCatchesUnsyncedThirdAccess(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Wr(0, 1),
+		trace.Wr(1, 1), // handoff: missed by design
+		trace.Wr(2, 1), // lockset mode: caught
+	})
+	if races := d.Races(); len(races) != 1 {
+		t.Errorf("races = %v, want 1", races)
+	}
+}
+
+func TestThreadLocalFastPathNoLogReplay(t *testing.T) {
+	d := New(2, 2)
+	d.HandleEvent(0, trace.Wr(0, 1))
+	for i := 0; i < 50; i++ {
+		d.HandleEvent(i+1, trace.Acq(0, 3))
+		d.HandleEvent(i+2, trace.Rel(0, 3))
+		d.HandleEvent(i+3, trace.Wr(0, 1))
+	}
+	if ops := d.Stats().LockSetOps; ops != 0 {
+		t.Errorf("thread-local accesses replayed %d log entries; owned mode must skip", ops)
+	}
+}
+
+func TestLazyReplayCost(t *testing.T) {
+	// The replay cost is proportional to sync operations between
+	// consecutive accesses of the variable — Goldilocks' characteristic
+	// expense.
+	d := New(3, 2)
+	d.HandleEvent(0, trace.ForkOf(0, 1))
+	d.HandleEvent(1, trace.Acq(0, 5))
+	d.HandleEvent(2, trace.Wr(0, 1))
+	d.HandleEvent(3, trace.Rel(0, 5))
+	d.HandleEvent(4, trace.Acq(1, 5))
+	d.HandleEvent(5, trace.Wr(1, 1)) // handoff, pos snapshots here
+	d.HandleEvent(6, trace.Rel(1, 5))
+	for i := 0; i < 30; i++ { // 60 sync log entries
+		d.HandleEvent(10+i, trace.Acq(0, 7))
+		d.HandleEvent(40+i, trace.Rel(0, 7))
+	}
+	before := d.Stats().LockSetOps
+	d.HandleEvent(100, trace.Acq(0, 5))
+	d.HandleEvent(101, trace.Wr(0, 1)) // must replay the 60+ entries
+	if got := d.Stats().LockSetOps - before; got < 60 {
+		t.Errorf("replayed %d entries, want >= 60", got)
+	}
+}
+
+func TestReadReadNeverRaces(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Rd(0, 1),
+		trace.Rd(1, 1), // handoff
+		trace.Rd(0, 1), // reads don't conflict
+		trace.Rd(1, 1),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("read-read reported as race: %v", races)
+	}
+}
+
+func TestLogGrowthChargedToShadowMemory(t *testing.T) {
+	d := New(2, 2)
+	before := d.Stats().ShadowBytes
+	for i := 0; i < 1000; i++ {
+		d.HandleEvent(i, trace.Acq(0, uint64(i%7)))
+		d.HandleEvent(i, trace.Rel(0, uint64(i%7)))
+	}
+	after := d.Stats().ShadowBytes
+	if after <= before {
+		t.Errorf("sync log growth not visible in shadow bytes: %d -> %d", before, after)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(0, 0).Name() != "Goldilocks" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,184 @@
+// Package goodlock implements a Goodlock-style lock-order analysis
+// (Havelund's algorithm, the deadlock-detection counterpart RoadRunner
+// ships alongside its race detectors; the FastTrack paper's introduction
+// names deadlocks as the sibling class of concurrency errors).
+//
+// The analysis builds the lock acquisition-order graph of the observed
+// trace: an edge l1 -> l2 is added whenever a thread acquires l2 while
+// holding l1. A cycle in that graph means two threads can take the
+// involved locks in opposite orders, so *some* schedule deadlocks — even
+// when the observed one did not. Like LockSet, the analysis can
+// false-alarm on programs whose cyclic orders are guarded by an
+// enclosing "gate" lock; the classic refinement of checking gate locks
+// is implemented: edges are annotated with the full set of locks held,
+// and a cycle is only reported when the edge hold-sets share no common
+// gate lock.
+package goodlock
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// edge is one observed acquisition order with its guard context.
+type edge struct {
+	from, to uint64
+	// holding is the set of locks the thread held (excluding `to`) at
+	// acquisition time; a lock common to every edge of a cycle gates it.
+	holding map[uint64]bool
+	tid     int32
+	index   int
+}
+
+// Detector is the lock-order analysis state. It implements rr.Tool.
+type Detector struct {
+	held     [][]uint64 // acquisition-ordered held locks, per thread
+	edges    []edge
+	edgeSeen map[[2]uint64]bool
+	adj      map[uint64][]int // lock -> indices into edges (outgoing)
+	flagged  map[[2]uint64]bool
+	races    []rr.Report
+	st       rr.Stats
+}
+
+var _ rr.Tool = (*Detector)(nil)
+
+// New returns a Goodlock detector.
+func New(threadHint, varHint int) *Detector {
+	_ = varHint
+	d := &Detector{
+		edgeSeen: map[[2]uint64]bool{},
+		adj:      map[uint64][]int{},
+		flagged:  map[[2]uint64]bool{},
+	}
+	if threadHint > 0 {
+		d.held = make([][]uint64, 0, threadHint)
+	}
+	return d
+}
+
+// Name implements rr.Tool.
+func (d *Detector) Name() string { return "Goodlock" }
+
+func (d *Detector) heldBy(t int32) {
+	for int(t) >= len(d.held) {
+		d.held = append(d.held, nil)
+	}
+}
+
+// HandleEvent implements rr.Tool. Only lock operations matter.
+func (d *Detector) HandleEvent(i int, e trace.Event) {
+	d.st.Events++
+	switch e.Kind {
+	case trace.Read:
+		d.st.Reads++
+	case trace.Write:
+		d.st.Writes++
+	case trace.Acquire:
+		d.st.Syncs++
+		d.heldBy(e.Tid)
+		for _, from := range d.held[e.Tid] {
+			d.addEdge(from, e.Target, d.held[e.Tid], e.Tid, i)
+		}
+		d.held[e.Tid] = append(d.held[e.Tid], e.Target)
+	case trace.Release:
+		d.st.Syncs++
+		d.heldBy(e.Tid)
+		h := d.held[e.Tid]
+		for j := len(h) - 1; j >= 0; j-- {
+			if h[j] == e.Target {
+				d.held[e.Tid] = append(h[:j], h[j+1:]...)
+				break
+			}
+		}
+	default:
+		d.st.Syncs++
+	}
+}
+
+// addEdge records from -> to and checks for a gate-free cycle through it.
+func (d *Detector) addEdge(from, to uint64, holding []uint64, tid int32, i int) {
+	key := [2]uint64{from, to}
+	if d.edgeSeen[key] {
+		return
+	}
+	d.edgeSeen[key] = true
+	holdSet := make(map[uint64]bool, len(holding))
+	for _, l := range holding {
+		if l != to {
+			holdSet[l] = true
+		}
+	}
+	idx := len(d.edges)
+	d.edges = append(d.edges, edge{from: from, to: to, holding: holdSet, tid: tid, index: i})
+	d.adj[from] = append(d.adj[from], idx)
+	d.st.LockSetOps++
+
+	// DFS from `to` back to `from`, carrying the intersection of gate
+	// candidates; a reachable back-path with an empty final gate set is a
+	// reportable cycle.
+	if d.cycleWithoutGate(to, from, idx, map[uint64]bool{}, copySet(holdSet)) {
+		if !d.flagged[key] && !d.flagged[[2]uint64{to, from}] {
+			d.flagged[key] = true
+			d.races = append(d.races, rr.Report{
+				Var: from, Kind: rr.DeadlockPotential, Tid: tid, PrevTid: -1,
+				Index: i, PrevIndex: -1,
+			})
+		}
+	}
+}
+
+// cycleWithoutGate searches for a path cur -> ... -> target whose edges'
+// hold-sets, intersected with gates, leave no common gate lock.
+func (d *Detector) cycleWithoutGate(cur, target uint64, newEdge int, visited map[uint64]bool, gates map[uint64]bool) bool {
+	if cur == target {
+		return len(gates) == 0
+	}
+	if visited[cur] {
+		return false
+	}
+	visited[cur] = true
+	defer delete(visited, cur)
+	for _, ei := range d.adj[cur] {
+		if ei == newEdge {
+			continue
+		}
+		e := d.edges[ei]
+		next := intersect(gates, e.holding)
+		if d.cycleWithoutGate(e.to, target, newEdge, visited, next) {
+			return true
+		}
+	}
+	return false
+}
+
+func copySet(s map[uint64]bool) map[uint64]bool {
+	out := make(map[uint64]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b map[uint64]bool) map[uint64]bool {
+	out := map[uint64]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Races implements rr.Tool.
+func (d *Detector) Races() []rr.Report { return d.races }
+
+// Stats implements rr.Tool.
+func (d *Detector) Stats() rr.Stats {
+	st := d.st
+	st.ShadowBytes = int64(len(d.edges)) * 64
+	for _, h := range d.held {
+		st.ShadowBytes += int64(cap(h)) * 8
+	}
+	return st
+}

@@ -1,0 +1,105 @@
+package goodlock
+
+import (
+	"testing"
+
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+func run(t *testing.T, tr trace.Trace) *Detector {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("infeasible test trace: %v", err)
+	}
+	d := New(4, 0)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	return d
+}
+
+func TestDetectsLockOrderInversion(t *testing.T) {
+	// Thread 0 takes a then b; thread 1 takes b then a — the classic
+	// potential deadlock, reported even though this schedule completed.
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(0, 1), trace.Acq(0, 2), trace.Rel(0, 2), trace.Rel(0, 1),
+		trace.Acq(1, 2), trace.Acq(1, 1), trace.Rel(1, 1), trace.Rel(1, 2),
+	}
+	races := run(t, tr).Races()
+	if len(races) != 1 || races[0].Kind != rr.DeadlockPotential {
+		t.Fatalf("races = %v, want one potential deadlock", races)
+	}
+}
+
+func TestAcceptsConsistentOrder(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	for tid := int32(0); tid < 2; tid++ {
+		tr = append(tr,
+			trace.Acq(tid, 1), trace.Acq(tid, 2), trace.Acq(tid, 3),
+			trace.Rel(tid, 3), trace.Rel(tid, 2), trace.Rel(tid, 1),
+		)
+	}
+	if races := run(t, tr).Races(); len(races) != 0 {
+		t.Errorf("consistent order flagged: %v", races)
+	}
+}
+
+func TestGateLockSuppressesFalseAlarm(t *testing.T) {
+	// Both inversions happen under a common gate lock g, so the cycle
+	// can never actually deadlock (the gate serializes the regions).
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(0, 9), trace.Acq(0, 1), trace.Acq(0, 2),
+		trace.Rel(0, 2), trace.Rel(0, 1), trace.Rel(0, 9),
+		trace.Acq(1, 9), trace.Acq(1, 2), trace.Acq(1, 1),
+		trace.Rel(1, 1), trace.Rel(1, 2), trace.Rel(1, 9),
+	}
+	if races := run(t, tr).Races(); len(races) != 0 {
+		t.Errorf("gated cycle flagged: %v", races)
+	}
+}
+
+func TestThreeLockCycle(t *testing.T) {
+	// a->b, b->c, c->a across three threads.
+	tr := trace.Trace{
+		trace.ForkOf(0, 1), trace.ForkOf(0, 2),
+		trace.Acq(0, 1), trace.Acq(0, 2), trace.Rel(0, 2), trace.Rel(0, 1),
+		trace.Acq(1, 2), trace.Acq(1, 3), trace.Rel(1, 3), trace.Rel(1, 2),
+		trace.Acq(2, 3), trace.Acq(2, 1), trace.Rel(2, 1), trace.Rel(2, 3),
+	}
+	races := run(t, tr).Races()
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want the three-lock cycle once", races)
+	}
+}
+
+func TestOneReportPerCycle(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	for round := 0; round < 5; round++ {
+		tr = append(tr,
+			trace.Acq(0, 1), trace.Acq(0, 2), trace.Rel(0, 2), trace.Rel(0, 1),
+			trace.Acq(1, 2), trace.Acq(1, 1), trace.Rel(1, 1), trace.Rel(1, 2),
+		)
+	}
+	if races := run(t, tr).Races(); len(races) != 1 {
+		t.Errorf("races = %v, want exactly one report", races)
+	}
+}
+
+func TestIgnoresAccessesAndStats(t *testing.T) {
+	d := run(t, trace.Trace{
+		trace.Rd(0, 1), trace.Wr(0, 1),
+		trace.Acq(0, 1), trace.Rel(0, 1),
+	})
+	st := d.Stats()
+	if st.Events != 4 || st.Reads != 1 || st.Writes != 1 || st.Syncs != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if d.Name() != "Goodlock" {
+		t.Error("bad name")
+	}
+}

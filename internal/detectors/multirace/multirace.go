@@ -1,0 +1,268 @@
+// Package multirace implements the MULTIRACE hybrid LockSet/DJIT+
+// algorithm of Pozniansky & Schuster, as reimplemented (fine-grain) for
+// the FastTrack paper's evaluation (Section 5.1).
+//
+// MultiRace maintains DJIT+'s vector-clock instrumentation state plus an
+// Eraser-style candidate lock set per location. The lock set is refined
+// on the first access of each epoch, and the expensive vector-clock
+// comparisons run only once the lock set has become empty. Thread-local
+// and read-shared data are handled with Eraser's unsound state machine,
+// which is the source of MultiRace's imprecision: races hidden inside
+// the thread-local initialization phase are missed (it finds 1 of the 3
+// hedc races in Table 1).
+package multirace
+
+import (
+	"fasttrack/internal/detectors/vcbase"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+type state uint8
+
+const (
+	virgin state = iota
+	exclusive
+	shared         // read-shared, never written since sharing
+	sharedModified // lock-set discipline + VC checks when set is empty
+)
+
+type varState struct {
+	st      state
+	owner   int32
+	lockset []uint64
+	haveSet bool
+	r, w    vc.VC
+	flagged bool
+}
+
+// Detector is the MultiRace analysis state. It implements rr.Tool.
+type Detector struct {
+	sync  vcbase.Sync
+	vars  []varState
+	held  [][]uint64
+	races []rr.Report
+}
+
+var _ rr.Tool = (*Detector)(nil)
+
+// New returns a MultiRace detector with capacity hints.
+func New(threadHint, varHint int) *Detector {
+	d := &Detector{sync: vcbase.NewSync(threadHint)}
+	if varHint > 0 {
+		d.vars = make([]varState, 0, varHint)
+	}
+	return d
+}
+
+// Name implements rr.Tool.
+func (d *Detector) Name() string { return "MultiRace" }
+
+func (d *Detector) variable(x uint64) *varState {
+	for x >= uint64(len(d.vars)) {
+		d.vars = append(d.vars, varState{})
+	}
+	return &d.vars[x]
+}
+
+func (d *Detector) heldBy(t int32) []uint64 {
+	for int(t) >= len(d.held) {
+		d.held = append(d.held, nil)
+	}
+	return d.held[t]
+}
+
+func (d *Detector) report(vs *varState, x uint64, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
+	if vs.flagged {
+		return
+	}
+	vs.flagged = true
+	d.races = append(d.races, rr.Report{Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: -1})
+}
+
+// HandleEvent implements rr.Tool.
+func (d *Detector) HandleEvent(i int, e trace.Event) {
+	// Track held locks for the lock-set half before the VC half consumes
+	// the event.
+	switch e.Kind {
+	case trace.Acquire:
+		d.heldBy(e.Tid)
+		d.held[e.Tid] = insertSorted(d.held[e.Tid], e.Target)
+	case trace.Release:
+		d.heldBy(e.Tid)
+		d.held[e.Tid] = removeSorted(d.held[e.Tid], e.Target)
+	}
+	d.sync.St.Events++
+	if d.sync.HandleSync(e) {
+		return
+	}
+	d.access(i, e.Tid, e.Target, e.Kind == trace.Write)
+}
+
+func (d *Detector) access(i int, tid int32, x uint64, isWrite bool) {
+	if isWrite {
+		d.sync.St.Writes++
+	} else {
+		d.sync.St.Reads++
+	}
+	ts := d.sync.Thread(tid)
+	vs := d.variable(x)
+	t := vc.Tid(tid)
+
+	switch vs.st {
+	case virgin:
+		vs.st = exclusive
+		vs.owner = tid
+		return
+	case exclusive:
+		// Thread-local fast path (Eraser-style, unsound): no VC work at
+		// all while a single thread owns the location.
+		if tid == vs.owner {
+			return
+		}
+		// Ownership ends: initialize the candidate lock set; the owner's
+		// access history is discarded (the documented imprecision).
+		vs.lockset = append([]uint64(nil), d.heldBy(tid)...)
+		vs.haveSet = true
+		d.sync.St.LockSetOps++
+		if isWrite {
+			vs.st = sharedModified
+		} else {
+			vs.st = shared
+		}
+		d.record(vs, ts, t, isWrite)
+		return
+	case shared:
+		if !isWrite {
+			// Read-shared fast path: reads cannot race with reads.
+			d.firstOfEpochIntersect(vs, ts, t, false)
+			d.record(vs, ts, t, false)
+			return
+		}
+		vs.st = sharedModified
+	}
+
+	// sharedModified: refine the lock set on the first access of this
+	// epoch; run the DJIT+ vector-clock checks only if it is empty.
+	first := d.firstOfEpochIntersect(vs, ts, t, isWrite)
+	if len(vs.lockset) == 0 && first {
+		if isWrite {
+			d.sync.St.VCOp += 2
+			d.sync.St.WriteExclusive++
+			if prev := vs.w.FirstExceeding(ts.C); prev >= 0 {
+				d.report(vs, x, rr.WriteWrite, tid, prev, i)
+			}
+			if prev := vs.r.FirstExceeding(ts.C); prev >= 0 {
+				d.report(vs, x, rr.ReadWrite, tid, prev, i)
+			}
+		} else {
+			d.sync.St.VCOp++
+			d.sync.St.ReadExclusive++
+			if prev := vs.w.FirstExceeding(ts.C); prev >= 0 {
+				d.report(vs, x, rr.WriteRead, tid, prev, i)
+			}
+		}
+	} else if isWrite {
+		d.sync.St.WriteSameEpoch++
+	} else {
+		d.sync.St.ReadSameEpoch++
+	}
+	d.record(vs, ts, t, isWrite)
+}
+
+// firstOfEpochIntersect reports whether this is the thread's first access
+// of the location in the current epoch and, if so, refines the lock set.
+func (d *Detector) firstOfEpochIntersect(vs *varState, ts *vcbase.ThreadState, t vc.Tid, isWrite bool) bool {
+	var last vc.Clock
+	if isWrite {
+		last = vs.w.Get(t)
+	} else {
+		last = vs.r.Get(t)
+	}
+	if last == ts.C.Get(t) {
+		return false
+	}
+	d.sync.St.LockSetOps++
+	vs.lockset = intersectSorted(vs.lockset, d.heldBy(int32(t)))
+	return true
+}
+
+// record updates the DJIT+ vector-clock components for the access.
+func (d *Detector) record(vs *varState, ts *vcbase.ThreadState, t vc.Tid, isWrite bool) {
+	if isWrite {
+		if vs.w == nil {
+			vs.w = vc.New(len(d.sync.Threads))
+			d.sync.St.VCAlloc++
+		}
+		vs.w = vs.w.Set(t, ts.C.Get(t))
+	} else {
+		if vs.r == nil {
+			vs.r = vc.New(len(d.sync.Threads))
+			d.sync.St.VCAlloc++
+		}
+		vs.r = vs.r.Set(t, ts.C.Get(t))
+	}
+}
+
+// Races implements rr.Tool.
+func (d *Detector) Races() []rr.Report { return d.races }
+
+// Stats implements rr.Tool.
+func (d *Detector) Stats() rr.Stats {
+	st := d.sync.St
+	bytes := d.sync.SyncShadowBytes()
+	for i := range d.vars {
+		bytes += 24 + int64(cap(d.vars[i].lockset))*8
+		bytes += int64(d.vars[i].r.Bytes() + d.vars[i].w.Bytes())
+	}
+	for _, h := range d.held {
+		bytes += int64(cap(h)) * 8
+	}
+	st.ShadowBytes = bytes
+	return st
+}
+
+func insertSorted(s []uint64, m uint64) []uint64 {
+	lo := 0
+	for lo < len(s) && s[lo] < m {
+		lo++
+	}
+	if lo < len(s) && s[lo] == m {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = m
+	return s
+}
+
+func removeSorted(s []uint64, m uint64) []uint64 {
+	for i, v := range s {
+		if v == m {
+			return append(s[:i], s[i+1:]...)
+		}
+		if v > m {
+			break
+		}
+	}
+	return s
+}
+
+func intersectSorted(a, b []uint64) []uint64 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

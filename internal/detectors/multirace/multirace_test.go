@@ -1,0 +1,116 @@
+package multirace
+
+import (
+	"testing"
+
+	"fasttrack/trace"
+)
+
+func run(t *testing.T, tr trace.Trace) *Detector {
+	t.Helper()
+	d := New(4, 8)
+	for i, e := range tr {
+		d.HandleEvent(i, e)
+	}
+	return d
+}
+
+func TestAcceptsLockDiscipline(t *testing.T) {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	for i := 0; i < 10; i++ {
+		for tid := int32(0); tid < 2; tid++ {
+			tr = append(tr, trace.Acq(tid, 5), trace.Rd(tid, 1), trace.Wr(tid, 1), trace.Rel(tid, 5))
+		}
+	}
+	if races := run(t, tr).Races(); len(races) != 0 {
+		t.Errorf("false alarm on lock discipline: %v", races)
+	}
+}
+
+func TestAcceptsForkJoinHandoff(t *testing.T) {
+	// Unlike Eraser, MultiRace's DJIT+ half understands fork-join: the
+	// handoff's empty lock set triggers VC checks, which pass.
+	d := run(t, trace.Trace{
+		trace.Wr(0, 1),
+		trace.ForkOf(0, 1),
+		trace.Wr(1, 1),
+		trace.JoinOf(0, 1),
+		trace.Wr(0, 1),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarm on fork-join handoff: %v", races)
+	}
+}
+
+func TestMissesInitializationRace(t *testing.T) {
+	// The owner's access history is discarded at the exclusive->shared
+	// transition (Eraser-style), so the one-shot race is missed.
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1),
+		trace.Wr(1, 1), // real race, hidden by the transition
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("unexpectedly caught the initialization race: %v", races)
+	}
+}
+
+func TestCatchesPostTransitionRace(t *testing.T) {
+	// Once two post-transition accesses conflict, the empty lock set
+	// forces the DJIT+ comparison and the race is caught.
+	d := run(t, trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Wr(0, 1),
+		trace.Wr(1, 1), // transition (missed)
+		trace.Wr(2, 1), // vs thread 1's write: caught
+	})
+	if races := d.Races(); len(races) != 1 {
+		t.Errorf("races = %v, want 1", races)
+	}
+}
+
+func TestLockProtectedSkipsVCWork(t *testing.T) {
+	// With a consistently nonempty lock set, MultiRace performs no VC
+	// comparisons on the shared variable after the transition — the
+	// optimization that defines the hybrid.
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	for i := 0; i < 20; i++ {
+		for tid := int32(0); tid < 2; tid++ {
+			tr = append(tr, trace.Acq(tid, 5), trace.Rd(tid, 1), trace.Wr(tid, 1), trace.Rel(tid, 5))
+		}
+	}
+	d := run(t, tr)
+	if ops := d.Stats().VCOp; ops > 90 {
+		// Sync joins/copies dominate; per-access comparisons must be
+		// absent. 80 critical sections cost ~2 VC ops each in sync.
+		t.Errorf("VCOp = %d; lock-protected accesses should skip comparisons", ops)
+	}
+	if d.Stats().LockSetOps == 0 {
+		t.Error("lock set machinery never ran")
+	}
+}
+
+func TestReadSharedFastPath(t *testing.T) {
+	// Read-only shared data after initialization: reads never check.
+	d := run(t, trace.Trace{
+		trace.Wr(0, 1),
+		trace.ForkOf(0, 1),
+		trace.ForkOf(0, 2),
+		trace.Rd(1, 1),
+		trace.Rd(2, 1),
+		trace.Rd(1, 1),
+		trace.Rd(2, 1),
+	})
+	if races := d.Races(); len(races) != 0 {
+		t.Errorf("false alarm on read-shared data: %v", races)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(0, 0).Name() != "MultiRace" {
+		t.Error("bad name")
+	}
+}

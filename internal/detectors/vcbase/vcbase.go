@@ -1,0 +1,162 @@
+// Package vcbase provides the synchronization-handling machinery shared
+// by the vector-clock-based comparison detectors (BasicVC, DJIT+ and
+// MultiRace). Lock acquire/release, fork/join, volatiles and barriers are
+// rare (about 3.3% of operations) and are handled identically by every
+// VC-based analysis, exactly as in FastTrack's Figure 3; only the
+// read/write rules differ between tools.
+//
+// FastTrack itself (internal/core) deliberately does not use this package:
+// it is the paper's artifact and stays self-contained, mirroring Figure 5.
+// All tools nevertheless share internal/vc's primitives, preserving the
+// paper's apples-to-apples comparison.
+package vcbase
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+// ThreadState is one thread's clock C_t with its cached epoch
+// E(t) = C_t(t)@t.
+type ThreadState struct {
+	C     vc.VC
+	Epoch vc.Epoch
+}
+
+// Sync owns the C and L components of a VC-based analysis state and
+// implements the synchronization rules of Figure 3. The embedding
+// detector owns the R/W per-variable components.
+type Sync struct {
+	Threads []ThreadState
+	Locks   map[uint64]vc.VC
+	Vols    map[uint64]vc.VC
+	St      rr.Stats
+}
+
+// NewSync returns an initialized Sync with capacity hints.
+func NewSync(threadHint int) Sync {
+	s := Sync{
+		Locks: make(map[uint64]vc.VC),
+		Vols:  make(map[uint64]vc.VC),
+	}
+	if threadHint > 0 {
+		s.Threads = make([]ThreadState, 0, threadHint)
+	}
+	return s
+}
+
+// Thread returns thread t's state, initializing C_t = inc_t(⊥V) on first
+// use.
+func (s *Sync) Thread(t int32) *ThreadState {
+	for int(t) >= len(s.Threads) {
+		u := vc.Tid(len(s.Threads))
+		cv := vc.New(len(s.Threads) + 1).Inc(u)
+		s.St.VCAlloc++
+		s.Threads = append(s.Threads, ThreadState{C: cv, Epoch: cv.Epoch(u)})
+	}
+	return &s.Threads[t]
+}
+
+func (ts *ThreadState) refresh(t vc.Tid) { ts.Epoch = ts.C.Epoch(t) }
+
+// HandleSync processes e if it is a synchronization or no-op event and
+// reports whether it did; data accesses return false and are left to the
+// embedding detector.
+func (s *Sync) HandleSync(e trace.Event) bool {
+	switch e.Kind {
+	case trace.Read, trace.Write:
+		return false
+	case trace.Acquire:
+		s.St.Syncs++
+		ts := s.Thread(e.Tid)
+		if lm, ok := s.Locks[e.Target]; ok {
+			ts.C = ts.C.Join(lm)
+			s.St.VCOp++
+		}
+	case trace.Release:
+		s.St.Syncs++
+		ts := s.Thread(e.Tid)
+		lm, ok := s.Locks[e.Target]
+		if !ok {
+			s.St.VCAlloc++
+		}
+		s.Locks[e.Target] = lm.CopyInto(ts.C)
+		s.St.VCOp++
+		ts.C = ts.C.Inc(vc.Tid(e.Tid))
+		ts.refresh(vc.Tid(e.Tid))
+	case trace.Fork:
+		s.St.Syncs++
+		u := int32(e.Target)
+		s.Thread(u)
+		ts, us := s.Thread(e.Tid), s.Thread(u)
+		us.C = us.C.Join(ts.C)
+		us.refresh(vc.Tid(u))
+		s.St.VCOp++
+		ts.C = ts.C.Inc(vc.Tid(e.Tid))
+		ts.refresh(vc.Tid(e.Tid))
+	case trace.Join:
+		s.St.Syncs++
+		u := int32(e.Target)
+		s.Thread(u)
+		ts, us := s.Thread(e.Tid), s.Thread(u)
+		ts.C = ts.C.Join(us.C)
+		ts.refresh(vc.Tid(e.Tid))
+		s.St.VCOp++
+		us.C = us.C.Inc(vc.Tid(u))
+		us.refresh(vc.Tid(u))
+	case trace.VolatileRead:
+		s.St.Syncs++
+		ts := s.Thread(e.Tid)
+		if lv, ok := s.Vols[e.Target]; ok {
+			ts.C = ts.C.Join(lv)
+			s.St.VCOp++
+		}
+	case trace.VolatileWrite:
+		s.St.Syncs++
+		ts := s.Thread(e.Tid)
+		lv, ok := s.Vols[e.Target]
+		if !ok {
+			s.St.VCAlloc++
+		}
+		s.Vols[e.Target] = lv.Join(ts.C)
+		s.St.VCOp++
+		ts.C = ts.C.Inc(vc.Tid(e.Tid))
+		ts.refresh(vc.Tid(e.Tid))
+	case trace.BarrierRelease:
+		s.St.Syncs++
+		if len(e.Tids) == 0 {
+			return true
+		}
+		join := vc.New(len(s.Threads))
+		s.St.VCAlloc++
+		for _, u := range e.Tids {
+			join = join.Join(s.Thread(u).C)
+			s.St.VCOp++
+		}
+		for _, u := range e.Tids {
+			us := s.Thread(u)
+			us.C = us.C.CopyInto(join).Inc(vc.Tid(u))
+			us.refresh(vc.Tid(u))
+			s.St.VCOp++
+		}
+	}
+	// Notify/Wait never reach detectors (the dispatcher expands them);
+	// TxBegin/TxEnd are no-ops for race detectors.
+	return true
+}
+
+// SyncShadowBytes reports the footprint of the C and L components.
+func (s *Sync) SyncShadowBytes() int64 {
+	var bytes int64
+	for i := range s.Threads {
+		bytes += int64(s.Threads[i].C.Bytes()) + 8
+	}
+	for _, l := range s.Locks {
+		bytes += int64(l.Bytes())
+	}
+	for _, l := range s.Vols {
+		bytes += int64(l.Bytes())
+	}
+	return bytes
+}

@@ -1,0 +1,135 @@
+package vcbase
+
+import (
+	"testing"
+
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+func TestInitialThreadState(t *testing.T) {
+	s := NewSync(2)
+	ts := s.Thread(3)
+	if got := ts.C.Get(3); got != 1 {
+		t.Errorf("fresh thread clock = %d, want 1 (sigma_0 = inc_t(bottom))", got)
+	}
+	if ts.Epoch != vc.MakeEpoch(3, 1) {
+		t.Errorf("cached epoch = %v, want 1@3", ts.Epoch)
+	}
+	// Materializing thread 3 created threads 0..3.
+	if len(s.Threads) != 4 {
+		t.Errorf("threads = %d, want 4", len(s.Threads))
+	}
+}
+
+func TestReleaseAcquireTransfersClock(t *testing.T) {
+	s := NewSync(2)
+	s.Thread(0)
+	s.Thread(1)
+	s.HandleSync(trace.Rel(0, 7)) // L7 := C0 = <1>; C0 -> <2>
+	if got := s.Thread(0).C.Get(0); got != 2 {
+		t.Errorf("release did not increment: C0(0) = %d", got)
+	}
+	s.HandleSync(trace.Acq(1, 7))
+	if got := s.Thread(1).C.Get(0); got != 1 {
+		t.Errorf("acquire did not join: C1(0) = %d, want 1", got)
+	}
+}
+
+func TestForkJoinRules(t *testing.T) {
+	s := NewSync(2)
+	s.HandleSync(trace.ForkOf(0, 1))
+	if got := s.Thread(1).C.Get(0); got != 1 {
+		t.Errorf("fork: C1(0) = %d, want 1", got)
+	}
+	if got := s.Thread(0).C.Get(0); got != 2 {
+		t.Errorf("fork: C0(0) = %d, want 2", got)
+	}
+	s.HandleSync(trace.JoinOf(0, 1))
+	if got := s.Thread(0).C.Get(1); got != 1 {
+		t.Errorf("join: C0(1) = %d, want 1", got)
+	}
+	if got := s.Thread(1).C.Get(1); got != 2 {
+		t.Errorf("join must increment the child: C1(1) = %d, want 2", got)
+	}
+}
+
+func TestVolatileRules(t *testing.T) {
+	s := NewSync(2)
+	s.Thread(0)
+	s.Thread(1)
+	s.HandleSync(trace.VWr(0, 3))
+	if got := s.Thread(0).C.Get(0); got != 2 {
+		t.Errorf("volatile write did not increment: %d", got)
+	}
+	s.HandleSync(trace.VRd(1, 3))
+	if got := s.Thread(1).C.Get(0); got != 1 {
+		t.Errorf("volatile read did not join: C1(0) = %d", got)
+	}
+	// L accumulates across writers.
+	s.HandleSync(trace.VWr(1, 3))
+	s.HandleSync(trace.VRd(0, 3))
+	if got := s.Thread(0).C.Get(1); got == 0 {
+		t.Error("second writer's clock not visible to reader")
+	}
+}
+
+func TestBarrierRule(t *testing.T) {
+	s := NewSync(3)
+	s.HandleSync(trace.ForkOf(0, 1))
+	s.HandleSync(trace.ForkOf(0, 2))
+	c0, c1, c2 := s.Thread(0).C.Copy(), s.Thread(1).C.Copy(), s.Thread(2).C.Copy()
+	s.HandleSync(trace.Barrier(0, 0, 1, 2))
+	join := c0.Join(c1).Join(c2)
+	for tid := vc.Tid(0); tid < 3; tid++ {
+		got := s.Thread(int32(tid)).C
+		want := join.Copy().Set(tid, join.Get(tid)+1)
+		if !got.Equal(want) {
+			t.Errorf("thread %d post-barrier clock = %v, want %v", tid, got, want)
+		}
+	}
+	// Cached epochs refreshed.
+	if s.Threads[1].Epoch != s.Threads[1].C.Epoch(1) {
+		t.Error("epoch cache stale after barrier")
+	}
+}
+
+func TestHandleSyncClassification(t *testing.T) {
+	s := NewSync(1)
+	if s.HandleSync(trace.Rd(0, 1)) || s.HandleSync(trace.Wr(0, 1)) {
+		t.Error("accesses must not be handled by Sync")
+	}
+	if !s.HandleSync(trace.Event{Kind: trace.TxBegin, Tid: 0}) {
+		t.Error("tx markers are consumed (as no-ops)")
+	}
+	if !s.HandleSync(trace.Barrier(0)) {
+		t.Error("empty barrier consumed")
+	}
+}
+
+func TestSyncShadowBytes(t *testing.T) {
+	s := NewSync(2)
+	s.Thread(0)
+	before := s.SyncShadowBytes()
+	s.HandleSync(trace.Rel(0, 1))
+	s.HandleSync(trace.VWr(0, 2))
+	if after := s.SyncShadowBytes(); after <= before {
+		t.Errorf("lock/volatile clocks not accounted: %d -> %d", before, after)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := NewSync(2)
+	s.HandleSync(trace.ForkOf(0, 1))
+	s.HandleSync(trace.Rel(0, 1))
+	s.HandleSync(trace.Acq(1, 1))
+	if s.St.Syncs != 3 {
+		t.Errorf("Syncs = %d", s.St.Syncs)
+	}
+	if s.St.VCOp < 3 {
+		t.Errorf("VCOp = %d, want >= 3", s.St.VCOp)
+	}
+	if s.St.VCAlloc < 3 { // two thread clocks + one lock clock
+		t.Errorf("VCAlloc = %d, want >= 3", s.St.VCAlloc)
+	}
+}

@@ -1,0 +1,80 @@
+package hb
+
+import (
+	"fmt"
+	"strings"
+
+	"fasttrack/trace"
+)
+
+// Explanation is the evidence for an ordering query on two events.
+type Explanation struct {
+	// Ordered reports whether I happens before J.
+	Ordered bool
+	I, J    int
+	// Path, when Ordered, is a happens-before chain I = p[0] < p[1] <
+	// ... < p[k] = J of event indices, each step justified by program
+	// order or one synchronization edge.
+	Path []int
+}
+
+// Explain decides whether event i happens before event j and, when it
+// does, returns a shortest justification chain through the happens-
+// before DAG. When it does not (and i < j), the pair is concurrent —
+// for conflicting accesses, that is precisely the race evidence.
+func (o *Oracle) Explain(i, j int) Explanation {
+	ex := Explanation{I: i, J: j}
+	if i >= j || !o.HappensBefore(i, j) {
+		return ex
+	}
+	ex.Ordered = true
+	// BFS for a shortest path i -> j over successor edges.
+	prev := make([]int32, len(o.tr))
+	for k := range prev {
+		prev[k] = -1
+	}
+	queue := []int32{int32(i)}
+	seen := make([]bool, len(o.tr))
+	seen[i] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == int32(j) {
+			break
+		}
+		for _, m := range o.succ[n] {
+			if !seen[m] {
+				seen[m] = true
+				prev[m] = n
+				queue = append(queue, m)
+			}
+		}
+	}
+	for n := int32(j); n != -1; n = prev[n] {
+		ex.Path = append(ex.Path, int(n))
+		if n == int32(i) {
+			break
+		}
+	}
+	// Reverse into i..j order.
+	for a, b := 0, len(ex.Path)-1; a < b; a, b = a+1, b-1 {
+		ex.Path[a], ex.Path[b] = ex.Path[b], ex.Path[a]
+	}
+	return ex
+}
+
+// Render formats the explanation against its trace for human readers.
+func (ex Explanation) Render(tr trace.Trace) string {
+	var b strings.Builder
+	if !ex.Ordered {
+		fmt.Fprintf(&b, "events %d (%s) and %d (%s) are CONCURRENT: no release/acquire,\n",
+			ex.I, tr[ex.I], ex.J, tr[ex.J])
+		fmt.Fprintf(&b, "fork/join, volatile, or barrier chain orders them")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "event %d happens before event %d via:\n", ex.I, ex.J)
+	for _, idx := range ex.Path {
+		fmt.Fprintf(&b, "  %6d: %s\n", idx, tr[idx])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,57 @@
+package hb
+
+import (
+	"strings"
+	"testing"
+
+	"fasttrack/trace"
+)
+
+func TestExplainOrderedPath(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(0, 1),     // 0
+		trace.Acq(0, 9),    // 1
+		trace.Rel(0, 9),    // 2
+		trace.ForkOf(0, 1), // 3 (not on the lock path)
+		trace.Acq(1, 9),    // 4
+		trace.Rd(1, 1),     // 5
+	}
+	o := New(tr)
+	ex := o.Explain(0, 5)
+	if !ex.Ordered {
+		t.Fatal("write must happen before the read")
+	}
+	if ex.Path[0] != 0 || ex.Path[len(ex.Path)-1] != 5 {
+		t.Fatalf("path endpoints wrong: %v", ex.Path)
+	}
+	// Every consecutive pair on the path must itself be ordered.
+	for k := 0; k+1 < len(ex.Path); k++ {
+		if !o.HappensBefore(ex.Path[k], ex.Path[k+1]) {
+			t.Errorf("path step %d -> %d not ordered", ex.Path[k], ex.Path[k+1])
+		}
+	}
+	out := ex.Render(tr)
+	if !strings.Contains(out, "happens before") || !strings.Contains(out, "rel 0 m9") {
+		t.Errorf("render missing justification:\n%s", out)
+	}
+}
+
+func TestExplainConcurrent(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Wr(0, 1), // 1
+		trace.Wr(1, 1), // 2
+	}
+	o := New(tr)
+	ex := o.Explain(1, 2)
+	if ex.Ordered {
+		t.Fatal("concurrent writes reported ordered")
+	}
+	if !strings.Contains(ex.Render(tr), "CONCURRENT") {
+		t.Errorf("render: %s", ex.Render(tr))
+	}
+	// Reversed indices are never "ordered" in trace order.
+	if o.Explain(2, 1).Ordered {
+		t.Error("j<i must not be ordered")
+	}
+}

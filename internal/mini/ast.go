@@ -1,0 +1,175 @@
+package mini
+
+// Program is a parsed mini program: shared-state declarations, named
+// thread bodies, and the main block (executed by thread 0).
+type Program struct {
+	// Vars, Locks, Volatiles are the declared shared names, in
+	// declaration order.
+	Vars      []string
+	Locks     []string
+	Volatiles []string
+	// Threads maps thread names to bodies; ThreadOrder preserves source
+	// order for deterministic id assignment.
+	Threads     map[string]*Block
+	ThreadOrder []string
+	// Main is thread 0's body.
+	Main *Block
+}
+
+// Block is a brace-delimited statement sequence.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Assign writes a shared variable, volatile, or local: Name = Expr.
+type Assign struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// LocalDecl introduces a thread-local variable: local Name = Expr.
+type LocalDecl struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// Acquire takes a lock.
+type Acquire struct {
+	Lock string
+	Line int
+}
+
+// Release releases a lock.
+type Release struct {
+	Lock string
+	Line int
+}
+
+// Fork starts the named thread.
+type Fork struct {
+	Thread string
+	Line   int
+}
+
+// Join waits for the named thread.
+type Join struct {
+	Thread string
+	Line   int
+}
+
+// Wait blocks on a lock's condition (the thread must hold the lock):
+// it releases the lock, sleeps until a Notify on the same lock, then
+// re-acquires it — exactly the paper's Section 4 modeling of wait as
+// the underlying release and subsequent re-acquisition.
+type Wait struct {
+	Lock string
+	Line int
+}
+
+// Notify wakes every thread waiting on the lock (notifyAll semantics;
+// the thread must hold the lock). It induces no happens-before edge.
+type Notify struct {
+	Lock string
+	Line int
+}
+
+// If branches on a condition.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// While loops on a condition.
+type While struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// Print appends the expression's value to the run's output.
+type Print struct {
+	Expr Expr
+	Line int
+}
+
+// Assert fails the run if the expression is zero.
+type Assert struct {
+	Expr Expr
+	Line int
+}
+
+// Skip does nothing (one scheduling step).
+type Skip struct{ Line int }
+
+// Barrier synchronizes all currently running threads (a global barrier
+// release, as in the paper's Section 4 extension).
+type Barrier struct{ Line int }
+
+// Yield does nothing semantically but is a distinct scheduling point.
+type Yield struct{ Line int }
+
+// Atomic delimits a transaction (TxBegin/TxEnd markers for the
+// atomicity checkers of Section 5.2). The scheduler does NOT execute it
+// atomically — that is the point: the Velodrome/Atomizer checkers decide
+// whether the observed interleavings are serializable. Transactions are
+// flat: a nested atomic block restarts the enclosing transaction.
+type Atomic struct {
+	Body *Block
+	Line int
+}
+
+func (*Assign) stmt()    {}
+func (*LocalDecl) stmt() {}
+func (*Acquire) stmt()   {}
+func (*Release) stmt()   {}
+func (*Fork) stmt()      {}
+func (*Join) stmt()      {}
+func (*If) stmt()        {}
+func (*While) stmt()     {}
+func (*Print) stmt()     {}
+func (*Assert) stmt()    {}
+func (*Skip) stmt()      {}
+func (*Barrier) stmt()   {}
+func (*Yield) stmt()     {}
+func (*Atomic) stmt()    {}
+func (*Wait) stmt()      {}
+func (*Notify) stmt()    {}
+
+// Expr is an expression node evaluating to an int64.
+type Expr interface{ expr() }
+
+// Num is an integer literal.
+type Num struct{ Value int64 }
+
+// Ref reads a name: a local if one is in scope, else a shared variable
+// or volatile (resolved at runtime; parsing does not distinguish).
+type Ref struct {
+	Name string
+	Line int
+}
+
+// Unary applies "!" or unary "-".
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary applies an arithmetic, comparison, or logical operator. "&&"
+// and "||" short-circuit.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+func (*Num) expr()    {}
+func (*Ref) expr()    {}
+func (*Unary) expr()  {}
+func (*Binary) expr() {}

@@ -1,0 +1,181 @@
+package mini
+
+import "fmt"
+
+// check performs the static sanity pass after parsing: names must be
+// declared, categories must not collide, and locals must be in scope
+// where referenced. It keeps the runtime free of name-resolution errors.
+func check(p *Program) error {
+	cat := map[string]string{}
+	declare := func(name, kind string) error {
+		if prev, ok := cat[name]; ok {
+			return fmt.Errorf("mini: %s %q redeclares a %s", kind, name, prev)
+		}
+		cat[name] = kind
+		return nil
+	}
+	for _, v := range p.Vars {
+		if err := declare(v, "var"); err != nil {
+			return err
+		}
+	}
+	for _, l := range p.Locks {
+		if err := declare(l, "lock"); err != nil {
+			return err
+		}
+	}
+	for _, v := range p.Volatiles {
+		if err := declare(v, "volatile"); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.ThreadOrder {
+		if err := declare(t, "thread"); err != nil {
+			return err
+		}
+	}
+	if p.Main == nil {
+		return fmt.Errorf("mini: missing main block")
+	}
+
+	bodies := make([]*Block, 0, len(p.ThreadOrder)+1)
+	bodies = append(bodies, p.Main)
+	for _, name := range p.ThreadOrder {
+		bodies = append(bodies, p.Threads[name])
+	}
+	for _, b := range bodies {
+		c := &checker{cat: cat}
+		if err := c.block(b, map[string]bool{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	cat map[string]string
+}
+
+func (c *checker) block(b *Block, locals map[string]bool) error {
+	// Locals are lexically scoped to the enclosing block and below.
+	scope := make(map[string]bool, len(locals))
+	for k := range locals {
+		scope[k] = true
+	}
+	for _, s := range b.Stmts {
+		if err := c.stmt(s, scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt, locals map[string]bool) error {
+	fail := func(line int, msg string, args ...any) error {
+		return &SyntaxError{Line: line, Col: 1, Msg: fmt.Sprintf(msg, args...)}
+	}
+	switch s := s.(type) {
+	case *Assign:
+		if err := c.expr(s.Expr, locals, s.Line); err != nil {
+			return err
+		}
+		if locals[s.Name] {
+			return nil
+		}
+		switch c.cat[s.Name] {
+		case "var", "volatile":
+			return nil
+		case "":
+			return fail(s.Line, "assignment to undeclared name %q", s.Name)
+		default:
+			return fail(s.Line, "cannot assign to %s %q", c.cat[s.Name], s.Name)
+		}
+	case *LocalDecl:
+		if err := c.expr(s.Expr, locals, s.Line); err != nil {
+			return err
+		}
+		if locals[s.Name] {
+			return fail(s.Line, "local %q redeclared", s.Name)
+		}
+		if c.cat[s.Name] != "" {
+			return fail(s.Line, "local %q shadows a %s", s.Name, c.cat[s.Name])
+		}
+		locals[s.Name] = true
+		return nil
+	case *Acquire:
+		if c.cat[s.Lock] != "lock" {
+			return fail(s.Line, "acquire of non-lock %q", s.Lock)
+		}
+	case *Release:
+		if c.cat[s.Lock] != "lock" {
+			return fail(s.Line, "release of non-lock %q", s.Lock)
+		}
+	case *Wait:
+		if c.cat[s.Lock] != "lock" {
+			return fail(s.Line, "wait on non-lock %q", s.Lock)
+		}
+	case *Notify:
+		if c.cat[s.Lock] != "lock" {
+			return fail(s.Line, "notify on non-lock %q", s.Lock)
+		}
+	case *Fork:
+		if c.cat[s.Thread] != "thread" {
+			return fail(s.Line, "fork of non-thread %q", s.Thread)
+		}
+	case *Join:
+		if c.cat[s.Thread] != "thread" {
+			return fail(s.Line, "join of non-thread %q", s.Thread)
+		}
+	case *If:
+		if err := c.expr(s.Cond, locals, s.Line); err != nil {
+			return err
+		}
+		if err := c.block(s.Then, locals); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.block(s.Else, locals)
+		}
+	case *While:
+		if err := c.expr(s.Cond, locals, s.Line); err != nil {
+			return err
+		}
+		return c.block(s.Body, locals)
+	case *Print:
+		return c.expr(s.Expr, locals, s.Line)
+	case *Assert:
+		return c.expr(s.Expr, locals, s.Line)
+	case *Atomic:
+		return c.block(s.Body, locals)
+	case *Skip, *Barrier, *Yield:
+		return nil
+	}
+	return nil
+}
+
+func (c *checker) expr(e Expr, locals map[string]bool, line int) error {
+	switch e := e.(type) {
+	case *Num:
+		return nil
+	case *Ref:
+		if locals[e.Name] {
+			return nil
+		}
+		switch c.cat[e.Name] {
+		case "var", "volatile":
+			return nil
+		case "":
+			return &SyntaxError{Line: e.Line, Col: 1, Msg: fmt.Sprintf("undeclared name %q", e.Name)}
+		default:
+			return &SyntaxError{Line: e.Line, Col: 1, Msg: fmt.Sprintf("cannot read %s %q as a value", c.cat[e.Name], e.Name)}
+		}
+	case *Unary:
+		return c.expr(e.X, locals, line)
+	case *Binary:
+		if err := c.expr(e.L, locals, e.Line); err != nil {
+			return err
+		}
+		return c.expr(e.R, locals, e.Line)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package mini
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fasttrack/internal/rr"
+)
+
+// corpusCase pins down each testdata program's expected behaviour across
+// the entire (bounded) schedule tree.
+type corpusCase struct {
+	file string
+	// racy: "all" (every schedule must warn), "none", or "some" — "some"
+	// covers programs like double-checked locking whose race exists only
+	// on the schedules that take the unsynchronized fast path; dynamic
+	// detection is precise per observed trace.
+	racy string
+	// wantOutputs: the exact set of distinct non-error outputs.
+	wantOutputs []string
+	// allowErrors: some schedules may fail at runtime (e.g. lost
+	// wakeups in wait/notify programs under adversarial schedules).
+	allowErrors bool
+	maxSched    int
+}
+
+func TestCorpusGoldens(t *testing.T) {
+	cases := []corpusCase{
+		// Peterson's schedule tree is astronomically large (spin loops);
+		// a bounded prefix still proves "no false alarm" on thousands of
+		// distinct schedules.
+		{file: "peterson.mini", racy: "none", wantOutputs: []string{"[2]"}, maxSched: 2000},
+		{file: "readers_writer.mini", racy: "none", wantOutputs: []string{"[7]"}, maxSched: 60000},
+		{file: "double_checked.mini", racy: "some", wantOutputs: []string{"[42]"}, maxSched: 60000},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Explore(p, ftMaker, c.maxSched, 100000)
+			if res.Errors > 0 && !c.allowErrors {
+				t.Fatalf("%d runtime errors in %d schedules: %v", res.Errors, res.Schedules, keys(res.Outputs))
+			}
+			switch c.racy {
+			case "all":
+				if res.Warned != res.Schedules {
+					t.Errorf("warned on %d of %d schedules; racy program must warn on all", res.Warned, res.Schedules)
+				}
+			case "none":
+				if res.Warned != 0 {
+					t.Errorf("false alarms on %d of %d schedules", res.Warned, res.Schedules)
+				}
+			case "some":
+				if res.Warned == 0 || res.Warned == res.Schedules {
+					t.Errorf("warned on %d of %d schedules; want a strict subset (the fast-path schedules)",
+						res.Warned, res.Schedules)
+				}
+			}
+			for _, want := range c.wantOutputs {
+				if res.Outputs[want] == nil {
+					t.Errorf("output %s never produced; got %v", want, keys(res.Outputs))
+				}
+			}
+			for got := range res.Outputs {
+				found := false
+				for _, want := range c.wantOutputs {
+					if got == want {
+						found = true
+					}
+				}
+				if !found && !c.allowErrors {
+					t.Errorf("unexpected output %s", got)
+				}
+			}
+			t.Logf("%s: %d schedules (exhausted=%v), warned %d", c.file, res.Schedules, res.Exhausted, res.Warned)
+		})
+	}
+}
+
+// TestPingPongSampled: the wait/notify token passer is race-free and
+// always converges on sampled schedules (lost wakeups are impossible
+// here: each wait is guarded by a condition re-check under the lock).
+func TestPingPongSampled(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "ping_pong.mini"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		res := Run(p, Options{Seed: seed, Tool: ftMaker().(rr.Tool), MaxSteps: 100000})
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		if len(res.Races) != 0 {
+			t.Fatalf("seed %d: false alarm: %v", seed, res.Races)
+		}
+		if len(res.Output) != 1 || res.Output[0] != 0 {
+			t.Fatalf("seed %d: output %v", seed, res.Output)
+		}
+	}
+}
+
+// TestCorpusFilesAllParseAndFormat: every shipped program (testdata and
+// examples) parses and round-trips through the formatter.
+func TestCorpusFilesAllParseAndFormat(t *testing.T) {
+	dirs := []string{"testdata", filepath.Join("..", "..", "examples", "minilang")}
+	total := 0
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".mini" {
+				continue
+			}
+			total++
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if _, err := Parse(Format(p)); err != nil {
+				t.Fatalf("%s: formatted output unparseable: %v", e.Name(), err)
+			}
+		}
+	}
+	if total < 9 {
+		t.Errorf("only %d .mini programs found; corpus shrank?", total)
+	}
+}

@@ -1,0 +1,142 @@
+package mini
+
+import (
+	"fmt"
+	"strings"
+
+	"fasttrack/internal/rr"
+)
+
+// This file implements systematic schedule enumeration in the style of
+// stateless model checkers (CHESS, [25] in the paper's bibliography:
+// "Finding and reproducing heisenbugs in concurrent programs"). Where
+// Run samples one interleaving per seed, Explore walks the tree of
+// scheduler decisions depth-first and — for small programs — visits
+// every interleaving, turning per-schedule race detection into an
+// exhaustive verdict.
+
+// enumChooser replays a prefix of scheduler choices and then always
+// picks the first runnable thread, recording the branching width at
+// every decision so the driver can enumerate siblings.
+type enumChooser struct {
+	prefix  []int
+	choices []int
+	widths  []int
+}
+
+func (c *enumChooser) choose(n int) int {
+	step := len(c.choices)
+	pick := 0
+	if step < len(c.prefix) {
+		pick = c.prefix[step]
+	}
+	if pick >= n {
+		// Should not happen: the same program replayed with the same
+		// prefix has the same branching widths. Clamp defensively.
+		pick = n - 1
+	}
+	c.choices = append(c.choices, pick)
+	c.widths = append(c.widths, n)
+	return pick
+}
+
+// ExploreResult aggregates an enumeration.
+type ExploreResult struct {
+	// Schedules is the number of interleavings executed.
+	Schedules int
+	// Exhausted is true when every interleaving was visited (the
+	// enumeration finished before hitting MaxSchedules).
+	Exhausted bool
+	// Warned counts schedules on which the detector reported at least
+	// one warning; Errors counts runtime failures (assertions,
+	// deadlocks, ...).
+	Warned int
+	Errors int
+	// Outputs tallies distinct program outputs, each with its schedule
+	// count and how many of those schedules the detector warned on.
+	Outputs map[string]*OutputTally
+}
+
+// OutputTally is the per-distinct-output aggregate.
+type OutputTally struct {
+	Count  int
+	Warned int
+}
+
+// Explore enumerates schedules depth-first, running each under a fresh
+// tool from mkTool (may be nil), until the tree is exhausted or
+// maxSchedules have run.
+func Explore(p *Program, mkTool func() rr.Tool, maxSchedules, maxSteps int) ExploreResult {
+	res := ExploreResult{Outputs: map[string]*OutputTally{}}
+	if maxSchedules <= 0 {
+		maxSchedules = 10000
+	}
+	prefix := []int{}
+	for {
+		if res.Schedules >= maxSchedules {
+			return res
+		}
+		ch := &enumChooser{prefix: prefix}
+		var tool rr.Tool
+		if mkTool != nil {
+			tool = mkTool()
+		}
+		run := Run(p, Options{Tool: tool, MaxSteps: maxSteps, chooser: ch})
+		res.Schedules++
+		key := outputString(run)
+		tally := res.Outputs[key]
+		if tally == nil {
+			tally = &OutputTally{}
+			res.Outputs[key] = tally
+		}
+		tally.Count++
+		if len(run.Races) > 0 {
+			res.Warned++
+			tally.Warned++
+		}
+		if run.Err != nil {
+			res.Errors++
+		}
+
+		// Advance to the next schedule: find the deepest decision with an
+		// untried sibling.
+		next := nextPrefix(ch.choices, ch.widths)
+		if next == nil {
+			res.Exhausted = true
+			return res
+		}
+		prefix = next
+	}
+}
+
+// nextPrefix returns the lexicographically next choice prefix, or nil
+// when the tree is exhausted.
+func nextPrefix(choices, widths []int) []int {
+	for i := len(choices) - 1; i >= 0; i-- {
+		if choices[i]+1 < widths[i] {
+			next := make([]int, i+1)
+			copy(next, choices[:i])
+			next[i] = choices[i] + 1
+			return next
+		}
+	}
+	return nil
+}
+
+// outputString canonicalizes a run's outcome for tallying.
+func outputString(r *Result) string {
+	if r.Err != nil {
+		msg := r.Err.Error()
+		// RuntimeError renders as "mini: runtime error ... (thread X): <msg>";
+		// keep just <msg>.
+		if i := strings.Index(msg, "): "); i >= 0 {
+			msg = msg[i+3:]
+		}
+		return "error: " + msg
+	}
+	parts := make([]string, len(r.Output))
+	for i, v := range r.Output {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,133 @@
+package mini
+
+import (
+	"testing"
+
+	"fasttrack/internal/atomicity"
+	"fasttrack/internal/core"
+	"fasttrack/internal/rr"
+)
+
+func ftMaker() rr.Tool { return core.New(4, 8) }
+
+// TestExploreExhaustsRacyCounter: exhaustive enumeration of the racy
+// counter finds both outcomes (the lost update and the lucky 2) and the
+// detector warns on every single schedule.
+func TestExploreExhaustsRacyCounter(t *testing.T) {
+	p := parse(t, racyCounter)
+	res := Explore(p, ftMaker, 100000, 10000)
+	if !res.Exhausted {
+		t.Fatalf("racy counter not exhausted in %d schedules", res.Schedules)
+	}
+	if res.Warned != res.Schedules {
+		t.Errorf("warned on %d of %d schedules; precision demands all", res.Warned, res.Schedules)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d runtime errors", res.Errors)
+	}
+	one, two := res.Outputs["[1]"], res.Outputs["[2]"]
+	if one == nil || two == nil {
+		t.Fatalf("outputs = %v, want both [1] and [2]", keys(res.Outputs))
+	}
+	if one.Count == 0 || two.Count == 0 {
+		t.Errorf("both outcomes must be reachable: %+v / %+v", one, two)
+	}
+	t.Logf("racy counter: %d schedules, lost update on %d", res.Schedules, one.Count)
+}
+
+// TestExploreLockedCounterAlwaysTwo: the fixed counter has a single
+// observable outcome and never warns, across the entire schedule tree.
+func TestExploreLockedCounterAlwaysTwo(t *testing.T) {
+	p := parse(t, lockedCounter)
+	res := Explore(p, ftMaker, 200000, 10000)
+	if !res.Exhausted {
+		t.Fatalf("locked counter not exhausted in %d schedules", res.Schedules)
+	}
+	if res.Warned != 0 {
+		t.Errorf("false alarms on %d schedules", res.Warned)
+	}
+	if len(res.Outputs) != 1 || res.Outputs["[2]"] == nil {
+		t.Errorf("outputs = %v, want only [2]", keys(res.Outputs))
+	}
+}
+
+// TestExploreFindsDeadlock: enumeration provably reaches the lock-order
+// inversion deadlock.
+func TestExploreFindsDeadlock(t *testing.T) {
+	src := `
+		lock a, b;
+		thread t1 { acquire a; acquire b; release b; release a; }
+		thread t2 { acquire b; acquire a; release a; release b; }
+		main { fork t1; fork t2; join t1; join t2; }`
+	p := parse(t, src)
+	res := Explore(p, nil, 100000, 10000)
+	if !res.Exhausted {
+		t.Fatalf("not exhausted in %d schedules", res.Schedules)
+	}
+	if res.Errors == 0 {
+		t.Error("enumeration failed to reach the deadlock")
+	}
+	if res.Outputs["error: deadlock: no runnable thread"] == nil {
+		t.Errorf("outputs = %v", keys(res.Outputs))
+	}
+}
+
+// TestExploreAtomicityViolation: Velodrome over the schedule tree flags
+// exactly the non-serializable interleavings of two atomic increments
+// whose reads and writes interleave.
+func TestExploreAtomicityViolation(t *testing.T) {
+	src := `
+		var x;
+		thread inc {
+			atomic {
+				local t = x;
+				yield;
+				x = t + 1;
+			}
+		}
+		main {
+			fork inc;
+			atomic {
+				local u = x;
+				yield;
+				x = u + 2;
+			}
+			join inc;
+			print x;
+		}`
+	p := parse(t, src)
+	// FastTrack flags the data race on every schedule.
+	ft := Explore(p, ftMaker, 100000, 10000)
+	if !ft.Exhausted || ft.Warned != ft.Schedules {
+		t.Errorf("FastTrack warned on %d/%d", ft.Warned, ft.Schedules)
+	}
+	// Velodrome flags the atomicity violation on the interleaved
+	// schedules; the serial ones (outputs 3) are serializable, though on
+	// this racy program some serial-looking outputs can still arise from
+	// overlapping transactions.
+	vd := Explore(p, func() rr.Tool { return atomicity.NewVelodrome() }, 100000, 10000)
+	if !vd.Exhausted {
+		t.Fatalf("not exhausted in %d schedules", vd.Schedules)
+	}
+	if vd.Warned == 0 {
+		t.Error("Velodrome never flagged the non-serializable interleavings")
+	}
+	if vd.Warned == vd.Schedules {
+		t.Error("Velodrome flagged even fully serial schedules")
+	}
+	// The lost-update outputs (1 or 2) are precisely non-serializable:
+	// every schedule producing them must be flagged.
+	for _, bad := range []string{"[1]", "[2]"} {
+		if tally := vd.Outputs[bad]; tally != nil && tally.Warned != tally.Count {
+			t.Errorf("output %s: Velodrome warned on %d of %d schedules", bad, tally.Warned, tally.Count)
+		}
+	}
+}
+
+func keys(m map[string]*OutputTally) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

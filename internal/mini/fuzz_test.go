@@ -1,0 +1,27 @@
+package mini
+
+import "testing"
+
+// FuzzParse: arbitrary source must never panic the lexer, parser, or
+// checker; valid programs must also survive a bounded run without
+// panicking the interpreter.
+func FuzzParse(f *testing.F) {
+	f.Add("var x; main { x = 1; }")
+	f.Add(racyCounter)
+	f.Add(lockedCounter)
+	f.Add("lock m; thread t { acquire m; wait m; release m; } main { fork t; acquire m; notify m; release m; join t; }")
+	f.Add("var x; main { atomic { x = x + 1; } barrier; }")
+	f.Add("main { if 1 { while 0 { skip; } } else { yield; } }")
+	f.Add("main { print ((1+2)*3 == 9) && !(4 < 3); }")
+	f.Add("thread t{}main{}")
+	f.Add("var x main { }")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Bounded execution: runtime errors are fine, panics are not.
+		res := Run(p, Options{Seed: 1, MaxSteps: 2000})
+		_ = res
+	})
+}

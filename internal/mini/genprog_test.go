@@ -1,0 +1,94 @@
+package mini
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasttrack/internal/conformance"
+	"fasttrack/internal/core"
+	"fasttrack/internal/detectors/basicvc"
+	"fasttrack/internal/detectors/djit"
+	"fasttrack/internal/hb"
+	"fasttrack/internal/rr"
+)
+
+// TestGeneratedProgramsTerminateAndRecordFeasibleTraces: the program
+// generator's output must always parse, run to completion on any seed,
+// and record a feasible trace.
+func TestGeneratedProgramsTerminateAndRecordFeasibleTraces(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for progSeed := int64(0); progSeed < 25; progSeed++ {
+		p := GenerateProgram(rand.New(rand.NewSource(progSeed)), cfg)
+		for schedSeed := int64(0); schedSeed < 4; schedSeed++ {
+			res := Run(p, Options{Seed: schedSeed, MaxSteps: 200000, RecordTrace: true})
+			if res.Err != nil {
+				t.Fatalf("prog %d sched %d: %v\n%s", progSeed, schedSeed, res.Err, Format(p))
+			}
+			if err := res.Trace.Validate(); err != nil {
+				t.Fatalf("prog %d sched %d: infeasible trace: %v", progSeed, schedSeed, err)
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsDifferentialPrecision is the end-to-end loop:
+// random program -> real execution -> recorded trace -> every precise
+// detector must agree with the happens-before oracle about which
+// variables raced in that execution.
+func TestGeneratedProgramsDifferentialPrecision(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for progSeed := int64(100); progSeed < 130; progSeed++ {
+		p := GenerateProgram(rand.New(rand.NewSource(progSeed)), cfg)
+		res := Run(p, Options{Seed: progSeed, MaxSteps: 200000, RecordTrace: true})
+		if res.Err != nil {
+			t.Fatalf("prog %d: %v", progSeed, res.Err)
+		}
+		oracle := hb.New(res.Trace).RacyVars()
+		for _, mk := range []func() rr.Tool{
+			func() rr.Tool { return core.New(4, 8) },
+			func() rr.Tool { return djit.New(4, 8) },
+			func() rr.Tool { return basicvc.New(4, 8) },
+		} {
+			tool := mk()
+			got := conformance.RacyVars(tool, res.Trace)
+			if !conformance.SameVars(got, oracle) {
+				t.Fatalf("prog %d: %s = %v, oracle = %v\nprogram:\n%s\ntrace:\n%s",
+					progSeed, tool.Name(), got, oracle, Format(p), res.Trace)
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsOnlineMatchesOffline: running the detector online
+// (during execution) and offline (on the recorded trace) must yield the
+// same warnings.
+func TestGeneratedProgramsOnlineMatchesOffline(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for progSeed := int64(200); progSeed < 220; progSeed++ {
+		p := GenerateProgram(rand.New(rand.NewSource(progSeed)), cfg)
+		online := core.New(4, 8)
+		res := Run(p, Options{Seed: 1, MaxSteps: 200000, Tool: online, RecordTrace: true})
+		if res.Err != nil {
+			t.Fatalf("prog %d: %v", progSeed, res.Err)
+		}
+		offline := core.New(4, 8)
+		got := conformance.RacyVars(offline, res.Trace)
+		want := map[uint64]bool{}
+		for _, r := range online.Races() {
+			want[r.Var] = true
+		}
+		if !conformance.SameVars(got, want) {
+			t.Fatalf("prog %d: offline %v != online %v", progSeed, got, want)
+		}
+	}
+}
+
+// TestGeneratedProgramsDeterministic: the generator is a pure function
+// of its seed.
+func TestGeneratedProgramsDeterministic(t *testing.T) {
+	a := GenerateProgram(rand.New(rand.NewSource(9)), DefaultGenConfig())
+	b := GenerateProgram(rand.New(rand.NewSource(9)), DefaultGenConfig())
+	if Format(a) != Format(b) {
+		t.Error("generator not deterministic")
+	}
+}

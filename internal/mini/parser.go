@@ -1,0 +1,374 @@
+package mini
+
+import "strconv"
+
+// Parse parses a mini program from source text.
+//
+// Grammar (EBNF; see the package comment and testdata for examples):
+//
+//	program  = { decl } { "thread" ident block } "main" block .
+//	decl     = ("var"|"lock"|"volatile") ident { "," ident } ";" .
+//	block    = "{" { stmt } "}" .
+//	stmt     = ident "=" expr ";"
+//	         | "local" ident "=" expr ";"
+//	         | ("acquire"|"release"|"fork"|"join"|"wait"|"notify") ident ";"
+//	         | "if" expr block [ "else" block ]
+//	         | "while" expr block
+//	         | ("print"|"assert") expr ";"
+//	         | "atomic" block
+//	         | ("skip"|"barrier"|"yield") ";" .
+//	expr     = or .
+//	or       = and { "||" and } .
+//	and      = cmp { "&&" cmp } .
+//	cmp      = add [ ("=="|"!="|"<"|"<="|">"|">=") add ] .
+//	add      = mul { ("+"|"-") mul } .
+//	mul      = unary { ("*"|"/"|"%") unary } .
+//	unary    = [ "!"|"-" ] primary .
+//	primary  = number | ident | "(" expr ")" .
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) fail(t token, msg string) error {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: msg}
+}
+
+// accept consumes the token if it matches kind+text.
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && t.text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.peek()
+	if t.kind != kind || t.text != text {
+		return t, p.fail(t, "expected "+strconv.Quote(text)+", found "+t.String())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) ident() (token, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return t, p.fail(t, "expected identifier, found "+t.String())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{Threads: map[string]*Block{}}
+	for {
+		t := p.peek()
+		if t.kind != tokKeyword {
+			break
+		}
+		switch t.text {
+		case "var", "lock", "volatile":
+			p.next()
+			for {
+				id, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				switch t.text {
+				case "var":
+					prog.Vars = append(prog.Vars, id.text)
+				case "lock":
+					prog.Locks = append(prog.Locks, id.text)
+				default:
+					prog.Volatiles = append(prog.Volatiles, id.text)
+				}
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokSymbol, ";"); err != nil {
+				return nil, err
+			}
+		case "thread":
+			p.next()
+			id, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Threads[id.text]; dup {
+				return nil, p.fail(id, "duplicate thread "+id.text)
+			}
+			prog.Threads[id.text] = body
+			prog.ThreadOrder = append(prog.ThreadOrder, id.text)
+		case "main":
+			p.next()
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			prog.Main = body
+			if t := p.peek(); t.kind != tokEOF {
+				return nil, p.fail(t, "main must be the last declaration")
+			}
+			return prog, nil
+		default:
+			return nil, p.fail(t, "unexpected "+t.String()+" at top level")
+		}
+	}
+	return nil, p.fail(p.peek(), "missing main block")
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(tokSymbol, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokSymbol, "}") {
+		if p.peek().kind == tokEOF {
+			return nil, p.fail(p.peek(), "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword:
+		p.next()
+		switch t.text {
+		case "local":
+			id, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "="); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ";"); err != nil {
+				return nil, err
+			}
+			return &LocalDecl{Name: id.text, Expr: e, Line: t.line}, nil
+		case "acquire", "release", "fork", "join", "wait", "notify":
+			id, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ";"); err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "acquire":
+				return &Acquire{Lock: id.text, Line: t.line}, nil
+			case "release":
+				return &Release{Lock: id.text, Line: t.line}, nil
+			case "fork":
+				return &Fork{Thread: id.text, Line: t.line}, nil
+			case "join":
+				return &Join{Thread: id.text, Line: t.line}, nil
+			case "wait":
+				return &Wait{Lock: id.text, Line: t.line}, nil
+			default:
+				return &Notify{Lock: id.text, Line: t.line}, nil
+			}
+		case "if":
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			then, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			var els *Block
+			if p.accept(tokKeyword, "else") {
+				els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+			return &If{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+		case "while":
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			return &While{Cond: cond, Body: body, Line: t.line}, nil
+		case "print", "assert":
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ";"); err != nil {
+				return nil, err
+			}
+			if t.text == "print" {
+				return &Print{Expr: e, Line: t.line}, nil
+			}
+			return &Assert{Expr: e, Line: t.line}, nil
+		case "atomic":
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			return &Atomic{Body: body, Line: t.line}, nil
+		case "skip", "barrier", "yield":
+			if _, err := p.expect(tokSymbol, ";"); err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "skip":
+				return &Skip{Line: t.line}, nil
+			case "barrier":
+				return &Barrier{Line: t.line}, nil
+			default:
+				return &Yield{Line: t.line}, nil
+			}
+		default:
+			return nil, p.fail(t, "unexpected keyword "+t.text+" in statement")
+		}
+	case t.kind == tokIdent:
+		p.next()
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ";"); err != nil {
+			return nil, err
+		}
+		return &Assign{Name: t.text, Expr: e, Line: t.line}, nil
+	default:
+		return nil, p.fail(t, "expected statement, found "+t.String())
+	}
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(0) }
+
+// binary levels, loosest first.
+var levels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!=", "<", "<=", ">", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level == len(levels) {
+		return p.unary()
+	}
+	l, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		matched := false
+		if t.kind == tokSymbol {
+			for _, op := range levels[level] {
+				if t.text == op {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+		p.next()
+		r, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.text, L: l, R: r, Line: t.line}
+		// Comparisons do not associate: a < b < c is a parse error.
+		if level == 2 {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && (t.text == "!" || t.text == "-") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.fail(t, "bad number "+t.text)
+		}
+		return &Num{Value: v}, nil
+	case t.kind == tokIdent:
+		return &Ref{Name: t.text, Line: t.line}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.fail(t, "expected expression, found "+t.String())
+	}
+}

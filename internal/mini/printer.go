@@ -1,0 +1,127 @@
+package mini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to canonical source text. The output
+// parses to a structurally identical program (parse·print·parse is the
+// identity on ASTs — the round-trip property the tests enforce), so
+// Format is usable for program storage, diffing, and minimization
+// tooling.
+func Format(p *Program) string {
+	var b strings.Builder
+	if len(p.Vars) > 0 {
+		fmt.Fprintf(&b, "var %s;\n", strings.Join(p.Vars, ", "))
+	}
+	if len(p.Locks) > 0 {
+		fmt.Fprintf(&b, "lock %s;\n", strings.Join(p.Locks, ", "))
+	}
+	if len(p.Volatiles) > 0 {
+		fmt.Fprintf(&b, "volatile %s;\n", strings.Join(p.Volatiles, ", "))
+	}
+	for _, name := range p.ThreadOrder {
+		fmt.Fprintf(&b, "\nthread %s ", name)
+		writeBlock(&b, p.Threads[name], 0)
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nmain ")
+	writeBlock(&b, p.Main, 0)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func writeBlock(b *strings.Builder, blk *Block, depth int) {
+	if blk == nil || len(blk.Stmts) == 0 {
+		b.WriteString("{}")
+		return
+	}
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		indent(b, depth+1)
+		writeStmt(b, s, depth+1)
+		b.WriteByte('\n')
+	}
+	indent(b, depth)
+	b.WriteByte('}')
+}
+
+func writeStmt(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s;", s.Name, FormatExpr(s.Expr))
+	case *LocalDecl:
+		fmt.Fprintf(b, "local %s = %s;", s.Name, FormatExpr(s.Expr))
+	case *Acquire:
+		fmt.Fprintf(b, "acquire %s;", s.Lock)
+	case *Release:
+		fmt.Fprintf(b, "release %s;", s.Lock)
+	case *Wait:
+		fmt.Fprintf(b, "wait %s;", s.Lock)
+	case *Notify:
+		fmt.Fprintf(b, "notify %s;", s.Lock)
+	case *Fork:
+		fmt.Fprintf(b, "fork %s;", s.Thread)
+	case *Join:
+		fmt.Fprintf(b, "join %s;", s.Thread)
+	case *If:
+		fmt.Fprintf(b, "if %s ", FormatExpr(s.Cond))
+		writeBlock(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			writeBlock(b, s.Else, depth)
+		}
+	case *While:
+		fmt.Fprintf(b, "while %s ", FormatExpr(s.Cond))
+		writeBlock(b, s.Body, depth)
+	case *Atomic:
+		b.WriteString("atomic ")
+		writeBlock(b, s.Body, depth)
+	case *Print:
+		fmt.Fprintf(b, "print %s;", FormatExpr(s.Expr))
+	case *Assert:
+		fmt.Fprintf(b, "assert %s;", FormatExpr(s.Expr))
+	case *Skip:
+		b.WriteString("skip;")
+	case *Barrier:
+		b.WriteString("barrier;")
+	case *Yield:
+		b.WriteString("yield;")
+	default:
+		fmt.Fprintf(b, "/* unhandled %T */", s)
+	}
+}
+
+// FormatExpr renders an expression with explicit parentheses around
+// every binary operation, so re-parsing cannot reassociate anything.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *Num:
+		return fmt.Sprint(e.Value)
+	case *Ref:
+		return e.Name
+	case *Unary:
+		return e.Op + parenthesize(e.X)
+	case *Binary:
+		return parenthesize(e.L) + " " + e.Op + " " + parenthesize(e.R)
+	default:
+		return fmt.Sprintf("/* unhandled %T */", e)
+	}
+}
+
+// parenthesize wraps compound operands in parentheses.
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *Num, *Ref:
+		return FormatExpr(e)
+	default:
+		return "(" + FormatExpr(e) + ")"
+	}
+}

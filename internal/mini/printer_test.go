@@ -1,0 +1,80 @@
+package mini
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip parses, formats, re-parses, and compares behaviour.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	printed := Format(p1)
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse of formatted output: %v\n%s", err, printed)
+	}
+	// Structural identity modulo source positions: compare by formatting
+	// again (fixed point) and by identical behaviour on a few schedules.
+	if again := Format(p2); again != printed {
+		t.Fatalf("Format not a fixed point:\n--- first\n%s\n--- second\n%s", printed, again)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a := Run(p1, Options{Seed: seed, MaxSteps: 20000, RecordTrace: true})
+		b := Run(p2, Options{Seed: seed, MaxSteps: 20000, RecordTrace: true})
+		if !reflect.DeepEqual(a.Output, b.Output) || !reflect.DeepEqual(a.Trace, b.Trace) {
+			t.Fatalf("formatted program behaves differently (seed %d)", seed)
+		}
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("error behaviour differs (seed %d): %v vs %v", seed, a.Err, b.Err)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		racyCounter,
+		lockedCounter,
+		`var x; main { print ((1 + 2) * 3 - 4) / (5 % 3); }`,
+		`var x; main { if x == 0 { x = 1; } else { x = 2; } while x < 10 { x = x + 1; } }`,
+		`var a; volatile v; lock m;
+		 thread t { acquire m; wait m; a = 1; release m; }
+		 main { fork t; acquire m; notify m; release m; join t; print a; }`,
+		`var x; main { atomic { local t = -x; x = t + 1; } barrier; yield; skip; assert !(x < 0); }`,
+		`main {}`,
+		`var x; thread t { x = 1; } main { fork t; join t; }`,
+	} {
+		roundTrip(t, src)
+	}
+}
+
+func TestFormatPrecedenceExplicit(t *testing.T) {
+	p, err := Parse(`var x; main { x = 1 + 2 * 3; print x - 1 - 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	if !strings.Contains(out, "1 + (2 * 3)") {
+		t.Errorf("multiplication not parenthesized:\n%s", out)
+	}
+	if !strings.Contains(out, "(x - 1) - 1") {
+		t.Errorf("left association not explicit:\n%s", out)
+	}
+}
+
+func TestFormatOnExampleFiles(t *testing.T) {
+	// The shipped example programs must round-trip too.
+	for _, src := range []string{racyCounter, lockedCounter} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(Format(p)); err != nil {
+			t.Errorf("formatted output unparseable: %v", err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package rr
+
+import "fasttrack/trace"
+
+// Granularity selects how memory locations map to shadow locations
+// (Section 4, "Granularity").
+type Granularity uint8
+
+const (
+	// Fine gives each variable its own shadow location (the default, and
+	// the precise configuration).
+	Fine Granularity = iota
+	// Coarse groups FieldsPerObject consecutive variables into one shadow
+	// location, modeling RoadRunner's one-VarState-per-object analysis.
+	// It roughly halves memory at the cost of possible false alarms.
+	Coarse
+)
+
+// FieldsPerObject is the number of consecutive variable ids folded into
+// one shadow location under Coarse granularity. The workload generators
+// allocate the fields of one simulated object contiguously, so integer
+// division by this constant is exactly the paper's object-level shadowing.
+const FieldsPerObject = 8
+
+// Dispatcher feeds an event stream to a back-end tool, providing the
+// RoadRunner services the paper describes:
+//
+//   - re-entrant lock acquires and releases (which are redundant) are
+//     filtered out (Section 4);
+//   - wait(t,m), recorded at wait entry, becomes rel(t,m) — the wake-up
+//     is recorded separately as acq(t,m) — and notify is dropped
+//     (Section 4, "Extensions");
+//   - under Coarse granularity, variable ids are remapped to per-object
+//     shadow locations.
+type Dispatcher struct {
+	Tool        Tool
+	Granularity Granularity
+
+	// FilteredReentrant counts redundant acquire/release events dropped.
+	FilteredReentrant int64
+	// Fed counts events offered to the dispatcher.
+	Fed int64
+
+	depth map[lockKey]int
+	next  int // index of the next event forwarded to the tool
+}
+
+type lockKey struct {
+	tid  int32
+	lock uint64
+}
+
+// NewDispatcher returns a dispatcher feeding tool with fine granularity.
+func NewDispatcher(tool Tool) *Dispatcher {
+	return &Dispatcher{Tool: tool, depth: map[lockKey]int{}}
+}
+
+// MapVar applies the dispatcher's granularity to a variable id.
+func (d *Dispatcher) MapVar(x uint64) uint64 {
+	if d.Granularity == Coarse {
+		return x / FieldsPerObject
+	}
+	return x
+}
+
+// Event offers one event to the dispatcher.
+func (d *Dispatcher) Event(e trace.Event) {
+	d.Fed++
+	// Fast path: data accesses are >96% of the stream and need only the
+	// granularity remap.
+	if e.Kind == trace.Read || e.Kind == trace.Write {
+		if d.Granularity == Coarse {
+			e.Target /= FieldsPerObject
+		}
+		d.forward(e)
+		return
+	}
+	if d.depth == nil {
+		d.depth = map[lockKey]int{}
+	}
+	switch e.Kind {
+	case trace.Acquire:
+		k := lockKey{e.Tid, e.Target}
+		d.depth[k]++
+		if d.depth[k] > 1 {
+			d.FilteredReentrant++
+			return
+		}
+	case trace.Release:
+		k := lockKey{e.Tid, e.Target}
+		if d.depth[k] > 1 {
+			d.depth[k]--
+			d.FilteredReentrant++
+			return
+		}
+		delete(d.depth, k)
+	case trace.Wait:
+		// Wait entry releases the monitor; the wake-up is a separate,
+		// explicitly recorded acquire (Section 4). The depth bookkeeping
+		// must see the release, or the wake-up acquire would be
+		// misclassified as re-entrant.
+		k := lockKey{e.Tid, e.Target}
+		if d.depth[k] > 1 {
+			// Waiting while holding the monitor re-entrantly: the JVM
+			// releases all holds; we conservatively keep the re-entrant
+			// depth and release the outermost hold only.
+			d.depth[k]--
+			d.FilteredReentrant++
+			return
+		}
+		delete(d.depth, k)
+		d.forward(trace.Rel(e.Tid, e.Target))
+		return
+	case trace.Notify:
+		return // no happens-before edge (Section 4)
+	}
+	d.forward(e)
+}
+
+func (d *Dispatcher) forward(e trace.Event) {
+	d.Tool.HandleEvent(d.next, e)
+	d.next++
+}
+
+// Feed offers an entire trace.
+func (d *Dispatcher) Feed(tr trace.Trace) {
+	for _, e := range tr {
+		d.Event(e)
+	}
+}
+
+// Pipeline composes a prefilter with a downstream tool, the analog of
+// RoadRunner's "-tool FastTrack:Velodrome" (Section 5.2): every event is
+// handled by the prefilter, and only events the prefilter still considers
+// interesting reach the downstream tool. Synchronization and transaction
+// events always pass (the downstream analyses need them for their own
+// happens-before and transaction tracking).
+type Pipeline struct {
+	Pre  Prefilter
+	Back Tool
+	// Passed/Filtered count data accesses forwarded/suppressed.
+	Passed   int64
+	Filtered int64
+}
+
+// Name implements Tool.
+func (p *Pipeline) Name() string { return p.Pre.Name() + ":" + p.Back.Name() }
+
+// HandleEvent implements Tool.
+func (p *Pipeline) HandleEvent(i int, e trace.Event) {
+	pass := p.Pre.HandleFilter(i, e)
+	if !e.Kind.IsAccess() {
+		pass = true
+	}
+	if pass {
+		if e.Kind.IsAccess() {
+			p.Passed++
+		}
+		p.Back.HandleEvent(i, e)
+		return
+	}
+	p.Filtered++
+}
+
+// Races implements Tool; it returns the downstream tool's warnings.
+func (p *Pipeline) Races() []Report { return p.Back.Races() }
+
+// Stats implements Tool; it merges both halves' counters so the total
+// instrumentation cost of the composed analysis is visible.
+func (p *Pipeline) Stats() Stats {
+	a, b := p.Pre.Stats(), p.Back.Stats()
+	a.Events += b.Events
+	a.Reads += b.Reads
+	a.Writes += b.Writes
+	a.Syncs += b.Syncs
+	a.VCAlloc += b.VCAlloc
+	a.VCOp += b.VCOp
+	a.LockSetOps += b.LockSetOps
+	a.ShadowBytes += b.ShadowBytes
+	return a
+}

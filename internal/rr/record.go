@@ -1,0 +1,156 @@
+package rr
+
+import "fasttrack/trace"
+
+// Recorder is a Tool that captures the event stream it is fed, enabling
+// record/replay workflows: attach it (possibly inside a Tee) to a live
+// Monitor, then replay the recorded trace through other detectors or
+// write it to disk with the trace codecs. It reports no warnings.
+type Recorder struct {
+	tr trace.Trace
+	st Stats
+}
+
+var _ Tool = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Name implements Tool.
+func (r *Recorder) Name() string { return "Recorder" }
+
+// HandleEvent implements Tool.
+func (r *Recorder) HandleEvent(_ int, e trace.Event) {
+	r.st.Events++
+	switch e.Kind {
+	case trace.Read:
+		r.st.Reads++
+	case trace.Write:
+		r.st.Writes++
+	default:
+		r.st.Syncs++
+	}
+	if e.Kind == trace.BarrierRelease {
+		e.Tids = append([]int32(nil), e.Tids...) // own the participant set
+	}
+	r.tr = append(r.tr, e)
+}
+
+// Races implements Tool.
+func (r *Recorder) Races() []Report { return nil }
+
+// Stats implements Tool.
+func (r *Recorder) Stats() Stats {
+	st := r.st
+	st.ShadowBytes = int64(cap(r.tr)) * 40
+	return st
+}
+
+// Trace returns the recorded events. The caller must not feed the
+// recorder while using the result.
+func (r *Recorder) Trace() trace.Trace { return r.tr }
+
+// StreamRecorder is a Tool that encodes the event stream straight to a
+// trace.Writer, so a long-running monitored program can be recorded to
+// disk without holding the trace in memory. Call Flush when done. It
+// reports no warnings.
+type StreamRecorder struct {
+	w   *trace.Writer
+	st  Stats
+	err error
+}
+
+var _ Tool = (*StreamRecorder)(nil)
+
+// NewStreamRecorder returns a recorder writing to w.
+func NewStreamRecorder(w *trace.Writer) *StreamRecorder {
+	return &StreamRecorder{w: w}
+}
+
+// Name implements Tool.
+func (s *StreamRecorder) Name() string { return "StreamRecorder" }
+
+// HandleEvent implements Tool. Encoding errors are sticky and reported
+// by Err.
+func (s *StreamRecorder) HandleEvent(_ int, e trace.Event) {
+	s.st.Events++
+	if s.err == nil {
+		s.err = s.w.Write(e)
+	}
+}
+
+// Races implements Tool.
+func (s *StreamRecorder) Races() []Report { return nil }
+
+// Stats implements Tool.
+func (s *StreamRecorder) Stats() Stats { return s.st }
+
+// Flush drains the underlying writer.
+func (s *StreamRecorder) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Err returns the first encoding error, if any.
+func (s *StreamRecorder) Err() error { return s.err }
+
+// Tee fans one event stream out to several tools, so a single pass over
+// a program or trace runs any number of analyses (the harness uses
+// per-tool passes instead, to keep timing honest). Warnings are the
+// concatenation of the components' warnings in tool order.
+type Tee struct {
+	Tools []Tool
+}
+
+var _ Tool = (*Tee)(nil)
+
+// NewTee returns a Tee over the given tools.
+func NewTee(tools ...Tool) *Tee { return &Tee{Tools: tools} }
+
+// Name implements Tool.
+func (t *Tee) Name() string {
+	name := "Tee("
+	for i, tool := range t.Tools {
+		if i > 0 {
+			name += ","
+		}
+		name += tool.Name()
+	}
+	return name + ")"
+}
+
+// HandleEvent implements Tool.
+func (t *Tee) HandleEvent(i int, e trace.Event) {
+	for _, tool := range t.Tools {
+		tool.HandleEvent(i, e)
+	}
+}
+
+// Races implements Tool.
+func (t *Tee) Races() []Report {
+	var out []Report
+	for _, tool := range t.Tools {
+		out = append(out, tool.Races()...)
+	}
+	return out
+}
+
+// Stats implements Tool; counters are summed (Events therefore counts
+// each event once per component).
+func (t *Tee) Stats() Stats {
+	var st Stats
+	for _, tool := range t.Tools {
+		s := tool.Stats()
+		st.Events += s.Events
+		st.Reads += s.Reads
+		st.Writes += s.Writes
+		st.Syncs += s.Syncs
+		st.VCAlloc += s.VCAlloc
+		st.VCOp += s.VCOp
+		st.LockSetOps += s.LockSetOps
+		st.ShadowBytes += s.ShadowBytes
+	}
+	return st
+}

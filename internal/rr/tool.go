@@ -1,0 +1,136 @@
+// Package rr is this module's analog of the RoadRunner dynamic-analysis
+// framework (Section 4 of the FastTrack paper): it defines the back-end
+// tool interface shared by all seven checkers, the race-report and
+// statistics types, an event dispatcher that performs RoadRunner's
+// services (re-entrant lock filtering, wait expansion, shadow-location
+// granularity), and prefilter pipelines for composing analyses
+// (Section 5.2, "-tool FastTrack:Velodrome").
+package rr
+
+import (
+	"fmt"
+
+	"fasttrack/trace"
+)
+
+// RaceKind classifies a warning.
+type RaceKind uint8
+
+const (
+	// WriteWrite is a race between two writes.
+	WriteWrite RaceKind = iota
+	// WriteRead is a race between a write and a later read.
+	WriteRead
+	// ReadWrite is a race between a read and a later write.
+	ReadWrite
+	// LockSetViolation is an imprecise (Eraser-style) warning: no lock was
+	// consistently held on every access to the location. It may or may not
+	// correspond to a real race.
+	LockSetViolation
+	// AtomicityViolation is reported by the Atomizer- and Velodrome-style
+	// checkers of Section 5.2: a transaction is not serializable.
+	AtomicityViolation
+	// DeterminismViolation is reported by the SingleTrack-style checker:
+	// inter-thread communication depends on lock-acquisition order.
+	DeterminismViolation
+	// DeadlockPotential is reported by the Goodlock-style lock-order
+	// analysis: a cycle in the lock acquisition graph means some schedule
+	// can deadlock, even if the observed one did not.
+	DeadlockPotential
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write race"
+	case WriteRead:
+		return "write-read race"
+	case ReadWrite:
+		return "read-write race"
+	case LockSetViolation:
+		return "empty lockset"
+	case AtomicityViolation:
+		return "atomicity violation"
+	case DeterminismViolation:
+		return "determinism violation"
+	case DeadlockPotential:
+		return "potential deadlock"
+	default:
+		return fmt.Sprintf("race-kind(%d)", uint8(k))
+	}
+}
+
+// Report is one warning. Tools report at most one warning per variable
+// (the paper reports at most one race per field of each class).
+type Report struct {
+	Var     uint64   // the shadow location (after any granularity remap)
+	Kind    RaceKind // what conflicted
+	Tid     int32    // thread performing the second (racing) access
+	PrevTid int32    // thread of the prior conflicting access; -1 if unknown
+	Index   int      // index of the racing event in the trace
+	// PrevIndex is the event index of the prior conflicting access, when
+	// the tool tracks access history (FastTrack with detailed reports
+	// enabled); -1 otherwise. With a recorded trace it pinpoints both
+	// halves of the race.
+	PrevIndex int
+}
+
+func (r Report) String() string {
+	if r.PrevTid >= 0 {
+		return fmt.Sprintf("%s on x%d: thread %d conflicts with thread %d (event %d)",
+			r.Kind, r.Var, r.Tid, r.PrevTid, r.Index)
+	}
+	return fmt.Sprintf("%s on x%d: thread %d (event %d)", r.Kind, r.Var, r.Tid, r.Index)
+}
+
+// Stats are the instrumentation counters every tool maintains; the
+// evaluation harness derives Table 2 (VC allocations / VC operations),
+// Table 3 (shadow bytes), and the Figure 2 rule frequencies from them.
+type Stats struct {
+	Events int64 // events handled
+	Reads  int64
+	Writes int64
+	Syncs  int64
+
+	VCAlloc int64 // vector clocks allocated
+	VCOp    int64 // O(n)-time vector clock operations (copy, join, compare)
+
+	// FastTrack / DJIT+ rule counters (Figure 2). For DJIT+,
+	// ReadExclusive/WriteExclusive count the generic [DJIT+ READ]/[WRITE]
+	// rules and the Share/Shared counters stay zero.
+	ReadSameEpoch  int64
+	ReadShared     int64
+	ReadExclusive  int64
+	ReadShare      int64
+	WriteSameEpoch int64
+	WriteExclusive int64
+	WriteShared    int64
+
+	LockSetOps  int64 // Eraser-style lock set updates/intersections
+	ShadowBytes int64 // live shadow-memory footprint, computed by Stats()
+}
+
+// Tool is a back-end dynamic analysis: it consumes the event stream one
+// operation at a time and accumulates warnings and statistics. Tools are
+// not safe for concurrent use; the thread-safe public Monitor serializes
+// events before they reach a tool.
+type Tool interface {
+	// Name identifies the tool ("FastTrack", "DJIT+", ...).
+	Name() string
+	// HandleEvent processes event e, the i'th operation of the trace.
+	HandleEvent(i int, e trace.Event)
+	// Races returns the warnings reported so far, in detection order.
+	Races() []Report
+	// Stats returns the current counters, including a freshly computed
+	// shadow-memory footprint.
+	Stats() Stats
+}
+
+// Prefilter is implemented by tools that can act as event filters for a
+// downstream analysis (Section 5.2): HandleFilter processes the event and
+// additionally reports whether the event is still "interesting" — i.e.
+// not yet proven redundant/race-free — and therefore must be passed on.
+type Prefilter interface {
+	Tool
+	HandleFilter(i int, e trace.Event) bool
+}

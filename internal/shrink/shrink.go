@@ -1,0 +1,96 @@
+// Package shrink minimizes traces while preserving a property, in the
+// style of delta debugging (ddmin). It powers cmd/traceshrink: given a
+// trace on which a detector warns — or on which two detectors disagree —
+// it produces a small feasible witness, which is how the divergence
+// tests in this repository were themselves debugged.
+package shrink
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// Predicate reports whether a candidate trace still exhibits the
+// behaviour being minimized. Candidates are always feasible
+// (trace.Validate passes) before the predicate is consulted.
+type Predicate func(trace.Trace) bool
+
+// Minimize returns a locally minimal subsequence of tr that is feasible
+// and satisfies keep. If tr itself is infeasible or fails keep, tr is
+// returned unchanged. The result is 1-minimal: removing any single
+// event either breaks feasibility or the predicate.
+func Minimize(tr trace.Trace, keep Predicate) trace.Trace {
+	ok := func(cand trace.Trace) bool {
+		return cand.Validate() == nil && keep(cand)
+	}
+	if !ok(tr) {
+		return tr
+	}
+	cur := append(trace.Trace(nil), tr...)
+
+	// Chunked removal: try dropping windows of decreasing size, then
+	// single events. Each removal changes window alignment (events that
+	// must go together, like an acquire/release pair, may only be
+	// droppable as an aligned window), so the whole descending-chunk
+	// sweep repeats until a full pass removes nothing.
+	for progress := true; progress; {
+		progress = false
+		for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+			for again := true; again; {
+				again = false
+				for start := 0; start+chunk <= len(cur); start += chunk {
+					cand := make(trace.Trace, 0, len(cur)-chunk)
+					cand = append(cand, cur[:start]...)
+					cand = append(cand, cur[start+chunk:]...)
+					if ok(cand) {
+						cur = cand
+						again = true
+						progress = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// racyVars runs a fresh tool over the candidate and collects the flagged
+// variables.
+func racyVars(mk func() rr.Tool, cand trace.Trace) map[uint64]bool {
+	tool := mk()
+	d := rr.NewDispatcher(tool)
+	d.Feed(cand)
+	out := map[uint64]bool{}
+	for _, r := range tool.Races() {
+		out[r.Var] = true
+	}
+	return out
+}
+
+// Warns returns a predicate that holds when the tool built by mk reports
+// at least one warning.
+func Warns(mk func() rr.Tool) Predicate {
+	return func(cand trace.Trace) bool {
+		return len(racyVars(mk, cand)) > 0
+	}
+}
+
+// Disagree returns a predicate that holds when the two tools flag
+// different variable sets — the witness-shrinking mode used to debug
+// precision differences between detectors.
+func Disagree(mkA, mkB func() rr.Tool) Predicate {
+	return func(cand trace.Trace) bool {
+		a := racyVars(mkA, cand)
+		b := racyVars(mkB, cand)
+		if len(a) != len(b) {
+			return true
+		}
+		for x := range a {
+			if !b[x] {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,111 @@
+package shrink
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/detectors/eraser"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/sim"
+	"fasttrack/trace"
+)
+
+func ftMaker() rr.Tool     { return core.New(4, 8) }
+func eraserMaker() rr.Tool { return eraser.New(4, 8) }
+
+// paddedRacyTrace buries a two-event race in noise.
+func paddedRacyTrace(noise int) trace.Trace {
+	var tr trace.Trace
+	tr = append(tr, trace.ForkOf(0, 1))
+	for i := 0; i < noise; i++ {
+		tr = append(tr, trace.Rd(0, uint64(100+i%7)))
+		tr = append(tr, trace.Acq(1, 9), trace.Rd(1, 50), trace.Rel(1, 9))
+	}
+	tr = append(tr, trace.Wr(0, 1))
+	for i := 0; i < noise; i++ {
+		tr = append(tr, trace.Rd(1, uint64(200+i%5)))
+	}
+	tr = append(tr, trace.Wr(1, 1))
+	return tr
+}
+
+func TestMinimizeRaceWitness(t *testing.T) {
+	tr := paddedRacyTrace(30)
+	got := Minimize(tr, Warns(ftMaker))
+	if err := got.Validate(); err != nil {
+		t.Fatalf("minimized trace infeasible: %v", err)
+	}
+	if !Warns(ftMaker)(got) {
+		t.Fatal("minimized trace lost the race")
+	}
+	// The minimal witness is fork + two conflicting writes.
+	if len(got) != 3 {
+		t.Errorf("minimized to %d events, want 3:\n%s", len(got), got)
+	}
+}
+
+func TestMinimizeIsOneMinimal(t *testing.T) {
+	tr := paddedRacyTrace(10)
+	got := Minimize(tr, Warns(ftMaker))
+	for i := range got {
+		cand := append(append(trace.Trace{}, got[:i]...), got[i+1:]...)
+		if cand.Validate() == nil && Warns(ftMaker)(cand) {
+			t.Errorf("not 1-minimal: event %d (%s) removable", i, got[i])
+		}
+	}
+}
+
+func TestMinimizeReturnsInputWhenPredicateFails(t *testing.T) {
+	tr := trace.Trace{trace.Rd(0, 1)}
+	got := Minimize(tr, Warns(ftMaker))
+	if len(got) != 1 {
+		t.Errorf("predicate-failing input changed: %v", got)
+	}
+	// Infeasible input is returned unchanged too.
+	bad := trace.Trace{trace.Rel(0, 1)}
+	if got := Minimize(bad, func(trace.Trace) bool { return true }); len(got) != 1 {
+		t.Errorf("infeasible input changed: %v", got)
+	}
+}
+
+func TestMinimizeDisagreement(t *testing.T) {
+	// Eraser false-alarms on fork-join handoffs; FastTrack does not.
+	// Bury one handoff in noise and shrink the disagreement witness.
+	var tr trace.Trace
+	tr = append(tr, trace.Wr(0, 1))
+	for i := 0; i < 20; i++ {
+		tr = append(tr, trace.Rd(0, uint64(10+i%3)))
+	}
+	tr = append(tr, trace.ForkOf(0, 1))
+	for i := 0; i < 20; i++ {
+		tr = append(tr, trace.Acq(1, 9), trace.Wr(1, 30), trace.Rel(1, 9))
+	}
+	tr = append(tr, trace.Wr(1, 1)) // Eraser warns here, FastTrack doesn't
+	pred := Disagree(ftMaker, eraserMaker)
+	got := Minimize(tr, pred)
+	if !pred(got) {
+		t.Fatal("minimized trace lost the disagreement")
+	}
+	if len(got) > 4 {
+		t.Errorf("disagreement witness has %d events, want <= 4:\n%s", len(got), got)
+	}
+}
+
+func TestMinimizeRandomTracesStayFeasible(t *testing.T) {
+	cfg := sim.DefaultRandomConfig()
+	cfg.Events = 60
+	for seed := int64(0); seed < 10; seed++ {
+		tr := sim.RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+		if !Warns(ftMaker)(tr) {
+			continue
+		}
+		got := Minimize(tr, Warns(ftMaker))
+		if err := got.Validate(); err != nil {
+			t.Errorf("seed %d: minimized trace infeasible: %v", seed, err)
+		}
+		if len(got) >= len(tr) && len(tr) > 3 {
+			t.Errorf("seed %d: no shrinkage (%d -> %d)", seed, len(tr), len(got))
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import "fasttrack/trace"
+
+// Benchmark is a named workload: a profile plus the seed that makes its
+// trace deterministic.
+type Benchmark struct {
+	Profile
+	Seed int64
+}
+
+// Trace generates the benchmark's trace at the given scale (1 = default
+// size).
+func (b Benchmark) Trace(scale float64) trace.Trace {
+	return b.Profile.Generate(b.Seed, scale)
+}
+
+// Benchmarks returns workloads shaped after the sixteen programs of the
+// paper's Table 1. Thread counts match the paper; the pattern volumes
+// are tuned to each benchmark's published characterization (see
+// DESIGN.md):
+//
+//   - crypt/montecarlo/series: large thread-local arrays (the programs
+//     whose vector-clock detectors exhaust memory or allocate hundreds of
+//     millions of VCs);
+//   - lufact/moldyn/sor: barrier-phased numeric kernels;
+//   - mtrt/raja/raytracer/sparse: read-shared scene/index data;
+//   - tsp/elevator/philo: lock-dominated;
+//   - hedc/jbb: irregular mixes with the paper's known races (three
+//     one-shot races in hedc, two races in jbb, one each in mtrt,
+//     raytracer, tsp);
+//   - colt/lufact/series/sor/tsp/hedc/jbb: fork-join or initialization
+//     idioms that draw spurious Eraser warnings.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{Seed: 101, Profile: Profile{
+			Name: "colt", RandomSweep: true, Threads: 11, ComputeBound: true,
+			ThreadLocalVars: 220, ThreadLocalReps: 18, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 4, LockVars: 60, LockReps: 150, CSAccesses: 6, Tx: true,
+			SharedVars: 300, SharedReps: 2,
+			HandoffVars: 3,
+		}},
+		{Seed: 102, Profile: Profile{
+			Name: "crypt", Threads: 7, ComputeBound: true,
+			ThreadLocalVars: 8000, ThreadLocalReps: 3, ReadsPerSweep: 4, WritesPerSweep: 1,
+			SharedVars: 400, SharedReps: 2,
+		}},
+		{Seed: 103, Profile: Profile{
+			Name: "lufact", Threads: 4, ComputeBound: true,
+			ThreadLocalVars: 1200, ThreadLocalReps: 2, ReadsPerSweep: 3, WritesPerSweep: 1,
+			SharedVars: 2200, SharedReps: 3,
+			Phases: 8,
+			Locks:  2, LockVars: 30, LockReps: 90, CSAccesses: 6,
+			HandoffVars: 4,
+		}},
+		{Seed: 104, Profile: Profile{
+			Name: "moldyn", Threads: 4, ComputeBound: true,
+			ThreadLocalVars: 900, ThreadLocalReps: 3, ReadsPerSweep: 3, WritesPerSweep: 1,
+			SharedVars: 1500, SharedReps: 3,
+			Phases: 6,
+			Locks:  1, LockVars: 20, LockReps: 100, CSAccesses: 5, Tx: true,
+		}},
+		{Seed: 105, Profile: Profile{
+			Name: "montecarlo", RandomSweep: true, Threads: 4, ComputeBound: true,
+			ThreadLocalVars: 10000, ThreadLocalReps: 3, ReadsPerSweep: 4, WritesPerSweep: 1,
+			Locks: 1, LockVars: 40, LockReps: 200, CSAccesses: 6, Tx: true,
+			SharedVars: 500, SharedReps: 2,
+		}},
+		{Seed: 106, Profile: Profile{
+			Name: "mtrt", RandomSweep: true, Threads: 5, ComputeBound: true,
+			ThreadLocalVars: 400, ThreadLocalReps: 4, ReadsPerSweep: 3, WritesPerSweep: 1,
+			SharedVars: 3000, SharedReps: 12,
+			Locks: 2, LockVars: 30, LockReps: 100, CSAccesses: 5,
+			RecurringRaces: 1,
+		}},
+		{Seed: 107, Profile: Profile{
+			Name: "raja", Threads: 2, ComputeBound: true,
+			ThreadLocalVars: 600, ThreadLocalReps: 5, ReadsPerSweep: 3, WritesPerSweep: 1,
+			SharedVars: 1500, SharedReps: 8,
+		}},
+		{Seed: 108, Profile: Profile{
+			Name: "raytracer", RandomSweep: true, Threads: 4, ComputeBound: true,
+			ThreadLocalVars: 700, ThreadLocalReps: 4, ReadsPerSweep: 3, WritesPerSweep: 1,
+			SharedVars: 2500, SharedReps: 10,
+			RecurringRaces: 1, // the checksum race
+		}},
+		{Seed: 109, Profile: Profile{
+			Name: "sparse", RandomSweep: true, Threads: 4, ComputeBound: true,
+			ThreadLocalVars: 2000, ThreadLocalReps: 2, ReadsPerSweep: 4, WritesPerSweep: 1,
+			SharedVars: 5000, SharedReps: 6,
+		}},
+		{Seed: 110, Profile: Profile{
+			Name: "series", Threads: 4, ComputeBound: true,
+			ThreadLocalVars: 5000, ThreadLocalReps: 6, ReadsPerSweep: 4, WritesPerSweep: 1,
+			HandoffVars: 1,
+		}},
+		{Seed: 111, Profile: Profile{
+			Name: "sor", Threads: 4, ComputeBound: true,
+			ThreadLocalVars: 800, ThreadLocalReps: 2, ReadsPerSweep: 2, WritesPerSweep: 1,
+			SharedVars: 1200, SharedReps: 2,
+			Phases:      12,
+			HandoffVars: 3,
+		}},
+		{Seed: 112, Profile: Profile{
+			Name: "tsp", Threads: 5, ComputeBound: true,
+			ThreadLocalVars: 300, ThreadLocalReps: 6, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 2, LockVars: 120, LockReps: 500, CSAccesses: 10, Tx: true,
+			SharedVars: 400, SharedReps: 3,
+			HandoffVars: 8, RecurringRaces: 1, // the shared-bound race
+		}},
+		{Seed: 113, Profile: Profile{
+			Name: "elevator", Threads: 5,
+			ThreadLocalVars: 60, ThreadLocalReps: 4, ReadsPerSweep: 2, WritesPerSweep: 1,
+			Locks: 3, LockVars: 80, LockReps: 300, CSAccesses: 8, Tx: true,
+			WaitNotify: 60,
+		}},
+		{Seed: 114, Profile: Profile{
+			Name: "philo", Threads: 6,
+			ThreadLocalVars: 20, ThreadLocalReps: 3, ReadsPerSweep: 2, WritesPerSweep: 1,
+			Locks: 6, LockVars: 24, LockReps: 250, CSAccesses: 4, Tx: true,
+		}},
+		{Seed: 115, Profile: Profile{
+			Name: "hedc", RandomSweep: true, Threads: 6,
+			ThreadLocalVars: 300, ThreadLocalReps: 3, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 3, LockVars: 60, LockReps: 60, CSAccesses: 6, Tx: true,
+			SharedVars: 400, SharedReps: 2,
+			HandoffVars: 1, OneShotRaces: 2, EraserVisibleOneShots: 1,
+		}},
+		{Seed: 116, Profile: Profile{
+			Name: "jbb", RandomSweep: true, Threads: 5,
+			ThreadLocalVars: 900, ThreadLocalReps: 4, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 6, LockVars: 300, LockReps: 400, CSAccesses: 8, Tx: true,
+			SharedVars: 800, SharedReps: 3,
+			Volatiles: 4, VolatileReps: 30,
+			WaitNotify:  40,
+			HandoffVars: 1, RecurringRaces: 2,
+		}},
+	}
+}
+
+// EclipseOps returns the five Eclipse-operation workloads of Section 5.3:
+// large, irregular, 24-thread traces with ~30 seeded real races across
+// the suite and enough initialization/fork-join idioms to draw Eraser's
+// ~960 warnings.
+func EclipseOps() []Benchmark {
+	return []Benchmark{
+		{Seed: 201, Profile: Profile{
+			Name: "eclipse-startup", RandomSweep: true, Threads: 24, ComputeBound: true,
+			ThreadLocalVars: 900, ThreadLocalReps: 3, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 12, LockVars: 600, LockReps: 120, CSAccesses: 8, Tx: true,
+			SharedVars: 2500, SharedReps: 3,
+			Volatiles: 8, VolatileReps: 20,
+			HandoffVars: 400, OneShotRaces: 2, RecurringRaces: 7,
+		}},
+		{Seed: 202, Profile: Profile{
+			Name: "eclipse-import", RandomSweep: true, Threads: 24, ComputeBound: true,
+			ThreadLocalVars: 400, ThreadLocalReps: 3, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 8, LockVars: 400, LockReps: 80, CSAccesses: 8, Tx: true,
+			SharedVars: 1500, SharedReps: 3,
+			HandoffVars: 150, OneShotRaces: 1, RecurringRaces: 5,
+		}},
+		{Seed: 203, Profile: Profile{
+			Name: "eclipse-clean-small", RandomSweep: true, Threads: 24, ComputeBound: true,
+			ThreadLocalVars: 400, ThreadLocalReps: 3, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 8, LockVars: 400, LockReps: 80, CSAccesses: 8, Tx: true,
+			SharedVars: 1500, SharedReps: 3,
+			HandoffVars: 150, RecurringRaces: 5,
+		}},
+		{Seed: 204, Profile: Profile{
+			Name: "eclipse-clean-large", RandomSweep: true, Threads: 24, ComputeBound: true,
+			ThreadLocalVars: 900, ThreadLocalReps: 4, ReadsPerSweep: 3, WritesPerSweep: 1,
+			Locks: 12, LockVars: 600, LockReps: 150, CSAccesses: 8, Tx: true,
+			SharedVars: 3000, SharedReps: 4,
+			HandoffVars: 250, OneShotRaces: 1, RecurringRaces: 6,
+		}},
+		{Seed: 205, Profile: Profile{
+			Name: "eclipse-debug", RandomSweep: true, Threads: 24,
+			ThreadLocalVars: 80, ThreadLocalReps: 2, ReadsPerSweep: 2, WritesPerSweep: 1,
+			Locks: 6, LockVars: 100, LockReps: 20, CSAccesses: 6, Tx: true,
+			WaitNotify:  20,
+			HandoffVars: 10, RecurringRaces: 3,
+		}},
+	}
+}
+
+// Waves generates the short-lived-thread workload of the accordion
+// experiment (TRaDE's motivating pattern, paper Section 6): `waves`
+// successive generations of `workers` threads, each of which writes and
+// reads its own `vars` variables `reps` times and is then joined before
+// the next wave starts. Thread ids are never reused, so the shadow state
+// of a vector-clock detector grows with the total thread count unless it
+// is compacted.
+func Waves(waves, workers, vars, reps int) trace.Trace {
+	var tr trace.Trace
+	next := int32(1)
+	varBase := uint64(0)
+	for w := 0; w < waves; w++ {
+		tids := make([]int32, workers)
+		for i := range tids {
+			tids[i] = next
+			next++
+			tr = append(tr, trace.ForkOf(0, tids[i]))
+		}
+		for rep := 0; rep < reps; rep++ {
+			for i, tid := range tids {
+				for v := 0; v < vars; v++ {
+					x := varBase + uint64(i*vars+v)
+					tr = append(tr, trace.Wr(tid, x), trace.Rd(tid, x))
+				}
+			}
+		}
+		for _, tid := range tids {
+			tr = append(tr, trace.JoinOf(0, tid))
+		}
+		// Each wave works on a fresh variable region (the previous
+		// wave's data remains in shadow state, referencing dead threads).
+		varBase += uint64(workers * vars)
+	}
+	return tr
+}
+
+// ByName finds a benchmark among Benchmarks() and EclipseOps().
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range EclipseOps() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

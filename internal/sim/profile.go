@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"math/rand"
+
+	"fasttrack/trace"
+)
+
+// Profile describes a benchmark-shaped workload as volumes of the access
+// patterns that dominate multithreaded Java programs (Section 3 of the
+// paper): thread-local data, lock-protected data, read-shared data,
+// barrier phases, volatile publication, fork-join handoffs — plus the
+// seeded real races and Eraser-confusing idioms each benchmark is known
+// for. Generate deterministically expands a profile into a feasible
+// trace.
+type Profile struct {
+	Name         string
+	Threads      int  // total threads, including the initial thread 0
+	ComputeBound bool // false for the '*' rows excluded from averages
+
+	// Thread-local data: each thread owns ThreadLocalVars variables and
+	// sweeps them ThreadLocalReps times per phase with WritesPerSweep
+	// writes and ReadsPerSweep reads per variable. No synchronization
+	// intervenes, so repeats hit the same-epoch fast paths.
+	ThreadLocalVars int
+	ThreadLocalReps int
+	ReadsPerSweep   int
+	WritesPerSweep  int
+
+	// RandomSweep makes the thread-local and read-shared sweeps visit
+	// variables in a shuffled order instead of sequentially, modeling the
+	// irregular access patterns of sparse-matrix, Monte-Carlo and
+	// ray-tracing codes. Random order defeats the hardware prefetcher, so
+	// detectors with larger shadow state (per-variable vector clocks) pay
+	// the cache penalty the paper describes for "programs that perform
+	// random accesses to large arrays".
+	RandomSweep bool
+
+	// Lock-protected data: LockVars variables shared under Locks locks.
+	// Each thread runs LockReps critical sections per phase, touching
+	// CSAccesses variables per section (one read and, for every fourth
+	// access, a write). Sections are wrapped in transactions when Tx is
+	// set, feeding the atomicity checkers.
+	Locks      int
+	LockVars   int
+	LockReps   int
+	CSAccesses int
+	Tx         bool
+
+	// Read-shared data: SharedVars variables initialized by thread 0
+	// before forking and then read by every thread SharedReps times per
+	// phase.
+	SharedVars int
+	SharedReps int
+
+	// Phases > 1 inserts a barrier release between phases (sor, lufact,
+	// moldyn).
+	Phases int
+
+	// Volatiles adds VolatileReps volatile write/read pairs per phase as
+	// synchronization noise.
+	Volatiles    int
+	VolatileReps int
+
+	// WaitNotify producer/consumer handoffs per phase (elevator, jbb).
+	WaitNotify int
+
+	// HandoffVars are written by thread 0, then by a child (fork-ordered),
+	// then by thread 0 again after the join. Race-free, but classic
+	// Eraser reports one spurious empty-lockset warning per variable.
+	HandoffVars int
+
+	// OneShotRaces seeds hedc-style real races: thread 0 writes the
+	// variable after forking, and one child touches it exactly once while
+	// holding a covering lock. Only the precise detectors catch these.
+	OneShotRaces int
+
+	// EraserVisibleOneShots are one-shot races where the child's single
+	// write holds no lock, so Eraser (but not MultiRace or Goldilocks)
+	// also reports them.
+	EraserVisibleOneShots int
+
+	// RecurringRaces seeds races where every thread repeatedly accesses
+	// the variable with no synchronization; every detector reports them.
+	RecurringRaces int
+}
+
+// KnownRaces returns the number of real races seeded in the profile.
+func (p Profile) KnownRaces() int {
+	return p.OneShotRaces + p.EraserVisibleOneShots + p.RecurringRaces
+}
+
+// blockList is one thread's schedule: a sequence of atomic event blocks.
+// The mixer interleaves blocks of different threads but never splits a
+// block, so critical sections stay contiguous and the trace feasible.
+type blockList [][]trace.Event
+
+// mix interleaves the threads' block lists into the trace, preserving
+// each thread's block order and choosing the next thread uniformly at
+// random among those with blocks remaining.
+func mix(r *rand.Rand, emit func(trace.Event), per []blockList) {
+	idx := make([]int, len(per))
+	remaining := 0
+	for _, bl := range per {
+		remaining += len(bl)
+	}
+	live := make([]int, 0, len(per))
+	for t, bl := range per {
+		if len(bl) > 0 {
+			live = append(live, t)
+		}
+	}
+	for remaining > 0 {
+		k := r.Intn(len(live))
+		t := live[k]
+		for _, e := range per[t][idx[t]] {
+			emit(e)
+		}
+		idx[t]++
+		remaining--
+		if idx[t] == len(per[t]) {
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+}
+
+// Generate expands the profile into a trace. scale multiplies the
+// repetition counts (not the variable counts), so scale=2 roughly doubles
+// the event count with the same memory shape. The result is
+// deterministic in seed.
+func (p Profile) Generate(seed int64, scale float64) trace.Trace {
+	if scale <= 0 {
+		scale = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	var tr trace.Trace
+	emit := func(e trace.Event) { tr = append(tr, e) }
+	T := p.Threads
+	if T < 1 {
+		T = 1
+	}
+	sc := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		m := int(float64(n) * scale)
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+
+	// Variable-id layout. Thread-local regions come first and are laid
+	// out per thread so that coarse granularity folds a thread's own
+	// fields together (they belong to the thread's own objects).
+	next := uint64(0)
+	alloc := func(n int) uint64 {
+		base := next
+		next += uint64(n)
+		return base
+	}
+	tlBase := alloc(T * p.ThreadLocalVars)
+	lockBase := alloc(p.LockVars)
+	sharedBase := alloc(p.SharedVars)
+	handoffBase := alloc(p.HandoffVars)
+	oneShotBase := alloc(p.OneShotRaces)
+	evOneShotBase := alloc(p.EraserVisibleOneShots)
+	recurBase := alloc(p.RecurringRaces)
+	waitBase := alloc(maxInt(p.WaitNotify, 0))
+
+	tlVar := func(t int, j int) uint64 { return tlBase + uint64(t*p.ThreadLocalVars+j) }
+
+	// Lock-id layout: user locks, one-shot cover locks, wait monitors.
+	lockID := func(i int) uint64 { return uint64(i) }
+	coverLock := func(k int) uint64 { return uint64(p.Locks + k) }
+	waitLock := func(k int) uint64 { return uint64(p.Locks + p.OneShotRaces + k) }
+
+	// --- Initialization by thread 0, before forking (ordered). ---
+	for v := uint64(0); v < uint64(p.SharedVars); v++ {
+		emit(trace.Wr(0, sharedBase+v))
+	}
+	for v := uint64(0); v < uint64(p.HandoffVars); v++ {
+		emit(trace.Wr(0, handoffBase+v))
+	}
+
+	// --- Fork the workers. ---
+	for u := int32(1); u < int32(T); u++ {
+		emit(trace.ForkOf(0, u))
+	}
+
+	// --- Post-fork writes by thread 0: the racing halves of the seeded
+	// one-shot races (concurrent with the children's accesses). ---
+	for v := uint64(0); v < uint64(p.OneShotRaces); v++ {
+		emit(trace.Wr(0, oneShotBase+v))
+	}
+	for v := uint64(0); v < uint64(p.EraserVisibleOneShots); v++ {
+		emit(trace.Wr(0, evOneShotBase+v))
+	}
+
+	phases := p.Phases
+	if phases < 1 {
+		phases = 1
+	}
+	allTids := make([]int32, T)
+	for t := range allTids {
+		allTids[t] = int32(t)
+	}
+
+	for phase := 0; phase < phases; phase++ {
+		per := make([]blockList, T)
+
+		for t := 0; t < T; t++ {
+			tid := int32(t)
+
+			// Thread-local sweeps, chunked into blocks. Random sweeps use
+			// a fresh permutation per pass, so no allocation order can
+			// make the shadow state prefetch-friendly.
+			for rep := 0; rep < sc(p.ThreadLocalReps); rep++ {
+				var perm []int
+				if p.RandomSweep && p.ThreadLocalVars > 0 {
+					perm = r.Perm(p.ThreadLocalVars)
+				}
+				var blk []trace.Event
+				for j := 0; j < p.ThreadLocalVars; j++ {
+					idx := j
+					if perm != nil {
+						idx = perm[j]
+					}
+					x := tlVar(t, idx)
+					for w := 0; w < maxInt(p.WritesPerSweep, 1); w++ {
+						blk = append(blk, trace.Wr(tid, x))
+					}
+					for rd := 0; rd < maxInt(p.ReadsPerSweep, 1); rd++ {
+						blk = append(blk, trace.Rd(tid, x))
+					}
+					if len(blk) >= 64 {
+						per[t] = append(per[t], blk)
+						blk = nil
+					}
+				}
+				if len(blk) > 0 {
+					per[t] = append(per[t], blk)
+				}
+			}
+
+			// Lock-protected critical sections. Each lock consistently
+			// protects its own stripe of the lock-protected variables —
+			// the locking discipline every tool must accept.
+			for rep := 0; rep < sc(p.LockReps); rep++ {
+				if p.Locks == 0 || p.LockVars == 0 {
+					break
+				}
+				li := r.Intn(p.Locks)
+				stripe := p.LockVars / p.Locks
+				if stripe == 0 {
+					stripe = 1
+					li = 0
+				}
+				var blk []trace.Event
+				if p.Tx {
+					blk = append(blk, trace.Event{Kind: trace.TxBegin, Tid: tid})
+				}
+				blk = append(blk, trace.Acq(tid, lockID(li)))
+				for a := 0; a < maxInt(p.CSAccesses, 1); a++ {
+					x := lockBase + uint64(li*stripe+r.Intn(stripe))
+					blk = append(blk, trace.Rd(tid, x))
+					if a%4 == 0 {
+						blk = append(blk, trace.Wr(tid, x))
+					}
+				}
+				blk = append(blk, trace.Rel(tid, lockID(li)))
+				if p.Tx {
+					blk = append(blk, trace.Event{Kind: trace.TxEnd, Tid: tid})
+				}
+				per[t] = append(per[t], blk)
+			}
+
+			// Read-shared sweeps.
+			for rep := 0; rep < sc(p.SharedReps); rep++ {
+				if p.SharedVars == 0 {
+					break
+				}
+				var sharedPerm []int
+				if p.RandomSweep {
+					sharedPerm = r.Perm(p.SharedVars)
+				}
+				var blk []trace.Event
+				for v := 0; v < p.SharedVars; v++ {
+					idx := v
+					if sharedPerm != nil {
+						idx = sharedPerm[v]
+					}
+					blk = append(blk, trace.Rd(tid, sharedBase+uint64(idx)))
+					if len(blk) >= 64 {
+						per[t] = append(per[t], blk)
+						blk = nil
+					}
+				}
+				if len(blk) > 0 {
+					per[t] = append(per[t], blk)
+				}
+			}
+
+			// Volatile synchronization noise: thread 0 publishes, workers
+			// consume.
+			for rep := 0; rep < sc(p.VolatileReps); rep++ {
+				if p.Volatiles == 0 {
+					break
+				}
+				v := uint64(r.Intn(p.Volatiles))
+				if t == 0 {
+					per[t] = append(per[t], []trace.Event{trace.VWr(tid, v)})
+				} else {
+					per[t] = append(per[t], []trace.Event{trace.VRd(tid, v)})
+				}
+			}
+
+			// Recurring seeded races: unsynchronized read-modify-write.
+			for k := 0; k < p.RecurringRaces; k++ {
+				x := recurBase + uint64(k)
+				per[t] = append(per[t],
+					[]trace.Event{trace.Rd(tid, x), trace.Wr(tid, x)},
+					[]trace.Event{trace.Rd(tid, x), trace.Wr(tid, x)},
+				)
+			}
+		}
+
+		// One-shot races happen in the first phase only: one child
+		// touches each variable exactly once, as its very first blocks —
+		// before the child acquires any shared lock, so no release/
+		// acquire chain can accidentally order the access after thread
+		// 0's post-fork write and the race stays a race.
+		if phase == 0 && T > 1 {
+			prelude := make([]blockList, T)
+			for k := 0; k < p.OneShotRaces; k++ {
+				child := 1 + k%(T-1)
+				x := oneShotBase + uint64(k)
+				prelude[child] = append(prelude[child], []trace.Event{
+					trace.Acq(int32(child), coverLock(k)),
+					trace.Rd(int32(child), x),
+					trace.Rel(int32(child), coverLock(k)),
+				})
+			}
+			for k := 0; k < p.EraserVisibleOneShots; k++ {
+				child := 1 + k%(T-1)
+				x := evOneShotBase + uint64(k)
+				prelude[child] = append(prelude[child], []trace.Event{
+					trace.Wr(int32(child), x),
+				})
+			}
+			// Handoff variables: one child writes each (fork-ordered; the
+			// position in the child's schedule is immaterial).
+			for k := 0; k < p.HandoffVars; k++ {
+				child := 1 + k%(T-1)
+				x := handoffBase + uint64(k)
+				prelude[child] = append(prelude[child], []trace.Event{
+					trace.Wr(int32(child), x),
+				})
+			}
+			for t := 0; t < T; t++ {
+				if len(prelude[t]) > 0 {
+					per[t] = append(prelude[t], per[t]...)
+				}
+			}
+		}
+
+		// Wait/notify producer-consumer handoffs (emitted before the
+		// mixed blocks; they impose a strict cross-thread order).
+		if T > 1 {
+			for k := 0; k < sc(p.WaitNotify); k++ {
+				consumer := int32(1 + k%(T-1))
+				m := waitLock(k % maxInt(p.WaitNotify, 1))
+				x := waitBase + uint64(k%maxInt(p.WaitNotify, 1))
+				emit(trace.Acq(consumer, m))
+				emit(trace.Event{Kind: trace.Wait, Tid: consumer, Target: m})
+				emit(trace.Acq(0, m))
+				emit(trace.Wr(0, x))
+				emit(trace.Event{Kind: trace.Notify, Tid: 0, Target: m})
+				emit(trace.Rel(0, m))
+				emit(trace.Acq(consumer, m)) // wake-up re-acquisition
+				emit(trace.Rd(consumer, x))
+				emit(trace.Rel(consumer, m))
+			}
+		}
+
+		mix(r, emit, per)
+
+		if phase < phases-1 {
+			emit(trace.Barrier(uint64(phase), allTids...))
+		}
+	}
+
+	// --- Join and post-join accesses by thread 0 (all ordered). ---
+	for u := int32(1); u < int32(T); u++ {
+		emit(trace.JoinOf(0, u))
+	}
+	for v := uint64(0); v < uint64(p.HandoffVars); v++ {
+		emit(trace.Wr(0, handoffBase+v))
+	}
+	for v := uint64(0); v < uint64(p.SharedVars); v++ {
+		emit(trace.Rd(0, sharedBase+v))
+	}
+	return tr
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

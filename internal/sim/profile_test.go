@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"fasttrack/trace"
+)
+
+// count tallies events of a kind in a trace.
+func count(tr trace.Trace, k trace.Kind) int {
+	n := 0
+	for _, e := range tr {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestProfileForkJoinStructure(t *testing.T) {
+	p := Profile{Name: "t", Threads: 5, ThreadLocalVars: 4, ThreadLocalReps: 1}
+	tr := p.Generate(1, 1)
+	if got := count(tr, trace.Fork); got != 4 {
+		t.Errorf("forks = %d, want 4", got)
+	}
+	if got := count(tr, trace.Join); got != 4 {
+		t.Errorf("joins = %d, want 4", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileBarrierPhases(t *testing.T) {
+	p := Profile{Name: "t", Threads: 3, ThreadLocalVars: 2, ThreadLocalReps: 1, Phases: 4}
+	tr := p.Generate(1, 1)
+	if got := count(tr, trace.BarrierRelease); got != 3 { // phases-1
+		t.Errorf("barriers = %d, want 3", got)
+	}
+	for _, e := range tr {
+		if e.Kind == trace.BarrierRelease && len(e.Tids) != 3 {
+			t.Errorf("barrier releases %d threads, want 3", len(e.Tids))
+		}
+	}
+}
+
+func TestProfileWaitNotifyEmission(t *testing.T) {
+	p := Profile{Name: "t", Threads: 3, WaitNotify: 5}
+	tr := p.Generate(1, 1)
+	if got := count(tr, trace.Wait); got != 5 {
+		t.Errorf("waits = %d, want 5", got)
+	}
+	if got := count(tr, trace.Notify); got != 5 {
+		t.Errorf("notifies = %d, want 5", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileVolatiles(t *testing.T) {
+	p := Profile{Name: "t", Threads: 3, Volatiles: 2, VolatileReps: 4}
+	tr := p.Generate(1, 1)
+	// Thread 0 publishes, threads 1..2 consume: 4 writes + 8 reads.
+	if got := count(tr, trace.VolatileWrite); got != 4 {
+		t.Errorf("volatile writes = %d, want 4", got)
+	}
+	if got := count(tr, trace.VolatileRead); got != 8 {
+		t.Errorf("volatile reads = %d, want 8", got)
+	}
+}
+
+func TestProfileTransactionsBalance(t *testing.T) {
+	p := Profile{Name: "t", Threads: 2, Locks: 1, LockVars: 4, LockReps: 6, CSAccesses: 3, Tx: true}
+	tr := p.Generate(1, 1)
+	begins, ends := count(tr, trace.TxBegin), count(tr, trace.TxEnd)
+	if begins == 0 || begins != ends {
+		t.Errorf("tx markers unbalanced: %d begins, %d ends", begins, ends)
+	}
+	if begins != count(tr, trace.Acquire) {
+		t.Errorf("each critical section should be one transaction: %d vs %d",
+			begins, count(tr, trace.Acquire))
+	}
+}
+
+func TestProfileScaleAffectsRepsNotVars(t *testing.T) {
+	p := Profile{Name: "t", Threads: 2, ThreadLocalVars: 10, ThreadLocalReps: 2}
+	small := p.Generate(1, 1)
+	big := p.Generate(1, 4)
+	if len(big) <= len(small) {
+		t.Errorf("scale did not grow events: %d vs %d", len(big), len(small))
+	}
+	if sv, bv := len(small.Vars()), len(big.Vars()); sv != bv {
+		t.Errorf("scale changed variable count: %d vs %d", sv, bv)
+	}
+}
+
+func TestProfileDegenerate(t *testing.T) {
+	// Zero-valued profile still produces a feasible (possibly tiny) trace.
+	tr := Profile{Name: "empty"}.Generate(1, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Single-threaded profile: no forks.
+	tr = Profile{Name: "solo", Threads: 1, ThreadLocalVars: 3, ThreadLocalReps: 2}.Generate(1, 1)
+	if count(tr, trace.Fork) != 0 {
+		t.Error("single-threaded profile forked")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileKnownRacesArithmetic(t *testing.T) {
+	p := Profile{OneShotRaces: 2, EraserVisibleOneShots: 1, RecurringRaces: 3}
+	if got := p.KnownRaces(); got != 6 {
+		t.Errorf("KnownRaces = %d, want 6", got)
+	}
+}

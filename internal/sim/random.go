@@ -1,0 +1,176 @@
+// Package sim generates deterministic synthetic workloads: the sixteen
+// benchmark-shaped traces of the FastTrack paper's Table 1, the
+// Eclipse-shaped traces of Section 5.3, and random feasible traces for
+// property-testing the detectors against the happens-before oracle.
+//
+// The Java benchmarks themselves are not runnable here; what the
+// detectors consume is their event mix, which these generators reproduce
+// (see DESIGN.md, "Substitutions").
+package sim
+
+import (
+	"math/rand"
+
+	"fasttrack/trace"
+)
+
+// RandomConfig tunes the random feasible-trace generator.
+type RandomConfig struct {
+	Threads   int // maximum number of threads (>= 1)
+	Vars      int // number of ordinary variables
+	Locks     int // number of locks
+	Volatiles int // number of volatile variables
+	Events    int // approximate number of events to generate
+
+	// PAcquire etc. weight the non-access operations; accesses take the
+	// remaining probability mass. Zero-valued weights disable the
+	// operation. Reads are 4x as likely as writes among accesses,
+	// mirroring the paper's 82%/15% split.
+	PAcquire float64
+	PFork    float64
+	PJoin    float64
+	PVol     float64
+	PBarrier float64
+}
+
+// DefaultRandomConfig returns a configuration that exercises every
+// operation kind on small traces, suitable for property tests.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		Threads:   4,
+		Vars:      6,
+		Locks:     3,
+		Volatiles: 2,
+		Events:    120,
+		PAcquire:  0.10,
+		PFork:     0.03,
+		PJoin:     0.02,
+		PVol:      0.04,
+		PBarrier:  0.01,
+	}
+}
+
+// RandomTrace generates a feasible trace: it respects the constraints of
+// Section 2.1 (lock discipline, fork-before-run, run-before-join, no
+// empty-bodied joins). The result is deterministic in rng's stream.
+func RandomTrace(rng *rand.Rand, cfg RandomConfig) trace.Trace {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Vars < 1 {
+		cfg.Vars = 1
+	}
+
+	const (
+		unborn = iota
+		alive
+		dead
+	)
+	state := make([]int, cfg.Threads)
+	state[0] = alive
+	active := make([]bool, cfg.Threads) // executed >= 1 instruction
+	lockOwner := map[uint64]int32{}
+	held := make([][]uint64, cfg.Threads)
+
+	var tr trace.Trace
+	aliveThreads := func() []int32 {
+		var out []int32
+		for t, s := range state {
+			if s == alive {
+				out = append(out, int32(t))
+			}
+		}
+		return out
+	}
+
+	for len(tr) < cfg.Events {
+		ts := aliveThreads()
+		t := ts[rng.Intn(len(ts))]
+		r := rng.Float64()
+		switch {
+		case r < cfg.PAcquire:
+			// Acquire a free lock or release a held one, 50/50.
+			if len(held[t]) > 0 && rng.Intn(2) == 0 {
+				m := held[t][rng.Intn(len(held[t]))]
+				tr = append(tr, trace.Rel(t, m))
+				delete(lockOwner, m)
+				held[t] = remove(held[t], m)
+			} else if cfg.Locks > 0 {
+				m := uint64(rng.Intn(cfg.Locks))
+				if _, taken := lockOwner[m]; !taken {
+					tr = append(tr, trace.Acq(t, m))
+					lockOwner[m] = t
+					held[t] = append(held[t], m)
+				} else {
+					continue // would deadlock or violate discipline
+				}
+			} else {
+				continue
+			}
+		case r < cfg.PAcquire+cfg.PFork:
+			u := int32(-1)
+			for w := range state {
+				if state[w] == unborn {
+					u = int32(w)
+					break
+				}
+			}
+			if u < 0 {
+				continue
+			}
+			tr = append(tr, trace.ForkOf(t, u))
+			state[u] = alive
+		case r < cfg.PAcquire+cfg.PFork+cfg.PJoin:
+			u := int32(-1)
+			for w := range state {
+				if int32(w) != t && state[w] == alive && active[w] && len(held[w]) == 0 {
+					u = int32(w)
+					break
+				}
+			}
+			if u < 0 {
+				continue
+			}
+			tr = append(tr, trace.JoinOf(t, u))
+			state[u] = dead
+		case r < cfg.PAcquire+cfg.PFork+cfg.PJoin+cfg.PVol:
+			if cfg.Volatiles == 0 {
+				continue
+			}
+			v := uint64(rng.Intn(cfg.Volatiles))
+			if rng.Intn(2) == 0 {
+				tr = append(tr, trace.VWr(t, v))
+			} else {
+				tr = append(tr, trace.VRd(t, v))
+			}
+		case r < cfg.PAcquire+cfg.PFork+cfg.PJoin+cfg.PVol+cfg.PBarrier:
+			ts := aliveThreads()
+			if len(ts) < 2 {
+				continue
+			}
+			tr = append(tr, trace.Barrier(0, ts...))
+			for _, u := range ts {
+				active[u] = true
+			}
+			continue // barrier has no single Tid; skip the marker below
+		default:
+			x := uint64(rng.Intn(cfg.Vars))
+			if rng.Intn(5) == 0 {
+				tr = append(tr, trace.Wr(t, x))
+			} else {
+				tr = append(tr, trace.Rd(t, x))
+			}
+		}
+		active[t] = true
+	}
+	return tr
+}
+
+func remove(s []uint64, m uint64) []uint64 {
+	for i, v := range s {
+		if v == m {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

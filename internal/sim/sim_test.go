@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRandomTraceIsFeasible(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	for seed := int64(0); seed < 50; seed++ {
+		tr := RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(tr) < cfg.Events {
+			t.Fatalf("seed %d: %d events, want >= %d", seed, len(tr), cfg.Events)
+		}
+	}
+}
+
+func TestRandomTraceDeterministic(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	a := RandomTrace(rand.New(rand.NewSource(7)), cfg)
+	b := RandomTrace(rand.New(rand.NewSource(7)), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("RandomTrace not deterministic in the seed")
+	}
+}
+
+func TestRandomTraceDegenerateConfig(t *testing.T) {
+	tr := RandomTrace(rand.New(rand.NewSource(1)), RandomConfig{Events: 10})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Threads() != 1 {
+		t.Errorf("Threads = %d, want 1", tr.Threads())
+	}
+}
+
+func TestBenchmarksAreFeasible(t *testing.T) {
+	for _, b := range append(Benchmarks(), EclipseOps()...) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			tr := b.Trace(0.2)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s: infeasible: %v", b.Name, err)
+			}
+			if n := tr.Threads(); n != b.Threads {
+				t.Errorf("%s: trace has %d threads, profile says %d", b.Name, n, b.Threads)
+			}
+			if len(tr) == 0 {
+				t.Errorf("%s: empty trace", b.Name)
+			}
+		})
+	}
+}
+
+func TestBenchmarkTracesDeterministic(t *testing.T) {
+	b, ok := ByName("tsp")
+	if !ok {
+		t.Fatal("tsp not found")
+	}
+	a1 := b.Trace(0.3)
+	a2 := b.Trace(0.3)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("benchmark trace not deterministic")
+	}
+}
+
+func TestScaleGrowsTrace(t *testing.T) {
+	b, _ := ByName("raja")
+	small := len(b.Trace(0.5))
+	big := len(b.Trace(2))
+	if big <= small {
+		t.Errorf("scale 2 (%d events) not larger than scale 0.5 (%d)", big, small)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("no-such-benchmark"); ok {
+		t.Error("ByName accepted a bogus name")
+	}
+	b, ok := ByName("eclipse-debug")
+	if !ok || b.Threads != 24 {
+		t.Errorf("eclipse-debug lookup = %+v, %v", b, ok)
+	}
+}
+
+func TestBenchmarkNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range append(Benchmarks(), EclipseOps()...) {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Seed == 0 {
+			t.Errorf("%s: zero seed", b.Name)
+		}
+	}
+	if len(seen) != 21 {
+		t.Errorf("expected 16 benchmarks + 5 eclipse ops, got %d", len(seen))
+	}
+}
+
+func TestKnownRaceCounts(t *testing.T) {
+	wantRaces := map[string]int{
+		"colt": 0, "crypt": 0, "lufact": 0, "moldyn": 0, "montecarlo": 0,
+		"mtrt": 1, "raja": 0, "raytracer": 1, "sparse": 0, "series": 0,
+		"sor": 0, "tsp": 1, "elevator": 0, "philo": 0, "hedc": 3, "jbb": 2,
+	}
+	total := 0
+	for _, b := range Benchmarks() {
+		if got := b.KnownRaces(); got != wantRaces[b.Name] {
+			t.Errorf("%s: KnownRaces = %d, want %d", b.Name, got, wantRaces[b.Name])
+		}
+		total += b.KnownRaces()
+	}
+	if total != 8 {
+		t.Errorf("total seeded races = %d, want 8 (the paper's Table 1 total)", total)
+	}
+	eclipseTotal := 0
+	for _, b := range EclipseOps() {
+		eclipseTotal += b.KnownRaces()
+	}
+	if eclipseTotal != 30 {
+		t.Errorf("eclipse seeded races = %d, want 30 (the paper's Section 5.3 count)", eclipseTotal)
+	}
+}
+
+func TestWavesFeasibleAndRaceFree(t *testing.T) {
+	tr := Waves(5, 4, 8, 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("waves trace infeasible: %v", err)
+	}
+	if got := tr.Threads(); got != 21 {
+		t.Errorf("Threads = %d, want 21 (5 waves x 4 workers + main)", got)
+	}
+	// Wave w+1's workers reuse nothing from wave w: all variables are
+	// fresh per wave, so each is accessed by exactly one thread.
+	seen := map[uint64]int32{}
+	for _, e := range tr {
+		if !e.Kind.IsAccess() {
+			continue
+		}
+		if owner, ok := seen[e.Target]; ok && owner != e.Tid {
+			t.Fatalf("variable %d accessed by threads %d and %d", e.Target, owner, e.Tid)
+		}
+		seen[e.Target] = e.Tid
+	}
+}
+
+func TestOperationMixShape(t *testing.T) {
+	// Aggregate over all benchmarks: reads should dominate (paper: 82.3%
+	// reads, 14.5% writes, 3.3% other). Allow generous tolerances — the
+	// shape matters, not the digit.
+	var reads, writes, other int
+	for _, b := range Benchmarks() {
+		c := b.Trace(0.2).Count()
+		reads += c.Reads
+		writes += c.Writes
+		other += c.Other
+	}
+	total := reads + writes + other
+	readFrac := float64(reads) / float64(total)
+	writeFrac := float64(writes) / float64(total)
+	otherFrac := float64(other) / float64(total)
+	if readFrac < 0.60 || readFrac > 0.92 {
+		t.Errorf("read fraction %.1f%% outside [60,92]", readFrac*100)
+	}
+	if writeFrac < 0.05 || writeFrac > 0.35 {
+		t.Errorf("write fraction %.1f%% outside [5,35]", writeFrac*100)
+	}
+	if otherFrac > 0.12 {
+		t.Errorf("sync fraction %.1f%% above 12%%", otherFrac*100)
+	}
+}

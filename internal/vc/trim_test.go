@@ -1,0 +1,52 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrimDropsTrailingZeros(t *testing.T) {
+	v := VC{1, 2, 0, 0, 0, 0, 0, 0}
+	w := v.Trim()
+	if len(w) != 2 {
+		t.Errorf("len = %d, want 2", len(w))
+	}
+	if !w.Equal(v) {
+		t.Errorf("Trim changed the denoted function: %v vs %v", w, v)
+	}
+	// Enough waste: reallocated into a smaller array.
+	if cap(w) >= cap(v) {
+		t.Errorf("cap = %d, want < %d", cap(w), cap(v))
+	}
+}
+
+func TestTrimKeepsDenseVectors(t *testing.T) {
+	v := VC{1, 2, 3}
+	w := v.Trim()
+	if len(w) != 3 || cap(w) != cap(v) {
+		t.Errorf("dense vector reallocated: len=%d cap=%d", len(w), cap(w))
+	}
+}
+
+func TestTrimEmptyAndAllZero(t *testing.T) {
+	if got := (VC{}).Trim(); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := (VC{0, 0, 0}).Trim(); len(got) != 0 {
+		t.Errorf("all-zero: %v", got)
+	}
+}
+
+func TestTrimPreservesSemanticsProperty(t *testing.T) {
+	f := func(xs []uint8, zeros uint8) bool {
+		v := randVC(xs)
+		for i := 0; i < int(zeros%16); i++ {
+			v = append(v, 0)
+		}
+		w := v.Trim()
+		return w.Equal(v) && v.Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package fasttrack
+
+import (
+	"sync"
+
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// Monitor is the thread-safe online front end: live goroutines report
+// their memory accesses and synchronization operations, and the wrapped
+// detector checks them on the fly. It plays the role RoadRunner's
+// instrumented bytecode plays in the paper — producing the event stream —
+// for programs that annotate their operations explicitly.
+//
+// Thread identifiers are small dense integers chosen by the caller
+// (thread 0 is the initial thread); memory locations and locks are
+// arbitrary uint64 names in separate namespaces. All methods are safe
+// for concurrent use; events are serialized in arrival order, which is a
+// legal linearization of the program's own synchronization because every
+// happens-before edge the detector tracks is created by a method call
+// that the caller orders with the underlying operation.
+type Monitor struct {
+	mu     sync.Mutex
+	disp   *rr.Dispatcher
+	tool   Tool
+	onRace func(Report)
+	seen   int
+	tids   *threadIDs // lazy; see Monitor.MainThread
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*monitorConfig)
+
+type monitorConfig struct {
+	toolName    string
+	tool        Tool
+	granularity Granularity
+	hints       Hints
+	onRace      func(Report)
+}
+
+// WithDetector selects the detector by name (default "FastTrack").
+func WithDetector(name string) MonitorOption {
+	return func(c *monitorConfig) { c.toolName = name }
+}
+
+// WithTool installs a caller-constructed tool (e.g. a Compose pipeline),
+// overriding WithDetector.
+func WithTool(t Tool) MonitorOption {
+	return func(c *monitorConfig) { c.tool = t }
+}
+
+// WithGranularity selects Fine (default) or Coarse shadow locations.
+func WithGranularity(g Granularity) MonitorOption {
+	return func(c *monitorConfig) { c.granularity = g }
+}
+
+// WithHints supplies capacity hints.
+func WithHints(h Hints) MonitorOption {
+	return func(c *monitorConfig) { c.hints = h }
+}
+
+// WithRaceHandler installs a callback invoked synchronously (under the
+// monitor's lock) for each new warning.
+func WithRaceHandler(f func(Report)) MonitorOption {
+	return func(c *monitorConfig) { c.onRace = f }
+}
+
+// NewMonitor returns a Monitor running FastTrack unless configured
+// otherwise. It panics on an unknown detector name, since that is a
+// programming error at initialization time.
+func NewMonitor(opts ...MonitorOption) *Monitor {
+	cfg := monitorConfig{toolName: "FastTrack"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tool := cfg.tool
+	if tool == nil {
+		var err error
+		tool, err = NewTool(cfg.toolName, cfg.hints)
+		if err != nil {
+			panic(err)
+		}
+	}
+	d := rr.NewDispatcher(tool)
+	d.Granularity = cfg.granularity
+	return &Monitor{disp: d, tool: tool, onRace: cfg.onRace}
+}
+
+// event feeds one event under the lock and fires the race callback for
+// any new warnings.
+func (m *Monitor) event(e trace.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.disp.Event(e)
+	if m.onRace != nil {
+		races := m.tool.Races()
+		for ; m.seen < len(races); m.seen++ {
+			m.onRace(races[m.seen])
+		}
+	}
+}
+
+// Read records a read of location addr by thread tid.
+func (m *Monitor) Read(tid int32, addr uint64) { m.event(trace.Rd(tid, addr)) }
+
+// Write records a write of location addr by thread tid.
+func (m *Monitor) Write(tid int32, addr uint64) { m.event(trace.Wr(tid, addr)) }
+
+// Acquire records that thread tid acquired lock l. Re-entrant acquires
+// are filtered automatically.
+func (m *Monitor) Acquire(tid int32, l uint64) { m.event(trace.Acq(tid, l)) }
+
+// Release records that thread tid released lock l.
+func (m *Monitor) Release(tid int32, l uint64) { m.event(trace.Rel(tid, l)) }
+
+// Fork records that thread tid started thread child. Call it before the
+// child's first operation.
+func (m *Monitor) Fork(tid, child int32) { m.event(trace.ForkOf(tid, child)) }
+
+// Join records that thread tid joined on thread child. Call it after the
+// child's last operation.
+func (m *Monitor) Join(tid, child int32) { m.event(trace.JoinOf(tid, child)) }
+
+// VolatileRead records a read of volatile (atomic) location v.
+func (m *Monitor) VolatileRead(tid int32, v uint64) { m.event(trace.VRd(tid, v)) }
+
+// VolatileWrite records a write of volatile (atomic) location v.
+func (m *Monitor) VolatileWrite(tid int32, v uint64) { m.event(trace.VWr(tid, v)) }
+
+// WaitBegin records that thread tid started waiting on lock l (it must
+// hold l); per the paper's Section 4 it behaves as a release of l.
+func (m *Monitor) WaitBegin(tid int32, l uint64) {
+	m.event(trace.Event{Kind: trace.Wait, Tid: tid, Target: l})
+}
+
+// WaitEnd records that thread tid woke up from a wait on lock l; it
+// behaves as a re-acquisition of l.
+func (m *Monitor) WaitEnd(tid int32, l uint64) {
+	m.event(trace.Acq(tid, l))
+}
+
+// Notify records a notify on lock l; it induces no happens-before edge.
+func (m *Monitor) Notify(tid int32, l uint64) {
+	m.event(trace.Event{Kind: trace.Notify, Tid: tid, Target: l})
+}
+
+// BarrierRelease records that the given threads were simultaneously
+// released from barrier b.
+func (m *Monitor) BarrierRelease(b uint64, tids ...int32) {
+	m.event(trace.Barrier(b, tids...))
+}
+
+// TxBegin marks the start of an atomic block of thread tid, consumed by
+// the downstream atomicity checkers; race detectors ignore it.
+func (m *Monitor) TxBegin(tid int32) { m.event(trace.Event{Kind: trace.TxBegin, Tid: tid}) }
+
+// TxEnd marks the end of thread tid's current atomic block.
+func (m *Monitor) TxEnd(tid int32) { m.event(trace.Event{Kind: trace.TxEnd, Tid: tid}) }
+
+// Races returns a snapshot of the warnings reported so far.
+func (m *Monitor) Races() []Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Report(nil), m.tool.Races()...)
+}
+
+// Stats returns a snapshot of the detector's counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tool.Stats()
+}

@@ -1,0 +1,108 @@
+package fasttrack
+
+import (
+	"sync"
+	"testing"
+
+	"fasttrack/trace"
+)
+
+// TestMonitorConcurrentStress hammers one monitor from many goroutines
+// (run with -race to also check the monitor's own synchronization): a
+// mix of lock-protected shared work and thread-private work must stay
+// silent, and the statistics must account for every event.
+func TestMonitorConcurrentStress(t *testing.T) {
+	m := NewMonitor(WithHints(Hints{Threads: 9, Vars: 256}))
+	const (
+		workers = 8
+		iters   = 200
+		lockID  = 1
+		shared  = 0
+	)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		m.Fork(0, int32(w))
+	}
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			private := uint64(100 + tid)
+			for i := 0; i < iters; i++ {
+				m.Write(tid, private)
+				m.Read(tid, private)
+				mu.Lock()
+				m.Acquire(tid, lockID)
+				m.Read(tid, shared)
+				m.Write(tid, shared)
+				m.Release(tid, lockID)
+				mu.Unlock()
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+	for w := 1; w <= workers; w++ {
+		m.Join(0, int32(w))
+	}
+	m.Read(0, shared)
+
+	if races := m.Races(); len(races) != 0 {
+		t.Fatalf("false alarms under stress: %v", races)
+	}
+	st := m.Stats()
+	wantAccesses := int64(workers*iters*4 + 1)
+	if st.Reads+st.Writes != wantAccesses {
+		t.Errorf("accesses = %d, want %d", st.Reads+st.Writes, wantAccesses)
+	}
+}
+
+// TestMonitorGranularityOption: the Coarse option folds fields and can
+// produce the documented spurious warnings.
+func TestMonitorGranularityOption(t *testing.T) {
+	m := NewMonitor(WithGranularity(Coarse))
+	m.Fork(0, 1)
+	// Fields 0 and 1 share an object; each has its own lock.
+	m.Acquire(0, 100)
+	m.Write(0, 0)
+	m.Release(0, 100)
+	m.Acquire(1, 200)
+	m.Write(1, 1)
+	m.Release(1, 200)
+	if races := m.Races(); len(races) == 0 {
+		t.Error("coarse monitor should warn on same-object fields")
+	}
+}
+
+// TestMonitorTxMarkersReachTool: atomicity checkers behind a Monitor see
+// transaction boundaries.
+func TestMonitorTxMarkersReachTool(t *testing.T) {
+	rec := NewRecorder()
+	m := NewMonitor(WithTool(rec))
+	m.TxBegin(0)
+	m.Write(0, 1)
+	m.TxEnd(0)
+	tr := rec.Trace()
+	if len(tr) != 3 || tr[0].Kind != trace.TxBegin || tr[2].Kind != trace.TxEnd {
+		t.Errorf("recorded %v", tr)
+	}
+}
+
+// TestMonitorVelodromeOnline: a full atomicity checker runs online
+// behind the monitor.
+func TestMonitorVelodromeOnline(t *testing.T) {
+	vd, err := NewTool("Velodrome", Hints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(WithTool(vd))
+	m.Fork(0, 1)
+	m.TxBegin(0)
+	m.Read(0, 1)  // t0's txn reads x
+	m.Write(1, 1) // t1 writes x
+	m.Write(0, 1) // t0 writes x: cycle
+	m.TxEnd(0)
+	if races := m.Races(); len(races) != 1 {
+		t.Errorf("races = %v, want one atomicity violation", races)
+	}
+}

@@ -1,0 +1,245 @@
+// Package syncmodel models high-level synchronization primitives on top
+// of a fasttrack.Monitor, in terms of the detector's base operations
+// (locks, volatiles, fork/join, barriers).
+//
+// The FastTrack paper handles Java monitors, volatiles and barriers
+// directly and notes (Section 4) that the remaining java.util.concurrent
+// primitives "can all be modeled in our representation". This package is
+// that modeling for the Go analogs: read-write mutexes, semaphores,
+// countdown latches (sync.WaitGroup), once-initialization, and channels.
+//
+// Each primitive documents the happens-before edges it induces and how
+// they reduce to base events. Where a primitive's precise semantics
+// would require unbounded per-element state (semaphores, buffered
+// channels), the model is conservative: it may order more than the
+// runtime guarantees, so it never produces false alarms but can mask
+// races "through" the primitive. This is the standard trade RoadRunner
+// makes for the same primitives, and each type's comment states it.
+//
+// Identifier spaces: every primitive is constructed with an id that must
+// be unique among primitives of this package used with the same Monitor.
+// Internally ids are spread across the Monitor's lock and volatile
+// namespaces with per-kind tags, so they cannot collide with each other;
+// they share the plain Acquire/Release and VolatileRead/Write namespaces
+// with direct Monitor calls, so keep package ids below 1<<56.
+package syncmodel
+
+import (
+	"sync"
+
+	"fasttrack"
+)
+
+// Tag offsets keeping this package's locks/volatiles disjoint from each
+// other. 1<<60 leaves the low namespace to direct Monitor users.
+const (
+	rwWriteTag = uint64(1) << 60 // volatile: write-unlock publication
+	rwReadTag  = uint64(2) << 60 // volatile: read-unlock publication
+	rwLockTag  = uint64(3) << 60 // lock: writer mutual exclusion
+	semTag     = uint64(4) << 60 // volatile: semaphore hand-over
+	latchTag   = uint64(5) << 60 // volatile: countdown publication
+	onceTag    = uint64(6) << 60 // volatile: once publication
+	chanTag    = uint64(7) << 60 // volatile: channel hand-over
+)
+
+// RWMutex models a read-write lock.
+//
+// Happens-before edges (matching Go's sync.RWMutex and
+// java.util.concurrent.locks.ReadWriteLock):
+//
+//   - a write-unlock happens before every later lock operation (read or
+//     write);
+//   - a read-unlock happens before every later *write* lock;
+//   - two read critical sections are unordered.
+//
+// Reduction: write-unlock publishes on volatile W (rwWriteTag); read-
+// lock reads W; read-unlock publishes on volatile R (rwReadTag); write-
+// lock reads both W and R and holds an ordinary lock for writer mutual
+// exclusion. The R volatile makes a write lock ordered after *all*
+// preceding read-unlocks, which is exact, not conservative.
+type RWMutex struct {
+	m  *fasttrack.Monitor
+	id uint64
+}
+
+// NewRWMutex returns a model of a read-write lock named id.
+func NewRWMutex(m *fasttrack.Monitor, id uint64) *RWMutex {
+	return &RWMutex{m: m, id: id}
+}
+
+// Lock records that thread tid acquired the write lock.
+func (rw *RWMutex) Lock(tid int32) {
+	rw.m.Acquire(tid, rwLockTag|rw.id)
+	rw.m.VolatileRead(tid, rwWriteTag|rw.id) // after last write-unlock
+	rw.m.VolatileRead(tid, rwReadTag|rw.id)  // after all read-unlocks
+}
+
+// Unlock records that thread tid released the write lock.
+func (rw *RWMutex) Unlock(tid int32) {
+	rw.m.VolatileWrite(tid, rwWriteTag|rw.id)
+	rw.m.Release(tid, rwLockTag|rw.id)
+}
+
+// RLock records that thread tid acquired the lock for reading.
+func (rw *RWMutex) RLock(tid int32) {
+	rw.m.VolatileRead(tid, rwWriteTag|rw.id) // after last write-unlock
+}
+
+// RUnlock records that thread tid released its read lock.
+func (rw *RWMutex) RUnlock(tid int32) {
+	rw.m.VolatileWrite(tid, rwReadTag|rw.id) // visible to later writers
+}
+
+// Semaphore models a counting semaphore.
+//
+// Real semantics order each Acquire after *some* Release that provided
+// its permit; which one is scheduling-dependent. The model is
+// conservative: every Acquire is ordered after every preceding Release
+// (one volatile per semaphore). It never false-alarms; it can mask a
+// race between two threads whose only ordering claim is a permit that
+// was actually provided by a third.
+type Semaphore struct {
+	m  *fasttrack.Monitor
+	id uint64
+}
+
+// NewSemaphore returns a model of a semaphore named id.
+func NewSemaphore(m *fasttrack.Monitor, id uint64) *Semaphore {
+	return &Semaphore{m: m, id: id}
+}
+
+// Release records a permit release by thread tid.
+func (s *Semaphore) Release(tid int32) {
+	s.m.VolatileWrite(tid, semTag|s.id)
+}
+
+// Acquire records a permit acquisition by thread tid.
+func (s *Semaphore) Acquire(tid int32) {
+	s.m.VolatileRead(tid, semTag|s.id)
+}
+
+// Latch models a countdown latch / sync.WaitGroup: every CountDown
+// (WaitGroup.Done) happens before every Await (WaitGroup.Wait) that
+// observes the zero count. This is exact for the final Await; Awaits
+// that return before the count reaches zero do not exist in correct
+// programs.
+type Latch struct {
+	m  *fasttrack.Monitor
+	id uint64
+}
+
+// NewLatch returns a model of a countdown latch named id.
+func NewLatch(m *fasttrack.Monitor, id uint64) *Latch {
+	return &Latch{m: m, id: id}
+}
+
+// CountDown records a count-down (WaitGroup.Done) by thread tid.
+func (l *Latch) CountDown(tid int32) {
+	l.m.VolatileWrite(tid, latchTag|l.id)
+}
+
+// Await records that thread tid returned from awaiting the latch.
+func (l *Latch) Await(tid int32) {
+	l.m.VolatileRead(tid, latchTag|l.id)
+}
+
+// Once models sync.Once: the initializer's completion happens before
+// every Do that returns without running it.
+type Once struct {
+	m  *fasttrack.Monitor
+	id uint64
+}
+
+// NewOnce returns a model of a once-guard named id.
+func NewOnce(m *fasttrack.Monitor, id uint64) *Once {
+	return &Once{m: m, id: id}
+}
+
+// Ran records that thread tid completed the initializer.
+func (o *Once) Ran(tid int32) {
+	o.m.VolatileWrite(tid, onceTag|o.id)
+}
+
+// Observed records that thread tid returned from Do without running the
+// initializer (it observed the completed initialization).
+func (o *Once) Observed(tid int32) {
+	o.m.VolatileRead(tid, onceTag|o.id)
+}
+
+// CyclicBarrier models a reusable barrier for a fixed party count
+// (java.util.concurrent.CyclicBarrier): when the last party arrives, the
+// whole generation is released together, which is exactly the paper's
+// FT BARRIER RELEASE rule — every participant's next step happens after
+// every participant's previous steps.
+//
+// Await is not itself blocking (this package models synchronization, it
+// does not provide it); call it when the real barrier's await returns,
+// in any order — the release event is emitted once per full generation,
+// when its last party checks in.
+type CyclicBarrier struct {
+	mu      sync.Mutex
+	m       *fasttrack.Monitor
+	id      uint64
+	parties int
+	arrived []int32
+	gen     uint64
+}
+
+// NewCyclicBarrier returns a model of a barrier for the given number of
+// parties.
+func NewCyclicBarrier(m *fasttrack.Monitor, id uint64, parties int) *CyclicBarrier {
+	if parties < 1 {
+		panic("syncmodel: barrier needs at least one party")
+	}
+	return &CyclicBarrier{m: m, id: id, parties: parties}
+}
+
+// Await records that thread tid reached the barrier. When tid completes
+// the current generation, the barrier release for all its participants
+// is reported to the detector and the next generation begins.
+func (b *CyclicBarrier) Await(tid int32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived = append(b.arrived, tid)
+	if len(b.arrived) < b.parties {
+		return
+	}
+	b.m.BarrierRelease(b.id<<8|b.gen&0xff, b.arrived...)
+	b.arrived = b.arrived[:0]
+	b.gen++
+}
+
+// Channel models a Go channel. The Go memory model guarantees that the
+// k-th send happens before the k-th receive completes (and, for
+// unbuffered channels, that a receive happens before the corresponding
+// send completes). The model is conservative in the same way as
+// Semaphore: a receive is ordered after every preceding send, and — for
+// unbuffered channels — a send is ordered after every preceding receive
+// completion.
+type Channel struct {
+	m          *fasttrack.Monitor
+	id         uint64
+	unbuffered bool
+}
+
+// NewChannel returns a model of a channel named id. Unbuffered channels
+// additionally order sends after preceding receive completions.
+func NewChannel(m *fasttrack.Monitor, id uint64, unbuffered bool) *Channel {
+	return &Channel{m: m, id: id, unbuffered: unbuffered}
+}
+
+// Send records that thread tid completed a send on the channel.
+func (c *Channel) Send(tid int32) {
+	if c.unbuffered {
+		c.m.VolatileRead(tid, chanTag|c.id|1<<59)
+	}
+	c.m.VolatileWrite(tid, chanTag|c.id)
+}
+
+// Recv records that thread tid completed a receive from the channel.
+func (c *Channel) Recv(tid int32) {
+	c.m.VolatileRead(tid, chanTag|c.id)
+	if c.unbuffered {
+		c.m.VolatileWrite(tid, chanTag|c.id|1<<59)
+	}
+}

@@ -1,0 +1,268 @@
+package syncmodel
+
+import (
+	"testing"
+
+	"fasttrack"
+)
+
+func monitor() *fasttrack.Monitor {
+	return fasttrack.NewMonitor(fasttrack.WithHints(fasttrack.Hints{Threads: 4, Vars: 8}))
+}
+
+func wantRaces(t *testing.T, m *fasttrack.Monitor, want int, label string) {
+	t.Helper()
+	if races := m.Races(); len(races) != want {
+		t.Errorf("%s: %d races, want %d: %v", label, len(races), want, races)
+	}
+}
+
+func TestRWMutexWriterThenReaders(t *testing.T) {
+	m := monitor()
+	rw := NewRWMutex(m, 1)
+	m.Fork(0, 1)
+	m.Fork(0, 2)
+	rw.Lock(0)
+	m.Write(0, 5)
+	rw.Unlock(0)
+	for _, tid := range []int32{1, 2} {
+		rw.RLock(tid)
+		m.Read(tid, 5)
+		rw.RUnlock(tid)
+	}
+	wantRaces(t, m, 0, "write then reads")
+}
+
+func TestRWMutexReadersThenWriter(t *testing.T) {
+	m := monitor()
+	rw := NewRWMutex(m, 1)
+	m.Fork(0, 1)
+	m.Fork(0, 2)
+	rw.Lock(0)
+	m.Write(0, 5)
+	rw.Unlock(0)
+	rw.RLock(1)
+	m.Read(1, 5)
+	rw.RUnlock(1)
+	rw.RLock(2)
+	m.Read(2, 5)
+	rw.RUnlock(2)
+	// The writer must be ordered after BOTH readers.
+	rw.Lock(0)
+	m.Write(0, 5)
+	rw.Unlock(0)
+	wantRaces(t, m, 0, "reads then write")
+}
+
+func TestRWMutexCatchesReaderWriting(t *testing.T) {
+	// A thread writing under only a read lock races with another reader's
+	// read: read critical sections are unordered.
+	m := monitor()
+	rw := NewRWMutex(m, 1)
+	m.Fork(0, 1)
+	rw.RLock(0)
+	m.Write(0, 5) // bug: write under read lock
+	rw.RUnlock(0)
+	rw.RLock(1)
+	m.Read(1, 5)
+	rw.RUnlock(1)
+	wantRaces(t, m, 1, "write under read lock")
+}
+
+func TestRWMutexCatchesUnprotectedAccess(t *testing.T) {
+	m := monitor()
+	rw := NewRWMutex(m, 1)
+	m.Fork(0, 1)
+	rw.Lock(0)
+	m.Write(0, 5)
+	rw.Unlock(0)
+	m.Read(1, 5) // no lock at all
+	wantRaces(t, m, 1, "unprotected read")
+}
+
+func TestTwoRWMutexesAreIndependent(t *testing.T) {
+	m := monitor()
+	a := NewRWMutex(m, 1)
+	b := NewRWMutex(m, 2)
+	m.Fork(0, 1)
+	a.Lock(0)
+	m.Write(0, 5)
+	a.Unlock(0)
+	b.Lock(1) // different lock: no ordering
+	m.Write(1, 5)
+	b.Unlock(1)
+	wantRaces(t, m, 1, "cross-mutex accesses")
+}
+
+func TestSemaphoreHandoff(t *testing.T) {
+	m := monitor()
+	sem := NewSemaphore(m, 3)
+	m.Fork(0, 1)
+	m.Write(0, 5)
+	sem.Release(0)
+	sem.Acquire(1)
+	m.Read(1, 5)
+	wantRaces(t, m, 0, "semaphore handoff")
+}
+
+func TestSemaphoreWithoutHandoffRaces(t *testing.T) {
+	m := monitor()
+	sem := NewSemaphore(m, 3)
+	m.Fork(0, 1)
+	m.Write(0, 5)
+	sem.Acquire(1) // acquire BEFORE the release: no edge
+	sem.Release(0)
+	m.Read(1, 5)
+	wantRaces(t, m, 1, "acquire before release")
+}
+
+func TestLatchWaitGroupPattern(t *testing.T) {
+	m := monitor()
+	latch := NewLatch(m, 9)
+	m.Fork(0, 1)
+	m.Fork(0, 2)
+	// Workers produce, count down.
+	m.Write(1, 1)
+	latch.CountDown(1)
+	m.Write(2, 2)
+	latch.CountDown(2)
+	// Main awaits, then reads everything.
+	latch.Await(0)
+	m.Read(0, 1)
+	m.Read(0, 2)
+	wantRaces(t, m, 0, "waitgroup pattern")
+}
+
+func TestLatchMissingCountDownRaces(t *testing.T) {
+	m := monitor()
+	latch := NewLatch(m, 9)
+	m.Fork(0, 1)
+	m.Write(1, 1) // worker never counts down
+	latch.Await(0)
+	m.Read(0, 1)
+	wantRaces(t, m, 1, "missing countdown")
+}
+
+func TestOncePublication(t *testing.T) {
+	m := monitor()
+	once := NewOnce(m, 4)
+	m.Fork(0, 1)
+	m.Write(0, 5) // initialize
+	once.Ran(0)
+	once.Observed(1)
+	m.Read(1, 5)
+	wantRaces(t, m, 0, "once publication")
+}
+
+func TestChannelSendRecv(t *testing.T) {
+	m := monitor()
+	ch := NewChannel(m, 6, false)
+	m.Fork(0, 1)
+	m.Write(0, 5)
+	ch.Send(0)
+	ch.Recv(1)
+	m.Read(1, 5)
+	wantRaces(t, m, 0, "buffered channel handoff")
+}
+
+func TestUnbufferedChannelBackEdge(t *testing.T) {
+	// For unbuffered channels a receive happens before the send
+	// completes, so the sender may read what the receiver wrote before
+	// receiving.
+	m := monitor()
+	ch := NewChannel(m, 6, true)
+	m.Fork(0, 1)
+	m.Write(1, 5) // receiver's earlier write
+	ch.Recv(1)
+	ch.Send(0) // send completion ordered after the receive
+	m.Read(0, 5)
+	wantRaces(t, m, 0, "unbuffered back edge")
+
+	// Without the back edge (buffered), the same schedule races.
+	m2 := monitor()
+	ch2 := NewChannel(m2, 6, false)
+	m2.Fork(0, 1)
+	m2.Write(1, 5)
+	ch2.Recv(1)
+	ch2.Send(0)
+	m2.Read(0, 5)
+	wantRaces(t, m2, 1, "buffered has no back edge")
+}
+
+func TestChannelWithoutRecvRaces(t *testing.T) {
+	m := monitor()
+	ch := NewChannel(m, 6, false)
+	m.Fork(0, 1)
+	m.Write(0, 5)
+	ch.Send(0)
+	m.Read(1, 5) // forgot to receive first
+	wantRaces(t, m, 1, "read without receive")
+}
+
+func TestCyclicBarrierPhases(t *testing.T) {
+	m := monitor()
+	bar := NewCyclicBarrier(m, 2, 2)
+	m.Fork(0, 1)
+	// Phase 1: each thread writes its own cell.
+	m.Write(0, 10)
+	m.Write(1, 11)
+	bar.Await(0)
+	bar.Await(1) // generation completes: release emitted
+	// Phase 2: read each other's cells — ordered by the barrier.
+	m.Read(0, 11)
+	m.Read(1, 10)
+	// Reuse: another generation.
+	m.Write(0, 12)
+	m.Write(1, 13)
+	bar.Await(1)
+	bar.Await(0)
+	m.Read(0, 13)
+	m.Read(1, 12)
+	wantRaces(t, m, 0, "cyclic barrier phases")
+}
+
+func TestCyclicBarrierMissingAwaitRaces(t *testing.T) {
+	m := monitor()
+	bar := NewCyclicBarrier(m, 2, 2)
+	m.Fork(0, 1)
+	m.Write(1, 10)
+	bar.Await(0)
+	// Thread 1 never awaited: its write is unordered with thread 0's
+	// post-barrier read.
+	m.Read(0, 10)
+	wantRaces(t, m, 1, "missing await")
+}
+
+func TestCyclicBarrierPanicsOnBadParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for parties < 1")
+		}
+	}()
+	NewCyclicBarrier(monitor(), 1, 0)
+}
+
+func TestPrimitivesShareMonitorWithoutCollisions(t *testing.T) {
+	// Different primitive kinds with the same numeric id must not alias.
+	m := monitor()
+	rw := NewRWMutex(m, 7)
+	sem := NewSemaphore(m, 7)
+	latch := NewLatch(m, 7)
+	m.Fork(0, 1)
+	rw.Lock(0)
+	m.Write(0, 5)
+	rw.Unlock(0)
+	sem.Release(0) // must not publish the rw unlock again...
+	latch.CountDown(0)
+	// Thread 1 syncs only through the semaphore; variable 6 was written
+	// under rw by thread 0 AFTER the semaphore release, so reading it
+	// must race.
+	m.Write(0, 6)
+	sem.Acquire(1)
+	m.Read(1, 5) // ordered: write happened before sem.Release
+	m.Read(1, 6) // races: write after the release
+	races := m.Races()
+	if len(races) != 1 || races[0].Var != 6 {
+		t.Errorf("races = %v, want exactly one on x6", races)
+	}
+}

@@ -1,0 +1,101 @@
+package fasttrack
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Thread is an ergonomic handle for annotating one goroutine's
+// operations: it carries the thread id so call sites don't thread it by
+// hand, and Go/Join manage fork/join bookkeeping (including id
+// assignment) for structured concurrency. Obtain the root handle with
+// Monitor.MainThread; spawn children with Thread.Go.
+//
+// A Thread must only be used from the goroutine it belongs to (the
+// Monitor itself remains safe for concurrent use; the handle's fields
+// are immutable after creation, so this is a usage convention, not a
+// data-safety requirement).
+type Thread struct {
+	m   *Monitor
+	id  int32
+	par *Thread
+	wg  sync.WaitGroup // children spawned via Go
+}
+
+// threadIDs allocates monitor-wide goroutine ids for the handle API.
+type threadIDs struct {
+	next atomic.Int32
+}
+
+// MainThread returns the handle for thread 0, creating the allocator on
+// first use. Mixing the handle API with explicit-id calls on the same
+// monitor is allowed as long as explicit ids stay clear of the ids the
+// allocator hands out (it counts up from 0).
+func (m *Monitor) MainThread() *Thread {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tids == nil {
+		m.tids = &threadIDs{}
+		m.tids.next.Store(1) // 0 is the main thread
+	}
+	return &Thread{m: m, id: 0}
+}
+
+// ID returns the underlying thread id.
+func (t *Thread) ID() int32 { return t.id }
+
+// Go records a fork, runs fn in a new goroutine with a fresh child
+// handle, and returns the child handle so the parent can Join it. The
+// fork event is recorded before the goroutine starts, as required.
+func (t *Thread) Go(fn func(child *Thread)) *Thread {
+	if t.m.tids == nil {
+		panic("fasttrack: use Monitor.MainThread to initialize the handle API")
+	}
+	child := &Thread{m: t.m, id: t.m.tids.next.Add(1) - 1, par: t}
+	t.m.Fork(t.id, child.id)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		fn(child)
+	}()
+	return child
+}
+
+// Join waits for every goroutine this thread spawned via Go and records
+// the join events. For joining one specific child use JoinOne.
+func (t *Thread) Join(children ...*Thread) {
+	t.wg.Wait()
+	for _, c := range children {
+		if c.par != t {
+			panic(fmt.Sprintf("fasttrack: thread %d did not spawn thread %d", t.id, c.id))
+		}
+		t.m.Join(t.id, c.id)
+	}
+}
+
+// Read records a read of addr by this thread.
+func (t *Thread) Read(addr uint64) { t.m.Read(t.id, addr) }
+
+// Write records a write of addr by this thread.
+func (t *Thread) Write(addr uint64) { t.m.Write(t.id, addr) }
+
+// Acquire records a lock acquisition by this thread.
+func (t *Thread) Acquire(l uint64) { t.m.Acquire(t.id, l) }
+
+// Release records a lock release by this thread.
+func (t *Thread) Release(l uint64) { t.m.Release(t.id, l) }
+
+// VolatileRead records a volatile read by this thread.
+func (t *Thread) VolatileRead(v uint64) { t.m.VolatileRead(t.id, v) }
+
+// VolatileWrite records a volatile write by this thread.
+func (t *Thread) VolatileWrite(v uint64) { t.m.VolatileWrite(t.id, v) }
+
+// Locked runs body with lock l held (both for the detector and as a
+// convenience for pairing Acquire/Release correctly).
+func (t *Thread) Locked(l uint64, body func()) {
+	t.Acquire(l)
+	defer t.Release(l)
+	body()
+}

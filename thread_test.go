@@ -1,0 +1,135 @@
+package fasttrack
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestThreadHandleStructuredForkJoin(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	if main.ID() != 0 {
+		t.Fatalf("main id = %d", main.ID())
+	}
+	main.Write(1)
+	var seen []int32
+	var mu sync.Mutex
+	c1 := main.Go(func(child *Thread) {
+		child.Read(1) // ordered by the fork
+		child.Write(2)
+		mu.Lock()
+		seen = append(seen, child.ID())
+		mu.Unlock()
+	})
+	c2 := main.Go(func(child *Thread) {
+		child.Read(1)
+		child.Write(3)
+		mu.Lock()
+		seen = append(seen, child.ID())
+		mu.Unlock()
+	})
+	main.Join(c1, c2)
+	main.Read(2) // ordered by the joins
+	main.Read(3)
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms: %v", races)
+	}
+	if c1.ID() == c2.ID() || c1.ID() == 0 || c2.ID() == 0 {
+		t.Errorf("child ids = %d, %d", c1.ID(), c2.ID())
+	}
+	if len(seen) != 2 {
+		t.Errorf("children ran %d times", len(seen))
+	}
+}
+
+func TestThreadHandleCatchesRace(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	c := main.Go(func(child *Thread) {
+		child.Write(7)
+	})
+	main.Write(7) // concurrent with the child
+	main.Join(c)
+	if races := m.Races(); len(races) != 1 {
+		t.Errorf("races = %v, want 1", races)
+	}
+}
+
+func TestThreadHandleLocked(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	var mu sync.Mutex
+	c := main.Go(func(child *Thread) {
+		mu.Lock()
+		child.Locked(9, func() { child.Write(7) })
+		mu.Unlock()
+	})
+	main.Join(c)
+	mu.Lock()
+	main.Locked(9, func() { main.Read(7) })
+	mu.Unlock()
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms: %v", races)
+	}
+}
+
+func TestThreadHandleVolatiles(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	main.Write(5)
+	main.VolatileWrite(0)
+	c := main.Go(func(child *Thread) {
+		child.VolatileRead(0)
+		child.Read(5)
+	})
+	main.Join(c)
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms: %v", races)
+	}
+}
+
+func TestThreadHandleNestedGo(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	c := main.Go(func(child *Thread) {
+		g := child.Go(func(grand *Thread) {
+			grand.Write(11)
+		})
+		child.Join(g)
+		child.Read(11)
+	})
+	main.Join(c)
+	main.Read(11)
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms: %v", races)
+	}
+}
+
+func TestJoinForeignChildPanics(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	c := main.Go(func(child *Thread) {})
+	var inner *Thread
+	c2 := main.Go(func(child *Thread) {
+		inner = child.Go(func(g *Thread) {})
+		child.Join(inner)
+	})
+	main.Join(c, c2)
+	defer func() {
+		if recover() == nil {
+			t.Error("joining a foreign child must panic")
+		}
+	}()
+	main.Join(inner)
+}
+
+func TestGoWithoutMainThreadPanics(t *testing.T) {
+	m := NewMonitor()
+	th := &Thread{m: m, id: 0}
+	defer func() {
+		if recover() == nil {
+			t.Error("Go without MainThread must panic")
+		}
+	}()
+	th.Go(func(*Thread) {})
+}

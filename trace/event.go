@@ -1,0 +1,178 @@
+// Package trace defines the multithreaded program trace model of Flanagan
+// & Freund's FastTrack paper (PLDI 2009, Section 2.1), extended with the
+// synchronization primitives of Section 4: volatile variables, barriers,
+// wait/notify, and the transaction boundaries consumed by the downstream
+// atomicity and determinism checkers of Section 5.2.
+//
+// A trace is a sequence of operations performed by a set of threads on
+// variables and locks. The race detectors in this module are online
+// analyses over such traces: they can consume events from a live program
+// (via fasttrack.Monitor), from a generator, or from a trace file encoded
+// with this package's text or binary codecs.
+package trace
+
+import "fmt"
+
+// Kind enumerates the operations a thread can perform.
+type Kind uint8
+
+const (
+	// Read is rd(t,x): thread t reads variable x.
+	Read Kind = iota
+	// Write is wr(t,x): thread t writes variable x.
+	Write
+	// Acquire is acq(t,m): thread t acquires lock m.
+	Acquire
+	// Release is rel(t,m): thread t releases lock m.
+	Release
+	// Fork is fork(t,u): thread t forks a new thread u (Target = u).
+	Fork
+	// Join is join(t,u): thread t blocks until thread u terminates.
+	Join
+	// VolatileRead is a read of volatile variable x (Section 4,
+	// FT READ VOLATILE): it happens after every preceding write of x.
+	VolatileRead
+	// VolatileWrite is a write of volatile variable x (FT WRITE VOLATILE).
+	VolatileWrite
+	// Wait is wait(t,m), recorded at wait entry. Per Section 4 a wait is
+	// modeled by the underlying release and subsequent re-acquisition of
+	// m: the dispatcher turns this event into rel(t,m), and the wake-up
+	// must be recorded separately as acq(t,m) (Monitor.WaitEnd does so).
+	// Detectors never see Wait directly.
+	Wait
+	// Notify is notify(t,m). It affects scheduling only and induces no
+	// happens-before edge, so detectors ignore it (Section 4).
+	Notify
+	// BarrierRelease is barrier_rel(T): the threads in Tids are released
+	// simultaneously from a barrier (Section 4, FT BARRIER RELEASE). The
+	// event's Tid is unused; the participant set is in Tids.
+	BarrierRelease
+	// TxBegin marks the start of a transaction (method body) of thread t.
+	// Race detectors ignore it; the atomicity checkers of Section 5.2
+	// delimit transactions with it.
+	TxBegin
+	// TxEnd marks the end of the current transaction of thread t.
+	TxEnd
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	Read:           "rd",
+	Write:          "wr",
+	Acquire:        "acq",
+	Release:        "rel",
+	Fork:           "fork",
+	Join:           "join",
+	VolatileRead:   "vrd",
+	VolatileWrite:  "vwr",
+	Wait:           "wait",
+	Notify:         "notify",
+	BarrierRelease: "barrier",
+	TxBegin:        "txbegin",
+	TxEnd:          "txend",
+}
+
+// String returns the mnemonic used by the text trace format.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString is the inverse of Kind.String. The boolean reports
+// whether the mnemonic was recognized.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// IsAccess reports whether k is a data access (read or write of an
+// ordinary, non-volatile variable) — the 96%+ of monitored operations
+// that FastTrack's fast paths target.
+func (k Kind) IsAccess() bool { return k == Read || k == Write }
+
+// IsSync reports whether k imposes a happens-before edge between threads.
+func (k Kind) IsSync() bool {
+	switch k {
+	case Acquire, Release, Fork, Join, VolatileRead, VolatileWrite, Wait, BarrierRelease:
+		return true
+	}
+	return false
+}
+
+// Event is one operation of a trace.
+//
+// Target identifies the operand: a variable for Read/Write and the
+// volatile kinds, a lock for Acquire/Release/Wait/Notify, the child
+// thread for Fork/Join, and a barrier identifier for BarrierRelease.
+// Variables, locks, volatiles, and barriers live in separate namespaces:
+// variable 3 and lock 3 are unrelated.
+type Event struct {
+	Kind   Kind
+	Tid    int32
+	Target uint64
+	// Tids is the participant set of a BarrierRelease; nil otherwise.
+	Tids []int32
+}
+
+// String renders the event in the text trace format, e.g. "rd 1 x3".
+func (e Event) String() string {
+	switch e.Kind {
+	case Read, Write:
+		return fmt.Sprintf("%s %d x%d", e.Kind, e.Tid, e.Target)
+	case VolatileRead, VolatileWrite:
+		return fmt.Sprintf("%s %d v%d", e.Kind, e.Tid, e.Target)
+	case Acquire, Release, Wait, Notify:
+		return fmt.Sprintf("%s %d m%d", e.Kind, e.Tid, e.Target)
+	case Fork, Join:
+		return fmt.Sprintf("%s %d %d", e.Kind, e.Tid, e.Target)
+	case BarrierRelease:
+		s := fmt.Sprintf("%s b%d", e.Kind, e.Target)
+		for _, t := range e.Tids {
+			s += fmt.Sprintf(" %d", t)
+		}
+		return s
+	case TxBegin, TxEnd:
+		return fmt.Sprintf("%s %d", e.Kind, e.Tid)
+	default:
+		return fmt.Sprintf("%s %d %d", e.Kind, e.Tid, e.Target)
+	}
+}
+
+// Rd, Wr, Acq, Rel, ForkOf, JoinOf and friends are concise constructors
+// used heavily by tests and workload generators.
+
+// Rd returns rd(t,x).
+func Rd(t int32, x uint64) Event { return Event{Kind: Read, Tid: t, Target: x} }
+
+// Wr returns wr(t,x).
+func Wr(t int32, x uint64) Event { return Event{Kind: Write, Tid: t, Target: x} }
+
+// Acq returns acq(t,m).
+func Acq(t int32, m uint64) Event { return Event{Kind: Acquire, Tid: t, Target: m} }
+
+// Rel returns rel(t,m).
+func Rel(t int32, m uint64) Event { return Event{Kind: Release, Tid: t, Target: m} }
+
+// ForkOf returns fork(t,u).
+func ForkOf(t, u int32) Event { return Event{Kind: Fork, Tid: t, Target: uint64(u)} }
+
+// JoinOf returns join(t,u).
+func JoinOf(t, u int32) Event { return Event{Kind: Join, Tid: t, Target: uint64(u)} }
+
+// VRd returns a volatile read of v by t.
+func VRd(t int32, v uint64) Event { return Event{Kind: VolatileRead, Tid: t, Target: v} }
+
+// VWr returns a volatile write of v by t.
+func VWr(t int32, v uint64) Event { return Event{Kind: VolatileWrite, Tid: t, Target: v} }
+
+// Barrier returns barrier_rel(T) for barrier b releasing threads tids.
+func Barrier(b uint64, tids ...int32) Event {
+	return Event{Kind: BarrierRelease, Target: b, Tids: tids}
+}

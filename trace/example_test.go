@@ -1,0 +1,73 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"fasttrack/trace"
+)
+
+// Build a trace with the constructors and render the text format.
+func ExampleTrace_String() {
+	tr := trace.Trace{
+		trace.ForkOf(0, 1),
+		trace.Acq(1, 2),
+		trace.Wr(1, 7),
+		trace.Rel(1, 2),
+		trace.Barrier(0, 0, 1),
+	}
+	fmt.Print(tr.String())
+	// Output:
+	// fork 0 1
+	// acq 1 m2
+	// wr 1 x7
+	// rel 1 m2
+	// barrier b0 0 1
+}
+
+// The validator enforces the feasibility constraints of the paper's
+// Section 2.1.
+func ExampleTrace_Validate() {
+	bad := trace.Trace{trace.Rel(0, 2)}
+	fmt.Println(bad.Validate())
+
+	good := trace.Trace{trace.Acq(0, 2), trace.Rel(0, 2)}
+	fmt.Println(good.Validate())
+	// Output:
+	// trace: event 0 (rel 0 m2): thread 0 releases lock m2 it does not hold
+	// <nil>
+}
+
+// Text and binary codecs round-trip the same events.
+func ExampleReadText() {
+	in := `# a comment
+rd 0 x1
+wr 1 x1
+`
+	tr, err := trace.ReadText(strings.NewReader(in))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(tr), tr[1])
+	// Output:
+	// 2 wr 1 x1
+}
+
+// The streaming scanner handles both formats without loading the whole
+// trace.
+func ExampleScanner() {
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, trace.Trace{trace.Rd(0, 1), trace.Wr(0, 2)}); err != nil {
+		panic(err)
+	}
+	sc := trace.NewScanner(&buf)
+	for sc.Scan() {
+		fmt.Println(sc.Event())
+	}
+	fmt.Println("err:", sc.Err())
+	// Output:
+	// rd 0 x1
+	// wr 0 x2
+	// err: <nil>
+}

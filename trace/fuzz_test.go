@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadText: arbitrary text input must never panic, and anything that
+// parses must round-trip through the writer byte-identically after one
+// normalization pass.
+func FuzzReadText(f *testing.F) {
+	f.Add("rd 0 x1\nwr 1 x2\n")
+	f.Add("# comment\nacq 0 m1\nrel 0 m1\n")
+	f.Add("barrier b0 0 1 2\nfork 0 1\njoin 0 1\n")
+	f.Add("txbegin 0\nvrd 1 v2\nvwr 1 v2\ntxend 0\n")
+	f.Add("wait 0 m1\nnotify 0 m1\n")
+	f.Add("rd")
+	f.Add("rd 0 x99999999999999999999")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadText(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, tr); err != nil {
+			t.Fatalf("WriteText on parsed trace: %v", err)
+		}
+		tr2, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-parse of written trace: %v", err)
+		}
+		if len(tr) != len(tr2) || (len(tr) > 0 && !reflect.DeepEqual(tr, tr2)) {
+			t.Fatalf("round trip changed trace:\n%v\n%v", tr, tr2)
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic or over-allocate; any
+// trace that decodes must re-encode and decode identically.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, Trace{Rd(0, 1), Barrier(0, 0, 1), ForkOf(0, 1)})
+	f.Add(seed.Bytes())
+	f.Add([]byte("FTRK1\n"))
+	f.Add([]byte("FTRK1\n\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("WriteBinary on decoded trace: %v", err)
+		}
+		tr2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(tr) != len(tr2) || (len(tr) > 0 && !reflect.DeepEqual(tr, tr2)) {
+			t.Fatalf("round trip changed trace")
+		}
+	})
+}
+
+// FuzzScannerMatchesBatch: the streaming scanner and the batch readers
+// must accept the same inputs and produce the same events.
+func FuzzScannerMatchesBatch(f *testing.F) {
+	f.Add("rd 0 x1\nwr 1 x2\nbarrier b0 0 1\n")
+	f.Add("bogus\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		batch, batchErr := ReadText(bytes.NewReader([]byte(in)))
+		sc := NewScanner(bytes.NewReader([]byte(in)))
+		var streamed Trace
+		for sc.Scan() {
+			streamed = append(streamed, sc.Event())
+		}
+		if (batchErr == nil) != (sc.Err() == nil) {
+			t.Fatalf("acceptance differs: batch=%v scanner=%v", batchErr, sc.Err())
+		}
+		if batchErr == nil && len(batch) != len(streamed) {
+			t.Fatalf("event counts differ: %d vs %d", len(batch), len(streamed))
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scanner reads a trace incrementally from a reader, auto-detecting the
+// text or binary format, so arbitrarily long traces can be analyzed
+// without being memory-resident. The zero value is not usable; call
+// NewScanner.
+type Scanner struct {
+	br      *bufio.Reader
+	binary  bool
+	started bool
+	lineno  int
+	index   int
+	err     error
+	cur     Event
+}
+
+// NewScanner returns a scanner over r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Scan advances to the next event; it returns false at end of input or
+// on error (check Err).
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	if !s.started {
+		s.started = true
+		isBin, err := Sniff(s.br)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.binary = isBin
+		if isBin {
+			if _, err := s.br.Discard(len(binaryMagic)); err != nil {
+				s.err = err
+				return false
+			}
+		}
+	}
+	var (
+		e   Event
+		err error
+	)
+	if s.binary {
+		e, err = s.scanBinary()
+	} else {
+		e, err = s.scanText()
+	}
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.err = err
+		}
+		return false
+	}
+	s.cur = e
+	s.index++
+	return true
+}
+
+// Event returns the event read by the last successful Scan.
+func (s *Scanner) Event() Event { return s.cur }
+
+// Index returns the number of events scanned so far (the last event's
+// position is Index()-1).
+func (s *Scanner) Index() int { return s.index }
+
+// Err returns the first error encountered (nil at clean end of input).
+func (s *Scanner) Err() error { return s.err }
+
+func (s *Scanner) scanText() (Event, error) {
+	for {
+		line, err := s.br.ReadString('\n')
+		if line == "" && err != nil {
+			return Event{}, err
+		}
+		s.lineno++
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			if err != nil {
+				return Event{}, err
+			}
+			continue
+		}
+		e, perr := parseLine(trimmed)
+		if perr != nil {
+			return Event{}, fmt.Errorf("trace: line %d: %w", s.lineno, perr)
+		}
+		return e, nil
+	}
+}
+
+func (s *Scanner) scanBinary() (Event, error) {
+	kb, err := s.br.ReadByte()
+	if err != nil {
+		return Event{}, err
+	}
+	if Kind(kb) >= numKinds {
+		return Event{}, fmt.Errorf("trace: event %d: bad kind %d", s.index, kb)
+	}
+	tid, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return Event{}, noEOF(err)
+	}
+	target, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return Event{}, noEOF(err)
+	}
+	e := Event{Kind: Kind(kb), Tid: int32(tid), Target: target}
+	if e.Kind == BarrierRelease {
+		n, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return Event{}, noEOF(err)
+		}
+		if n > 1<<20 {
+			return Event{}, fmt.Errorf("trace: event %d: absurd barrier size %d", s.index, n)
+		}
+		e.Tids = make([]int32, n)
+		for i := range e.Tids {
+			t, err := binary.ReadUvarint(s.br)
+			if err != nil {
+				return Event{}, noEOF(err)
+			}
+			e.Tids[i] = int32(t)
+		}
+	}
+	return e, nil
+}
+
+// noEOF converts a mid-event EOF into an unexpected-EOF error so
+// truncation is reported rather than treated as a clean end.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Format selects a trace encoding for the streaming writer.
+type Format uint8
+
+const (
+	// Text is the human-editable line format.
+	Text Format = iota
+	// Binary is the compact varint format.
+	Binary
+)
+
+// Writer encodes events incrementally. Close (or Flush) must be called
+// to drain the buffer.
+type Writer struct {
+	bw     *bufio.Writer
+	format Format
+	wrote  bool
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a streaming trace writer in the given format.
+func NewWriter(w io.Writer, format Format) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), format: format}
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) error {
+	if !w.wrote {
+		w.wrote = true
+		if w.format == Binary {
+			if _, err := w.bw.WriteString(binaryMagic); err != nil {
+				return err
+			}
+		}
+	}
+	if w.format == Text {
+		if _, err := w.bw.WriteString(e.String()); err != nil {
+			return err
+		}
+		return w.bw.WriteByte('\n')
+	}
+	if err := w.bw.WriteByte(byte(e.Kind)); err != nil {
+		return err
+	}
+	if err := w.uvarint(uint64(e.Tid)); err != nil {
+		return err
+	}
+	if err := w.uvarint(e.Target); err != nil {
+		return err
+	}
+	if e.Kind == BarrierRelease {
+		if err := w.uvarint(uint64(len(e.Tids))); err != nil {
+			return err
+		}
+		for _, t := range e.Tids {
+			if err := w.uvarint(uint64(t)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Writer) uvarint(x uint64) error {
+	n := binary.PutUvarint(w.buf[:], x)
+	_, err := w.bw.Write(w.buf[:n])
+	return err
+}
+
+// Flush drains buffered output. An empty binary trace still gets its
+// magic so the output is a valid trace file.
+func (w *Writer) Flush() error {
+	if !w.wrote && w.format == Binary {
+		w.wrote = true
+		if _, err := w.bw.WriteString(binaryMagic); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func scanAll(t *testing.T, r *Scanner) Trace {
+	t.Helper()
+	var tr Trace
+	for r.Scan() {
+		tr = append(tr, r.Event())
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("scan error: %v", err)
+	}
+	return tr
+}
+
+func TestScannerTextRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, NewScanner(&buf))
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("got %v, want %v", got, tr)
+	}
+}
+
+func TestScannerBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(&buf)
+	got := scanAll(t, sc)
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("got %v, want %v", got, tr)
+	}
+	if sc.Index() != len(tr) {
+		t.Errorf("Index = %d, want %d", sc.Index(), len(tr))
+	}
+}
+
+func TestScannerSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nrd 0 x1\n  # inline\nwr 1 x2"
+	got := scanAll(t, NewScanner(strings.NewReader(in)))
+	want := Trace{Rd(0, 1), Wr(1, 2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestScannerReportsErrors(t *testing.T) {
+	sc := NewScanner(strings.NewReader("rd 0 x1\nbogus line\n"))
+	if !sc.Scan() {
+		t.Fatal("first event should scan")
+	}
+	if sc.Scan() {
+		t.Fatal("bogus line should fail")
+	}
+	if sc.Err() == nil {
+		t.Fatal("Err must report the parse failure")
+	}
+	if sc.Scan() {
+		t.Fatal("scanner must stay failed")
+	}
+}
+
+func TestScannerTruncatedBinary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Trace{Barrier(0, 0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	sc := NewScanner(bytes.NewReader(b[:len(b)-1]))
+	if sc.Scan() {
+		t.Fatal("truncated event scanned")
+	}
+	if sc.Err() == nil {
+		t.Fatal("truncation must surface as an error")
+	}
+}
+
+func TestScannerEmptyInput(t *testing.T) {
+	sc := NewScanner(strings.NewReader(""))
+	if sc.Scan() {
+		t.Fatal("empty input scanned")
+	}
+	if sc.Err() != nil {
+		t.Fatalf("clean EOF reported as error: %v", sc.Err())
+	}
+}
+
+func TestStreamingWriterMatchesBatchWriters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 300)
+	for _, f := range []Format{Text, Binary} {
+		var streamed, batch bytes.Buffer
+		w := NewWriter(&streamed, f)
+		for _, e := range tr {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if f == Text {
+			err = WriteText(&batch, tr)
+		} else {
+			err = WriteBinary(&batch, tr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streamed.Bytes(), batch.Bytes()) {
+			t.Errorf("format %d: streamed output differs from batch output", f)
+		}
+	}
+}
+
+func TestEmptyBinaryWriterStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Binary)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("empty binary trace unreadable: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestValidatorIncrementalMatchesBatch(t *testing.T) {
+	cases := []Trace{
+		{ForkOf(0, 1), Wr(1, 1), JoinOf(0, 1)},
+		{Acq(0, 1), Acq(0, 1)},
+		{Rel(0, 1)},
+		{ForkOf(0, 1), JoinOf(0, 1)},
+	}
+	for i, tr := range cases {
+		batch := tr.Validate()
+		v := NewValidator()
+		var inc error
+		for _, e := range tr {
+			if inc = v.Event(e); inc != nil {
+				break
+			}
+		}
+		if (batch == nil) != (inc == nil) {
+			t.Errorf("case %d: batch=%v incremental=%v", i, batch, inc)
+		}
+		if batch != nil && inc != nil && batch.Error() != inc.Error() {
+			t.Errorf("case %d: messages differ: %q vs %q", i, batch, inc)
+		}
+	}
+}
+
+func TestValidatorIndexInErrors(t *testing.T) {
+	v := NewValidator()
+	if err := v.Event(Rd(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := v.Event(Rel(0, 9))
+	verr, ok := err.(*ValidationError)
+	if !ok || verr.Index != 1 {
+		t.Errorf("err = %v", err)
+	}
+}
