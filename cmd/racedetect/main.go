@@ -5,9 +5,15 @@
 // Usage:
 //
 //	racedetect [-tool FastTrack] [-all] [-granularity fine|coarse]
-//	           [-validate] [-stats] trace-file
+//	           [-validate] [-stats] [-policy off|strict|repair|drop]
+//	           [-membudget bytes] trace-file
+//	racedetect -chaos [trace-file]
 //
 // With "-" as the file name the trace is read from standard input.
+// -chaos runs the fault-injection smoke suite: every registered
+// detector is driven through systematically corrupted variants of the
+// trace (or of a generated random trace when no file is given),
+// asserting that no panic escapes and all degradation is accounted for.
 package main
 
 import (
@@ -15,11 +21,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
 
 	"fasttrack"
+	"fasttrack/internal/chaos"
 	"fasttrack/internal/hb"
+	"fasttrack/internal/rr"
+	"fasttrack/internal/sim"
 	"fasttrack/trace"
 )
 
@@ -31,6 +41,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print instrumentation statistics")
 	explain := flag.Bool("explain", false, "for each FastTrack warning, show both racing accesses and why nothing orders them (implies -tool FastTrack)")
 	stream := flag.Bool("stream", false, "process the trace incrementally without loading it into memory (single tool only)")
+	policyName := flag.String("policy", "off", "stream-validation policy: off, strict, repair, or drop")
+	memBudget := flag.Int64("membudget", 0, "FastTrack shadow-memory budget in bytes (0 = unbounded)")
+	chaosMode := flag.Bool("chaos", false, "run the fault-injection smoke suite over every detector")
 	list := flag.Bool("list", false, "list available detectors and exit")
 	flag.Parse()
 
@@ -38,6 +51,16 @@ func main() {
 		for _, n := range fasttrack.ToolNames() {
 			fmt.Println(n)
 		}
+		return
+	}
+
+	policy, ok := rr.PolicyFromString(*policyName)
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q (want off, strict, repair, or drop)", *policyName))
+	}
+
+	if *chaosMode {
+		runChaos(flag.Args())
 		return
 	}
 	if flag.NArg() != 1 {
@@ -68,6 +91,22 @@ func main() {
 			fatal(err)
 		}
 		defer closeFn()
+		if policy != fasttrack.PolicyOff {
+			races, events, health, err := replayStreamResilient(r, tool, g, policy)
+			printReport(tool, races, *stats)
+			printHealth(health)
+			fmt.Printf("(%d events, streamed)\n", events)
+			if err != nil {
+				fatal(err)
+			}
+			if health.Err != nil {
+				fatal(fmt.Errorf("strict validation: %w", health.Err))
+			}
+			if len(races) > 0 {
+				os.Exit(1)
+			}
+			return
+		}
 		races, events, err := fasttrack.ReplayStream(r, tool, g, *validate)
 		if err != nil {
 			fatal(err)
@@ -102,17 +141,106 @@ func main() {
 
 	exit := 0
 	for _, name := range names {
-		tool, err := fasttrack.NewTool(name, fasttrack.Hints{Threads: tr.Threads()})
+		tool, err := fasttrack.NewTool(name, fasttrack.Hints{Threads: tr.Threads(), MemoryBudget: *memBudget})
 		if err != nil {
 			fatal(err)
 		}
-		races := fasttrack.Replay(tr, tool, g)
-		printReport(tool, races, *stats)
+		var races []fasttrack.Report
+		if policy != fasttrack.PolicyOff {
+			var health fasttrack.Health
+			races, health = fasttrack.ReplayResilient(tr, tool, g, policy)
+			printReport(tool, races, *stats)
+			printHealth(health)
+			if health.Err != nil {
+				fatal(fmt.Errorf("strict validation: %w", health.Err))
+			}
+		} else {
+			races = fasttrack.Replay(tr, tool, g)
+			printReport(tool, races, *stats)
+		}
 		if len(races) > 0 {
 			exit = 1
 		}
 	}
 	os.Exit(exit)
+}
+
+// replayStreamResilient is the streaming analog of ReplayResilient:
+// events are validated online under the policy as they are decoded.
+func replayStreamResilient(r io.Reader, tool fasttrack.Tool, g fasttrack.Granularity, p fasttrack.Policy) ([]fasttrack.Report, int, fasttrack.Health, error) {
+	d := rr.NewDispatcher(tool)
+	d.Granularity = g
+	d.Policy = p
+	sc := trace.NewScanner(r)
+	for sc.Scan() {
+		d.Event(sc.Event())
+	}
+	return tool.Races(), sc.Index(), d.Health(), sc.Err()
+}
+
+// printHealth renders the pipeline's degradation snapshot.
+func printHealth(h fasttrack.Health) {
+	if h.Healthy {
+		fmt.Println("  pipeline: healthy")
+		return
+	}
+	fmt.Printf("  pipeline: violations=%d repaired=%d dropped=%d synthesized=%d panics=%d quarantined=%d\n",
+		h.Violations, h.Repaired, h.Dropped, h.Synthesized, h.Panics, h.QuarantinedLocations)
+	for _, v := range h.ViolationLog {
+		fmt.Printf("    %s\n", v)
+	}
+	for _, p := range h.PanicLog {
+		fmt.Printf("    %s\n", p)
+	}
+	if h.ToolDisabled {
+		fmt.Println("    tool disabled after exceeding the panic budget")
+	}
+}
+
+// runChaos is the -chaos smoke mode: corrupt a base trace every way the
+// harness knows and sweep every registered detector through the result
+// under the repair policy, checking the degradation accounting.
+func runChaos(args []string) {
+	var base trace.Trace
+	if len(args) == 1 {
+		var err error
+		base, err = readTrace(args[0])
+		if err != nil {
+			fatal(err)
+		}
+	} else if len(args) == 0 {
+		base = sim.RandomTrace(rand.New(rand.NewSource(1)), sim.DefaultRandomConfig())
+		fmt.Printf("chaos: no trace file; using a random feasible trace (%d events)\n", len(base))
+	} else {
+		fatal(fmt.Errorf("-chaos takes at most one trace file"))
+	}
+
+	failures := 0
+	for _, name := range fasttrack.ToolNames() {
+		for _, mode := range chaos.Modes() {
+			for _, seed := range []int64{1, 2, 3} {
+				tool, err := fasttrack.NewTool(name, fasttrack.Hints{})
+				if err != nil {
+					fatal(err)
+				}
+				res := chaos.Run(tool, base, mode, seed, fasttrack.PolicyRepair)
+				if err := res.Check(); err != nil {
+					failures++
+					fmt.Printf("FAIL %v\n", err)
+					continue
+				}
+				if seed == 1 {
+					h := res.Health
+					fmt.Printf("  %-16s %-12s events=%-5d races=%-3d violations=%-4d repaired=%-4d dropped=%-4d\n",
+						name, mode, res.Events, res.Races, h.Violations, h.Repaired, h.Dropped)
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("chaos: %d accounting failure(s)", failures))
+	}
+	fmt.Println("chaos: OK")
 }
 
 // explainRaces runs FastTrack with detailed reports and renders, for
@@ -154,6 +282,9 @@ func printReport(tool fasttrack.Tool, races []fasttrack.Report, stats bool) {
 		st := tool.Stats()
 		fmt.Printf("  events=%d reads=%d writes=%d syncs=%d vcAlloc=%d vcOps=%d shadowBytes=%d\n",
 			st.Events, st.Reads, st.Writes, st.Syncs, st.VCAlloc, st.VCOp, st.ShadowBytes)
+		if st.MemSqueezes > 0 || st.MemCoarse > 0 {
+			fmt.Printf("  membudget: squeezes=%d coarseAccesses=%d\n", st.MemSqueezes, st.MemCoarse)
+		}
 	}
 }
 

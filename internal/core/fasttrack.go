@@ -61,6 +61,14 @@ type Detector struct {
 	lastWriteIdx []int
 	lastReadIdx  []int
 
+	// Memory budget (see budget.go): when budget > 0 the detector keeps
+	// its shadow footprint under budget bytes by degrading precision —
+	// first squeezing read vector clocks back to epochs, then folding
+	// locations at or above coarseFrom into coarse (per-object) shadow
+	// locations.
+	budget     int64
+	coarseFrom uint64
+
 	// extendedSameEpoch enables the extended [FT READ SAME EPOCH] rule
 	// the paper describes (Section 3, "Read Operations"): it additionally
 	// matches same-epoch reads of read-shared data (R_x ∈ VC with
@@ -206,10 +214,10 @@ func (d *Detector) HandleFilter(i int, e trace.Event) bool {
 	switch e.Kind {
 	case trace.Read:
 		d.read(i, e.Tid, e.Target)
-		return d.variable(e.Target).flagged
+		return d.variable(d.budgetVar(e.Target)).flagged
 	case trace.Write:
 		d.write(i, e.Tid, e.Target)
-		return d.variable(e.Target).flagged
+		return d.variable(d.budgetVar(e.Target)).flagged
 	default:
 		d.HandleEvent(i, e)
 		return true
@@ -220,6 +228,9 @@ func (d *Detector) HandleFilter(i int, e trace.Event) bool {
 // Figure 5.
 func (d *Detector) read(i int, tid int32, x uint64) {
 	d.st.Reads++
+	if d.budget > 0 {
+		x = d.budgetAccess(x)
+	}
 	ts := d.thread(tid)
 	vs := d.variable(x)
 
@@ -274,6 +285,9 @@ func (d *Detector) read(i int, tid int32, x uint64) {
 // of Figure 5.
 func (d *Detector) write(i int, tid int32, x uint64) {
 	d.st.Writes++
+	if d.budget > 0 {
+		x = d.budgetAccess(x)
+	}
 	ts := d.thread(tid)
 	vs := d.variable(x)
 
@@ -408,9 +422,9 @@ func (d *Detector) barrier(tids []int32) {
 // Races implements rr.Tool.
 func (d *Detector) Races() []rr.Report { return d.races }
 
-// Stats implements rr.Tool; ShadowBytes is computed from live state.
-func (d *Detector) Stats() rr.Stats {
-	st := d.st
+// footprint computes the live shadow-memory footprint in bytes; the
+// memory budget (budget.go) compares it against the configured ceiling.
+func (d *Detector) footprint() int64 {
 	var bytes int64
 	for i := range d.vars {
 		bytes += 24 // w, r epochs + flag word
@@ -425,7 +439,13 @@ func (d *Detector) Stats() rr.Stats {
 	for _, l := range d.vols {
 		bytes += int64(l.Bytes())
 	}
-	st.ShadowBytes = bytes
+	return bytes
+}
+
+// Stats implements rr.Tool; ShadowBytes is computed from live state.
+func (d *Detector) Stats() rr.Stats {
+	st := d.st
+	st.ShadowBytes = d.footprint()
 	return st
 }
 

@@ -1,6 +1,10 @@
 package rr
 
-import "fasttrack/trace"
+import (
+	"fmt"
+
+	"fasttrack/trace"
+)
 
 // Granularity selects how memory locations map to shadow locations
 // (Section 4, "Granularity").
@@ -32,17 +36,101 @@ const FieldsPerObject = 8
 //     (Section 4, "Extensions");
 //   - under Coarse granularity, variable ids are remapped to per-object
 //     shadow locations.
+//
+// The dispatcher is additionally the pipeline's resilience layer: an
+// optional stream validator (see Policy) checks well-formedness online,
+// and every call into the tool is wrapped in a panic quarantine — a
+// panicking HandleEvent never escapes to the caller; instead the
+// offending shadow location is quarantined (skipped from then on) and,
+// after MaxToolPanics panics, the whole tool is downgraded to a no-op
+// that still serves the warnings and stats gathered so far. All
+// degradation is visible in Health and the resilience fields of Stats.
 type Dispatcher struct {
 	Tool        Tool
 	Granularity Granularity
+
+	// Policy selects stream validation (default PolicyOff). Set before
+	// feeding events.
+	Policy Policy
+	// MaxTid/MaxTarget override the validator's identifier caps
+	// (DefaultMaxTid/DefaultMaxTarget when zero).
+	MaxTid    int32
+	MaxTarget uint64
+	// MaxToolPanics is the number of recovered tool panics after which
+	// the tool is downgraded to a no-op; DefaultMaxToolPanics when zero.
+	MaxToolPanics int
 
 	// FilteredReentrant counts redundant acquire/release events dropped.
 	FilteredReentrant int64
 	// Fed counts events offered to the dispatcher.
 	Fed int64
+	// UnheldReleases counts releases (and waits) with no matching acquire
+	// that were intercepted rather than forwarded to the tool. Under a
+	// validating policy these are repaired or dropped before reaching the
+	// lock bookkeeping, so the counter stays zero.
+	UnheldReleases int64
 
 	depth map[lockKey]int
 	next  int // index of the next event forwarded to the tool
+
+	val  *Validator
+	verr error // sticky PolicyStrict validation error
+
+	panics          int64
+	panicLog        []PanicRecord
+	quarantined     map[uint64]bool
+	quarantinedHits int64
+	disabled        bool
+}
+
+// DefaultMaxToolPanics is the default panic budget before a tool is
+// downgraded to a no-op.
+const DefaultMaxToolPanics = 8
+
+// maxPanicLog bounds the retained panic records.
+const maxPanicLog = 8
+
+// PanicRecord describes one recovered tool panic.
+type PanicRecord struct {
+	Index int         // event index at which the tool panicked
+	Event trace.Event // the event being handled
+	Value string      // the panic value, stringified
+}
+
+func (p PanicRecord) String() string {
+	return fmt.Sprintf("panic at event %d (%s): %s", p.Index, p.Event, p.Value)
+}
+
+// Health is a degradation snapshot of the dispatcher's pipeline: it
+// reports everything the resilience layer did instead of crashing. A
+// healthy pipeline has Healthy == true and all counters zero.
+type Health struct {
+	// Healthy is true iff no degradation of any kind occurred.
+	Healthy bool
+	// ToolDisabled reports that the tool exceeded the panic budget and
+	// was downgraded to a no-op.
+	ToolDisabled bool
+	// Panics counts tool panics recovered by the quarantine; PanicLog
+	// holds the first few.
+	Panics   int64
+	PanicLog []PanicRecord
+	// QuarantinedLocations is the number of shadow locations quarantined
+	// after panics; QuarantinedAccesses counts accesses skipped because
+	// their location was quarantined.
+	QuarantinedLocations int
+	QuarantinedAccesses  int64
+	// Validator accounting: Violations == Repaired + Dropped, plus one if
+	// Err is set (PolicyStrict). Synthesized counts repair events fed to
+	// the tool. ViolationLog holds the first few violations.
+	Violations   int64
+	Repaired     int64
+	Dropped      int64
+	Synthesized  int64
+	ViolationLog []Violation
+	// UnheldReleases mirrors Dispatcher.UnheldReleases (PolicyOff only).
+	UnheldReleases int64
+	// Err is the sticky PolicyStrict validation error, if any.
+	Err error
 }
 
 type lockKey struct {
@@ -63,9 +151,39 @@ func (d *Dispatcher) MapVar(x uint64) uint64 {
 	return x
 }
 
-// Event offers one event to the dispatcher.
+// Event offers one event to the dispatcher. Under PolicyStrict the first
+// violation halts the stream (see Err); all later events are ignored.
 func (d *Dispatcher) Event(e trace.Event) {
 	d.Fed++
+	if d.verr != nil {
+		return
+	}
+	if d.Policy != PolicyOff {
+		if d.val == nil {
+			d.val = NewValidator(d.Policy)
+			d.val.SetCaps(d.MaxTid, d.MaxTarget)
+		}
+		repairs, drop, err := d.val.Check(int(d.Fed-1), e)
+		if err != nil {
+			d.verr = err
+			return
+		}
+		if drop {
+			return
+		}
+		for _, r := range repairs {
+			d.process(r)
+		}
+	}
+	d.process(e)
+}
+
+// Err returns the sticky PolicyStrict validation error, if any.
+func (d *Dispatcher) Err() error { return d.verr }
+
+// process applies the framework services (re-entrant lock filtering,
+// wait expansion, granularity) and forwards the event to the tool.
+func (d *Dispatcher) process(e trace.Event) {
 	// Fast path: data accesses are >96% of the stream and need only the
 	// granularity remap.
 	if e.Kind == trace.Read || e.Kind == trace.Write {
@@ -88,19 +206,36 @@ func (d *Dispatcher) Event(e trace.Event) {
 		}
 	case trace.Release:
 		k := lockKey{e.Tid, e.Target}
-		if d.depth[k] > 1 {
+		switch d.depth[k] {
+		case 0:
+			// Release with no matching acquire: never forwarded unchecked.
+			// A validating policy repairs or drops it before it gets here;
+			// under PolicyOff it is intercepted and counted.
+			d.UnheldReleases++
+			return
+		case 1:
+			delete(d.depth, k)
+		default:
 			d.depth[k]--
 			d.FilteredReentrant++
 			return
 		}
-		delete(d.depth, k)
 	case trace.Wait:
 		// Wait entry releases the monitor; the wake-up is a separate,
 		// explicitly recorded acquire (Section 4). The depth bookkeeping
 		// must see the release, or the wake-up acquire would be
 		// misclassified as re-entrant.
 		k := lockKey{e.Tid, e.Target}
-		if d.depth[k] > 1 {
+		switch d.depth[k] {
+		case 0:
+			// Waiting on a lock the thread does not hold would forward a
+			// release that never had an acquire; intercept it like an
+			// unheld release.
+			d.UnheldReleases++
+			return
+		case 1:
+			delete(d.depth, k)
+		default:
 			// Waiting while holding the monitor re-entrantly: the JVM
 			// releases all holds; we conservatively keep the re-entrant
 			// depth and release the outermost hold only.
@@ -108,7 +243,6 @@ func (d *Dispatcher) Event(e trace.Event) {
 			d.FilteredReentrant++
 			return
 		}
-		delete(d.depth, k)
 		d.forward(trace.Rel(e.Tid, e.Target))
 		return
 	case trace.Notify:
@@ -118,8 +252,106 @@ func (d *Dispatcher) Event(e trace.Event) {
 }
 
 func (d *Dispatcher) forward(e trace.Event) {
-	d.Tool.HandleEvent(d.next, e)
+	i := d.next
 	d.next++
+	if d.quarantined != nil && e.Kind.IsAccess() && d.quarantined[e.Target] {
+		d.quarantinedHits++
+		return
+	}
+	d.deliver(i, e)
+}
+
+// deliver hands the event to the tool inside the panic quarantine.
+func (d *Dispatcher) deliver(i int, e trace.Event) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		d.panics++
+		if len(d.panicLog) < maxPanicLog {
+			d.panicLog = append(d.panicLog, PanicRecord{Index: i, Event: e, Value: fmt.Sprint(r)})
+		}
+		if e.Kind.IsAccess() {
+			if d.quarantined == nil {
+				d.quarantined = map[uint64]bool{}
+			}
+			d.quarantined[e.Target] = true
+		}
+		max := d.MaxToolPanics
+		if max <= 0 {
+			max = DefaultMaxToolPanics
+		}
+		if !d.disabled && d.panics >= int64(max) {
+			d.Tool = &disabledTool{inner: d.Tool}
+			d.disabled = true
+		}
+	}()
+	d.Tool.HandleEvent(i, e)
+}
+
+// Quarantined reports whether shadow location x is quarantined.
+func (d *Dispatcher) Quarantined(x uint64) bool { return d.quarantined[x] }
+
+// Health returns a degradation snapshot of the pipeline.
+func (d *Dispatcher) Health() Health {
+	h := Health{
+		ToolDisabled:         d.disabled,
+		Panics:               d.panics,
+		PanicLog:             append([]PanicRecord(nil), d.panicLog...),
+		QuarantinedLocations: len(d.quarantined),
+		QuarantinedAccesses:  d.quarantinedHits,
+		UnheldReleases:       d.UnheldReleases,
+		Err:                  d.verr,
+	}
+	if d.val != nil {
+		h.Violations = d.val.Violations
+		h.Repaired = d.val.Repaired
+		h.Dropped = d.val.Dropped
+		h.Synthesized = d.val.Synthesized
+		h.ViolationLog = append([]Violation(nil), d.val.Log...)
+	}
+	h.Healthy = h.Panics == 0 && !h.ToolDisabled && h.Violations == 0 &&
+		h.UnheldReleases == 0 && h.Err == nil
+	return h
+}
+
+// FillStats merges the dispatcher's resilience counters into st, which
+// should be the wrapped tool's own Stats snapshot.
+func (d *Dispatcher) FillStats(st *Stats) {
+	st.Panics += d.panics
+	st.Quarantined += int64(len(d.quarantined))
+	st.Dropped += d.UnheldReleases
+	if d.val != nil {
+		st.Violations += d.val.Violations
+		st.Repaired += d.val.Repaired
+		st.Dropped += d.val.Dropped
+	}
+}
+
+// disabledTool is the downgrade target for a tool that exceeded the
+// panic budget: the EMPTY-tool analysis (events are no longer delivered)
+// that still serves the warnings and statistics collected before the
+// downgrade. Its queries guard against a tool whose accessors also
+// panic.
+type disabledTool struct{ inner Tool }
+
+func (t *disabledTool) Name() (name string) {
+	name = "disabled"
+	defer func() { _ = recover() }()
+	return t.inner.Name() + " (disabled)"
+}
+
+func (t *disabledTool) HandleEvent(int, trace.Event) {}
+
+func (t *disabledTool) Races() (rs []Report) {
+	defer func() { _ = recover() }()
+	return t.inner.Races()
+}
+
+func (t *disabledTool) Stats() (st Stats) {
+	defer func() { _ = recover() }()
+	return t.inner.Stats()
 }
 
 // Feed offers an entire trace.
@@ -177,5 +409,7 @@ func (p *Pipeline) Stats() Stats {
 	a.VCOp += b.VCOp
 	a.LockSetOps += b.LockSetOps
 	a.ShadowBytes += b.ShadowBytes
+	a.MemSqueezes += b.MemSqueezes
+	a.MemCoarse += b.MemCoarse
 	return a
 }

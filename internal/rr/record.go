@@ -151,6 +151,8 @@ func (t *Tee) Stats() Stats {
 		st.VCOp += s.VCOp
 		st.LockSetOps += s.LockSetOps
 		st.ShadowBytes += s.ShadowBytes
+		st.MemSqueezes += s.MemSqueezes
+		st.MemCoarse += s.MemCoarse
 	}
 	return st
 }

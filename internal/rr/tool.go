@@ -108,6 +108,19 @@ type Stats struct {
 
 	LockSetOps  int64 // Eraser-style lock set updates/intersections
 	ShadowBytes int64 // live shadow-memory footprint, computed by Stats()
+
+	// Resilience counters, filled in by the Dispatcher (via Monitor.Stats
+	// or Dispatcher.FillStats); always zero for a bare tool.
+	Panics      int64 // tool panics recovered by the quarantine
+	Quarantined int64 // shadow locations quarantined after panics
+	Violations  int64 // stream well-formedness violations observed
+	Repaired    int64 // violations repaired by synthesizing events
+	Dropped     int64 // events dropped (violations and unheld releases)
+
+	// Memory-budget degradation, maintained by detectors that support a
+	// shadow-memory budget (FastTrack).
+	MemSqueezes int64 // read vector clocks forcibly squeezed to epochs
+	MemCoarse   int64 // accesses remapped to coarse shadowing by the budget
 }
 
 // Tool is a back-end dynamic analysis: it consumes the event stream one

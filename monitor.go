@@ -38,6 +38,7 @@ type monitorConfig struct {
 	granularity Granularity
 	hints       Hints
 	onRace      func(Report)
+	policy      Policy
 }
 
 // WithDetector selects the detector by name (default "FastTrack").
@@ -63,8 +64,24 @@ func WithHints(h Hints) MonitorOption {
 
 // WithRaceHandler installs a callback invoked synchronously (under the
 // monitor's lock) for each new warning.
+//
+// Reentrancy hazard: because the callback runs while the monitor's lock
+// is held, calling ANY method of the same Monitor from inside the
+// callback (Read, Write, Races, Stats, Health, ...) self-deadlocks: the
+// goroutine blocks forever on a lock it already holds. Hand the Report
+// off (e.g. to a channel or log) and return; query the monitor only
+// after the callback has returned.
 func WithRaceHandler(f func(Report)) MonitorOption {
 	return func(c *monitorConfig) { c.onRace = f }
+}
+
+// WithValidation enables online stream validation under the given
+// policy. PolicyRepair and PolicyDrop degrade gracefully on malformed
+// event sequences (the degradation is visible in Health and Stats);
+// PolicyStrict stops analysis at the first violation, reported by
+// Health().Err. The default is PolicyOff.
+func WithValidation(p Policy) MonitorOption {
+	return func(c *monitorConfig) { c.policy = p }
 }
 
 // NewMonitor returns a Monitor running FastTrack unless configured
@@ -85,6 +102,7 @@ func NewMonitor(opts ...MonitorOption) *Monitor {
 	}
 	d := rr.NewDispatcher(tool)
 	d.Granularity = cfg.granularity
+	d.Policy = cfg.policy
 	return &Monitor{disp: d, tool: tool, onRace: cfg.onRace}
 }
 
@@ -166,9 +184,23 @@ func (m *Monitor) Races() []Report {
 	return append([]Report(nil), m.tool.Races()...)
 }
 
-// Stats returns a snapshot of the detector's counters.
+// Stats returns a snapshot of the detector's counters, including the
+// pipeline's resilience counters (panics recovered, locations
+// quarantined, validation repairs/drops).
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.tool.Stats()
+	st := m.tool.Stats()
+	m.disp.FillStats(&st)
+	return st
+}
+
+// Health returns a degradation snapshot of the monitor's pipeline: a
+// crashed (panicking) detector, quarantined shadow locations, and
+// stream-validation accounting all surface here instead of aborting the
+// caller's process.
+func (m *Monitor) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.disp.Health()
 }

@@ -1,0 +1,51 @@
+package fasttrack
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRaceHandlerReentrancyDeadlocks pins down the documented hazard of
+// WithRaceHandler: the callback runs under the monitor's lock, so
+// calling back into the same Monitor self-deadlocks. The test asserts
+// the deadlock actually happens (if this starts passing through, the
+// locking discipline changed and the WithRaceHandler docs must be
+// updated). The deadlocked goroutine is deliberately leaked.
+func TestRaceHandlerReentrancyDeadlocks(t *testing.T) {
+	var m *Monitor
+	m = NewMonitor(WithRaceHandler(func(Report) {
+		m.Races() // reentrant call under m.mu: blocks forever
+	}))
+	done := make(chan struct{})
+	go func() {
+		m.Write(0, 1)
+		m.Write(1, 1) // racy write -> callback fires -> deadlock
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("reentrant race-handler call completed; the documented self-deadlock hazard no longer holds — update WithRaceHandler's docs")
+	case <-time.After(200 * time.Millisecond):
+		// Expected: the goroutine is deadlocked on m.mu. Leak it.
+	}
+}
+
+// TestRaceHandlerHandoffPattern shows the documented safe pattern: hand
+// the report off and query the monitor only after the callback returns.
+func TestRaceHandlerHandoffPattern(t *testing.T) {
+	reports := make(chan Report, 4)
+	m := NewMonitor(WithRaceHandler(func(r Report) { reports <- r }))
+	m.Write(0, 1)
+	m.Write(1, 1)
+	select {
+	case r := <-reports:
+		if r.Var != 1 {
+			t.Fatalf("report = %+v, want race on x1", r)
+		}
+	default:
+		t.Fatal("race handler never fired")
+	}
+	if got := len(m.Races()); got != 1 {
+		t.Fatalf("Races() = %d reports, want 1", got)
+	}
+}

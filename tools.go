@@ -59,6 +59,27 @@ const (
 // FieldsPerObject is the coarse-granularity grouping factor.
 const FieldsPerObject = rr.FieldsPerObject
 
+// Policy selects how the event pipeline responds to malformed streams:
+// ignore the problem (PolicyOff, the default, which still intercepts
+// releases with no matching acquire), stop at the first violation
+// (PolicyStrict), synthesize the missing protocol events and continue
+// (PolicyRepair), or skip offending events (PolicyDrop). See the rr
+// package for the exact checks.
+type Policy = rr.Policy
+
+// Validation policies.
+const (
+	PolicyOff    = rr.PolicyOff
+	PolicyStrict = rr.PolicyStrict
+	PolicyRepair = rr.PolicyRepair
+	PolicyDrop   = rr.PolicyDrop
+)
+
+// Health is a degradation snapshot of an analysis pipeline: recovered
+// tool panics, quarantined shadow locations, and stream-validation
+// accounting. A fully healthy pipeline has Healthy == true.
+type Health = rr.Health
+
 // Hints carries optional capacity hints and feature toggles for a
 // detector; zero values are fine.
 type Hints struct {
@@ -68,6 +89,13 @@ type Hints struct {
 	// so reports carry PrevIndex (the prior racing access's event
 	// position). Other detectors ignore it.
 	DetailedReports bool
+	// MemoryBudget caps FastTrack's shadow-memory footprint at the given
+	// number of bytes. Under pressure the detector degrades precision
+	// instead of growing: read vector clocks are squeezed back to epochs
+	// first, then new locations fall back to coarse (per-object)
+	// shadowing. Degradation is counted in Stats.MemSqueezes and
+	// Stats.MemCoarse. Zero means unbounded; other detectors ignore it.
+	MemoryBudget int64
 }
 
 // toolMakers maps canonical tool names to constructors.
@@ -76,6 +104,9 @@ var toolMakers = map[string]func(h Hints) Tool{
 		d := core.New(h.Threads, h.Vars)
 		if h.DetailedReports {
 			d.EnableDetailedReports()
+		}
+		if h.MemoryBudget > 0 {
+			d.SetMemoryBudget(h.MemoryBudget)
 		}
 		return d
 	},
@@ -160,6 +191,20 @@ func Replay(tr trace.Trace, tool Tool, g Granularity) []Report {
 	d.Granularity = g
 	d.Feed(tr)
 	return tool.Races()
+}
+
+// ReplayResilient feeds a trace through a tool with the resilience layer
+// engaged: events are validated under the given policy (repaired,
+// dropped, or — under PolicyStrict — rejected, stopping the stream) and
+// tool panics are quarantined instead of propagating. It returns the
+// warnings and a degradation snapshot; under PolicyStrict the first
+// violation is in Health.Err.
+func ReplayResilient(tr trace.Trace, tool Tool, g Granularity, p Policy) ([]Report, Health) {
+	d := rr.NewDispatcher(tool)
+	d.Granularity = g
+	d.Policy = p
+	d.Feed(tr)
+	return tool.Races(), d.Health()
 }
 
 // ReplayStream analyzes a trace incrementally from a reader (text or

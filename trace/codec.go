@@ -29,10 +29,42 @@ import (
 
 const binaryMagic = "FTRK1\n"
 
+// maxWireTid is the largest thread id either codec accepts. Tids are
+// int32 in memory; the binary format stores them as uvarints, so without
+// this bound a tid >= 2^31 would silently truncate on decode and a
+// negative tid would encode as a 10-byte varint that decodes to garbage.
+// Both directions reject out-of-range tids with a positional error.
+const maxWireTid = uint64(1<<31 - 1)
+
+// checkWireTids rejects events whose thread ids cannot round-trip through
+// the codecs: negative tids, and fork/join targets or barrier participants
+// outside the int32 range. The index i positions the error in the stream.
+func checkWireTids(i int, e Event) error {
+	if e.Kind != BarrierRelease && e.Tid < 0 {
+		return fmt.Errorf("trace: event %d: negative thread id %d", i, e.Tid)
+	}
+	switch e.Kind {
+	case Fork, Join:
+		if e.Target > maxWireTid {
+			return fmt.Errorf("trace: event %d: thread id %d out of range [0, %d]", i, e.Target, maxWireTid)
+		}
+	case BarrierRelease:
+		for _, t := range e.Tids {
+			if t < 0 {
+				return fmt.Errorf("trace: event %d: negative thread id %d", i, t)
+			}
+		}
+	}
+	return nil
+}
+
 // WriteText encodes the trace in the text format.
 func WriteText(w io.Writer, tr Trace) error {
 	bw := bufio.NewWriter(w)
-	for _, e := range tr {
+	for i, e := range tr {
+		if err := checkWireTids(i, e); err != nil {
+			return err
+		}
 		if _, err := bw.WriteString(e.String()); err != nil {
 			return err
 		}
@@ -167,7 +199,10 @@ func WriteBinary(w io.Writer, tr Trace) error {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	for _, e := range tr {
+	for i, e := range tr {
+		if err := checkWireTids(i, e); err != nil {
+			return err
+		}
 		if err := bw.WriteByte(byte(e.Kind)); err != nil {
 			return err
 		}
@@ -217,11 +252,17 @@ func ReadBinary(r io.Reader) (Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: event %d: %w", len(tr), err)
 		}
+		if tid > maxWireTid {
+			return nil, fmt.Errorf("trace: event %d: thread id %d out of range [0, %d]", len(tr), tid, maxWireTid)
+		}
 		target, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: event %d: %w", len(tr), err)
 		}
 		e := Event{Kind: Kind(kb), Tid: int32(tid), Target: target}
+		if (e.Kind == Fork || e.Kind == Join) && target > maxWireTid {
+			return nil, fmt.Errorf("trace: event %d: thread id %d out of range [0, %d]", len(tr), target, maxWireTid)
+		}
 		if e.Kind == BarrierRelease {
 			n, err := binary.ReadUvarint(br)
 			if err != nil {
@@ -235,6 +276,9 @@ func ReadBinary(r io.Reader) (Trace, error) {
 				t, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, fmt.Errorf("trace: event %d: %w", len(tr), err)
+				}
+				if t > maxWireTid {
+					return nil, fmt.Errorf("trace: event %d: thread id %d out of range [0, %d]", len(tr), t, maxWireTid)
 				}
 				e.Tids[i] = int32(t)
 			}

@@ -1,0 +1,59 @@
+package trace_test
+
+// End-to-end fuzzing of the resilient analysis pipeline: arbitrary
+// bytes → Scanner → Dispatcher (validating, quarantining) → FastTrack.
+// The contract is no panic anywhere, and exact degradation accounting.
+// This lives in an external test package because it closes the loop
+// through internal/rr and internal/core, which import trace.
+
+import (
+	"bytes"
+	"testing"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+func runPipeline(t *testing.T, data []byte, p rr.Policy) {
+	t.Helper()
+	d := rr.NewDispatcher(core.New(0, 0))
+	d.Policy = p
+	// Small caps keep dense shadow tables tiny even when the fuzzer
+	// forges huge ids; anything over the caps must be dropped, not
+	// allocated.
+	d.MaxTid = 1 << 8
+	d.MaxTarget = 1 << 12
+	sc := trace.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		d.Event(sc.Event())
+	}
+	h := d.Health()
+	errored := int64(0)
+	if h.Err != nil {
+		errored = 1
+	}
+	if h.Violations != h.Repaired+h.Dropped+errored {
+		t.Fatalf("accounting: %d violations != %d repaired + %d dropped + %d errored",
+			h.Violations, h.Repaired, h.Dropped, errored)
+	}
+	// Queries must stay serviceable whatever the input did.
+	_ = d.Tool.Races()
+	st := d.Tool.Stats()
+	d.FillStats(&st)
+}
+
+func FuzzPipeline(f *testing.F) {
+	f.Add([]byte("FTRK1\n"))
+	f.Add([]byte("fork 0 1\nwr 1 5\nwr 0 5\n"))
+	var buf bytes.Buffer
+	_ = trace.WriteBinary(&buf, trace.Trace{
+		trace.ForkOf(0, 1), trace.Acq(1, 2), trace.Wr(1, 3), trace.Rel(1, 2),
+	})
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range []rr.Policy{rr.PolicyStrict, rr.PolicyRepair, rr.PolicyDrop} {
+			runPipeline(t, data, p)
+		}
+	})
+}

@@ -104,24 +104,35 @@ func (s *Scanner) scanText() (Event, error) {
 func (s *Scanner) scanBinary() (Event, error) {
 	kb, err := s.br.ReadByte()
 	if err != nil {
-		return Event{}, err
+		return Event{}, err // clean EOF at an event boundary
+	}
+	// From here on the event has started: a mid-event EOF is a truncation
+	// and is reported with the position of the incomplete event.
+	pos := func(err error) error {
+		return fmt.Errorf("trace: event %d: %w", s.index, noEOF(err))
 	}
 	if Kind(kb) >= numKinds {
 		return Event{}, fmt.Errorf("trace: event %d: bad kind %d", s.index, kb)
 	}
 	tid, err := binary.ReadUvarint(s.br)
 	if err != nil {
-		return Event{}, noEOF(err)
+		return Event{}, pos(err)
+	}
+	if tid > maxWireTid {
+		return Event{}, fmt.Errorf("trace: event %d: thread id %d out of range [0, %d]", s.index, tid, maxWireTid)
 	}
 	target, err := binary.ReadUvarint(s.br)
 	if err != nil {
-		return Event{}, noEOF(err)
+		return Event{}, pos(err)
 	}
 	e := Event{Kind: Kind(kb), Tid: int32(tid), Target: target}
+	if (e.Kind == Fork || e.Kind == Join) && target > maxWireTid {
+		return Event{}, fmt.Errorf("trace: event %d: thread id %d out of range [0, %d]", s.index, target, maxWireTid)
+	}
 	if e.Kind == BarrierRelease {
 		n, err := binary.ReadUvarint(s.br)
 		if err != nil {
-			return Event{}, noEOF(err)
+			return Event{}, pos(err)
 		}
 		if n > 1<<20 {
 			return Event{}, fmt.Errorf("trace: event %d: absurd barrier size %d", s.index, n)
@@ -130,7 +141,10 @@ func (s *Scanner) scanBinary() (Event, error) {
 		for i := range e.Tids {
 			t, err := binary.ReadUvarint(s.br)
 			if err != nil {
-				return Event{}, noEOF(err)
+				return Event{}, pos(err)
+			}
+			if t > maxWireTid {
+				return Event{}, fmt.Errorf("trace: event %d: thread id %d out of range [0, %d]", s.index, t, maxWireTid)
 			}
 			e.Tids[i] = int32(t)
 		}
@@ -163,6 +177,7 @@ type Writer struct {
 	bw     *bufio.Writer
 	format Format
 	wrote  bool
+	count  int
 	buf    [binary.MaxVarintLen64]byte
 }
 
@@ -171,8 +186,13 @@ func NewWriter(w io.Writer, format Format) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), format: format}
 }
 
-// Write appends one event.
+// Write appends one event. Events with thread ids that cannot round-trip
+// through the codec are rejected with a positional error.
 func (w *Writer) Write(e Event) error {
+	if err := checkWireTids(w.count, e); err != nil {
+		return err
+	}
+	w.count++
 	if !w.wrote {
 		w.wrote = true
 		if w.format == Binary {
