@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	racebench [-table all|1|2|3|rules|compose|eclipse] [-scale N] [-runs N]
+//	racebench [-table all|1|2|3|rules|compose|eclipse|ops] [-scale N] [-runs N]
 //
 // Table 1: slowdown and warnings for seven tools on sixteen benchmarks.
 // Table 2: vector clocks allocated / O(n) VC operations, DJIT+ vs
 // FastTrack. Table 3: memory overhead and slowdown, fine vs coarse
 // granularity. "rules": the Figure 2 rule-frequency percentages.
 // "compose": the Section 5.2 prefilter experiment. "eclipse": the
-// Section 5.3 Eclipse-shaped experiment.
+// Section 5.3 Eclipse-shaped experiment. "ops": per-detector analysis
+// cost (ns/event) and constant-time path shares; with -out FILE it
+// writes the machine-readable fasttrack/bench-ops/v1 JSON artifact
+// (BENCH_ops.json in CI).
 package main
 
 import (
@@ -22,10 +25,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
+	out := flag.String("out", "", "for -table ops: also write the JSON artifact to this file")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -84,6 +88,17 @@ func main() {
 		case "accordion":
 			fmt.Println("=== Extension: accordion-style dead-thread compaction ===")
 			bench.FprintAccordion(os.Stdout, bench.Accordion(cfg, nil))
+		case "ops":
+			fmt.Println("=== Per-detector cost and operation mix ===")
+			rep := bench.Ops(cfg, nil, nil)
+			bench.FprintOps(os.Stdout, rep)
+			if *out != "" {
+				f, err := os.Create(*out)
+				check(err)
+				check(bench.WriteOpsJSON(f, rep))
+				check(f.Close())
+				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
 			os.Exit(2)
@@ -92,7 +107,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion"} {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops"} {
 			run(name)
 		}
 		return

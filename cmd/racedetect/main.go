@@ -6,7 +6,8 @@
 //
 //	racedetect [-tool FastTrack] [-all] [-granularity fine|coarse]
 //	           [-validate] [-stats] [-policy off|strict|repair|drop]
-//	           [-membudget bytes] trace-file
+//	           [-membudget bytes] [-json] [-json.file out.json]
+//	           [-metrics.addr :6060] trace-file
 //	racedetect -chaos [trace-file]
 //
 // With "-" as the file name the trace is read from standard input.
@@ -14,6 +15,17 @@
 // detector is driven through systematically corrupted variants of the
 // trace (or of a generated random trace when no file is given),
 // asserting that no panic escapes and all degradation is accounted for.
+//
+// Observability:
+//
+//	-stats         adds a Table-2-style operation-mix breakdown per tool
+//	-json          emits a machine-readable run report on stdout (the
+//	               human-readable output moves to stderr); -json.file
+//	               writes the report to a file instead
+//	-metrics.addr  serves live metrics (JSON at /metrics) and
+//	               net/http/pprof while the run is in flight
+//	-stream        additionally emits periodic progress lines on stderr
+//	               (events processed, rate, races so far, shadow bytes)
 package main
 
 import (
@@ -24,10 +36,12 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"fasttrack"
 	"fasttrack/internal/chaos"
 	"fasttrack/internal/hb"
+	"fasttrack/internal/obs"
 	"fasttrack/internal/rr"
 	"fasttrack/internal/sim"
 	"fasttrack/trace"
@@ -38,12 +52,15 @@ func main() {
 	all := flag.Bool("all", false, "run every detector and compare")
 	gran := flag.String("granularity", "fine", "shadow granularity: fine or coarse")
 	validate := flag.Bool("validate", true, "check trace feasibility")
-	stats := flag.Bool("stats", false, "print instrumentation statistics")
+	stats := flag.Bool("stats", false, "print instrumentation statistics and the operation-mix table")
 	explain := flag.Bool("explain", false, "for each FastTrack warning, show both racing accesses and why nothing orders them (implies -tool FastTrack)")
 	stream := flag.Bool("stream", false, "process the trace incrementally without loading it into memory (single tool only)")
 	policyName := flag.String("policy", "off", "stream-validation policy: off, strict, repair, or drop")
 	memBudget := flag.Int64("membudget", 0, "FastTrack shadow-memory budget in bytes (0 = unbounded)")
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection smoke suite over every detector")
+	jsonOut := flag.Bool("json", false, "write a machine-readable run report to stdout")
+	jsonFile := flag.String("json.file", "", "write the run report to this file instead of stdout")
+	metricsAddr := flag.String("metrics.addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
 	list := flag.Bool("list", false, "list available detectors and exit")
 	flag.Parse()
 
@@ -78,45 +95,27 @@ func main() {
 		fatal(fmt.Errorf("unknown granularity %q", *gran))
 	}
 
+	ms, err := startMetrics(*metricsAddr)
+	if err != nil {
+		fatal(err)
+	}
+
+	jsonWanted := *jsonOut || *jsonFile != ""
+	// With the report on stdout, the human-readable output moves to
+	// stderr so stdout stays pure JSON.
+	var humanOut io.Writer = os.Stdout
+	if jsonWanted && *jsonFile == "" {
+		humanOut = os.Stderr
+	}
+	rep := &runReport{Schema: runReportSchema, Trace: flag.Arg(0), Stream: *stream}
+
 	if *stream {
 		if *all {
 			fatal(fmt.Errorf("-stream runs a single tool; drop -all"))
 		}
-		tool, err := fasttrack.NewTool(*toolName, fasttrack.Hints{})
-		if err != nil {
-			fatal(err)
-		}
-		r, closeFn, err := openInput(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		defer closeFn()
-		if policy != fasttrack.PolicyOff {
-			races, events, health, err := replayStreamResilient(r, tool, g, policy)
-			printReport(tool, races, *stats)
-			printHealth(health)
-			fmt.Printf("(%d events, streamed)\n", events)
-			if err != nil {
-				fatal(err)
-			}
-			if health.Err != nil {
-				fatal(fmt.Errorf("strict validation: %w", health.Err))
-			}
-			if len(races) > 0 {
-				os.Exit(1)
-			}
-			return
-		}
-		races, events, err := fasttrack.ReplayStream(r, tool, g, *validate)
-		if err != nil {
-			fatal(err)
-		}
-		printReport(tool, races, *stats)
-		fmt.Printf("(%d events, streamed)\n", events)
-		if len(races) > 0 {
-			os.Exit(1)
-		}
-		return
+		exit := runStream(flag.Arg(0), *toolName, g, policy, *validate, *stats, jsonWanted, *jsonFile, ms, rep, humanOut)
+		finishJSON(jsonWanted, rep, *jsonFile)
+		os.Exit(exit)
 	}
 
 	tr, err := readTrace(flag.Arg(0))
@@ -141,59 +140,234 @@ func main() {
 
 	exit := 0
 	for _, name := range names {
-		tool, err := fasttrack.NewTool(name, fasttrack.Hints{Threads: tr.Threads(), MemoryBudget: *memBudget})
+		hints := fasttrack.Hints{Threads: tr.Threads(), MemoryBudget: *memBudget}
+		// The JSON report renders both access sites of each race, which
+		// needs FastTrack's access-history tracking.
+		if jsonWanted && name == "FastTrack" {
+			hints.DetailedReports = true
+		}
+		tool, err := fasttrack.NewTool(name, hints)
 		if err != nil {
 			fatal(err)
 		}
-		var races []fasttrack.Report
+
+		reg := obs.NewRegistry()
+		ms.attach(reg)
+		d := rr.NewDispatcher(tool)
+		d.Granularity = g
+		d.Policy = policy
+		d.Obs = reg
+		d.Feed(tr)
+
+		races := tool.Races()
+		health := d.Health()
+		st := tool.Stats()
+		d.FillStats(&st)
+		rr.PublishStats(reg, "tool", st)
+		reg.Gauge("tool.races").Set(int64(len(races)))
+
+		printReport(humanOut, tool, races, st, *stats)
 		if policy != fasttrack.PolicyOff {
-			var health fasttrack.Health
-			races, health = fasttrack.ReplayResilient(tr, tool, g, policy)
-			printReport(tool, races, *stats)
-			printHealth(health)
-			if health.Err != nil {
-				fatal(fmt.Errorf("strict validation: %w", health.Err))
-			}
-		} else {
-			races = fasttrack.Replay(tr, tool, g)
-			printReport(tool, races, *stats)
+			printHealth(humanOut, health)
+		}
+		if jsonWanted {
+			rep.Tools = append(rep.Tools, toolReport{
+				Tool:    tool.Name(),
+				Events:  d.Fed,
+				Races:   raceReports(races, tr),
+				Stats:   st,
+				Health:  healthJSON(health),
+				Metrics: reg.Snapshot(),
+			})
+		}
+		if health.Err != nil {
+			finishJSON(jsonWanted, rep, *jsonFile)
+			fatal(fmt.Errorf("strict validation: %w", health.Err))
 		}
 		if len(races) > 0 {
 			exit = 1
 		}
 	}
+	finishJSON(jsonWanted, rep, *jsonFile)
 	os.Exit(exit)
 }
 
-// replayStreamResilient is the streaming analog of ReplayResilient:
-// events are validated online under the policy as they are decoded.
-func replayStreamResilient(r io.Reader, tool fasttrack.Tool, g fasttrack.Granularity, p fasttrack.Policy) ([]fasttrack.Report, int, fasttrack.Health, error) {
+// runStream analyzes the trace incrementally with the full pipeline
+// attached (validation policy, live metrics, progress reporting) and
+// returns the process exit code.
+func runStream(path, toolName string, g fasttrack.Granularity, policy fasttrack.Policy,
+	validate, stats, jsonWanted bool, jsonPath string, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
+
+	tool, err := fasttrack.NewTool(toolName, fasttrack.Hints{})
+	if err != nil {
+		fatal(err)
+	}
+	r, closeFn, err := openInput(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeFn()
+
+	reg := obs.NewRegistry()
+	ms.attach(reg)
 	d := rr.NewDispatcher(tool)
 	d.Granularity = g
-	d.Policy = p
-	sc := trace.NewScanner(r)
-	for sc.Scan() {
-		d.Event(sc.Event())
+	d.Policy = policy
+	d.Obs = reg
+
+	// Feasibility checking (the batch -validate semantics) applies only
+	// under PolicyOff; a validating policy performs its own online checks.
+	var feas *trace.Validator
+	if policy == fasttrack.PolicyOff && validate {
+		feas = trace.NewValidator()
 	}
-	return tool.Races(), sc.Index(), d.Health(), sc.Err()
+
+	sc := trace.NewScanner(r)
+	prog := newProgress(reg)
+	var feasErr error
+	for sc.Scan() {
+		e := sc.Event()
+		if feas != nil {
+			if err := feas.Event(e); err != nil {
+				feasErr = err
+				break
+			}
+		}
+		d.Event(e)
+		// Progress/metrics refresh on a coarse event-count grid so the
+		// hot loop stays cheap between ticks.
+		if d.Fed&8191 == 0 {
+			prog.maybeTick(d.Fed, tool)
+		}
+	}
+	if policy == fasttrack.PolicyOff {
+		// Historical batch-equivalent behavior: feasibility or decode
+		// errors abort before any report is printed.
+		if feasErr != nil {
+			fatal(feasErr)
+		}
+		if sc.Err() != nil {
+			fatal(sc.Err())
+		}
+	}
+
+	races := tool.Races()
+	health := d.Health()
+	st := tool.Stats()
+	d.FillStats(&st)
+	rr.PublishStats(reg, "tool", st)
+	reg.Gauge("tool.races").Set(int64(len(races)))
+	prog.final(d.Fed, len(races), st.ShadowBytes)
+
+	printReport(humanOut, tool, races, st, stats)
+	if policy != fasttrack.PolicyOff {
+		printHealth(humanOut, health)
+	}
+	fmt.Fprintf(humanOut, "(%d events, streamed)\n", sc.Index())
+
+	if jsonWanted {
+		rep.Tools = append(rep.Tools, toolReport{
+			Tool:    tool.Name(),
+			Events:  d.Fed,
+			Races:   raceReports(races, nil),
+			Stats:   st,
+			Health:  healthJSON(health),
+			Metrics: reg.Snapshot(),
+		})
+	}
+
+	if sc.Err() != nil {
+		finishJSON(jsonWanted, rep, jsonPath)
+		fatal(sc.Err())
+	}
+	if health.Err != nil {
+		finishJSON(jsonWanted, rep, jsonPath)
+		fatal(fmt.Errorf("strict validation: %w", health.Err))
+	}
+	if len(races) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// progress emits periodic one-line status reports on stderr during
+// streaming runs and refreshes the tool.* gauges so a live /metrics
+// scrape sees detector state, not only dispatcher counters.
+type progress struct {
+	reg        *obs.Registry
+	start      time.Time
+	last       time.Time
+	lastEvents int64
+	ticked     bool
+}
+
+// progressInterval is the minimum wall-clock spacing of progress lines.
+const progressInterval = time.Second
+
+func newProgress(reg *obs.Registry) *progress {
+	now := time.Now()
+	return &progress{reg: reg, start: now, last: now}
+}
+
+func (p *progress) maybeTick(events int64, tool fasttrack.Tool) {
+	now := time.Now()
+	if now.Sub(p.last) < progressInterval {
+		return
+	}
+	st := tool.Stats()
+	races := len(tool.Races())
+	rr.PublishStats(p.reg, "tool", st)
+	p.reg.Gauge("tool.races").Set(int64(races))
+	rate := float64(events-p.lastEvents) / now.Sub(p.last).Seconds()
+	fmt.Fprintf(os.Stderr, "racedetect: progress events=%d rate=%.0f/s races=%d shadowBytes=%d\n",
+		events, rate, races, st.ShadowBytes)
+	p.last = now
+	p.lastEvents = events
+	p.ticked = true
+}
+
+// final prints a closing progress line (only if any were printed, so
+// short runs stay quiet) with the whole-run average rate.
+func (p *progress) final(events int64, races int, shadowBytes int64) {
+	if !p.ticked {
+		return
+	}
+	el := time.Since(p.start).Seconds()
+	rate := float64(events)
+	if el > 0 {
+		rate = float64(events) / el
+	}
+	fmt.Fprintf(os.Stderr, "racedetect: done events=%d avgRate=%.0f/s races=%d shadowBytes=%d\n",
+		events, rate, races, shadowBytes)
+}
+
+// finishJSON emits the run report when requested.
+func finishJSON(wanted bool, rep *runReport, path string) {
+	if !wanted {
+		return
+	}
+	if err := emitJSON(rep, path); err != nil {
+		fmt.Fprintln(os.Stderr, "racedetect: writing report:", err)
+		os.Exit(2)
+	}
 }
 
 // printHealth renders the pipeline's degradation snapshot.
-func printHealth(h fasttrack.Health) {
+func printHealth(w io.Writer, h fasttrack.Health) {
 	if h.Healthy {
-		fmt.Println("  pipeline: healthy")
+		fmt.Fprintln(w, "  pipeline: healthy")
 		return
 	}
-	fmt.Printf("  pipeline: violations=%d repaired=%d dropped=%d synthesized=%d panics=%d quarantined=%d\n",
+	fmt.Fprintf(w, "  pipeline: violations=%d repaired=%d dropped=%d synthesized=%d panics=%d quarantined=%d\n",
 		h.Violations, h.Repaired, h.Dropped, h.Synthesized, h.Panics, h.QuarantinedLocations)
 	for _, v := range h.ViolationLog {
-		fmt.Printf("    %s\n", v)
+		fmt.Fprintf(w, "    %s\n", v)
 	}
 	for _, p := range h.PanicLog {
-		fmt.Printf("    %s\n", p)
+		fmt.Fprintf(w, "    %s\n", p)
 	}
 	if h.ToolDisabled {
-		fmt.Println("    tool disabled after exceeding the panic budget")
+		fmt.Fprintln(w, "    tool disabled after exceeding the panic budget")
 	}
 }
 
@@ -273,18 +447,18 @@ func explainRaces(tr trace.Trace, g fasttrack.Granularity) {
 	os.Exit(1)
 }
 
-func printReport(tool fasttrack.Tool, races []fasttrack.Report, stats bool) {
-	fmt.Printf("%s: %d warning(s)\n", tool.Name(), len(races))
+func printReport(w io.Writer, tool fasttrack.Tool, races []fasttrack.Report, st fasttrack.Stats, stats bool) {
+	fmt.Fprintf(w, "%s: %d warning(s)\n", tool.Name(), len(races))
 	for _, r := range races {
-		fmt.Printf("  %s\n", r)
+		fmt.Fprintf(w, "  %s\n", r)
 	}
 	if stats {
-		st := tool.Stats()
-		fmt.Printf("  events=%d reads=%d writes=%d syncs=%d vcAlloc=%d vcOps=%d shadowBytes=%d\n",
+		fmt.Fprintf(w, "  events=%d reads=%d writes=%d syncs=%d vcAlloc=%d vcOps=%d shadowBytes=%d\n",
 			st.Events, st.Reads, st.Writes, st.Syncs, st.VCAlloc, st.VCOp, st.ShadowBytes)
 		if st.MemSqueezes > 0 || st.MemCoarse > 0 {
-			fmt.Printf("  membudget: squeezes=%d coarseAccesses=%d\n", st.MemSqueezes, st.MemCoarse)
+			fmt.Fprintf(w, "  membudget: squeezes=%d coarseAccesses=%d\n", st.MemSqueezes, st.MemCoarse)
 		}
+		rr.FprintOpsMix(w, tool.Name(), st)
 	}
 }
 

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"fasttrack"
+	"fasttrack/trace"
+)
+
+// runReportSchema versions the -json output. Consumers should check it
+// before parsing; fields are only ever added within a schema version.
+const runReportSchema = "fasttrack/run-report/v1"
+
+// runReport is the machine-readable result of one racedetect invocation
+// (the -json output): everything the human-readable output shows —
+// races with both access sites when known, instrumentation statistics,
+// pipeline health, and the final metrics snapshot — in one stable
+// document.
+type runReport struct {
+	Schema string       `json:"schema"`
+	Trace  string       `json:"trace"`
+	Stream bool         `json:"stream,omitempty"`
+	Tools  []toolReport `json:"tools"`
+}
+
+type toolReport struct {
+	Tool   string          `json:"tool"`
+	Events int64           `json:"events"` // events offered to the pipeline
+	Races  []raceReport    `json:"races"`
+	Stats  fasttrack.Stats `json:"stats"`
+	Health healthReport    `json:"health"`
+	// Metrics is the final registry snapshot for this tool's run; its
+	// "rr.events.fed" counter equals Events.
+	Metrics fasttrack.MetricsSnapshot `json:"metrics"`
+}
+
+type raceReport struct {
+	Kind    string `json:"kind"`
+	Var     uint64 `json:"var"`
+	Tid     int32  `json:"tid"`
+	PrevTid int32  `json:"prevTid"`
+	Index   int    `json:"index"`
+	// PrevIndex is -1 when the tool does not track access history.
+	PrevIndex int `json:"prevIndex"`
+	// Access/PrevAccess render both racing events when the trace is
+	// memory-resident and the indices are known (batch mode).
+	Access     string `json:"access,omitempty"`
+	PrevAccess string `json:"prevAccess,omitempty"`
+}
+
+type healthReport struct {
+	Healthy              bool   `json:"healthy"`
+	ToolDisabled         bool   `json:"toolDisabled,omitempty"`
+	Panics               int64  `json:"panics,omitempty"`
+	QuarantinedLocations int    `json:"quarantinedLocations,omitempty"`
+	QuarantinedAccesses  int64  `json:"quarantinedAccesses,omitempty"`
+	Violations           int64  `json:"violations,omitempty"`
+	Repaired             int64  `json:"repaired,omitempty"`
+	Dropped              int64  `json:"dropped,omitempty"`
+	Synthesized          int64  `json:"synthesized,omitempty"`
+	UnheldReleases       int64  `json:"unheldReleases,omitempty"`
+	Error                string `json:"error,omitempty"`
+}
+
+// raceReports converts warnings, rendering both access sites from tr
+// when available (tr may be nil in streaming mode).
+func raceReports(races []fasttrack.Report, tr trace.Trace) []raceReport {
+	out := make([]raceReport, 0, len(races))
+	for _, r := range races {
+		rr := raceReport{
+			Kind:      r.Kind.String(),
+			Var:       r.Var,
+			Tid:       r.Tid,
+			PrevTid:   r.PrevTid,
+			Index:     r.Index,
+			PrevIndex: r.PrevIndex,
+		}
+		if tr != nil {
+			if r.Index >= 0 && r.Index < len(tr) {
+				rr.Access = tr[r.Index].String()
+			}
+			if r.PrevIndex >= 0 && r.PrevIndex < len(tr) {
+				rr.PrevAccess = tr[r.PrevIndex].String()
+			}
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+func healthJSON(h fasttrack.Health) healthReport {
+	hr := healthReport{
+		Healthy:              h.Healthy,
+		ToolDisabled:         h.ToolDisabled,
+		Panics:               h.Panics,
+		QuarantinedLocations: h.QuarantinedLocations,
+		QuarantinedAccesses:  h.QuarantinedAccesses,
+		Violations:           h.Violations,
+		Repaired:             h.Repaired,
+		Dropped:              h.Dropped,
+		Synthesized:          h.Synthesized,
+		UnheldReleases:       h.UnheldReleases,
+	}
+	if h.Err != nil {
+		hr.Error = h.Err.Error()
+	}
+	return hr
+}
+
+// emitJSON writes the report to path ("" or "-" = stdout), indented and
+// newline-terminated.
+func emitJSON(rep *runReport, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "" && path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

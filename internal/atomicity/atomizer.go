@@ -79,17 +79,19 @@ func (a *Atomizer) HandleEvent(i int, e trace.Event) {
 
 	switch e.Kind {
 	case trace.TxBegin:
+		a.st.CountKind(e.Kind)
 		a.thread(e.Tid)
 		a.explicit[e.Tid] = true
 		a.inLeft[e.Tid] = false
 		a.committed[e.Tid] = false
 	case trace.TxEnd:
+		a.st.CountKind(e.Kind)
 		a.thread(e.Tid)
 		a.explicit[e.Tid] = false
 		a.inLeft[e.Tid] = false
 		a.committed[e.Tid] = false
 	case trace.Acquire:
-		a.st.Syncs++
+		a.st.CountKind(e.Kind)
 		a.thread(e.Tid)
 		a.heldBy(e.Tid)
 		a.held[e.Tid] = insertSorted(a.held[e.Tid], e.Target)
@@ -98,7 +100,7 @@ func (a *Atomizer) HandleEvent(i int, e trace.Event) {
 			a.violation(e.Target, e.Tid, i)
 		}
 	case trace.Release:
-		a.st.Syncs++
+		a.st.CountKind(e.Kind)
 		a.thread(e.Tid)
 		a.heldBy(e.Tid)
 		a.held[e.Tid] = removeSorted(a.held[e.Tid], e.Target)
@@ -127,7 +129,7 @@ func (a *Atomizer) HandleEvent(i int, e trace.Event) {
 		a.committed[e.Tid] = true
 		a.inLeft[e.Tid] = true
 	default:
-		a.st.Syncs++
+		a.st.CountKind(e.Kind)
 	}
 }
 

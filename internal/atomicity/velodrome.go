@@ -177,10 +177,12 @@ func (v *Velodrome) HandleEvent(i int, e trace.Event) {
 	switch e.Kind {
 	case trace.TxBegin:
 		v.thread(e.Tid)
+		v.st.CountKind(e.Kind)
 		v.closeTxn(e.Tid)
 		v.current(e.Tid)
 		v.explicit[e.Tid] = true
 	case trace.TxEnd:
+		v.st.CountKind(e.Kind)
 		v.closeTxn(e.Tid)
 		v.explicit[e.Tid] = false
 	case trace.Read:
@@ -200,41 +202,41 @@ func (v *Velodrome) HandleEvent(i int, e trace.Event) {
 		v.lastWrite[e.Target] = n
 		v.maybeCloseUnary(e.Tid)
 	case trace.Acquire:
-		v.st.Syncs++
+		v.st.CountKind(e.Kind)
 		n := v.current(e.Tid)
 		v.edge(v.lockRel[e.Target], n, e.Target, i)
 		v.maybeCloseUnary(e.Tid)
 	case trace.Release:
-		v.st.Syncs++
+		v.st.CountKind(e.Kind)
 		n := v.current(e.Tid)
 		v.lockRel[e.Target] = n
 		v.maybeCloseUnary(e.Tid)
 	case trace.VolatileRead:
-		v.st.Syncs++
+		v.st.CountKind(e.Kind)
 		n := v.current(e.Tid)
 		v.edge(v.volWrite[e.Target], n, e.Target, i)
 		v.maybeCloseUnary(e.Tid)
 	case trace.VolatileWrite:
-		v.st.Syncs++
+		v.st.CountKind(e.Kind)
 		n := v.current(e.Tid)
 		v.volWrite[e.Target] = n
 		v.maybeCloseUnary(e.Tid)
 	case trace.Fork:
-		v.st.Syncs++
+		v.st.CountKind(e.Kind)
 		parent := v.current(e.Tid)
 		v.maybeCloseUnary(e.Tid)
 		child := v.current(int32(e.Target))
 		v.edge(parent, child, noVar, i)
 		v.maybeCloseUnary(int32(e.Target))
 	case trace.Join:
-		v.st.Syncs++
+		v.st.CountKind(e.Kind)
 		v.thread(int32(e.Target))
 		childLast := v.lastOf[e.Target]
 		n := v.current(e.Tid)
 		v.edge(childLast, n, noVar, i)
 		v.maybeCloseUnary(e.Tid)
 	case trace.BarrierRelease:
-		v.st.Syncs++
+		v.st.CountKind(e.Kind)
 		// Model the barrier as a dedicated transaction every participant
 		// synchronizes through.
 		v.nextID++

@@ -178,26 +178,28 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 	case trace.Write:
 		d.write(i, e.Tid, e.Target)
 	case trace.Acquire:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.acquire(e.Tid, e.Target)
 	case trace.Release:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.release(e.Tid, e.Target)
 	case trace.Fork:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.fork(e.Tid, int32(e.Target))
 	case trace.Join:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.join(e.Tid, int32(e.Target))
 	case trace.VolatileRead:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.volatileRead(e.Tid, e.Target)
 	case trace.VolatileWrite:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.volatileWrite(e.Tid, e.Target)
 	case trace.BarrierRelease:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.barrier(e.Tids)
+	case trace.TxBegin, trace.TxEnd:
+		d.st.CountKind(e.Kind) // counted as markers, not syncs
 	}
 	// TxBegin/TxEnd/Notify carry no happens-before information.
 }

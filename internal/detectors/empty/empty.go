@@ -32,7 +32,7 @@ func (t *Tool) HandleEvent(_ int, e trace.Event) {
 	case trace.Write:
 		t.st.Writes++
 	default:
-		t.st.Syncs++
+		t.st.CountKind(e.Kind)
 	}
 }
 
@@ -84,7 +84,7 @@ func (f *TLFilter) HandleEvent(i int, e trace.Event) { f.HandleFilter(i, e) }
 func (f *TLFilter) HandleFilter(_ int, e trace.Event) bool {
 	f.st.Events++
 	if !e.Kind.IsAccess() {
-		f.st.Syncs++
+		f.st.CountKind(e.Kind)
 		return true
 	}
 	if e.Kind == trace.Read {

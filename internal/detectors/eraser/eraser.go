@@ -93,15 +93,15 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 		d.st.Writes++
 		d.access(i, e.Tid, e.Target, true)
 	case trace.Acquire:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.heldBy(e.Tid) // materialize
 		d.held[e.Tid] = insertSorted(d.held[e.Tid], e.Target)
 	case trace.Release:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.heldBy(e.Tid)
 		d.held[e.Tid] = removeSorted(d.held[e.Tid], e.Target)
 	case trace.BarrierRelease:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		// Barrier extension: all locations restart the ownership protocol
 		// after a barrier, so barrier-phased programs (sor, lufact,
 		// moldyn) do not flood the user with spurious warnings.
@@ -110,7 +110,9 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 		// Classic Eraser tracks no happens-before: these are ignored,
 		// which is exactly why it false-alarms on fork-join and
 		// volatile-publication idioms.
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
+	case trace.TxBegin, trace.TxEnd:
+		d.st.CountKind(e.Kind)
 	}
 }
 

@@ -105,25 +105,25 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 		d.st.Writes++
 		d.access(i, e.Tid, e.Target, true)
 	case trace.Acquire:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.log = append(d.log, logEntry{trigger: lockDev(e.Target), adds: threadDev(e.Tid)})
 	case trace.Release:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.log = append(d.log, logEntry{trigger: threadDev(e.Tid), adds: lockDev(e.Target)})
 	case trace.VolatileRead:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.log = append(d.log, logEntry{trigger: volDev(e.Target), adds: threadDev(e.Tid)})
 	case trace.VolatileWrite:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.log = append(d.log, logEntry{trigger: threadDev(e.Tid), adds: volDev(e.Target)})
 	case trace.Fork:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.log = append(d.log, logEntry{trigger: threadDev(e.Tid), adds: threadDev(int32(e.Target))})
 	case trace.Join:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.log = append(d.log, logEntry{trigger: threadDev(int32(e.Target)), adds: threadDev(e.Tid)})
 	case trace.BarrierRelease:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		// A barrier behaves like every participant releasing and then
 		// re-acquiring a common barrier-phase lock: pre-barrier accesses
 		// of all participants happen before post-barrier accesses of all
@@ -135,6 +135,8 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 		for _, t := range e.Tids {
 			d.log = append(d.log, logEntry{trigger: dev, adds: threadDev(t)})
 		}
+	case trace.TxBegin, trace.TxEnd:
+		d.st.CountKind(e.Kind)
 	}
 }
 

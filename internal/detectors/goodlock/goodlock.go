@@ -75,14 +75,14 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 	case trace.Write:
 		d.st.Writes++
 	case trace.Acquire:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.heldBy(e.Tid)
 		for _, from := range d.held[e.Tid] {
 			d.addEdge(from, e.Target, d.held[e.Tid], e.Tid, i)
 		}
 		d.held[e.Tid] = append(d.held[e.Tid], e.Target)
 	case trace.Release:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 		d.heldBy(e.Tid)
 		h := d.held[e.Tid]
 		for j := len(h) - 1; j >= 0; j-- {
@@ -92,7 +92,7 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 			}
 		}
 	default:
-		d.st.Syncs++
+		d.st.CountKind(e.Kind)
 	}
 }
 

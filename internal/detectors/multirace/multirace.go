@@ -112,6 +112,7 @@ func (d *Detector) access(i int, tid int32, x uint64, isWrite bool) {
 
 	switch vs.st {
 	case virgin:
+		d.countOwned(isWrite)
 		vs.st = exclusive
 		vs.owner = tid
 		return
@@ -119,8 +120,12 @@ func (d *Detector) access(i int, tid int32, x uint64, isWrite bool) {
 		// Thread-local fast path (Eraser-style, unsound): no VC work at
 		// all while a single thread owns the location.
 		if tid == vs.owner {
+			d.countOwned(isWrite)
 			return
 		}
+		// The escaping access itself is still handled by the ownership
+		// state machine, so it counts toward the owned column too.
+		d.countOwned(isWrite)
 		// Ownership ends: initialize the candidate lock set; the owner's
 		// access history is discarded (the documented imprecision).
 		vs.lockset = append([]uint64(nil), d.heldBy(tid)...)
@@ -136,6 +141,7 @@ func (d *Detector) access(i int, tid int32, x uint64, isWrite bool) {
 	case shared:
 		if !isWrite {
 			// Read-shared fast path: reads cannot race with reads.
+			d.sync.St.ReadShared++
 			d.firstOfEpochIntersect(vs, ts, t, false)
 			d.record(vs, ts, t, false)
 			return
@@ -169,6 +175,18 @@ func (d *Detector) access(i int, tid int32, x uint64, isWrite bool) {
 		d.sync.St.ReadSameEpoch++
 	}
 	d.record(vs, ts, t, isWrite)
+}
+
+// countOwned attributes an access handled entirely by the ownership
+// state machine (virgin or exclusive), completing the operation-mix
+// taxonomy: Reads == ReadOwned + ReadShared + ReadSameEpoch +
+// ReadExclusive, and likewise for writes.
+func (d *Detector) countOwned(isWrite bool) {
+	if isWrite {
+		d.sync.St.WriteOwned++
+	} else {
+		d.sync.St.ReadOwned++
+	}
 }
 
 // firstOfEpochIntersect reports whether this is the thread's first access

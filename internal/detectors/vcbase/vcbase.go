@@ -68,14 +68,14 @@ func (s *Sync) HandleSync(e trace.Event) bool {
 	case trace.Read, trace.Write:
 		return false
 	case trace.Acquire:
-		s.St.Syncs++
+		s.St.CountKind(e.Kind)
 		ts := s.Thread(e.Tid)
 		if lm, ok := s.Locks[e.Target]; ok {
 			ts.C = ts.C.Join(lm)
 			s.St.VCOp++
 		}
 	case trace.Release:
-		s.St.Syncs++
+		s.St.CountKind(e.Kind)
 		ts := s.Thread(e.Tid)
 		lm, ok := s.Locks[e.Target]
 		if !ok {
@@ -86,7 +86,7 @@ func (s *Sync) HandleSync(e trace.Event) bool {
 		ts.C = ts.C.Inc(vc.Tid(e.Tid))
 		ts.refresh(vc.Tid(e.Tid))
 	case trace.Fork:
-		s.St.Syncs++
+		s.St.CountKind(e.Kind)
 		u := int32(e.Target)
 		s.Thread(u)
 		ts, us := s.Thread(e.Tid), s.Thread(u)
@@ -96,7 +96,7 @@ func (s *Sync) HandleSync(e trace.Event) bool {
 		ts.C = ts.C.Inc(vc.Tid(e.Tid))
 		ts.refresh(vc.Tid(e.Tid))
 	case trace.Join:
-		s.St.Syncs++
+		s.St.CountKind(e.Kind)
 		u := int32(e.Target)
 		s.Thread(u)
 		ts, us := s.Thread(e.Tid), s.Thread(u)
@@ -106,14 +106,14 @@ func (s *Sync) HandleSync(e trace.Event) bool {
 		us.C = us.C.Inc(vc.Tid(u))
 		us.refresh(vc.Tid(u))
 	case trace.VolatileRead:
-		s.St.Syncs++
+		s.St.CountKind(e.Kind)
 		ts := s.Thread(e.Tid)
 		if lv, ok := s.Vols[e.Target]; ok {
 			ts.C = ts.C.Join(lv)
 			s.St.VCOp++
 		}
 	case trace.VolatileWrite:
-		s.St.Syncs++
+		s.St.CountKind(e.Kind)
 		ts := s.Thread(e.Tid)
 		lv, ok := s.Vols[e.Target]
 		if !ok {
@@ -124,7 +124,7 @@ func (s *Sync) HandleSync(e trace.Event) bool {
 		ts.C = ts.C.Inc(vc.Tid(e.Tid))
 		ts.refresh(vc.Tid(e.Tid))
 	case trace.BarrierRelease:
-		s.St.Syncs++
+		s.St.CountKind(e.Kind)
 		if len(e.Tids) == 0 {
 			return true
 		}
@@ -140,9 +140,11 @@ func (s *Sync) HandleSync(e trace.Event) bool {
 			us.refresh(vc.Tid(u))
 			s.St.VCOp++
 		}
+	case trace.TxBegin, trace.TxEnd:
+		s.St.CountKind(e.Kind) // markers only; no happens-before edge
 	}
 	// Notify/Wait never reach detectors (the dispatcher expands them);
-	// TxBegin/TxEnd are no-ops for race detectors.
+	// TxBegin/TxEnd are analysis no-ops for race detectors.
 	return true
 }
 

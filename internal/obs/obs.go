@@ -1,0 +1,322 @@
+// Package obs is the observability layer of the analysis pipeline: a
+// dependency-light metrics registry (atomic counters, gauges, bounded
+// power-of-two histograms) with stable JSON export and an expvar-style
+// HTTP handler. It exists so the operation-mix accounting the paper's
+// evaluation is built on (Section 5.1, Tables 2-3: which fraction of
+// events took which analysis path, at what cost) is visible while a run
+// is live, not only after it finishes.
+//
+// Design constraints:
+//
+//   - standard library only, like the rest of the module;
+//   - updates are single atomic operations so the hot path (one bump per
+//     dispatched event) stays cheap and race-free under the Go memory
+//     model;
+//   - snapshots never block updates: Snapshot copies the metric list
+//     under the registry lock, releases it, and then reads the atomics,
+//     so a slow HTTP scrape cannot stall the event loop;
+//   - per-metric reads are monotone for counters and histograms (they
+//     only ever grow), which the monitor stress tests assert.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is a programming error and is ignored so a
+// counter can never decrease.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (shadow bytes, races so far,
+// quarantined locations); unlike a Counter it may move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bit length i, i.e. 2^(i-1) <= v < 2^i
+// (bucket 0 counts v <= 0). 48 buckets cover nanosecond latencies up to
+// ~3 days and sizes up to ~256 TiB, which bounds the footprint at 50
+// words per histogram regardless of the value distribution.
+const histBuckets = 48
+
+// Histogram is a bounded, atomic, power-of-two-bucketed histogram. It
+// records counts, a sum, and per-magnitude buckets; it deliberately
+// trades bucket resolution for a fixed footprint and wait-free updates.
+type Histogram struct {
+	count, sum atomic.Int64
+	buckets    [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Bucket is one non-empty histogram bucket: Count observations were
+// at most Hi (and greater than the previous bucket's Hi).
+type Bucket struct {
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the exported state of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observed value (0 with no observations).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) from
+// the bucket boundaries: the Hi bound of the bucket the q-quantile
+// observation falls in.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen int64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen > rank {
+			return b.Hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Hi
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	// Read count before buckets: concurrent Observe calls may make the
+	// buckets sum slightly ahead of Count, never behind, so successive
+	// snapshots stay monotone per field.
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		hi := int64(0)
+		if i > 0 {
+			hi = int64(1)<<uint(i) - 1
+		}
+		s.Buckets = append(s.Buckets, Bucket{Hi: hi, Count: n})
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of every metric in a Registry. Map
+// keys are metric names; encoding/json sorts them, so the JSON encoding
+// is stable across runs with the same metric set.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's value (0 if absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Registry is a named collection of metrics. Metric handles are created
+// on first use and never removed; lookups take the registry lock, so
+// callers on hot paths should obtain handles once and bump the handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies every metric. The registry lock is held only while
+// the metric list is copied, not while values are read, so snapshots
+// never contend with updates beyond individual atomic loads.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]struct {
+		name string
+		c    *Counter
+	}, 0, len(r.counters))
+	for n, c := range r.counters {
+		counters = append(counters, struct {
+			name string
+			c    *Counter
+		}{n, c})
+	}
+	gauges := make([]struct {
+		name string
+		g    *Gauge
+	}, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges = append(gauges, struct {
+			name string
+			g    *Gauge
+		}{n, g})
+	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{n, h})
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters: make(map[string]int64, len(counters)),
+		Gauges:   make(map[string]int64, len(gauges)),
+	}
+	for _, e := range counters {
+		s.Counters[e.name] = e.c.Load()
+	}
+	for _, e := range gauges {
+		s.Gauges[e.name] = e.g.Load()
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for _, e := range hists {
+			s.Histograms[e.name] = e.h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot as indented JSON with sorted
+// keys (encoding/json sorts map keys), terminated by a newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an HTTP handler serving the registry snapshot as JSON
+// (the /metrics endpoint of racedetect -metrics.addr).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			// Headers are already out; nothing useful to do but note it.
+			fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		}
+	})
+}
+
+// Names returns every registered metric name, sorted, for tests and
+// debug output.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterNeverDecreases(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters are monotone by construction
+	c.Add(0)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeMovesBothWays(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Load(); got != -3 {
+		t.Errorf("gauge = %d, want -3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1010 {
+		t.Errorf("sum = %d, want 1010 (non-positive values excluded)", s.Sum)
+	}
+	// Expected buckets: hi=0 {-5, 0}, hi=1 {1}, hi=3 {2, 3}, hi=7 {4},
+	// hi=1023 {1000}.
+	want := []Bucket{{0, 2}, {1, 1}, {3, 2}, {7, 1}, {1023, 1}}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Errorf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, count = %d", total, s.Count)
+	}
+}
+
+func TestHistogramHugeValueClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 62) // bit length 63 > histBuckets: must clamp, not panic
+	s := h.snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Count != 1 {
+		t.Fatalf("buckets = %+v, want one bucket with one observation", s.Buckets)
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(1) // bucket hi=1
+	}
+	h.Observe(1 << 20) // one outlier
+	s := h.snapshot()
+	if q := s.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %d, want 1", q)
+	}
+	if q := s.Quantile(0.999); q < 1<<20 {
+		t.Errorf("p99.9 = %d, want >= %d", q, 1<<20)
+	}
+	if m := s.Mean(); m < 1 || m > float64(1<<20) {
+		t.Errorf("mean = %g out of range", m)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram: quantile and mean must be 0")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name must return the same counter handle")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Error("same name must return the same gauge handle")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Error("same name must return the same histogram handle")
+	}
+	// The three namespaces are independent: "a" exists in each.
+	if got := len(r.Names()); got != 3 {
+		t.Errorf("Names() has %d entries, want 3", got)
+	}
+}
+
+func TestSnapshotAndJSONStability(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events").Add(10)
+	r.Gauge("bytes").Set(4096)
+	r.Histogram("lat").Observe(100)
+
+	s := r.Snapshot()
+	if s.Counter("events") != 10 || s.Gauge("bytes") != 4096 {
+		t.Errorf("snapshot accessors: events=%d bytes=%d", s.Counter("events"), s.Gauge("bytes"))
+	}
+	if s.Counter("missing") != 0 || s.Gauge("missing") != 0 {
+		t.Error("missing metrics must read as 0")
+	}
+	if s.Histograms["lat"].Count != 1 {
+		t.Errorf("histogram count = %d, want 1", s.Histograms["lat"].Count)
+	}
+
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("JSON encoding is not stable across identical snapshots")
+	}
+	var round Snapshot
+	if err := json.Unmarshal(a.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["events"] != 10 {
+		t.Errorf("round-tripped events = %d, want 10", round.Counters["events"])
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("/metrics body is not valid JSON: %v", err)
+	}
+	if s.Counters["events"] != 1 {
+		t.Errorf("served events = %d, want 1", s.Counters["events"])
+	}
+}
+
+// TestConcurrentUpdatesAndSnapshots runs writers against snapshotters
+// (meaningful under -race) and checks that snapshots are monotone in
+// every counter and histogram field.
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	const writers, iters = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("events")
+			h := r.Histogram("lat")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(int64(i % 512))
+				r.Gauge("phase").Set(int64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var lastCount, lastEvents int64
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot()
+			if n := s.Counter("events"); n < lastEvents {
+				t.Errorf("counter went backwards: %d -> %d", lastEvents, n)
+				return
+			} else {
+				lastEvents = n
+			}
+			if n := s.Histograms["lat"].Count; n < lastCount {
+				t.Errorf("histogram count went backwards: %d -> %d", lastCount, n)
+				return
+			} else {
+				lastCount = n
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := r.Snapshot()
+	if got, want := s.Counter("events"), int64(writers*iters); got != want {
+		t.Errorf("final events = %d, want %d", got, want)
+	}
+	if got, want := s.Histograms["lat"].Count, int64(writers*iters); got != want {
+		t.Errorf("final histogram count = %d, want %d", got, want)
+	}
+}

@@ -2,7 +2,9 @@ package rr
 
 import (
 	"fmt"
+	"time"
 
+	"fasttrack/internal/obs"
 	"fasttrack/trace"
 )
 
@@ -70,8 +72,22 @@ type Dispatcher struct {
 	// lock bookkeeping, so the counter stays zero.
 	UnheldReleases int64
 
+	// Obs, when non-nil, receives live pipeline metrics (rr.* namespace:
+	// events fed, delivered by class, validator/quarantine accounting,
+	// sampled per-event dispatch latency). Metrics are atomic, so a
+	// concurrent goroutine may snapshot the registry while events flow;
+	// the dispatcher itself remains single-threaded.
+	Obs *obs.Registry
+
 	depth map[lockKey]int
 	next  int // index of the next event forwarded to the tool
+
+	om *obsMetrics // cached metric handles, nil until Obs is set
+
+	// deliveredKind counts events actually handed to the tool, indexed
+	// by event kind — the dispatcher-side ground truth the detectors'
+	// own Stats are audited against.
+	deliveredKind [trace.TxEnd + 1]int64
 
 	val  *Validator
 	verr error // sticky PolicyStrict validation error
@@ -155,6 +171,12 @@ func (d *Dispatcher) MapVar(x uint64) uint64 {
 // violation halts the stream (see Err); all later events are ignored.
 func (d *Dispatcher) Event(e trace.Event) {
 	d.Fed++
+	if d.Obs != nil && d.om == nil {
+		d.initObs()
+	}
+	if d.om != nil {
+		d.om.fed.Inc()
+	}
 	if d.verr != nil {
 		return
 	}
@@ -164,6 +186,9 @@ func (d *Dispatcher) Event(e trace.Event) {
 			d.val.SetCaps(d.MaxTid, d.MaxTarget)
 		}
 		repairs, drop, err := d.val.Check(int(d.Fed-1), e)
+		if d.om != nil {
+			d.om.publishValidator(d.val)
+		}
 		if err != nil {
 			d.verr = err
 			return
@@ -176,6 +201,29 @@ func (d *Dispatcher) Event(e trace.Event) {
 		}
 	}
 	d.process(e)
+}
+
+// Delivered returns how many events of kind k the dispatcher actually
+// handed to the tool (after validation, filtering, wait expansion, and
+// quarantine). Wait events are delivered as Release.
+func (d *Dispatcher) Delivered(k trace.Kind) int64 {
+	if int(k) >= len(d.deliveredKind) {
+		return 0
+	}
+	return d.deliveredKind[k]
+}
+
+// DeliveredSyncs returns the number of delivered synchronization events
+// (every delivered kind that is neither a data access nor a transaction
+// marker).
+func (d *Dispatcher) DeliveredSyncs() int64 {
+	var n int64
+	for k, c := range d.deliveredKind {
+		if trace.Kind(k).IsSync() {
+			n += c
+		}
+	}
+	return n
 }
 
 // Err returns the sticky PolicyStrict validation error, if any.
@@ -201,7 +249,7 @@ func (d *Dispatcher) process(e trace.Event) {
 		k := lockKey{e.Tid, e.Target}
 		d.depth[k]++
 		if d.depth[k] > 1 {
-			d.FilteredReentrant++
+			d.filteredReentrant()
 			return
 		}
 	case trace.Release:
@@ -211,13 +259,13 @@ func (d *Dispatcher) process(e trace.Event) {
 			// Release with no matching acquire: never forwarded unchecked.
 			// A validating policy repairs or drops it before it gets here;
 			// under PolicyOff it is intercepted and counted.
-			d.UnheldReleases++
+			d.unheldRelease()
 			return
 		case 1:
 			delete(d.depth, k)
 		default:
 			d.depth[k]--
-			d.FilteredReentrant++
+			d.filteredReentrant()
 			return
 		}
 	case trace.Wait:
@@ -231,7 +279,7 @@ func (d *Dispatcher) process(e trace.Event) {
 			// Waiting on a lock the thread does not hold would forward a
 			// release that never had an acquire; intercept it like an
 			// unheld release.
-			d.UnheldReleases++
+			d.unheldRelease()
 			return
 		case 1:
 			delete(d.depth, k)
@@ -240,7 +288,7 @@ func (d *Dispatcher) process(e trace.Event) {
 			// releases all holds; we conservatively keep the re-entrant
 			// depth and release the outermost hold only.
 			d.depth[k]--
-			d.FilteredReentrant++
+			d.filteredReentrant()
 			return
 		}
 		d.forward(trace.Rel(e.Tid, e.Target))
@@ -261,8 +309,35 @@ func (d *Dispatcher) forward(e trace.Event) {
 	d.deliver(i, e)
 }
 
+func (d *Dispatcher) filteredReentrant() {
+	d.FilteredReentrant++
+	if d.om != nil {
+		d.om.filtered.Inc()
+	}
+}
+
+func (d *Dispatcher) unheldRelease() {
+	d.UnheldReleases++
+	if d.om != nil {
+		d.om.unheld.Inc()
+	}
+}
+
 // deliver hands the event to the tool inside the panic quarantine.
 func (d *Dispatcher) deliver(i int, e trace.Event) {
+	if int(e.Kind) < len(d.deliveredKind) {
+		d.deliveredKind[e.Kind]++
+	}
+	if d.om != nil {
+		d.om.countDelivered(e.Kind)
+		// Sample 1 in latencySampleEvery deliveries into the latency
+		// histogram; registered before the recover defer (LIFO) so a
+		// panicking delivery is still timed.
+		if i%latencySampleEvery == 0 {
+			start := time.Now()
+			defer func() { d.om.latency.Observe(time.Since(start).Nanoseconds()) }()
+		}
+	}
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -277,6 +352,10 @@ func (d *Dispatcher) deliver(i int, e trace.Event) {
 				d.quarantined = map[uint64]bool{}
 			}
 			d.quarantined[e.Target] = true
+		}
+		if d.om != nil {
+			d.om.panics.Inc()
+			d.om.quarantine.Set(int64(len(d.quarantined)))
 		}
 		max := d.MaxToolPanics
 		if max <= 0 {
@@ -400,16 +479,7 @@ func (p *Pipeline) Races() []Report { return p.Back.Races() }
 // Stats implements Tool; it merges both halves' counters so the total
 // instrumentation cost of the composed analysis is visible.
 func (p *Pipeline) Stats() Stats {
-	a, b := p.Pre.Stats(), p.Back.Stats()
-	a.Events += b.Events
-	a.Reads += b.Reads
-	a.Writes += b.Writes
-	a.Syncs += b.Syncs
-	a.VCAlloc += b.VCAlloc
-	a.VCOp += b.VCOp
-	a.LockSetOps += b.LockSetOps
-	a.ShadowBytes += b.ShadowBytes
-	a.MemSqueezes += b.MemSqueezes
-	a.MemCoarse += b.MemCoarse
+	a := p.Pre.Stats()
+	a.Merge(p.Back.Stats())
 	return a
 }

@@ -1,0 +1,87 @@
+package rr
+
+import (
+	"fmt"
+	"io"
+)
+
+// opsRow is one line of the operation-mix table: a rule label, its
+// count, and the base it is a percentage of.
+type opsRow struct {
+	label  string
+	count  int64
+	base   int64
+	isRead bool
+}
+
+// FprintOpsMix renders a Table-2-style operation-mix breakdown of st:
+// each instrumentation rule as a count and a percentage of its class
+// (reads or writes), the per-kind synchronization mix, and — when the
+// detector attributes every access to a rule — the share of accesses
+// handled by constant-time paths. For FastTrack the headline number is
+// the same-epoch share, the paper's central empirical claim.
+func FprintOpsMix(w io.Writer, name string, st Stats) {
+	accesses := st.Reads + st.Writes
+	fmt.Fprintf(w, "  operation mix (%s): %d accesses (%d reads, %d writes), %d syncs\n",
+		name, accesses, st.Reads, st.Writes, st.Syncs)
+
+	rows := []opsRow{
+		{"read same epoch", st.ReadSameEpoch, st.Reads, true},
+		{"read shared", st.ReadShared, st.Reads, true},
+		{"read exclusive", st.ReadExclusive, st.Reads, true},
+		{"read share (inflate)", st.ReadShare, st.Reads, true},
+		{"read owned", st.ReadOwned, st.Reads, true},
+		{"write same epoch", st.WriteSameEpoch, st.Writes, false},
+		{"write exclusive", st.WriteExclusive, st.Writes, false},
+		{"write shared", st.WriteShared, st.Writes, false},
+		{"write owned", st.WriteOwned, st.Writes, false},
+	}
+	var attributed int64
+	for _, r := range rows {
+		if r.count == 0 {
+			continue
+		}
+		attributed += r.count
+		fmt.Fprintf(w, "    %-22s %12d  %5.1f%% of %s\n",
+			r.label, r.count, pctOf(r.count, r.base), baseName(r.isRead))
+	}
+
+	if accesses > 0 && attributed == accesses {
+		sameEpoch := st.ReadSameEpoch + st.WriteSameEpoch
+		fmt.Fprintf(w, "    same-epoch fast path: %.1f%% of accesses\n", pctOf(sameEpoch, accesses))
+		// Accesses that forced O(n) vector-clock work: read-share
+		// inflation and writes against a read-shared VC. (READ SHARED
+		// itself is constant time: one epoch compare plus one VC entry
+		// update.)
+		slow := st.ReadShare + st.WriteShared
+		fmt.Fprintf(w, "    constant-time paths:  %.1f%% of accesses\n", pctOf(accesses-slow, accesses))
+	}
+
+	if st.Syncs > 0 {
+		fmt.Fprintf(w, "    sync: acquire=%d release=%d fork=%d join=%d volatile=%d barrier=%d wait=%d\n",
+			st.Acquires, st.Releases, st.Forks, st.Joins, st.Volatiles, st.Barriers, st.Waits)
+	}
+	if st.Markers > 0 {
+		fmt.Fprintf(w, "    markers: %d\n", st.Markers)
+	}
+	if st.LockSetOps > 0 {
+		fmt.Fprintf(w, "    lock-set ops: %d\n", st.LockSetOps)
+	}
+	if st.VCAlloc > 0 || st.VCOp > 0 {
+		fmt.Fprintf(w, "    vc: alloc=%d ops=%d\n", st.VCAlloc, st.VCOp)
+	}
+}
+
+func pctOf(n, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(base)
+}
+
+func baseName(isRead bool) string {
+	if isRead {
+		return "reads"
+	}
+	return "writes"
+}

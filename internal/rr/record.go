@@ -28,7 +28,7 @@ func (r *Recorder) HandleEvent(_ int, e trace.Event) {
 	case trace.Write:
 		r.st.Writes++
 	default:
-		r.st.Syncs++
+		r.st.CountKind(e.Kind)
 	}
 	if e.Kind == trace.BarrierRelease {
 		e.Tids = append([]int32(nil), e.Tids...) // own the participant set
@@ -142,17 +142,7 @@ func (t *Tee) Races() []Report {
 func (t *Tee) Stats() Stats {
 	var st Stats
 	for _, tool := range t.Tools {
-		s := tool.Stats()
-		st.Events += s.Events
-		st.Reads += s.Reads
-		st.Writes += s.Writes
-		st.Syncs += s.Syncs
-		st.VCAlloc += s.VCAlloc
-		st.VCOp += s.VCOp
-		st.LockSetOps += s.LockSetOps
-		st.ShadowBytes += s.ShadowBytes
-		st.MemSqueezes += s.MemSqueezes
-		st.MemCoarse += s.MemCoarse
+		st.Merge(tool.Stats())
 	}
 	return st
 }

@@ -86,41 +86,145 @@ func (r Report) String() string {
 // Stats are the instrumentation counters every tool maintains; the
 // evaluation harness derives Table 2 (VC allocations / VC operations),
 // Table 3 (shadow bytes), and the Figure 2 rule frequencies from them.
+// The JSON tags define the stable schema of the machine-readable run
+// report (racedetect -json) and the metrics snapshot.
 type Stats struct {
-	Events int64 // events handled
-	Reads  int64
-	Writes int64
-	Syncs  int64
+	Events int64 `json:"events"` // events handled
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Syncs  int64 `json:"syncs"`
 
-	VCAlloc int64 // vector clocks allocated
-	VCOp    int64 // O(n)-time vector clock operations (copy, join, compare)
+	// Per-kind synchronization breakdown (the operation-mix columns of
+	// the paper's Table 2): Acquires + Releases + Forks + Joins +
+	// Volatiles + Barriers + Waits == Syncs for every detector that
+	// counts via CountKind. Waits stays zero behind the Dispatcher,
+	// which expands wait into release before delivery.
+	Acquires  int64 `json:"acquires,omitempty"`
+	Releases  int64 `json:"releases,omitempty"`
+	Forks     int64 `json:"forks,omitempty"`
+	Joins     int64 `json:"joins,omitempty"`
+	Volatiles int64 `json:"volatiles,omitempty"` // volatile reads + writes
+	Barriers  int64 `json:"barriers,omitempty"`
+	Waits     int64 `json:"waits,omitempty"`
+	// Markers counts transaction boundary events (txbegin/txend), which
+	// carry no happens-before edge and are outside Syncs.
+	Markers int64 `json:"markers,omitempty"`
+
+	VCAlloc int64 `json:"vcAlloc,omitempty"` // vector clocks allocated
+	VCOp    int64 `json:"vcOps,omitempty"`   // O(n)-time vector clock operations (copy, join, compare)
 
 	// FastTrack / DJIT+ rule counters (Figure 2). For DJIT+,
 	// ReadExclusive/WriteExclusive count the generic [DJIT+ READ]/[WRITE]
 	// rules and the Share/Shared counters stay zero.
-	ReadSameEpoch  int64
-	ReadShared     int64
-	ReadExclusive  int64
-	ReadShare      int64
-	WriteSameEpoch int64
-	WriteExclusive int64
-	WriteShared    int64
+	ReadSameEpoch  int64 `json:"readSameEpoch,omitempty"`
+	ReadShared     int64 `json:"readShared,omitempty"`
+	ReadExclusive  int64 `json:"readExclusive,omitempty"`
+	ReadShare      int64 `json:"readShare,omitempty"`
+	WriteSameEpoch int64 `json:"writeSameEpoch,omitempty"`
+	WriteExclusive int64 `json:"writeExclusive,omitempty"`
+	WriteShared    int64 `json:"writeShared,omitempty"`
 
-	LockSetOps  int64 // Eraser-style lock set updates/intersections
-	ShadowBytes int64 // live shadow-memory footprint, computed by Stats()
+	// Ownership-transition counters for the MultiRace-style detector,
+	// whose state machine has a thread-owned phase before any vector
+	// clocks exist: accesses handled entirely in the owned (virgin or
+	// exclusive) states. Zero for every other tool.
+	ReadOwned  int64 `json:"readOwned,omitempty"`
+	WriteOwned int64 `json:"writeOwned,omitempty"`
+
+	LockSetOps  int64 `json:"lockSetOps,omitempty"`  // Eraser-style lock set updates/intersections
+	ShadowBytes int64 `json:"shadowBytes,omitempty"` // live shadow-memory footprint, computed by Stats()
 
 	// Resilience counters, filled in by the Dispatcher (via Monitor.Stats
 	// or Dispatcher.FillStats); always zero for a bare tool.
-	Panics      int64 // tool panics recovered by the quarantine
-	Quarantined int64 // shadow locations quarantined after panics
-	Violations  int64 // stream well-formedness violations observed
-	Repaired    int64 // violations repaired by synthesizing events
-	Dropped     int64 // events dropped (violations and unheld releases)
+	Panics      int64 `json:"panics,omitempty"`      // tool panics recovered by the quarantine
+	Quarantined int64 `json:"quarantined,omitempty"` // shadow locations quarantined after panics
+	Violations  int64 `json:"violations,omitempty"`  // stream well-formedness violations observed
+	Repaired    int64 `json:"repaired,omitempty"`    // violations repaired by synthesizing events
+	Dropped     int64 `json:"dropped,omitempty"`     // events dropped (violations and unheld releases)
 
 	// Memory-budget degradation, maintained by detectors that support a
 	// shadow-memory budget (FastTrack).
-	MemSqueezes int64 // read vector clocks forcibly squeezed to epochs
-	MemCoarse   int64 // accesses remapped to coarse shadowing by the budget
+	MemSqueezes int64 `json:"memSqueezes,omitempty"` // read vector clocks forcibly squeezed to epochs
+	MemCoarse   int64 `json:"memCoarse,omitempty"`   // accesses remapped to coarse shadowing by the budget
+}
+
+// CountKind records one synchronization or transaction-marker event in
+// both the aggregate Syncs counter and the per-kind breakdown. Access
+// events are intentionally not handled here: every detector counts
+// reads and writes inside its access fast paths (where the rule
+// taxonomy is attributed), so routing them through CountKind as well
+// would double-count. Wait and Notify never reach a tool behind the
+// Dispatcher; the cases exist for tools driven directly in tests.
+func (s *Stats) CountKind(k trace.Kind) {
+	switch k {
+	case trace.Acquire:
+		s.Syncs++
+		s.Acquires++
+	case trace.Release:
+		s.Syncs++
+		s.Releases++
+	case trace.Fork:
+		s.Syncs++
+		s.Forks++
+	case trace.Join:
+		s.Syncs++
+		s.Joins++
+	case trace.VolatileRead, trace.VolatileWrite:
+		s.Syncs++
+		s.Volatiles++
+	case trace.BarrierRelease:
+		s.Syncs++
+		s.Barriers++
+	case trace.Wait:
+		s.Syncs++
+		s.Waits++
+	case trace.TxBegin, trace.TxEnd:
+		s.Markers++
+	}
+}
+
+// SyncKindSum is the sum of the per-kind sync counters; for a detector
+// that counts via CountKind it equals Syncs exactly (the accounting
+// invariant the observability tests assert).
+func (s Stats) SyncKindSum() int64 {
+	return s.Acquires + s.Releases + s.Forks + s.Joins + s.Volatiles + s.Barriers + s.Waits
+}
+
+// Merge adds every counter of o into s. Tee and Pipeline use it to
+// combine component stats, so new fields only need to be added here.
+func (s *Stats) Merge(o Stats) {
+	s.Events += o.Events
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Syncs += o.Syncs
+	s.Acquires += o.Acquires
+	s.Releases += o.Releases
+	s.Forks += o.Forks
+	s.Joins += o.Joins
+	s.Volatiles += o.Volatiles
+	s.Barriers += o.Barriers
+	s.Waits += o.Waits
+	s.Markers += o.Markers
+	s.VCAlloc += o.VCAlloc
+	s.VCOp += o.VCOp
+	s.ReadSameEpoch += o.ReadSameEpoch
+	s.ReadShared += o.ReadShared
+	s.ReadExclusive += o.ReadExclusive
+	s.ReadShare += o.ReadShare
+	s.WriteSameEpoch += o.WriteSameEpoch
+	s.WriteExclusive += o.WriteExclusive
+	s.WriteShared += o.WriteShared
+	s.ReadOwned += o.ReadOwned
+	s.WriteOwned += o.WriteOwned
+	s.LockSetOps += o.LockSetOps
+	s.ShadowBytes += o.ShadowBytes
+	s.Panics += o.Panics
+	s.Quarantined += o.Quarantined
+	s.Violations += o.Violations
+	s.Repaired += o.Repaired
+	s.Dropped += o.Dropped
+	s.MemSqueezes += o.MemSqueezes
+	s.MemCoarse += o.MemCoarse
 }
 
 // Tool is a back-end dynamic analysis: it consumes the event stream one

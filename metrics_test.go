@@ -1,0 +1,133 @@
+package fasttrack
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMonitorMetricsSnapshot: a quiet monitor exposes the rr.* pipeline
+// counters and publishes the tool.* gauges at snapshot time, and the
+// event accounting in the snapshot matches Stats exactly.
+func TestMonitorMetricsSnapshot(t *testing.T) {
+	m := NewMonitor()
+	m.Write(0, 1)
+	m.Read(0, 1)
+	m.Acquire(0, 9)
+	m.Release(0, 9)
+
+	s := m.Metrics()
+	if got := s.Counter("rr.events.fed"); got != 4 {
+		t.Errorf("rr.events.fed = %d, want 4", got)
+	}
+	if got := s.Counter("rr.delivered.reads"); got != 1 {
+		t.Errorf("rr.delivered.reads = %d, want 1", got)
+	}
+	if got := s.Counter("rr.delivered.writes"); got != 1 {
+		t.Errorf("rr.delivered.writes = %d, want 1", got)
+	}
+	if got := s.Counter("rr.delivered.syncs"); got != 2 {
+		t.Errorf("rr.delivered.syncs = %d, want 2", got)
+	}
+	st := m.Stats()
+	if got := s.Gauge("tool.events"); got != st.Events {
+		t.Errorf("tool.events gauge = %d, Stats.Events = %d", got, st.Events)
+	}
+	if got := s.Gauge("tool.reads"); got != st.Reads {
+		t.Errorf("tool.reads gauge = %d, Stats.Reads = %d", got, st.Reads)
+	}
+	if m.MetricsRegistry() == nil {
+		t.Fatal("MetricsRegistry returned nil")
+	}
+}
+
+// TestMonitorMetricsConcurrent hammers a monitor from several event
+// threads while another goroutine scrapes Metrics — run with -race, the
+// scrape path must be safe against the event path. Successive snapshots
+// must be monotone in the pipeline counters and the tool gauges that
+// mirror cumulative Stats counters, and the final snapshot must account
+// for every event.
+func TestMonitorMetricsConcurrent(t *testing.T) {
+	m := NewMonitor(WithHints(Hints{Threads: 5, Vars: 64}))
+	const (
+		workers = 4
+		iters   = 500
+		lockID  = 1
+	)
+	var mu sync.Mutex
+	for w := 1; w <= workers; w++ {
+		m.Fork(0, int32(w))
+	}
+
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			private := uint64(100 + tid)
+			for i := 0; i < iters; i++ {
+				m.Write(tid, private)
+				m.Read(tid, private)
+				mu.Lock()
+				m.Acquire(tid, lockID)
+				m.Write(tid, 0)
+				m.Release(tid, lockID)
+				mu.Unlock()
+			}
+		}(int32(w))
+	}
+
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		monotone := []string{
+			"rr.events.fed", "rr.delivered.reads", "rr.delivered.writes",
+			"rr.delivered.syncs", "rr.delivered.total",
+		}
+		last := map[string]int64{}
+		var lastEvents int64
+		for i := 0; i < 100; i++ {
+			s := m.Metrics()
+			for _, name := range monotone {
+				if got := s.Counter(name); got < last[name] {
+					t.Errorf("%s went backwards: %d -> %d", name, last[name], got)
+					return
+				} else {
+					last[name] = got
+				}
+			}
+			// tool.events mirrors a cumulative Stats counter, so the
+			// published gauge is monotone too.
+			if got := s.Gauge("tool.events"); got < lastEvents {
+				t.Errorf("tool.events went backwards: %d -> %d", lastEvents, got)
+				return
+			} else {
+				lastEvents = got
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-scraped
+	for w := 1; w <= workers; w++ {
+		m.Join(0, int32(w))
+	}
+
+	s := m.Metrics()
+	st := m.Stats()
+	wantFed := int64(workers*iters*5 + 2*workers) // accesses+lock ops, forks, joins
+	if got := s.Counter("rr.events.fed"); got != wantFed {
+		t.Errorf("final rr.events.fed = %d, want %d", got, wantFed)
+	}
+	if got := s.Counter("rr.delivered.reads"); got != st.Reads {
+		t.Errorf("final rr.delivered.reads = %d, Stats.Reads = %d", got, st.Reads)
+	}
+	if got := s.Counter("rr.delivered.writes"); got != st.Writes {
+		t.Errorf("final rr.delivered.writes = %d, Stats.Writes = %d", got, st.Writes)
+	}
+	if got := s.Gauge("tool.events"); got != st.Events {
+		t.Errorf("final tool.events = %d, Stats.Events = %d", got, st.Events)
+	}
+	if got := s.Gauge("tool.races"); got != int64(len(m.Races())) {
+		t.Errorf("tool.races = %d, Races() has %d", got, len(m.Races()))
+	}
+}

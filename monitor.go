@@ -3,6 +3,7 @@ package fasttrack
 import (
 	"sync"
 
+	"fasttrack/internal/obs"
 	"fasttrack/internal/rr"
 	"fasttrack/trace"
 )
@@ -24,6 +25,7 @@ type Monitor struct {
 	mu     sync.Mutex
 	disp   *rr.Dispatcher
 	tool   Tool
+	reg    *obs.Registry
 	onRace func(Report)
 	seen   int
 	tids   *threadIDs // lazy; see Monitor.MainThread
@@ -103,7 +105,9 @@ func NewMonitor(opts ...MonitorOption) *Monitor {
 	d := rr.NewDispatcher(tool)
 	d.Granularity = cfg.granularity
 	d.Policy = cfg.policy
-	return &Monitor{disp: d, tool: tool, onRace: cfg.onRace}
+	reg := obs.NewRegistry()
+	d.Obs = reg
+	return &Monitor{disp: d, tool: tool, reg: reg, onRace: cfg.onRace}
 }
 
 // event feeds one event under the lock and fires the race callback for
@@ -204,3 +208,27 @@ func (m *Monitor) Health() Health {
 	defer m.mu.Unlock()
 	return m.disp.Health()
 }
+
+// Metrics returns a point-in-time metrics snapshot: the dispatcher's
+// live pipeline counters (rr.* namespace, updated atomically on every
+// event) plus the detector's own counters and warning count published
+// under tool.* at snapshot time. The detector's non-thread-safe state
+// is read under the monitor's lock, but the registry snapshot itself is
+// taken after the lock is released, so Metrics never holds both the
+// monitor lock and the registry lock at once.
+func (m *Monitor) Metrics() MetricsSnapshot {
+	m.mu.Lock()
+	st := m.tool.Stats()
+	m.disp.FillStats(&st)
+	races := len(m.tool.Races())
+	m.mu.Unlock()
+
+	rr.PublishStats(m.reg, "tool", st)
+	m.reg.Gauge("tool.races").Set(int64(races))
+	return m.reg.Snapshot()
+}
+
+// MetricsRegistry exposes the monitor's live registry, e.g. to serve it
+// over HTTP with obs-style handlers. The dispatcher's rr.* metrics are
+// updated on every event; tool.* gauges are refreshed by Metrics.
+func (m *Monitor) MetricsRegistry() *obs.Registry { return m.reg }

@@ -15,6 +15,7 @@ import (
 	"fasttrack/internal/detectors/goldilocks"
 	"fasttrack/internal/detectors/goodlock"
 	"fasttrack/internal/detectors/multirace"
+	"fasttrack/internal/obs"
 	"fasttrack/internal/rr"
 	"fasttrack/trace"
 )
@@ -79,6 +80,12 @@ const (
 // tool panics, quarantined shadow locations, and stream-validation
 // accounting. A fully healthy pipeline has Healthy == true.
 type Health = rr.Health
+
+// MetricsSnapshot is a point-in-time copy of a pipeline's metrics
+// registry: counters, gauges, and histograms keyed by name (rr.* for
+// the dispatcher's live pipeline metrics, tool.* for the detector's
+// counters). It marshals to stable JSON; see Monitor.Metrics.
+type MetricsSnapshot = obs.Snapshot
 
 // Hints carries optional capacity hints and feature toggles for a
 // detector; zero values are fine.

@@ -21,6 +21,19 @@ type Scanner struct {
 	index   int
 	err     error
 	cur     Event
+	stats   ScanStats
+}
+
+// ScanStats counts what the scanner decoded, classified at the trace
+// layer before any dispatcher filtering — the raw stream composition the
+// pipeline's delivered-event accounting is compared against.
+type ScanStats struct {
+	Events  int64 `json:"events"`
+	Reads   int64 `json:"reads,omitempty"`
+	Writes  int64 `json:"writes,omitempty"`
+	Syncs   int64 `json:"syncs,omitempty"`
+	Markers int64 `json:"markers,omitempty"` // txbegin/txend
+	Other   int64 `json:"other,omitempty"`   // notify (no happens-before role)
 }
 
 // NewScanner returns a scanner over r.
@@ -66,8 +79,24 @@ func (s *Scanner) Scan() bool {
 	}
 	s.cur = e
 	s.index++
+	s.stats.Events++
+	switch {
+	case e.Kind == Read:
+		s.stats.Reads++
+	case e.Kind == Write:
+		s.stats.Writes++
+	case e.Kind.IsSync():
+		s.stats.Syncs++
+	case e.Kind == TxBegin || e.Kind == TxEnd:
+		s.stats.Markers++
+	default:
+		s.stats.Other++
+	}
 	return true
 }
+
+// Stats returns decode-time counts for the events scanned so far.
+func (s *Scanner) Stats() ScanStats { return s.stats }
 
 // Event returns the event read by the last successful Scan.
 func (s *Scanner) Event() Event { return s.cur }
