@@ -88,6 +88,53 @@ func TestAccountingSim(t *testing.T) {
 	}
 }
 
+// TestUnheldReleaseAccounting: an intercepted unheld release is its own
+// Stats field. Folding it into Dropped used to break the documented
+// Violations == Repaired + Dropped invariant under PolicyOff, where the
+// interception happens without any validator violation being recorded.
+func TestUnheldReleaseAccounting(t *testing.T) {
+	m := NewMonitor()
+	m.Acquire(0, 5)
+	m.Release(0, 5)
+	m.Release(0, 5) // no matching acquire: intercepted, not forwarded
+	m.Write(0, 1)
+
+	st := m.Stats()
+	if st.UnheldReleases != 1 {
+		t.Errorf("UnheldReleases = %d, want 1", st.UnheldReleases)
+	}
+	if st.Violations != 0 || st.Repaired != 0 || st.Dropped != 0 {
+		t.Errorf("validator counters must stay zero under PolicyOff: violations=%d repaired=%d dropped=%d",
+			st.Violations, st.Repaired, st.Dropped)
+	}
+	if st.Violations != st.Repaired+st.Dropped {
+		t.Errorf("invariant broken: Violations=%d != Repaired+Dropped=%d",
+			st.Violations, st.Repaired+st.Dropped)
+	}
+	if st.Releases != 1 {
+		t.Errorf("tool saw %d releases, want 1 (the held one)", st.Releases)
+	}
+
+	// Under a validating policy the validator handles the malformed
+	// release instead, and the invariant still holds with the new field
+	// staying zero.
+	mv := NewMonitor(WithValidation(PolicyRepair))
+	mv.Acquire(0, 5)
+	mv.Release(0, 5)
+	mv.Release(0, 5)
+	stv := mv.Stats()
+	if stv.UnheldReleases != 0 {
+		t.Errorf("PolicyRepair: UnheldReleases = %d, want 0 (validator repaired it first)", stv.UnheldReleases)
+	}
+	if stv.Violations != stv.Repaired+stv.Dropped {
+		t.Errorf("PolicyRepair: invariant broken: Violations=%d != Repaired+Dropped=%d",
+			stv.Violations, stv.Repaired+stv.Dropped)
+	}
+	if stv.Violations == 0 {
+		t.Error("PolicyRepair: the unheld release must be recorded as a violation")
+	}
+}
+
 // TestAccountingChaos: the invariants must survive corrupted streams.
 // Under PolicyRepair no registered detector panics (the chaos harness's
 // own contract), so the delivered counters remain an exact ground

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	racebench [-table all|1|2|3|rules|compose|eclipse|ops] [-scale N] [-runs N]
+//	racebench [-table all|1|2|3|rules|compose|eclipse|ops|shards] [-scale N] [-runs N]
 //
 // Table 1: slowdown and warnings for seven tools on sixteen benchmarks.
 // Table 2: vector clocks allocated / O(n) VC operations, DJIT+ vs
@@ -13,7 +13,10 @@
 // Section 5.3 Eclipse-shaped experiment. "ops": per-detector analysis
 // cost (ns/event) and constant-time path shares; with -out FILE it
 // writes the machine-readable fasttrack/bench-ops/v1 JSON artifact
-// (BENCH_ops.json in CI).
+// (BENCH_ops.json in CI). "shards": live-Monitor ingestion throughput,
+// serial vs lock-striped (WithShards), at 1/2/4/8 feeder goroutines;
+// with -out FILE it writes the fasttrack/bench-scaling/v1 artifact
+// (BENCH_scaling.json in CI).
 package main
 
 import (
@@ -25,11 +28,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
-	out := flag.String("out", "", "for -table ops: also write the JSON artifact to this file")
+	out := flag.String("out", "", "for -table ops/shards: also write the JSON artifact to this file")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -99,6 +102,17 @@ func main() {
 				check(f.Close())
 				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
 			}
+		case "shards":
+			fmt.Println("=== Extension: sharded Monitor ingestion throughput ===")
+			rep := bench.ShardScaling(cfg, nil, nil, 0)
+			bench.FprintShardScaling(os.Stdout, rep)
+			if *out != "" {
+				f, err := os.Create(*out)
+				check(err)
+				check(bench.WriteShardScalingJSON(f, rep))
+				check(f.Close())
+				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
 			os.Exit(2)
@@ -107,7 +121,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops"} {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards"} {
 			run(name)
 		}
 		return

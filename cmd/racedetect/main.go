@@ -6,7 +6,7 @@
 //
 //	racedetect [-tool FastTrack] [-all] [-granularity fine|coarse]
 //	           [-validate] [-stats] [-policy off|strict|repair|drop]
-//	           [-membudget bytes] [-json] [-json.file out.json]
+//	           [-membudget bytes] [-shards N] [-json] [-json.file out.json]
 //	           [-metrics.addr :6060] trace-file
 //	racedetect -chaos [trace-file]
 //
@@ -57,6 +57,7 @@ func main() {
 	stream := flag.Bool("stream", false, "process the trace incrementally without loading it into memory (single tool only)")
 	policyName := flag.String("policy", "off", "stream-validation policy: off, strict, repair, or drop")
 	memBudget := flag.Int64("membudget", 0, "FastTrack shadow-memory budget in bytes (0 = unbounded)")
+	shards := flag.Int("shards", 1, "ingest through the lock-striped Monitor with this many stripes (single tool, -policy off, no -membudget or -stream)")
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection smoke suite over every detector")
 	jsonOut := flag.Bool("json", false, "write a machine-readable run report to stdout")
 	jsonFile := flag.String("json.file", "", "write the run report to this file instead of stdout")
@@ -113,6 +114,9 @@ func main() {
 		if *all {
 			fatal(fmt.Errorf("-stream runs a single tool; drop -all"))
 		}
+		if *shards > 1 {
+			fatal(fmt.Errorf("-shards applies to batch ingestion; drop -stream"))
+		}
 		exit := runStream(flag.Arg(0), *toolName, g, policy, *validate, *stats, jsonWanted, *jsonFile, ms, rep, humanOut)
 		finishJSON(jsonWanted, rep, *jsonFile)
 		os.Exit(exit)
@@ -131,6 +135,21 @@ func main() {
 	if *explain {
 		explainRaces(tr, g)
 		return
+	}
+
+	if *shards > 1 {
+		if *all {
+			fatal(fmt.Errorf("-shards runs a single tool; drop -all"))
+		}
+		if policy != fasttrack.PolicyOff {
+			fatal(fmt.Errorf("-shards is incompatible with -policy %s (the stream validator is sequential)", *policyName))
+		}
+		if *memBudget != 0 {
+			fatal(fmt.Errorf("-shards is incompatible with -membudget"))
+		}
+		exit := runSharded(tr, *toolName, g, *shards, *stats, jsonWanted, ms, rep, humanOut)
+		finishJSON(jsonWanted, rep, *jsonFile)
+		os.Exit(exit)
 	}
 
 	names := []string{*toolName}
@@ -190,6 +209,60 @@ func main() {
 	}
 	finishJSON(jsonWanted, rep, *jsonFile)
 	os.Exit(exit)
+}
+
+// runSharded replays the trace through the lock-striped Monitor
+// (WithShards) instead of the raw dispatcher. A batch replay is a single
+// feeder, so this does not speed the analysis up — it exercises exactly
+// the production concurrent path (striped locking, watermark slow path,
+// reconciled metrics) against a recorded trace, and reports the same
+// race set as the serial path.
+func runSharded(tr trace.Trace, toolName string, g fasttrack.Granularity, shards int,
+	stats, jsonWanted bool, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
+
+	hints := fasttrack.Hints{Threads: tr.Threads()}
+	if jsonWanted && toolName == "FastTrack" {
+		hints.DetailedReports = true
+	}
+	tool, err := fasttrack.NewTool(toolName, hints)
+	if err != nil {
+		fatal(err)
+	}
+	if _, ok := tool.(fasttrack.ShardedTool); !ok {
+		fatal(fmt.Errorf("-shards: tool %q does not support sharded ingestion", tool.Name()))
+	}
+
+	mon := fasttrack.NewMonitor(
+		fasttrack.WithTool(tool),
+		fasttrack.WithGranularity(g),
+		fasttrack.WithShards(shards),
+	)
+	ms.attach(mon.MetricsRegistry())
+	for _, e := range tr {
+		mon.Ingest(e)
+	}
+
+	races := mon.Races()
+	st := mon.Stats()
+	health := mon.Health()
+	snap := mon.Metrics() // also publishes tool.* and monitor.sharded.*
+
+	printReport(humanOut, tool, races, st, stats)
+	fmt.Fprintf(humanOut, "(%d events via %d-stripe monitor)\n", len(tr), mon.Shards())
+	if jsonWanted {
+		rep.Tools = append(rep.Tools, toolReport{
+			Tool:    tool.Name(),
+			Events:  int64(len(tr)),
+			Races:   raceReports(races, tr),
+			Stats:   st,
+			Health:  healthJSON(health),
+			Metrics: snap,
+		})
+	}
+	if len(races) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // runStream analyzes the trace incrementally with the full pipeline

@@ -86,8 +86,7 @@ func (d *Detector) Compact(dead []int32) CompactStats {
 	// retained marks dead threads still referenced somewhere.
 	retained := map[vc.Tid]bool{}
 
-	for x := range d.vars {
-		vs := &d.vars[x]
+	compactVar := func(vs *varState) {
 		if vs.w != vc.Bottom && deadSet[vs.w.Tid()] {
 			if dominated(vs.w) {
 				vs.w = vc.Bottom
@@ -124,6 +123,14 @@ func (d *Detector) Compact(dead []int32) CompactStats {
 			} else {
 				retained[vs.r.Tid()] = true
 			}
+		}
+	}
+	for x := range d.vars {
+		compactVar(&d.vars[x])
+	}
+	for i := range d.stripes {
+		for _, sv := range d.stripes[i].vars {
+			compactVar(&sv.varState)
 		}
 	}
 

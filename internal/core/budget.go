@@ -35,7 +35,14 @@ const budgetCheckInterval = 1024
 // number of bytes (0 disables the budget). The cap is enforced by
 // degrading precision, never by aborting; see Stats.MemSqueezes and
 // Stats.MemCoarse for how often each rung fired.
-func (d *Detector) SetMemoryBudget(bytes int64) { d.budget = bytes }
+func (d *Detector) SetMemoryBudget(bytes int64) {
+	if bytes > 0 && d.stripes != nil {
+		// The coarse fallback remaps variable ids, which would move
+		// variables across stripes behind the stripe locks' back.
+		panic("core: memory budget is incompatible with sharding")
+	}
+	d.budget = bytes
+}
 
 // budgetAccess remaps an accessed variable under the budget's coarse
 // fallback and periodically re-checks the footprint. Called from the

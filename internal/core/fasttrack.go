@@ -18,6 +18,8 @@
 package core
 
 import (
+	"sort"
+
 	"fasttrack/internal/rr"
 	"fasttrack/internal/vc"
 	"fasttrack/trace"
@@ -78,6 +80,12 @@ type Detector struct {
 	// presented algorithm, and the stats counters let the claim be
 	// re-checked here (see the rule-frequency tests).
 	extendedSameEpoch bool
+
+	// stripes, when non-nil, holds the per-stripe variable tables, access
+	// counters and race lists used under the sharded Monitor's
+	// stripe-locking discipline (see shard.go and rr.ShardedTool). Serial
+	// detectors leave it nil and use the dense vars table below.
+	stripes []stripeState
 
 	races []rr.Report
 	st    rr.Stats
@@ -150,33 +158,53 @@ func (d *Detector) variable(x uint64) *varState {
 // refreshEpoch re-caches E(t) after C_t(t) changed.
 func (ts *threadState) refreshEpoch(t vc.Tid) { ts.epoch = ts.c.Epoch(t) }
 
-// report records a warning, at most one per variable.
-func (d *Detector) report(vs *varState, x uint64, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
+// report records a warning, at most one per variable, into the
+// detector's race list in serial mode or the variable's stripe in
+// sharded mode (sv is the variable's sharded state then, nil otherwise).
+func (d *Detector) report(x uint64, vs *varState, sv *shardedVar, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
 	if vs.flagged {
 		return
 	}
 	vs.flagged = true
 	prevIdx := -1
-	if d.detailed {
+	races := &d.races
+	if sv != nil {
+		races = &d.stripeOf(x).races
+		if d.detailed {
+			if kind == rr.ReadWrite {
+				prevIdx = sv.lastR
+			} else {
+				prevIdx = sv.lastW
+			}
+		}
+	} else if d.detailed {
 		if kind == rr.ReadWrite {
 			prevIdx = d.lastReadIdx[x]
 		} else {
 			prevIdx = d.lastWriteIdx[x]
 		}
 	}
-	d.races = append(d.races, rr.Report{
+	*races = append(*races, rr.Report{
 		Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: prevIdx,
 	})
 }
 
-// HandleEvent implements rr.Tool.
+// HandleEvent implements rr.Tool. Accesses are handled entirely inside
+// read/write (including the Events count), because in sharded mode every
+// counter an access touches must live on the variable's stripe; all
+// other kinds are delivered under full exclusion and use the detector's
+// own counters.
 func (d *Detector) HandleEvent(i int, e trace.Event) {
-	d.st.Events++
 	switch e.Kind {
 	case trace.Read:
-		d.read(i, e.Tid, e.Target)
+		d.read(i, e.Tid, e.Target, true)
+		return
 	case trace.Write:
-		d.write(i, e.Tid, e.Target)
+		d.write(i, e.Tid, e.Target, true)
+		return
+	}
+	d.st.Events++
+	switch e.Kind {
 	case trace.Acquire:
 		d.st.CountKind(e.Kind)
 		d.acquire(e.Tid, e.Target)
@@ -215,44 +243,79 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 func (d *Detector) HandleFilter(i int, e trace.Event) bool {
 	switch e.Kind {
 	case trace.Read:
-		d.read(i, e.Tid, e.Target)
-		return d.variable(d.budgetVar(e.Target)).flagged
+		d.read(i, e.Tid, e.Target, false)
+		return d.flaggedOf(d.budgetVar(e.Target))
 	case trace.Write:
-		d.write(i, e.Tid, e.Target)
-		return d.variable(d.budgetVar(e.Target)).flagged
+		d.write(i, e.Tid, e.Target, false)
+		return d.flaggedOf(d.budgetVar(e.Target))
 	default:
 		d.HandleEvent(i, e)
 		return true
 	}
 }
 
+// flaggedOf reports whether a race has already been recorded on variable
+// x, without materializing shadow state in sharded mode.
+func (d *Detector) flaggedOf(x uint64) bool {
+	if d.stripes != nil {
+		if sv := d.stripeOf(x).vars[x]; sv != nil {
+			return sv.flagged
+		}
+		return false
+	}
+	return d.variable(x).flagged
+}
+
 // read implements the four read rules of Figure 2 / the read handler of
-// Figure 5.
-func (d *Detector) read(i int, tid int32, x uint64) {
-	d.st.Reads++
-	if d.budget > 0 {
-		x = d.budgetAccess(x)
+// Figure 5. countEvent distinguishes the Tool path (which counts the
+// event) from the Prefilter path (which historically does not). In
+// sharded mode the handler reads only thread tid's clock and mutates
+// only state on x's stripe, so it is safe under that stripe's lock.
+func (d *Detector) read(i int, tid int32, x uint64, countEvent bool) {
+	var (
+		vs *varState
+		st *rr.Stats
+		sv *shardedVar // non-nil iff sharded
+	)
+	if d.stripes == nil {
+		st = &d.st
+		st.Reads++
+		if d.budget > 0 {
+			x = d.budgetAccess(x)
+		}
+		vs = d.variable(x)
+	} else {
+		var s *stripeState
+		s, sv = d.stripeVar(x)
+		vs, st = &sv.varState, &s.st
+		st.Reads++
+	}
+	if countEvent {
+		st.Events++
 	}
 	ts := d.thread(tid)
-	vs := d.variable(x)
 
 	// [FT READ SAME EPOCH] — 63.4% of reads in the paper's benchmarks.
 	if vs.r == ts.epoch {
-		d.st.ReadSameEpoch++
+		st.ReadSameEpoch++
 		return
 	}
 	// Extended rule (optional): same-epoch read of read-shared data.
 	if d.extendedSameEpoch && vs.r == readShared && vs.rvc.Get(vc.Tid(tid)) == ts.c.Get(vc.Tid(tid)) {
-		d.st.ReadSameEpoch++
+		st.ReadSameEpoch++
 		return
 	}
 
 	// Write-read race check: W_x � C_t.
 	if !vs.w.LEq(ts.c) {
-		d.report(vs, x, rr.WriteRead, tid, vs.w.Tid(), i)
+		d.report(x, vs, sv, rr.WriteRead, tid, vs.w.Tid(), i)
 	}
 	if d.detailed {
-		d.lastReadIdx[x] = i
+		if sv != nil {
+			sv.lastR = i
+		} else {
+			d.lastReadIdx[x] = i
+		}
 	}
 
 	t := vc.Tid(tid)
@@ -260,17 +323,17 @@ func (d *Detector) read(i int, tid int32, x uint64) {
 	case vs.r == readShared:
 		// [FT READ SHARED] — update one component of R_x in place.
 		vs.rvc = vs.rvc.Set(t, ts.c.Get(t))
-		d.st.ReadShared++
+		st.ReadShared++
 	case vs.r.LEq(ts.c):
 		// [FT READ EXCLUSIVE] — reads still totally ordered.
 		vs.r = ts.epoch
-		d.st.ReadExclusive++
+		st.ReadExclusive++
 	default:
 		// [FT READ SHARE] — concurrent reads; inflate to a vector clock.
 		// (The slow path of Figure 5: 0.1% of reads.)
 		if vs.rvc == nil {
 			vs.rvc = vc.New(len(d.threads))
-			d.st.VCAlloc++
+			st.VCAlloc++
 		} else {
 			for j := range vs.rvc {
 				vs.rvc[j] = 0
@@ -279,52 +342,72 @@ func (d *Detector) read(i int, tid int32, x uint64) {
 		vs.rvc = vs.rvc.Set(vs.r.Tid(), vs.r.Clock())
 		vs.rvc = vs.rvc.Set(t, ts.c.Get(t))
 		vs.r = readShared
-		d.st.ReadShare++
+		st.ReadShare++
 	}
 }
 
 // write implements the three write rules of Figure 2 / the write handler
-// of Figure 5.
-func (d *Detector) write(i int, tid int32, x uint64) {
-	d.st.Writes++
-	if d.budget > 0 {
-		x = d.budgetAccess(x)
+// of Figure 5. See read for the countEvent and sharding notes.
+func (d *Detector) write(i int, tid int32, x uint64, countEvent bool) {
+	var (
+		vs *varState
+		st *rr.Stats
+		sv *shardedVar // non-nil iff sharded
+	)
+	if d.stripes == nil {
+		st = &d.st
+		st.Writes++
+		if d.budget > 0 {
+			x = d.budgetAccess(x)
+		}
+		vs = d.variable(x)
+	} else {
+		var s *stripeState
+		s, sv = d.stripeVar(x)
+		vs, st = &sv.varState, &s.st
+		st.Writes++
+	}
+	if countEvent {
+		st.Events++
 	}
 	ts := d.thread(tid)
-	vs := d.variable(x)
 
 	// [FT WRITE SAME EPOCH] — 71.0% of writes.
 	if vs.w == ts.epoch {
-		d.st.WriteSameEpoch++
+		st.WriteSameEpoch++
 		return
 	}
 
 	// Write-write race check: W_x � C_t.
 	if !vs.w.LEq(ts.c) {
-		d.report(vs, x, rr.WriteWrite, tid, vs.w.Tid(), i)
+		d.report(x, vs, sv, rr.WriteWrite, tid, vs.w.Tid(), i)
 	}
 
 	if vs.r != readShared {
 		// [FT WRITE EXCLUSIVE] — read-write race check against the read
 		// epoch: R_x � C_t.
 		if !vs.r.LEq(ts.c) {
-			d.report(vs, x, rr.ReadWrite, tid, vs.r.Tid(), i)
+			d.report(x, vs, sv, rr.ReadWrite, tid, vs.r.Tid(), i)
 		}
-		d.st.WriteExclusive++
+		st.WriteExclusive++
 	} else {
 		// [FT WRITE SHARED] — the one slow write path (0.1% of writes):
 		// R_x ⊑ C_t is a full vector-clock comparison. The write then
 		// happens after all reads, so the read history is demoted back
 		// to the minimal epoch ⊥e, re-enabling the fast paths.
-		d.st.VCOp++
+		st.VCOp++
 		if prev := vs.rvc.FirstExceeding(ts.c); prev >= 0 {
-			d.report(vs, x, rr.ReadWrite, tid, prev, i)
+			d.report(x, vs, sv, rr.ReadWrite, tid, prev, i)
 		}
 		vs.r = vc.Bottom
-		d.st.WriteShared++
+		st.WriteShared++
 	}
 	if d.detailed {
-		d.lastWriteIdx[x] = i
+		if sv != nil {
+			sv.lastW = i
+		} else {
+			d.lastWriteIdx[x] = i
+		}
 	}
 	vs.w = ts.epoch
 }
@@ -421,8 +504,22 @@ func (d *Detector) barrier(tids []int32) {
 	}
 }
 
-// Races implements rr.Tool.
-func (d *Detector) Races() []rr.Report { return d.races }
+// Races implements rr.Tool. In sharded mode the per-stripe race lists
+// are merged and ordered by event index — the same total order a serial
+// run over the same delivered trace produces. Must be called under full
+// exclusion; for incremental draining under a single stripe lock use
+// StripeRaces.
+func (d *Detector) Races() []rr.Report {
+	if d.stripes == nil {
+		return d.races
+	}
+	var all []rr.Report
+	for i := range d.stripes {
+		all = append(all, d.stripes[i].races...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Index < all[b].Index })
+	return all
+}
 
 // footprint computes the live shadow-memory footprint in bytes; the
 // memory budget (budget.go) compares it against the configured ceiling.
@@ -431,6 +528,12 @@ func (d *Detector) footprint() int64 {
 	for i := range d.vars {
 		bytes += 24 // w, r epochs + flag word
 		bytes += int64(d.vars[i].rvc.Bytes())
+	}
+	for i := range d.stripes {
+		for _, sv := range d.stripes[i].vars {
+			bytes += 48 // map slot + w, r epochs, flag, history words
+			bytes += int64(sv.rvc.Bytes())
+		}
 	}
 	for i := range d.threads {
 		bytes += int64(d.threads[i].c.Bytes()) + 8
@@ -444,9 +547,15 @@ func (d *Detector) footprint() int64 {
 	return bytes
 }
 
-// Stats implements rr.Tool; ShadowBytes is computed from live state.
+// Stats implements rr.Tool; ShadowBytes is computed from live state. In
+// sharded mode the per-stripe counters are merged into the detector's
+// own (which hold the sync-event accounting). Must be called under full
+// exclusion.
 func (d *Detector) Stats() rr.Stats {
 	st := d.st
+	for i := range d.stripes {
+		st.Merge(d.stripes[i].st)
+	}
 	st.ShadowBytes = d.footprint()
 	return st
 }
@@ -458,7 +567,7 @@ func (d *Detector) ClockOf(t int32) vc.VC { return d.thread(t).c.Copy() }
 // ReadStateOf exposes variable x's read history for white-box tests: the
 // epoch and false, or the read vector clock and true when read-shared.
 func (d *Detector) ReadStateOf(x uint64) (vc.Epoch, vc.VC, bool) {
-	vs := d.variable(x)
+	vs := d.varOf(x)
 	if vs.r == readShared {
 		return 0, vs.rvc.Copy(), true
 	}
@@ -466,4 +575,14 @@ func (d *Detector) ReadStateOf(x uint64) (vc.Epoch, vc.VC, bool) {
 }
 
 // WriteEpochOf exposes variable x's write epoch W_x for white-box tests.
-func (d *Detector) WriteEpochOf(x uint64) vc.Epoch { return d.variable(x).w }
+func (d *Detector) WriteEpochOf(x uint64) vc.Epoch { return d.varOf(x).w }
+
+// varOf returns variable x's shadow state in whichever layout is active,
+// materializing it if needed.
+func (d *Detector) varOf(x uint64) *varState {
+	if d.stripes != nil {
+		_, sv := d.stripeVar(x)
+		return &sv.varState
+	}
+	return d.variable(x)
+}

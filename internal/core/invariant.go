@@ -80,9 +80,8 @@ func (d *Detector) CheckWellFormed() error {
 		}
 		return nil
 	}
-	for x := range d.vars {
-		vs := &d.vars[x]
-		if err := checkEpoch("W", uint64(x), vs.w); err != nil {
+	checkVar := func(x uint64, vs *varState) error {
+		if err := checkEpoch("W", x, vs.w); err != nil {
 			return err
 		}
 		if vs.r == readShared {
@@ -98,10 +97,21 @@ func (d *Detector) CheckWellFormed() error {
 						x, t, vs.rvc.Get(vc.Tid(t)), t, t, d.threads[t].c.Get(vc.Tid(t)))
 				}
 			}
-			continue
+			return nil
 		}
-		if err := checkEpoch("R", uint64(x), vs.r); err != nil {
+		return checkEpoch("R", x, vs.r)
+	}
+	for x := range d.vars {
+		if err := checkVar(uint64(x), &d.vars[x]); err != nil {
 			return err
+		}
+	}
+	// Sharded layout: the same conditions over every stripe's table.
+	for i := range d.stripes {
+		for x, sv := range d.stripes[i].vars {
+			if err := checkVar(x, &sv.varState); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"fasttrack/internal/rr"
+)
+
+// This file holds the detector's sharded storage layout, the back half
+// of the lock-striped ingestion path (see rr/stripe.go for the locking
+// contract and the legality argument). The Monitor owns the stripe
+// locks; the detector owns per-stripe variable tables so that the state
+// an access handler mutates — the variable's shadow word, the stripe's
+// access counters, the stripe's race list — is confined to the stripe
+// whose lock the caller holds. Thread, lock and volatile clocks stay on
+// the detector: the access path only reads them, and every event that
+// writes them is delivered under full exclusion.
+
+// stripeState is one stripe's share of the analysis state: the shadow
+// states of the variables mapping onto the stripe, the access-path
+// counters those variables' accesses are counted into, and the races
+// detected on them. Everything in it is guarded by the caller-held
+// stripe lock.
+type stripeState struct {
+	vars  map[uint64]*shardedVar
+	st    rr.Stats
+	races []rr.Report
+}
+
+// shardedVar is a variable's shadow state in the sharded layout. The
+// detailed-report history lives here rather than in the detector-wide
+// index slices, keeping the access path stripe-confined.
+type shardedVar struct {
+	varState
+	lastR, lastW int
+}
+
+// EnableSharding switches the detector's access-path storage to n
+// per-stripe variable tables, implementing rr.ShardedTool. n < 2 keeps
+// the serial dense-table layout. It must be called on a fresh detector:
+// remapping already-populated shadow state across stripes is not
+// supported. The shadow-memory budget is incompatible with sharding —
+// its coarse fallback remaps variable ids, which would silently move a
+// variable to a different stripe than the one the caller locked.
+func (d *Detector) EnableSharding(n int) {
+	if n < 2 {
+		return
+	}
+	if d.budget > 0 {
+		panic("core: EnableSharding is incompatible with a memory budget")
+	}
+	if d.st.Events != 0 || len(d.vars) > 0 || len(d.threads) > 0 {
+		panic("core: EnableSharding called after events were handled")
+	}
+	d.stripes = make([]stripeState, n)
+	for i := range d.stripes {
+		d.stripes[i].vars = make(map[uint64]*shardedVar)
+	}
+}
+
+// stripeOf returns the stripe owning variable x. Must agree with the
+// lock the caller chose, so it uses the shared rr.StripeOf mapping.
+func (d *Detector) stripeOf(x uint64) *stripeState {
+	return &d.stripes[rr.StripeOf(x, len(d.stripes))]
+}
+
+// stripeVar returns (materializing if needed) variable x's stripe and
+// sharded shadow state. Caller must hold x's stripe lock or full
+// exclusion.
+func (d *Detector) stripeVar(x uint64) (*stripeState, *shardedVar) {
+	s := d.stripeOf(x)
+	sv := s.vars[x]
+	if sv == nil {
+		sv = &shardedVar{lastR: -1, lastW: -1}
+		s.vars[x] = sv
+	}
+	return s, sv
+}
+
+// ThreadsMaterialized implements rr.ShardedTool: the number of thread
+// states created so far. The sharded Monitor uses it as the watermark
+// below which an access's thread lookup is guaranteed read-only.
+func (d *Detector) ThreadsMaterialized() int { return len(d.threads) }
+
+// StripeRaces implements rr.ShardedTool: the races recorded on stripe s
+// in detection order. The returned slice is the stripe's backing store;
+// callers must hold stripe lock s (or full exclusion) and must not
+// retain it across unlocks.
+func (d *Detector) StripeRaces(s int) []rr.Report {
+	if d.stripes == nil {
+		if s == 0 {
+			return d.races
+		}
+		return nil
+	}
+	if s < 0 || s >= len(d.stripes) {
+		panic(fmt.Sprintf("core: StripeRaces(%d) with %d stripes", s, len(d.stripes)))
+	}
+	return d.stripes[s].races
+}
+
+var _ rr.ShardedTool = (*Detector)(nil)

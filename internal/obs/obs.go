@@ -57,6 +57,18 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Add adjusts the value by n.
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
+// Max raises the value to n if n is larger, making the gauge a running
+// high-water mark (e.g. peak in-flight parallelism). Safe under
+// concurrent Max/Set callers.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 

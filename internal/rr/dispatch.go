@@ -2,6 +2,8 @@ package rr
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fasttrack/internal/obs"
@@ -80,7 +82,7 @@ type Dispatcher struct {
 	Obs *obs.Registry
 
 	depth map[lockKey]int
-	next  int // index of the next event forwarded to the tool
+	next  int64 // index of the next event forwarded to the tool
 
 	om *obsMetrics // cached metric handles, nil until Obs is set
 
@@ -89,15 +91,34 @@ type Dispatcher struct {
 	// own Stats are audited against.
 	deliveredKind [trace.TxEnd + 1]int64
 
+	// concurrent switches the access-path bookkeeping (Fed, next,
+	// deliveredKind, the quarantine check) to atomic operations so the
+	// sharded Monitor may deliver Read/Write events from several
+	// goroutines under its stripe-locking discipline. Sync events must
+	// still be exclusively serialized by the caller. See SetConcurrent.
+	concurrent bool
+
 	val  *Validator
 	verr error // sticky PolicyStrict validation error
 
+	// cur holds the tool events are currently delivered to; it diverges
+	// from the Tool field after a panic-budget downgrade. Kept atomic so
+	// concurrent deliveries observe the downgrade without a lock.
+	cur atomic.Value // toolBox
+
+	// qmu guards the panic path below (panic accounting, quarantine
+	// growth, tool downgrade); it is only taken when a tool panics.
+	qmu             sync.Mutex
 	panics          int64
 	panicLog        []PanicRecord
-	quarantined     map[uint64]bool
-	quarantinedHits int64
+	quarantined     atomic.Pointer[map[uint64]bool] // copy-on-write under qmu
+	quarantinedHits int64                           // atomic
 	disabled        bool
 }
+
+// toolBox wraps a Tool for atomic.Value, which requires a consistent
+// concrete type across stores.
+type toolBox struct{ t Tool }
 
 // DefaultMaxToolPanics is the default panic budget before a tool is
 // downgraded to a no-op.
@@ -167,14 +188,51 @@ func (d *Dispatcher) MapVar(x uint64) uint64 {
 	return x
 }
 
-// Event offers one event to the dispatcher. Under PolicyStrict the first
-// violation halts the stream (see Err); all later events are ignored.
-func (d *Dispatcher) Event(e trace.Event) {
-	d.Fed++
+// SetConcurrent prepares the dispatcher for concurrent delivery of
+// access events: per-event bookkeeping moves to atomic operations and
+// the observability handles are resolved eagerly. The caller owns the
+// locking discipline — accesses to different stripes may run in
+// parallel, but sync events (and all queries) still require full
+// exclusion, and the validation policy must stay PolicyOff. Must be
+// called before the first event.
+func (d *Dispatcher) SetConcurrent() {
+	d.concurrent = true
 	if d.Obs != nil && d.om == nil {
 		d.initObs()
 	}
-	if d.om != nil {
+}
+
+// currentTool returns the tool events are delivered to right now: the
+// configured Tool until a panic-budget downgrade swaps in its no-op
+// wrapper.
+func (d *Dispatcher) currentTool() Tool {
+	if b, ok := d.cur.Load().(toolBox); ok {
+		return b.t
+	}
+	return d.Tool
+}
+
+// CurrentTool exposes the delivery target for queries. Races and Stats
+// should be read through it rather than through a caller-retained tool
+// reference: after a downgrade the wrapper's recover guards contain a
+// tool whose accessors panic too.
+func (d *Dispatcher) CurrentTool() Tool { return d.currentTool() }
+
+// Event offers one event to the dispatcher. Under PolicyStrict the first
+// violation halts the stream (see Err); all later events are ignored.
+func (d *Dispatcher) Event(e trace.Event) {
+	if d.concurrent {
+		atomic.AddInt64(&d.Fed, 1)
+	} else {
+		d.Fed++
+	}
+	if d.Obs != nil && d.om == nil {
+		d.initObs()
+	}
+	// In concurrent mode the per-event registry updates are skipped on
+	// the hot path — each is an atomic RMW on a cache line shared by
+	// every stripe — and reconciled in bulk by SyncObs instead.
+	if d.om != nil && !d.concurrent {
 		d.om.fed.Inc()
 	}
 	if d.verr != nil {
@@ -300,10 +358,15 @@ func (d *Dispatcher) process(e trace.Event) {
 }
 
 func (d *Dispatcher) forward(e trace.Event) {
-	i := d.next
-	d.next++
-	if d.quarantined != nil && e.Kind.IsAccess() && d.quarantined[e.Target] {
-		d.quarantinedHits++
+	var i int
+	if d.concurrent {
+		i = int(atomic.AddInt64(&d.next, 1)) - 1
+	} else {
+		i = int(d.next)
+		d.next++
+	}
+	if q := d.quarantined.Load(); q != nil && e.Kind.IsAccess() && (*q)[e.Target] {
+		atomic.AddInt64(&d.quarantinedHits, 1)
 		return
 	}
 	d.deliver(i, e)
@@ -326,51 +389,95 @@ func (d *Dispatcher) unheldRelease() {
 // deliver hands the event to the tool inside the panic quarantine.
 func (d *Dispatcher) deliver(i int, e trace.Event) {
 	if int(e.Kind) < len(d.deliveredKind) {
-		d.deliveredKind[e.Kind]++
+		if d.concurrent {
+			atomic.AddInt64(&d.deliveredKind[e.Kind], 1)
+		} else {
+			d.deliveredKind[e.Kind]++
+		}
 	}
 	if d.om != nil {
-		d.om.countDelivered(e.Kind)
+		if !d.concurrent {
+			d.om.countDelivered(e.Kind)
+		}
 		// Sample 1 in latencySampleEvery deliveries into the latency
 		// histogram; registered before the recover defer (LIFO) so a
-		// panicking delivery is still timed.
+		// panicking delivery is still timed. The histogram is kept in
+		// concurrent mode too: at a 1/64 sampling rate the atomic bucket
+		// updates are contention-free in practice.
 		if i%latencySampleEvery == 0 {
 			start := time.Now()
 			defer func() { d.om.latency.Observe(time.Since(start).Nanoseconds()) }()
 		}
 	}
 	defer func() {
-		r := recover()
-		if r == nil {
-			return
-		}
-		d.panics++
-		if len(d.panicLog) < maxPanicLog {
-			d.panicLog = append(d.panicLog, PanicRecord{Index: i, Event: e, Value: fmt.Sprint(r)})
-		}
-		if e.Kind.IsAccess() {
-			if d.quarantined == nil {
-				d.quarantined = map[uint64]bool{}
-			}
-			d.quarantined[e.Target] = true
-		}
-		if d.om != nil {
-			d.om.panics.Inc()
-			d.om.quarantine.Set(int64(len(d.quarantined)))
-		}
-		max := d.MaxToolPanics
-		if max <= 0 {
-			max = DefaultMaxToolPanics
-		}
-		if !d.disabled && d.panics >= int64(max) {
-			d.Tool = &disabledTool{inner: d.Tool}
-			d.disabled = true
+		if r := recover(); r != nil {
+			d.recoverPanic(i, e, r)
 		}
 	}()
-	d.Tool.HandleEvent(i, e)
+	d.currentTool().HandleEvent(i, e)
+}
+
+// recoverPanic is the quarantine's slow path: account the panic, put
+// the offending location in quarantine, and downgrade the tool once the
+// panic budget is spent. Serialized by qmu because under concurrent
+// delivery two stripes can panic at once.
+func (d *Dispatcher) recoverPanic(i int, e trace.Event, r any) {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	d.panics++
+	if len(d.panicLog) < maxPanicLog {
+		d.panicLog = append(d.panicLog, PanicRecord{Index: i, Event: e, Value: fmt.Sprint(r)})
+	}
+	if e.Kind.IsAccess() {
+		// Copy-on-write so the lock-free quarantine check in forward
+		// never observes a map mid-update.
+		old := d.quarantined.Load()
+		var next map[uint64]bool
+		if old == nil {
+			next = make(map[uint64]bool, 1)
+		} else {
+			next = make(map[uint64]bool, len(*old)+1)
+			for k, v := range *old {
+				next[k] = v
+			}
+		}
+		next[e.Target] = true
+		d.quarantined.Store(&next)
+	}
+	if d.om != nil {
+		d.om.panics.Inc()
+		d.om.quarantine.Set(int64(d.quarantinedLen()))
+	}
+	max := d.MaxToolPanics
+	if max <= 0 {
+		max = DefaultMaxToolPanics
+	}
+	if !d.disabled && d.panics >= int64(max) {
+		wrapped := &disabledTool{inner: d.currentTool()}
+		d.cur.Store(toolBox{wrapped})
+		if !d.concurrent {
+			// Serial callers historically observe the downgrade through the
+			// Tool field itself. Under concurrent delivery other goroutines
+			// read Tool without a lock (currentTool's fallback), so the
+			// plain field stays put and readers must use CurrentTool.
+			d.Tool = wrapped
+		}
+		d.disabled = true
+	}
+}
+
+func (d *Dispatcher) quarantinedLen() int {
+	if q := d.quarantined.Load(); q != nil {
+		return len(*q)
+	}
+	return 0
 }
 
 // Quarantined reports whether shadow location x is quarantined.
-func (d *Dispatcher) Quarantined(x uint64) bool { return d.quarantined[x] }
+func (d *Dispatcher) Quarantined(x uint64) bool {
+	q := d.quarantined.Load()
+	return q != nil && (*q)[x]
+}
 
 // Health returns a degradation snapshot of the pipeline.
 func (d *Dispatcher) Health() Health {
@@ -378,8 +485,8 @@ func (d *Dispatcher) Health() Health {
 		ToolDisabled:         d.disabled,
 		Panics:               d.panics,
 		PanicLog:             append([]PanicRecord(nil), d.panicLog...),
-		QuarantinedLocations: len(d.quarantined),
-		QuarantinedAccesses:  d.quarantinedHits,
+		QuarantinedLocations: d.quarantinedLen(),
+		QuarantinedAccesses:  atomic.LoadInt64(&d.quarantinedHits),
 		UnheldReleases:       d.UnheldReleases,
 		Err:                  d.verr,
 	}
@@ -396,11 +503,15 @@ func (d *Dispatcher) Health() Health {
 }
 
 // FillStats merges the dispatcher's resilience counters into st, which
-// should be the wrapped tool's own Stats snapshot.
+// should be the wrapped tool's own Stats snapshot. Unheld releases get
+// their own field: folding them into Dropped (which counts validator
+// drops) used to break the documented Violations == Repaired + Dropped
+// invariant under PolicyOff, where interceptions happen without any
+// validator violation being recorded.
 func (d *Dispatcher) FillStats(st *Stats) {
 	st.Panics += d.panics
-	st.Quarantined += int64(len(d.quarantined))
-	st.Dropped += d.UnheldReleases
+	st.Quarantined += int64(d.quarantinedLen())
+	st.UnheldReleases += d.UnheldReleases
 	if d.val != nil {
 		st.Violations += d.val.Violations
 		st.Repaired += d.val.Repaired

@@ -1,0 +1,55 @@
+package rr
+
+// This file defines the lock-striping contract shared by the public
+// Monitor (which owns the stripe locks) and the detectors that support
+// concurrent access-event delivery (which own per-stripe shadow state).
+//
+// The legality argument is the paper's own (Section 4 notes the
+// implementation synchronizes on the shadow location): a FastTrack
+// access handler reads only the accessing thread's vector clock and
+// mutates only the accessed variable's shadow state, so two accesses to
+// different variables commute. Striping by variable therefore preserves
+// the reported race set exactly, provided (a) every access to variable
+// x runs under the stripe lock StripeOf(x, n), and (b) every event that
+// mutates cross-thread state — acquire, release, fork, join, volatile
+// accesses, barriers, wait — runs under an exclusive lock that excludes
+// all stripes.
+
+// StripeOf maps shadow location x onto one of n stripes. The id is
+// mixed (the 64-bit finalizer of MurmurHash3) before reduction so that
+// clustered or strided variable ids — field blocks, per-object layouts
+// — still spread across stripes instead of serializing on one lock.
+// Both the lock holder and the sharded storage must use this same
+// mapping, and x must already be in shadow-location space (after any
+// granularity remap; see Dispatcher.MapVar).
+func StripeOf(x uint64, n int) int {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// ShardedTool is implemented by tools whose access handlers are safe to
+// run concurrently under the stripe-locking discipline above. After
+// EnableSharding(n), the tool must tolerate concurrent HandleEvent
+// calls for Read/Write events whose targets live on different stripes;
+// all other events (and all of Races, Stats, Name) are still delivered
+// under full exclusion by the caller.
+type ShardedTool interface {
+	Tool
+	// EnableSharding switches the tool's access-path storage to n
+	// per-stripe tables. It must be called before any event is handled;
+	// n < 2 leaves the tool in its serial configuration.
+	EnableSharding(n int)
+	// ThreadsMaterialized returns the number of thread states the tool
+	// has created so far. Accesses by tids below this bound touch only
+	// existing (read-only, for the access path) thread state and are
+	// safe under a stripe lock; the first event of a higher tid must be
+	// delivered under full exclusion so the thread table can grow.
+	ThreadsMaterialized() int
+	// StripeRaces returns the warnings recorded on stripe s in detection
+	// order. It must be called under stripe lock s or full exclusion;
+	// the returned slice is the tool's own backing store and must not be
+	// retained across unlocks.
+	StripeRaces(s int) []Report
+}

@@ -140,7 +140,13 @@ type Stats struct {
 	Quarantined int64 `json:"quarantined,omitempty"` // shadow locations quarantined after panics
 	Violations  int64 `json:"violations,omitempty"`  // stream well-formedness violations observed
 	Repaired    int64 `json:"repaired,omitempty"`    // violations repaired by synthesizing events
-	Dropped     int64 `json:"dropped,omitempty"`     // events dropped (violations and unheld releases)
+	Dropped     int64 `json:"dropped,omitempty"`     // validator-rejected events dropped from the stream
+
+	// UnheldReleases counts releases of unheld locks intercepted by the
+	// dispatcher before reaching the tool. They are tracked separately
+	// from Dropped so that Violations == Repaired + Dropped holds exactly
+	// for the validator's own accounting under every policy.
+	UnheldReleases int64 `json:"unheldReleases,omitempty"`
 
 	// Memory-budget degradation, maintained by detectors that support a
 	// shadow-memory budget (FastTrack).
@@ -223,6 +229,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Violations += o.Violations
 	s.Repaired += o.Repaired
 	s.Dropped += o.Dropped
+	s.UnheldReleases += o.UnheldReleases
 	s.MemSqueezes += o.MemSqueezes
 	s.MemCoarse += o.MemCoarse
 }

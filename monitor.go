@@ -2,6 +2,7 @@ package fasttrack
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fasttrack/internal/obs"
 	"fasttrack/internal/rr"
@@ -21,15 +22,29 @@ import (
 // legal linearization of the program's own synchronization because every
 // happens-before edge the detector tracks is created by a method call
 // that the caller orders with the underlying operation.
+//
+// By default the serialization is a single lock. WithShards(n) replaces
+// it with a lock-striped path on which accesses to different variables
+// proceed in parallel; see shard.go for the architecture.
 type Monitor struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	disp   *rr.Dispatcher
-	tool   Tool
 	reg    *obs.Registry
 	onRace func(Report)
 	seen   int
 	tids   *threadIDs // lazy; see Monitor.MainThread
+
+	// Sharded ingestion (WithShards > 1); all nil/zero in serial mode.
+	sharded rr.ShardedTool
+	stripes []stripeLock
+	ensured atomic.Int32 // threads-materialized watermark, see access()
+	sm      *shardMetrics
 }
+
+// tool returns the dispatcher's current delivery target. Reads must go
+// through it rather than a cached Tool: after a panic-budget downgrade
+// the wrapper's recover guards contain a tool whose accessors panic too.
+func (m *Monitor) tool() Tool { return m.disp.CurrentTool() }
 
 // MonitorOption configures a Monitor.
 type MonitorOption func(*monitorConfig)
@@ -41,6 +56,7 @@ type monitorConfig struct {
 	hints       Hints
 	onRace      func(Report)
 	policy      Policy
+	shards      int
 }
 
 // WithDetector selects the detector by name (default "FastTrack").
@@ -107,22 +123,40 @@ func NewMonitor(opts ...MonitorOption) *Monitor {
 	d.Policy = cfg.policy
 	reg := obs.NewRegistry()
 	d.Obs = reg
-	return &Monitor{disp: d, tool: tool, reg: reg, onRace: cfg.onRace}
+	m := &Monitor{disp: d, reg: reg, onRace: cfg.onRace}
+	if cfg.shards > 1 {
+		m.enableSharding(tool, cfg)
+	}
+	return m
 }
 
-// event feeds one event under the lock and fires the race callback for
-// any new warnings.
+// event feeds one event under the appropriate lock and fires the race
+// callback for any new warnings.
 func (m *Monitor) event(e trace.Event) {
+	if m.sharded != nil {
+		if e.Kind == trace.Read || e.Kind == trace.Write {
+			m.access(e)
+			return
+		}
+		m.syncEvent(e)
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.disp.Event(e)
 	if m.onRace != nil {
-		races := m.tool.Races()
+		races := m.tool().Races()
 		for ; m.seen < len(races); m.seen++ {
 			m.onRace(races[m.seen])
 		}
 	}
 }
+
+// Ingest records one pre-encoded trace event, routing it exactly as the
+// corresponding typed method (Read, Acquire, ...) would. It is the entry
+// point for feeding recorded traces into a live monitor, e.g. from the
+// CLI or the scaling benchmarks.
+func (m *Monitor) Ingest(e trace.Event) { m.event(e) }
 
 // Read records a read of location addr by thread tid.
 func (m *Monitor) Read(tid int32, addr uint64) { m.event(trace.Rd(tid, addr)) }
@@ -181,11 +215,13 @@ func (m *Monitor) TxBegin(tid int32) { m.event(trace.Event{Kind: trace.TxBegin, 
 // TxEnd marks the end of thread tid's current atomic block.
 func (m *Monitor) TxEnd(tid int32) { m.event(trace.Event{Kind: trace.TxEnd, Tid: tid}) }
 
-// Races returns a snapshot of the warnings reported so far.
+// Races returns a snapshot of the warnings reported so far. In sharded
+// mode the warnings are ordered by event index; per variable, at most
+// one warning is ever reported, exactly as in serial mode.
 func (m *Monitor) Races() []Report {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]Report(nil), m.tool.Races()...)
+	return append([]Report(nil), m.tool().Races()...)
 }
 
 // Stats returns a snapshot of the detector's counters, including the
@@ -194,7 +230,7 @@ func (m *Monitor) Races() []Report {
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := m.tool.Stats()
+	st := m.tool().Stats()
 	m.disp.FillStats(&st)
 	return st
 }
@@ -218,9 +254,10 @@ func (m *Monitor) Health() Health {
 // monitor lock and the registry lock at once.
 func (m *Monitor) Metrics() MetricsSnapshot {
 	m.mu.Lock()
-	st := m.tool.Stats()
+	st := m.tool().Stats()
 	m.disp.FillStats(&st)
-	races := len(m.tool.Races())
+	races := len(m.tool().Races())
+	m.publishShardMetricsLocked()
 	m.mu.Unlock()
 
 	rr.PublishStats(m.reg, "tool", st)

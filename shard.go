@@ -1,0 +1,200 @@
+package fasttrack
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fasttrack/internal/obs"
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// This file implements the Monitor's lock-striped concurrent ingestion
+// path. The locking discipline (see also internal/rr/stripe.go):
+//
+//   - Accesses (Read/Write) take the monitor's RWMutex in read mode plus
+//     the lock of the accessed variable's stripe, so accesses on
+//     different stripes run in parallel. This is legal because a
+//     FastTrack access handler reads only the accessing thread's vector
+//     clock and mutates only that variable's shadow state.
+//   - Synchronization events (acquire, release, fork, join, volatile
+//     accesses, barriers, wait) mutate cross-thread clocks, so they take
+//     the RWMutex in write mode, excluding every stripe.
+//   - An access by a thread the detector has not materialized yet also
+//     takes the write lock (the thread table must grow); the ensured
+//     watermark below makes that a once-per-thread slow path.
+//
+// What ordering survives: per stripe, accesses are checked in lock
+// acquisition order, and every access observes all sync events recorded
+// before it. The interleaving of accesses on different stripes is
+// unspecified — exactly the freedom the algorithm's commutativity makes
+// irrelevant to the reported race set.
+
+// stripeLock is one stripe's lock plus its stripe-confined bookkeeping;
+// padded so neighboring stripes do not share a cache line.
+type stripeLock struct {
+	sync.Mutex
+	accesses  int64 // accesses delivered under this stripe's lock
+	contended int64 // lock acquisitions that had to wait
+	seen      int   // race-drain cursor for WithRaceHandler
+	_         [32]byte
+}
+
+// shardMetrics caches the sharded path's obs handles (monitor.sharded.*
+// namespace).
+type shardMetrics struct {
+	slow     *obs.Counter // accesses through the full-lock slow path
+	inflight *obs.Gauge   // accesses currently inside the striped section
+	peak     *obs.Gauge   // high-water mark of inflight
+	cur      atomic.Int64 // backing count for inflight/peak
+}
+
+// WithShards enables lock-striped concurrent ingestion with n stripes.
+// n <= 1 (the default) keeps the serial path: one lock, arrival-order
+// delivery, race callbacks in report order. With n > 1, accesses to
+// variables on different stripes are checked in parallel by the calling
+// goroutines; the reported race set (variable, kind) is exactly the
+// serial one, but report indices reflect a particular legal interleaving
+// and WithRaceHandler callbacks are ordered only within a stripe.
+//
+// Sharding requires a detector that implements ShardedTool (FastTrack
+// does), no stream validation (WithValidation must stay PolicyOff — the
+// validator is inherently sequential), and no memory budget (its coarse
+// fallback would remap variables across stripes). NewMonitor panics on
+// any of these conflicts: they are configuration errors.
+func WithShards(n int) MonitorOption {
+	return func(c *monitorConfig) { c.shards = n }
+}
+
+// enableSharding wires the striped path up at NewMonitor time.
+func (m *Monitor) enableSharding(tool Tool, cfg monitorConfig) {
+	st, ok := tool.(rr.ShardedTool)
+	if !ok {
+		panic(fmt.Sprintf("fasttrack: WithShards(%d): tool %q does not support sharded ingestion",
+			cfg.shards, tool.Name()))
+	}
+	if cfg.policy != PolicyOff {
+		panic("fasttrack: WithShards is incompatible with WithValidation (the stream validator is sequential)")
+	}
+	if cfg.hints.MemoryBudget > 0 {
+		panic("fasttrack: WithShards is incompatible with a memory budget")
+	}
+	st.EnableSharding(cfg.shards)
+	m.disp.SetConcurrent()
+	m.sharded = st
+	m.stripes = make([]stripeLock, cfg.shards)
+	m.sm = &shardMetrics{
+		slow:     m.reg.Counter("monitor.sharded.slowPath"),
+		inflight: m.reg.Gauge("monitor.sharded.inflight"),
+		peak:     m.reg.Gauge("monitor.sharded.maxInflight"),
+	}
+	m.reg.Gauge("monitor.sharded.shards").Set(int64(cfg.shards))
+}
+
+// access delivers one Read/Write event on the striped fast path, or on
+// the full-lock slow path when the accessing thread is not yet known to
+// the detector.
+func (m *Monitor) access(e trace.Event) {
+	// The watermark only grows, and thread states are never moved once
+	// materialized, so a stale read here errs toward the slow path only.
+	if e.Tid < 0 || e.Tid >= m.ensured.Load() {
+		m.slowAccess(e)
+		return
+	}
+	s := rr.StripeOf(m.disp.MapVar(e.Target), len(m.stripes))
+
+	// The parallelism gauges are sampled (~1/64 of accesses, decided by a
+	// per-call predicate so the increment and decrement pair up): updating
+	// a shared atomic on every access would reintroduce exactly the
+	// cross-core cache-line traffic striping exists to avoid.
+	sampled := e.Target&63 == 0
+	if sampled {
+		cur := m.sm.cur.Add(1)
+		m.sm.inflight.Set(cur)
+		m.sm.peak.Max(cur)
+	}
+
+	m.mu.RLock()
+	sl := &m.stripes[s]
+	if !sl.TryLock() {
+		sl.Lock()
+		sl.contended++
+	}
+	sl.accesses++
+	m.disp.Event(e)
+	if m.onRace != nil {
+		m.drainStripe(s, sl)
+	}
+	sl.Unlock()
+	m.mu.RUnlock()
+
+	if sampled {
+		m.sm.inflight.Set(m.sm.cur.Add(-1))
+	}
+}
+
+// slowAccess delivers an access under full exclusion so the detector may
+// materialize the accessing thread's state, then advances the watermark.
+func (m *Monitor) slowAccess(e trace.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sm.slow.Inc()
+	m.disp.Event(e)
+	m.ensured.Store(int32(m.sharded.ThreadsMaterialized()))
+	m.disp.SyncObs()
+	if m.onRace != nil {
+		s := rr.StripeOf(m.disp.MapVar(e.Target), len(m.stripes))
+		m.drainStripe(s, &m.stripes[s])
+	}
+}
+
+// syncEvent delivers a synchronization event under full exclusion — it
+// mutates thread/lock clocks that every stripe's access path reads.
+func (m *Monitor) syncEvent(e trace.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.disp.Event(e)
+	// Fork/join/barrier (and any first event of a tid) can materialize
+	// threads; publish the new watermark so their later accesses take
+	// the fast path.
+	m.ensured.Store(int32(m.sharded.ThreadsMaterialized()))
+	// The striped access path skips per-event registry updates; bring
+	// the live rr.* counters back in step while we hold full exclusion.
+	m.disp.SyncObs()
+}
+
+// drainStripe fires the race callback for stripe s's new warnings.
+// Caller holds stripe lock s or the full write lock; sl.seen is guarded
+// by the same.
+func (m *Monitor) drainStripe(s int, sl *stripeLock) {
+	races := m.sharded.StripeRaces(s)
+	for ; sl.seen < len(races); sl.seen++ {
+		m.onRace(races[sl.seen])
+	}
+}
+
+// publishShardMetricsLocked copies the stripe-confined tallies into the
+// registry. Caller holds the full write lock (which orders it after all
+// stripe-locked updates).
+func (m *Monitor) publishShardMetricsLocked() {
+	if m.sharded == nil {
+		return
+	}
+	m.disp.SyncObs()
+	var accesses, contended int64
+	for i := range m.stripes {
+		accesses += m.stripes[i].accesses
+		contended += m.stripes[i].contended
+	}
+	m.reg.Gauge("monitor.sharded.stripedAccesses").Set(accesses)
+	m.reg.Gauge("monitor.sharded.contended").Set(contended)
+}
+
+// Shards returns the number of ingestion stripes (1 in serial mode).
+func (m *Monitor) Shards() int {
+	if m.sharded == nil {
+		return 1
+	}
+	return len(m.stripes)
+}

@@ -1,0 +1,252 @@
+package fasttrack
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fasttrack/internal/chaos"
+	"fasttrack/internal/sim"
+	"fasttrack/trace"
+)
+
+// raceKey identifies a warning by what it is about rather than when it
+// was detected: the sharded path may permute detection order across
+// stripes, but the (variable, kind) set must be exactly the serial one.
+type raceKey struct {
+	Var  uint64
+	Kind RaceKind
+}
+
+func raceSet(rs []Report) map[raceKey]int {
+	set := make(map[raceKey]int, len(rs))
+	for _, r := range rs {
+		set[raceKey{r.Var, r.Kind}]++
+	}
+	return set
+}
+
+// replayShards feeds tr through a fresh FastTrack monitor with the given
+// stripe count (1 = the serial path) and returns its warnings and stats.
+func replayShards(tr trace.Trace, shards int) ([]Report, Stats) {
+	opts := []MonitorOption{}
+	if shards > 1 {
+		opts = append(opts, WithShards(shards))
+	}
+	m := NewMonitor(opts...)
+	for _, e := range tr {
+		m.Ingest(e)
+	}
+	return m.Races(), m.Stats()
+}
+
+// assertEquivalent checks the sharded/serial correctness anchor: same
+// race set, same event accounting, same rule-frequency counters. A
+// single feeder delivers events in identical order on both paths, so
+// the detector — a deterministic state machine — must agree exactly;
+// only ShadowBytes may differ (the sharded layout has different
+// per-variable overhead).
+func assertEquivalent(t *testing.T, label string, tr trace.Trace, shards int) {
+	t.Helper()
+	serialRaces, serialStats := replayShards(tr, 1)
+	shardRaces, shardStats := replayShards(tr, shards)
+
+	if got, want := raceSet(shardRaces), raceSet(serialRaces); len(got) != len(want) {
+		t.Errorf("%s: sharded found %d distinct races, serial %d", label, len(got), len(want))
+	} else {
+		for k, n := range want {
+			if got[k] != n {
+				t.Errorf("%s: race %v: sharded count %d, serial %d", label, k, got[k], n)
+			}
+		}
+	}
+
+	serialStats.ShadowBytes = 0
+	shardStats.ShadowBytes = 0
+	if shardStats != serialStats {
+		t.Errorf("%s: stats diverge\n  sharded: %+v\n  serial:  %+v", label, shardStats, serialStats)
+	}
+}
+
+// TestShardedSerialEquivalenceSim: the paper-shaped benchmark workloads
+// and a spread of random feasible traces report identical results
+// through WithShards(8) and the serial path.
+func TestShardedSerialEquivalenceSim(t *testing.T) {
+	for _, b := range sim.Benchmarks()[:4] {
+		assertEquivalent(t, b.Name, b.Trace(0.05), 8)
+	}
+	cfg := sim.DefaultRandomConfig()
+	cfg.Events = 600
+	cfg.Vars = 12
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := sim.RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+		assertEquivalent(t, fmt.Sprintf("random/seed=%d", seed), tr, 8)
+	}
+}
+
+// TestShardedSerialEquivalenceChaos: equivalence must also hold on
+// corrupted streams — the dispatcher's interception of unheld releases
+// and its panic quarantine behave identically on both paths.
+func TestShardedSerialEquivalenceChaos(t *testing.T) {
+	base := sim.RandomTrace(rand.New(rand.NewSource(7)), sim.DefaultRandomConfig())
+	for _, mode := range chaos.Modes() {
+		raw := chaos.Mutate(base, mode, rand.New(rand.NewSource(3)))
+		var tr trace.Trace
+		sc := trace.NewScanner(bytes.NewReader(raw))
+		for sc.Scan() {
+			tr = append(tr, sc.Event())
+		}
+		if len(tr) == 0 {
+			continue
+		}
+		assertEquivalent(t, "chaos/"+mode.String(), tr, 8)
+	}
+}
+
+// TestShardedConcurrentFeedersDisjoint: eight goroutines feeding
+// accesses to disjoint variables through an eight-stripe monitor
+// produce no warnings and exact access accounting. Run with -race this
+// is also the stress test of the striped locking discipline.
+func TestShardedConcurrentFeedersDisjoint(t *testing.T) {
+	const feeders = 8
+	const perFeeder = 2000
+
+	m := NewMonitor(WithShards(feeders))
+	for f := 1; f <= feeders; f++ {
+		m.Fork(0, int32(f))
+	}
+	var wg sync.WaitGroup
+	for f := 1; f <= feeders; f++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			base := uint64(tid) * 1 << 20
+			for k := 0; k < perFeeder; k++ {
+				addr := base + uint64(k%64)
+				m.Write(tid, addr)
+				m.Read(tid, addr)
+			}
+		}(int32(f))
+	}
+	wg.Wait()
+	for f := 1; f <= feeders; f++ {
+		m.Join(0, int32(f))
+	}
+
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms on disjoint variables: %v", races)
+	}
+	st := m.Stats()
+	if want := int64(feeders * perFeeder); st.Reads != want || st.Writes != want {
+		t.Errorf("accounting: reads=%d writes=%d, want %d each", st.Reads, st.Writes, want)
+	}
+	if got := st.ReadSameEpoch + st.ReadShared + st.ReadExclusive + st.ReadShare; got != st.Reads {
+		t.Errorf("read rules sum to %d, Reads = %d", got, st.Reads)
+	}
+	if got := st.WriteSameEpoch + st.WriteExclusive + st.WriteShared; got != st.Writes {
+		t.Errorf("write rules sum to %d, Writes = %d", got, st.Writes)
+	}
+}
+
+// TestShardedRaceHandlerConcurrentFeeders: racing feeders through the
+// striped path still reach the WithRaceHandler callback, exactly once
+// per reported warning.
+func TestShardedRaceHandlerConcurrentFeeders(t *testing.T) {
+	var fired atomic.Int64
+	m := NewMonitor(WithShards(4), WithRaceHandler(func(Report) { fired.Add(1) }))
+	m.Fork(0, 1)
+	m.Fork(0, 2)
+	var wg sync.WaitGroup
+	for _, tid := range []int32{1, 2} {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				m.Write(tid, 42) // same variable, no synchronization
+				m.Write(tid, uint64(100+tid))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	m.Join(0, 1)
+	m.Join(0, 2)
+
+	races := m.Races()
+	if len(races) == 0 {
+		t.Fatal("no race reported for unsynchronized writes to one variable")
+	}
+	if got := fired.Load(); got != int64(len(races)) {
+		t.Errorf("race handler fired %d times, %d races reported", got, len(races))
+	}
+}
+
+// TestShardedThreadHandles: the Thread handle API rides the striped
+// path transparently — concurrent children on disjoint data raise no
+// alarms, and the fork/join edges still order parent accesses.
+func TestShardedThreadHandles(t *testing.T) {
+	m := NewMonitor(WithShards(8))
+	main := m.MainThread()
+	main.Write(1)
+	children := make([]*Thread, 6)
+	for i := range children {
+		base := uint64(i+1) * 1 << 16
+		children[i] = main.Go(func(child *Thread) {
+			child.Read(1) // ordered by the fork
+			for k := uint64(0); k < 300; k++ {
+				child.Write(base + k%32)
+				child.Read(base + k%32)
+			}
+		})
+	}
+	main.Join(children...)
+	for i := range children {
+		main.Read(uint64(i+1) * 1 << 16) // ordered by the joins
+	}
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms: %v", races)
+	}
+}
+
+// TestShardedConfigConflictsPanic: the documented incompatibilities are
+// initialization-time panics, not silent misbehavior.
+func TestShardedConfigConflictsPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("validation", func() {
+		NewMonitor(WithShards(4), WithValidation(PolicyRepair))
+	})
+	mustPanic("memory budget", func() {
+		NewMonitor(WithShards(4), WithHints(Hints{MemoryBudget: 1 << 20}))
+	})
+	mustPanic("non-sharded tool", func() {
+		tool, err := NewTool("Eraser", Hints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		NewMonitor(WithShards(4), WithTool(tool))
+	})
+}
+
+// TestShardsDefaultSerial: WithShards(1) and no option at all are the
+// same serial monitor.
+func TestShardsDefaultSerial(t *testing.T) {
+	if got := NewMonitor().Shards(); got != 1 {
+		t.Errorf("default Shards() = %d", got)
+	}
+	if got := NewMonitor(WithShards(1)).Shards(); got != 1 {
+		t.Errorf("WithShards(1).Shards() = %d", got)
+	}
+	if got := NewMonitor(WithShards(8)).Shards(); got != 8 {
+		t.Errorf("WithShards(8).Shards() = %d", got)
+	}
+}

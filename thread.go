@@ -21,6 +21,15 @@ type Thread struct {
 	id  int32
 	par *Thread
 	wg  sync.WaitGroup // children spawned via Go
+
+	// children tracks live Go-spawned children so Join can record a join
+	// event for each one; joined marks a child whose join was already
+	// recorded (by JoinOne). Both are touched only by the owning
+	// goroutine, per the usage convention above. done is closed when the
+	// child's function returns, so JoinOne can wait on one child.
+	children []*Thread
+	joined   bool
+	done     chan struct{}
 }
 
 // threadIDs allocates monitor-wide goroutine ids for the handle API.
@@ -52,24 +61,52 @@ func (t *Thread) Go(fn func(child *Thread)) *Thread {
 	if t.m.tids == nil {
 		panic("fasttrack: use Monitor.MainThread to initialize the handle API")
 	}
-	child := &Thread{m: t.m, id: t.m.tids.next.Add(1) - 1, par: t}
+	child := &Thread{m: t.m, id: t.m.tids.next.Add(1) - 1, par: t, done: make(chan struct{})}
 	t.m.Fork(t.id, child.id)
+	t.children = append(t.children, child)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
+		defer close(child.done)
 		fn(child)
 	}()
 	return child
 }
 
 // Join waits for every goroutine this thread spawned via Go and records
-// the join events. For joining one specific child use JoinOne.
+// a join event for each child it waited on (skipping children already
+// joined via JoinOne). Passing child handles is optional and only
+// validates that this thread spawned them; the join events are recorded
+// for all children regardless — waiting without recording the edges
+// would leave the children's accesses racing with the parent's.
+// For joining one specific child use JoinOne.
 func (t *Thread) Join(children ...*Thread) {
-	t.wg.Wait()
 	for _, c := range children {
 		if c.par != t {
 			panic(fmt.Sprintf("fasttrack: thread %d did not spawn thread %d", t.id, c.id))
 		}
+	}
+	t.wg.Wait()
+	for _, c := range t.children {
+		if !c.joined {
+			c.joined = true
+			t.m.Join(t.id, c.id)
+		}
+	}
+	t.children = nil
+}
+
+// JoinOne waits for the one given child (which must have been spawned by
+// this thread via Go) and records its join, leaving this thread's other
+// children running. A later Join still waits for the rest and does not
+// re-record this child's join.
+func (t *Thread) JoinOne(c *Thread) {
+	if c.par != t {
+		panic(fmt.Sprintf("fasttrack: thread %d did not spawn thread %d", t.id, c.id))
+	}
+	<-c.done
+	if !c.joined {
+		c.joined = true
 		t.m.Join(t.id, c.id)
 	}
 }

@@ -105,6 +105,68 @@ func TestThreadHandleNestedGo(t *testing.T) {
 	}
 }
 
+// TestJoinRecordsJoinEvents: Join must record a join event for every
+// child it waited on. A regression here is silent and dangerous in the
+// false-negative direction too: with no join edges, the children's
+// writes would race with the parent's later accesses (false positives),
+// and the paper's fork/join ordering would be unenforced.
+func TestJoinRecordsJoinEvents(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	c1 := main.Go(func(child *Thread) { child.Write(10) })
+	c2 := main.Go(func(child *Thread) { child.Write(20) })
+	main.Join(c1, c2)
+	main.Read(10)
+	main.Read(20)
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms after Join: %v", races)
+	}
+	if st := m.Stats(); st.Joins != 2 {
+		t.Errorf("Join recorded %d join events, want 2", st.Joins)
+	}
+}
+
+// TestJoinOne: joining a single child orders only that child's work;
+// a later Join picks up the rest without re-recording the first join.
+func TestJoinOne(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	release := make(chan struct{})
+	c1 := main.Go(func(child *Thread) { child.Write(10) })
+	c2 := main.Go(func(child *Thread) {
+		<-release
+		child.Write(20)
+	})
+	main.JoinOne(c1)
+	main.Read(10) // ordered by c1's join, c2 still running
+	close(release)
+	main.Join(c2)
+	main.Read(20)
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("false alarms: %v", races)
+	}
+	if st := m.Stats(); st.Joins != 2 {
+		t.Errorf("recorded %d join events, want exactly 2 (no re-record after JoinOne)", st.Joins)
+	}
+}
+
+func TestJoinOneForeignChildPanics(t *testing.T) {
+	m := NewMonitor()
+	main := m.MainThread()
+	var inner *Thread
+	c := main.Go(func(child *Thread) {
+		inner = child.Go(func(*Thread) {})
+		child.Join(inner)
+	})
+	main.Join(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("JoinOne on a foreign child must panic")
+		}
+	}()
+	main.JoinOne(inner)
+}
+
 func TestJoinForeignChildPanics(t *testing.T) {
 	m := NewMonitor()
 	main := m.MainThread()
