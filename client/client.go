@@ -1,0 +1,573 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fasttrack/trace"
+)
+
+// OverflowPolicy selects what Write does when the client's bounded
+// frame queue is full.
+type OverflowPolicy int
+
+const (
+	// Block makes Write wait for queue space: end-to-end backpressure,
+	// no event ever silently lost.
+	Block OverflowPolicy = iota
+	// Shed makes Write drop the oldest-unsent batch instead of waiting:
+	// bounded producer latency at the cost of analysis completeness.
+	// Shed frames are counted in Stats().FramesShed.
+	Shed
+)
+
+// ErrSessionClosed is returned by operations on a session after Close.
+var ErrSessionClosed = errors.New("client: session is closed")
+
+// DialFunc opens the transport connection; overridable for tests and
+// fault injection.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+type config struct {
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+	readTimeout  time.Duration
+	batchEvents  int
+	queueFrames  int
+	onFull       OverflowPolicy
+	retries      int
+	backoff      time.Duration
+	maxFrame     int
+	hello        Handshake
+	dial         DialFunc
+}
+
+func defaultConfig() config {
+	return config{
+		dialTimeout:  5 * time.Second,
+		writeTimeout: 10 * time.Second,
+		readTimeout:  30 * time.Second,
+		batchEvents:  1024,
+		queueFrames:  32,
+		onFull:       Block,
+		retries:      3,
+		backoff:      50 * time.Millisecond,
+		maxFrame:     trace.DefaultMaxFramePayload,
+		hello:        Handshake{Version: ProtocolVersion},
+		dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	}
+}
+
+// Option configures Dial.
+type Option func(*config)
+
+// WithDialTimeout bounds each connection attempt.
+func WithDialTimeout(d time.Duration) Option { return func(c *config) { c.dialTimeout = d } }
+
+// WithWriteTimeout bounds each frame write (0 = no deadline).
+func WithWriteTimeout(d time.Duration) Option { return func(c *config) { c.writeTimeout = d } }
+
+// WithReadTimeout bounds each wait for a server reply (Flush, Results,
+// Close).
+func WithReadTimeout(d time.Duration) Option { return func(c *config) { c.readTimeout = d } }
+
+// WithBatchSize sets how many events are packed per wire frame.
+func WithBatchSize(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.batchEvents = n
+		}
+	}
+}
+
+// WithQueue bounds the client-side frame queue and selects the
+// overflow policy.
+func WithQueue(frames int, p OverflowPolicy) Option {
+	return func(c *config) {
+		if frames > 0 {
+			c.queueFrames = frames
+		}
+		c.onFull = p
+	}
+}
+
+// WithRetry sets the bounded dial retry budget: up to retries extra
+// attempts with exponentially growing backoff starting at initial.
+func WithRetry(retries int, initial time.Duration) Option {
+	return func(c *config) {
+		if retries >= 0 {
+			c.retries = retries
+		}
+		if initial > 0 {
+			c.backoff = initial
+		}
+	}
+}
+
+// WithTool selects the server-side detector ("" = FastTrack).
+func WithTool(name string) Option { return func(c *config) { c.hello.Tool = name } }
+
+// WithValidation selects the server-side stream-validation policy
+// ("off", "strict", "repair", "drop").
+func WithValidation(policy string) Option { return func(c *config) { c.hello.Policy = policy } }
+
+// WithShards asks the server for lock-striped ingestion with n stripes.
+func WithShards(n int) Option { return func(c *config) { c.hello.Shards = n } }
+
+// WithGranularity selects the server-side shadow granularity ("fine" or
+// "coarse").
+func WithGranularity(g string) Option { return func(c *config) { c.hello.Gran = g } }
+
+// WithDialFunc replaces the transport dialer (tests, fault injection).
+func WithDialFunc(f DialFunc) Option { return func(c *config) { c.dial = f } }
+
+// Stats is the client-side accounting of a session.
+type Stats struct {
+	EventsWritten int64 // events accepted by Write
+	EventsSent    int64 // events handed to the wire (flushed batches)
+	EventsShed    int64 // events in frames dropped by the Shed policy
+	FramesSent    int64
+	FramesShed    int64
+	Stalls        int64 // Writes that had to wait for queue space
+}
+
+// Session is one open analysis session on a racedetectd server. A
+// Session's methods are safe for concurrent use, but events from
+// concurrent writers are interleaved at batch granularity; the common
+// shape is one producing goroutine per session.
+//
+// Errors are sticky and fail-closed: once the connection or the
+// server-side session has failed, every subsequent operation returns
+// the first error. There is deliberately no transparent reconnect —
+// the server's monitor state died with the session, so resuming the
+// stream elsewhere would silently analyze a torn trace.
+type Session struct {
+	cfg  config
+	conn net.Conn
+	id   string
+
+	bmu     sync.Mutex // guards the batch encoder
+	buf     bytes.Buffer
+	enc     *trace.Writer
+	batched int64
+
+	sendq   chan outFrame
+	replies chan inFrame
+	reqMu   sync.Mutex // one outstanding control request at a time
+
+	dead     chan struct{} // closed by fail
+	failOnce sync.Once
+	errv     atomic.Value // error
+	closed   atomic.Bool
+	seq      atomic.Int64
+	final    atomic.Value // Results, set by Close
+
+	eventsWritten atomic.Int64
+	eventsSent    atomic.Int64
+	eventsShed    atomic.Int64
+	framesSent    atomic.Int64
+	framesShed    atomic.Int64
+	stalls        atomic.Int64
+}
+
+type outFrame struct {
+	t       trace.FrameType
+	payload []byte
+}
+
+type inFrame struct {
+	t       trace.FrameType
+	payload []byte
+}
+
+// Dial connects to a racedetectd server and opens a session, retrying
+// transient connection failures with exponential backoff up to the
+// configured budget.
+func Dial(addr string, opts ...Option) (*Session, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	var (
+		conn net.Conn
+		err  error
+	)
+	backoff := cfg.backoff
+	for attempt := 0; ; attempt++ {
+		conn, err = cfg.dial(addr, cfg.dialTimeout)
+		if err == nil {
+			break
+		}
+		if attempt >= cfg.retries {
+			return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, err, attempt+1)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+
+	s := &Session{
+		cfg:     cfg,
+		conn:    conn,
+		sendq:   make(chan outFrame, cfg.queueFrames),
+		replies: make(chan inFrame, 4),
+		dead:    make(chan struct{}),
+	}
+	s.enc = trace.NewWriter(&s.buf, trace.Binary)
+
+	if err := s.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go s.senderLoop()
+	go s.readerLoop()
+	return s, nil
+}
+
+// handshake runs the hello exchange synchronously on the dialing
+// goroutine, before the sender/reader loops exist.
+func (s *Session) handshake() error {
+	fw := trace.NewFrameWriter(s.conn)
+	b, err := json.Marshal(s.cfg.hello)
+	if err != nil {
+		return err
+	}
+	s.setWriteDeadline()
+	if err := fw.WriteFrame(FrameHello, b); err != nil {
+		return fmt.Errorf("client: sending hello: %w", err)
+	}
+	fr := trace.NewFrameReader(s.conn, s.cfg.maxFrame)
+	if s.cfg.readTimeout > 0 {
+		s.conn.SetReadDeadline(time.Now().Add(s.cfg.readTimeout))
+	}
+	t, payload, err := fr.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("client: reading hello reply: %w", err)
+	}
+	s.conn.SetReadDeadline(time.Time{})
+	switch t {
+	case FrameHelloOK:
+		var ok HelloOK
+		if err := json.Unmarshal(payload, &ok); err != nil {
+			return fmt.Errorf("client: malformed hello reply: %w", err)
+		}
+		s.id = ok.SessionID
+		return nil
+	case FrameErrorMsg:
+		return wireErr(payload)
+	default:
+		return fmt.Errorf("client: unexpected hello reply frame %d", t)
+	}
+}
+
+// ID returns the server-assigned session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Err returns the session's sticky error, nil while healthy.
+func (s *Session) Err() error {
+	if e, _ := s.errv.Load().(error); e != nil {
+		return e
+	}
+	return nil
+}
+
+// fail records the first error, severs the connection, and wakes every
+// blocked operation. Subsequent calls are no-ops.
+func (s *Session) fail(err error) {
+	s.failOnce.Do(func() {
+		s.errv.Store(err)
+		close(s.dead)
+		s.conn.Close()
+	})
+}
+
+func (s *Session) setWriteDeadline() {
+	if s.cfg.writeTimeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
+	}
+}
+
+// senderLoop is the only writer of the connection after the handshake.
+func (s *Session) senderLoop() {
+	fw := trace.NewFrameWriter(s.conn)
+	for {
+		select {
+		case f := <-s.sendq:
+			s.setWriteDeadline()
+			if err := fw.WriteFrame(f.t, f.payload); err != nil {
+				s.fail(fmt.Errorf("client: writing frame: %w", err))
+				return
+			}
+			s.framesSent.Add(1)
+		case <-s.dead:
+			return
+		}
+	}
+}
+
+// readerLoop is the only reader of the connection after the handshake;
+// it feeds replies to the waiting control operation and turns server
+// error frames into the sticky session error.
+func (s *Session) readerLoop() {
+	fr := trace.NewFrameReader(s.conn, s.cfg.maxFrame)
+	for {
+		t, payload, err := fr.ReadFrame()
+		if err != nil {
+			s.fail(fmt.Errorf("client: reading reply: %w", err))
+			return
+		}
+		if t == FrameErrorMsg {
+			s.fail(wireErr(payload))
+			return
+		}
+		select {
+		case s.replies <- inFrame{t, payload}:
+		case <-s.dead:
+			return
+		}
+	}
+}
+
+// wireErr decodes a server error frame.
+func wireErr(payload []byte) error {
+	var we WireError
+	if err := json.Unmarshal(payload, &we); err != nil {
+		return fmt.Errorf("client: malformed server error frame: %w", err)
+	}
+	return fmt.Errorf("client: server error [%s]: %s", we.Code, we.Msg)
+}
+
+// Write appends one event to the current batch, sending the batch as a
+// wire frame when it reaches the configured size. Under the Block
+// policy a full queue makes Write wait (backpressure); under Shed the
+// batch is dropped and counted.
+func (s *Session) Write(e trace.Event) error {
+	if s.closed.Load() {
+		return ErrSessionClosed
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	s.bmu.Lock()
+	if err := s.enc.Write(e); err != nil {
+		s.bmu.Unlock()
+		return err
+	}
+	s.eventsWritten.Add(1)
+	s.batched++
+	full := s.batched >= int64(s.cfg.batchEvents)
+	s.bmu.Unlock()
+	if full {
+		return s.flushBatch()
+	}
+	return nil
+}
+
+// flushBatch seals the current batch into an events frame and enqueues
+// it per the overflow policy.
+func (s *Session) flushBatch() error {
+	s.bmu.Lock()
+	if s.batched == 0 {
+		s.bmu.Unlock()
+		return nil
+	}
+	if err := s.enc.Flush(); err != nil {
+		s.bmu.Unlock()
+		return err
+	}
+	payload := append([]byte(nil), s.buf.Bytes()...)
+	n := s.batched
+	s.buf.Reset()
+	s.enc = trace.NewWriter(&s.buf, trace.Binary)
+	s.batched = 0
+	s.bmu.Unlock()
+
+	f := outFrame{FrameEvents, payload}
+	if s.cfg.onFull == Shed {
+		select {
+		case s.sendq <- f:
+			s.eventsSent.Add(n)
+		default:
+			s.framesShed.Add(1)
+			s.eventsShed.Add(n)
+		}
+		return nil
+	}
+	select {
+	case s.sendq <- f:
+	default:
+		s.stalls.Add(1)
+		select {
+		case s.sendq <- f:
+		case <-s.dead:
+			return s.Err()
+		}
+	}
+	s.eventsSent.Add(n)
+	return nil
+}
+
+// enqueueControl enqueues a control frame; control frames always block
+// for space (they are rare and must not be shed).
+func (s *Session) enqueueControl(t trace.FrameType, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	select {
+	case s.sendq <- outFrame{t, b}:
+		return nil
+	case <-s.dead:
+		return s.Err()
+	}
+}
+
+// await waits for the reply of the outstanding control request.
+// Callers hold reqMu, so at most one reply is in flight.
+func (s *Session) await(want trace.FrameType, seq int64) (inFrame, error) {
+	var timeout <-chan time.Time
+	if s.cfg.readTimeout > 0 {
+		tm := time.NewTimer(s.cfg.readTimeout)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	// An already-delivered reply wins over a concurrent connection
+	// teardown: the server may legally close right after replying (a
+	// CloseOK followed by its end of stream).
+	var r inFrame
+	select {
+	case r = <-s.replies:
+	default:
+		select {
+		case r = <-s.replies:
+		case <-s.dead:
+			return inFrame{}, s.Err()
+		case <-timeout:
+			err := fmt.Errorf("client: timed out after %v waiting for frame %d", s.cfg.readTimeout, want)
+			s.fail(err)
+			return inFrame{}, err
+		}
+	}
+	if r.t != want {
+		err := fmt.Errorf("client: protocol error: got frame %d, want %d", r.t, want)
+		s.fail(err)
+		return inFrame{}, err
+	}
+	var q Seq
+	if err := json.Unmarshal(r.payload, &q); err != nil {
+		s.fail(fmt.Errorf("client: malformed reply: %w", err))
+		return inFrame{}, s.Err()
+	}
+	if q.Seq != seq {
+		err := fmt.Errorf("client: protocol error: reply seq %d, want %d", q.Seq, seq)
+		s.fail(err)
+		return inFrame{}, err
+	}
+	return r, nil
+}
+
+// Flush sends the current batch and blocks until the server
+// acknowledges that every event sent so far has been ingested. Events
+// acknowledged by a Flush survive even an immediate server drain.
+func (s *Session) Flush() error {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	if s.closed.Load() {
+		return ErrSessionClosed
+	}
+	if err := s.flushBatch(); err != nil {
+		return err
+	}
+	seq := s.seq.Add(1)
+	if err := s.enqueueControl(FrameFlush, Seq{Seq: seq}); err != nil {
+		return err
+	}
+	_, err := s.await(FrameFlushOK, seq)
+	return err
+}
+
+// Results sends any buffered events and returns the server's current
+// analysis snapshot for this session. After Close it returns the final
+// snapshot captured at session end.
+func (s *Session) Results() (Results, error) {
+	if f, ok := s.final.Load().(Results); ok {
+		return f, nil
+	}
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	if s.closed.Load() {
+		return Results{}, ErrSessionClosed
+	}
+	if err := s.flushBatch(); err != nil {
+		return Results{}, err
+	}
+	seq := s.seq.Add(1)
+	if err := s.enqueueControl(FrameQuery, Seq{Seq: seq}); err != nil {
+		return Results{}, err
+	}
+	r, err := s.await(FrameResults, seq)
+	if err != nil {
+		return Results{}, err
+	}
+	var res Results
+	if err := json.Unmarshal(r.payload, &res); err != nil {
+		return Results{}, fmt.Errorf("client: malformed results: %w", err)
+	}
+	return res, nil
+}
+
+// Close flushes buffered events, ends the session on the server
+// (capturing its final results, available via Results afterwards), and
+// releases the connection. Closing an already-failed session returns
+// the sticky error; Close is idempotent.
+func (s *Session) Close() error {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	if s.closed.Load() {
+		return nil
+	}
+	if err := s.Err(); err != nil {
+		s.closed.Store(true)
+		return err
+	}
+	if err := s.flushBatch(); err != nil {
+		s.closed.Store(true)
+		return err
+	}
+	seq := s.seq.Add(1)
+	if err := s.enqueueControl(FrameClose, Seq{Seq: seq}); err != nil {
+		s.closed.Store(true)
+		return err
+	}
+	r, err := s.await(FrameCloseOK, seq)
+	s.closed.Store(true)
+	if err != nil {
+		return err
+	}
+	var res Results
+	if err := json.Unmarshal(r.payload, &res); err == nil {
+		s.final.Store(res)
+	}
+	s.fail(ErrSessionClosed) // tear down the loops and the connection
+	return nil
+}
+
+// Stats returns the client-side accounting so far.
+func (s *Session) Stats() Stats {
+	return Stats{
+		EventsWritten: s.eventsWritten.Load(),
+		EventsSent:    s.eventsSent.Load(),
+		EventsShed:    s.eventsShed.Load(),
+		FramesSent:    s.framesSent.Load(),
+		FramesShed:    s.framesShed.Load(),
+		Stalls:        s.stalls.Load(),
+	}
+}

@@ -62,6 +62,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write a machine-readable run report to stdout")
 	jsonFile := flag.String("json.file", "", "write the run report to this file instead of stdout")
 	metricsAddr := flag.String("metrics.addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
+	serverAddr := flag.String("server", "", "stream the trace to a racedetectd daemon at this address instead of analyzing locally")
 	list := flag.Bool("list", false, "list available detectors and exit")
 	flag.Parse()
 
@@ -94,6 +95,13 @@ func main() {
 		g = fasttrack.Coarse
 	default:
 		fatal(fmt.Errorf("unknown granularity %q", *gran))
+	}
+
+	if *serverAddr != "" {
+		if *all || *stream || *explain {
+			fatal(fmt.Errorf("-server streams a single tool's batch run; drop -all/-stream/-explain"))
+		}
+		os.Exit(runRemote(flag.Arg(0), *serverAddr, *toolName, *gran, *policyName, *shards, *validate))
 	}
 
 	ms, err := startMetrics(*metricsAddr)

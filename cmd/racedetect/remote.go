@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fasttrack/client"
+)
+
+// runRemote streams the trace to a racedetectd daemon instead of
+// analyzing it in-process, and renders the session's final report in
+// exactly the local batch format (so local and remote runs diff clean);
+// the transport note goes to stderr. Returns the process exit code.
+func runRemote(path, addr, toolName, gran, policyName string, shards int, validate bool) int {
+	tr, err := readTrace(path)
+	if err != nil {
+		fatal(err)
+	}
+	if validate {
+		if err := tr.Validate(); err != nil {
+			fatal(fmt.Errorf("infeasible trace: %w", err))
+		}
+	}
+
+	opts := []client.Option{
+		client.WithTool(toolName),
+		client.WithGranularity(gran),
+	}
+	if policyName != "" && policyName != "off" {
+		opts = append(opts, client.WithValidation(policyName))
+	}
+	if shards > 1 {
+		opts = append(opts, client.WithShards(shards))
+	}
+	sess, err := client.Dial(addr, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range tr {
+		if err := sess.Write(e); err != nil {
+			fatal(fmt.Errorf("streaming to %s: %w", addr, err))
+		}
+	}
+	if err := sess.Close(); err != nil {
+		fatal(fmt.Errorf("closing session: %w", err))
+	}
+	res, err := sess.Results()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: %d warning(s)\n", res.Tool, len(res.Races))
+	for _, r := range res.Races {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Fprintf(os.Stderr, "racedetect: %d events analyzed remotely (session %s on %s)\n",
+		res.Events, res.SessionID, addr)
+	if len(res.Races) > 0 {
+		return 1
+	}
+	return 0
+}

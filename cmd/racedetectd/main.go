@@ -1,0 +1,115 @@
+// Command racedetectd is the streaming network ingestion daemon: it
+// accepts racedetect client sessions over TCP (see the client package
+// for the protocol), runs one monitored detector pipeline per session,
+// and serves live session and metrics queries over HTTP.
+//
+// Usage:
+//
+//	racedetectd [-addr 127.0.0.1:7766] [-http 127.0.0.1:7767]
+//	            [-queue 64] [-max-frame bytes] [-max-sessions 256]
+//	            [-idle 5m] [-drain 30s] [-report.dir DIR] [-v]
+//
+// The HTTP listener (enabled by -http) serves:
+//
+//	/metrics              the live svc.* metrics registry as JSON
+//	/sessions             summaries of live and recently finished sessions
+//	/sessions/{id}/races  a session's current race reports
+//	/sessions/{id}/stats  a session's detector statistics and health
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
+// lets every session's already-received frames finish analysis,
+// finalizes the sessions (writing JSON reports under -report.dir), and
+// exits 0. Events a client has received a Flush acknowledgement for are
+// never lost to a drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fasttrack/internal/svc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7766", "TCP listen address for ingestion sessions")
+	httpAddr := flag.String("http", "", "HTTP listen address for /metrics and /sessions (disabled if empty)")
+	queue := flag.Int("queue", 64, "per-session frame queue depth (bounds buffered-but-unprocessed frames)")
+	maxFrame := flag.Int("max-frame", 0, "maximum accepted frame payload in bytes (0 = default 4MiB)")
+	maxSessions := flag.Int("max-sessions", 256, "concurrent session cap")
+	idle := flag.Duration("idle", 5*time.Minute, "evict sessions idle for this long (0 = never)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
+	reportDir := flag.String("report.dir", "", "write one JSON report per finished session into this directory")
+	verbose := flag.Bool("v", false, "log per-session lifecycle events")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "racedetectd: ", log.LstdFlags)
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = logger.Printf
+	}
+
+	srv := svc.New(svc.Config{
+		QueueDepth:      *queue,
+		MaxFramePayload: *maxFrame,
+		MaxSessions:     *maxSessions,
+		IdleTimeout:     *idle,
+		ReportDir:       *reportDir,
+		Logf:            logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// The ready line goes to stdout so supervisors (and the CI harness)
+	// can wait for it; with -addr :0 it carries the chosen port.
+	fmt.Printf("racedetectd: listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		fmt.Printf("racedetectd: http on %s\n", hln.Addr())
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				logger.Print("http:", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v, draining (budget %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Print(err)
+			os.Exit(1)
+		}
+		if httpSrv != nil {
+			httpSrv.Shutdown(context.Background())
+		}
+		logger.Print("drained cleanly")
+	case err := <-serveErr:
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// FaultConn wraps a net.Conn and injects deterministic transport faults
+// into the written byte stream, for exercising the ingestion service's
+// failure paths: frame corruption (caught by the frame CRC) and
+// connection resets mid-stream. Faults are positioned by absolute byte
+// offset of the write stream, so a test can aim past the handshake and
+// into a chosen frame. The read side is passed through untouched.
+type FaultConn struct {
+	net.Conn
+
+	// FlipByte, when >= 0, XORs 0x01 into the written byte at this
+	// stream offset — a single-bit corruption the frame CRC must catch.
+	FlipByte int64
+	// ResetAfter, when > 0, closes the connection after this many bytes
+	// have been written, tearing the stream mid-frame.
+	ResetAfter int64
+
+	mu      sync.Mutex
+	written int64
+}
+
+// NewFaultConn returns a pass-through wrapper with no faults armed.
+func NewFaultConn(c net.Conn) *FaultConn {
+	return &FaultConn{Conn: c, FlipByte: -1}
+}
+
+// Write applies the armed faults to the outgoing stream.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	off := f.written
+	if f.ResetAfter > 0 && off >= f.ResetAfter {
+		f.Conn.Close()
+		return 0, fmt.Errorf("chaos: connection reset after %d bytes", off)
+	}
+	if f.FlipByte >= off && f.FlipByte < off+int64(len(p)) {
+		q := append([]byte(nil), p...)
+		q[f.FlipByte-off] ^= 0x01
+		p = q
+	}
+	if f.ResetAfter > 0 && off+int64(len(p)) > f.ResetAfter {
+		// Deliver the prefix up to the cut, then sever the connection.
+		n, err := f.Conn.Write(p[:f.ResetAfter-off])
+		f.written += int64(n)
+		f.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("chaos: connection reset after %d bytes", f.ResetAfter)
+	}
+	n, err := f.Conn.Write(p)
+	f.written += int64(n)
+	return n, err
+}
+
+// Written returns how many bytes have passed through so far.
+func (f *FaultConn) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}

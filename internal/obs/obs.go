@@ -26,6 +26,7 @@ import (
 	"math/bits"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -184,8 +185,9 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
 
 // Registry is a named collection of metrics. Metric handles are created
-// on first use and never removed; lookups take the registry lock, so
-// callers on hot paths should obtain handles once and bump the handles.
+// on first use and removed only by an explicit DeleteByPrefix; lookups
+// take the registry lock, so callers on hot paths should obtain handles
+// once and bump the handles.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -236,6 +238,38 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// DeleteByPrefix removes every metric whose name starts with prefix and
+// returns how many were removed. It exists for bounded-cardinality
+// dynamic namespaces — the ingestion service registers per-session
+// metrics under "svc.session.<id>." and deletes them when the session
+// is finalized, so evicted sessions do not leak registry entries.
+// Handles already obtained by callers keep working; they are simply no
+// longer exported.
+func (r *Registry) DeleteByPrefix(prefix string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name := range r.counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.counters, name)
+			n++
+		}
+	}
+	for name := range r.gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.gauges, name)
+			n++
+		}
+	}
+	for name := range r.hists {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.hists, name)
+			n++
+		}
+	}
+	return n
 }
 
 // Snapshot copies every metric. The registry lock is held only while

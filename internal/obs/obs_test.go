@@ -207,3 +207,30 @@ func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
 		t.Errorf("final histogram count = %d, want %d", got, want)
 	}
 }
+
+func TestDeleteByPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("svc.session.s1.frames").Inc()
+	r.Gauge("svc.session.s1.queueDepth").Set(3)
+	r.Histogram("svc.session.s1.batch").Observe(10)
+	r.Counter("svc.session.s2.frames").Inc()
+	r.Counter("svc.framesTotal").Inc()
+
+	if n := r.DeleteByPrefix("svc.session.s1."); n != 3 {
+		t.Errorf("DeleteByPrefix removed %d metrics, want 3", n)
+	}
+	snap := r.Snapshot()
+	if _, ok := snap.Counters["svc.session.s1.frames"]; ok {
+		t.Error("deleted counter still in snapshot")
+	}
+	if _, ok := snap.Gauges["svc.session.s1.queueDepth"]; ok {
+		t.Error("deleted gauge still in snapshot")
+	}
+	if snap.Counter("svc.session.s2.frames") != 1 || snap.Counter("svc.framesTotal") != 1 {
+		t.Error("unrelated metrics were deleted")
+	}
+	// A retained handle keeps working; re-creating the name starts fresh.
+	if got := r.Counter("svc.session.s1.frames").Load(); got != 0 {
+		t.Errorf("recreated counter = %d, want 0", got)
+	}
+}

@@ -1,0 +1,470 @@
+// Package svc implements racedetectd, the streaming network ingestion
+// service: a TCP daemon that multiplexes concurrent analysis sessions,
+// each backed by its own Monitor running behind the validation and
+// quarantine pipeline. One connection carries one session; frames are
+// the trace package's CRC framing and the protocol (handshake, event
+// chunks, flush acknowledgements, result queries) is defined by the
+// public client package, which this package shares its wire types with.
+//
+// Architecture per connection:
+//
+//	reader goroutine ── bounded queue ──> worker goroutine ──> Monitor
+//
+// The reader parses frames and enqueues them; the worker drains the
+// queue strictly in order, ingesting event chunks and answering control
+// frames. The queue is the backpressure mechanism: when it is full the
+// reader blocks, the kernel's TCP window closes, and the client's
+// writes stall — a slow analysis never buffers an unbounded backlog.
+// Because the worker is the only goroutine touching a session's
+// Monitor, sessions need no per-event locking of their own beyond what
+// the Monitor does internally.
+//
+// Shutdown (SIGTERM in the daemon) drains rather than drops: the
+// listener closes, every session's connection closes (stopping the
+// readers), the workers finish whatever was already queued, and each
+// session is finalized — monitor closed, final results snapshotted, a
+// JSON report written if a report directory is configured. Events the
+// client has received a FlushOK for are therefore always analyzed.
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fasttrack"
+	"fasttrack/client"
+	"fasttrack/internal/obs"
+	"fasttrack/internal/rr"
+	"fasttrack/trace"
+)
+
+// Config parameterizes a Server; the zero value is usable.
+type Config struct {
+	// QueueDepth bounds each session's frame queue (default 64). Together
+	// with MaxFramePayload it caps a session's queued-but-unprocessed
+	// bytes at QueueDepth * MaxFramePayload.
+	QueueDepth int
+	// MaxFramePayload bounds accepted frame payloads
+	// (trace.DefaultMaxFramePayload if <= 0).
+	MaxFramePayload int
+	// IdleTimeout evicts sessions that send no frame for this long
+	// (0 = never evict).
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the hello frame on a new
+	// connection (default 10s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each reply write (default 30s).
+	WriteTimeout time.Duration
+	// MaxSessions caps concurrent sessions (default 256); excess
+	// connections are refused with a session-cap error.
+	MaxSessions int
+	// RetainFinished is how many finalized sessions stay queryable over
+	// HTTP (default 64); older ones are forgotten.
+	RetainFinished int
+	// ReportDir, when non-empty, receives one <sessionID>.json report per
+	// finalized session.
+	ReportDir string
+	// Registry receives the service metrics (svc.* plus per-session
+	// svc.session.<id>.*); a private registry is created when nil.
+	Registry *obs.Registry
+	// NewMonitor overrides session monitor construction, used by tests to
+	// install instrumented detectors. The default builds a Monitor from
+	// the handshake via BuildMonitor.
+	NewMonitor func(client.Handshake) (*fasttrack.Monitor, string, error)
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	d := *c
+	if d.QueueDepth <= 0 {
+		d.QueueDepth = 64
+	}
+	if d.MaxFramePayload <= 0 {
+		d.MaxFramePayload = trace.DefaultMaxFramePayload
+	}
+	if d.HandshakeTimeout <= 0 {
+		d.HandshakeTimeout = 10 * time.Second
+	}
+	if d.WriteTimeout <= 0 {
+		d.WriteTimeout = 30 * time.Second
+	}
+	if d.MaxSessions <= 0 {
+		d.MaxSessions = 256
+	}
+	if d.RetainFinished <= 0 {
+		d.RetainFinished = 64
+	}
+	if d.Registry == nil {
+		d.Registry = obs.NewRegistry()
+	}
+	if d.NewMonitor == nil {
+		d.NewMonitor = BuildMonitor
+	}
+	if d.Logf == nil {
+		d.Logf = func(string, ...any) {}
+	}
+	return d
+}
+
+// BuildMonitor constructs a session Monitor from a handshake, returning
+// the monitor and the canonical detector name. It is the default
+// Config.NewMonitor.
+func BuildMonitor(h client.Handshake) (*fasttrack.Monitor, string, error) {
+	name := h.Tool
+	if name == "" {
+		name = "FastTrack"
+	}
+	tool, err := fasttrack.NewTool(name, fasttrack.Hints{})
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", client.ErrCodeUnknownTool, err)
+	}
+	policy := fasttrack.PolicyOff
+	if h.Policy != "" {
+		p, ok := rr.PolicyFromString(h.Policy)
+		if !ok {
+			return nil, "", fmt.Errorf("%s: unknown validation policy %q", client.ErrCodeBadRequest, h.Policy)
+		}
+		policy = p
+	}
+	gran := fasttrack.Fine
+	switch h.Gran {
+	case "", "fine":
+	case "coarse":
+		gran = fasttrack.Coarse
+	default:
+		return nil, "", fmt.Errorf("%s: unknown granularity %q", client.ErrCodeBadRequest, h.Gran)
+	}
+	if h.Shards > 1 {
+		if _, ok := tool.(fasttrack.ShardedTool); !ok {
+			return nil, "", fmt.Errorf("%s: tool %q does not support sharded ingestion", client.ErrCodeBadRequest, name)
+		}
+		if policy != fasttrack.PolicyOff {
+			return nil, "", fmt.Errorf("%s: shards > 1 is incompatible with validation policy %q", client.ErrCodeBadRequest, h.Policy)
+		}
+	}
+	opts := []fasttrack.MonitorOption{
+		fasttrack.WithDetector(name),
+		fasttrack.WithGranularity(gran),
+		fasttrack.WithValidation(policy),
+	}
+	if h.Shards > 1 {
+		opts = append(opts, fasttrack.WithShards(h.Shards))
+	}
+	return fasttrack.NewMonitor(opts...), tool.Name(), nil
+}
+
+// serverMetrics caches the aggregate svc.* metric handles.
+type serverMetrics struct {
+	sessionsActive  *obs.Gauge
+	sessionsTotal   *obs.Counter
+	sessionsFailed  *obs.Counter
+	sessionsEvicted *obs.Counter
+	framesTotal     *obs.Counter
+	eventsTotal     *obs.Counter
+	bytesTotal      *obs.Counter
+	stalls          *obs.Counter // reader found the session queue full
+	errorsTotal     *obs.Counter // error frames sent
+	queuePeak       *obs.Gauge   // high-water mark of any session's queue
+}
+
+// Server is the racedetectd session multiplexer.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	sm  serverMetrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[string]*session
+	finished []string // finalized session ids, oldest first, for retention
+	active   int
+
+	nextID   atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	return &Server{
+		cfg:      cfg,
+		reg:      reg,
+		sessions: map[string]*session{},
+		sm: serverMetrics{
+			sessionsActive:  reg.Gauge("svc.sessionsActive"),
+			sessionsTotal:   reg.Counter("svc.sessionsTotal"),
+			sessionsFailed:  reg.Counter("svc.sessionsFailed"),
+			sessionsEvicted: reg.Counter("svc.sessionsEvicted"),
+			framesTotal:     reg.Counter("svc.framesTotal"),
+			eventsTotal:     reg.Counter("svc.eventsTotal"),
+			bytesTotal:      reg.Counter("svc.bytesTotal"),
+			stalls:          reg.Counter("svc.backpressureStalls"),
+			errorsTotal:     reg.Counter("svc.errorsTotal"),
+			queuePeak:       reg.Gauge("svc.queueDepthPeak"),
+		},
+	}
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Serve accepts connections on ln until Shutdown (which returns nil
+// here) or a listener error. Each connection is handled on its own
+// goroutines.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: it stops accepting, closes every
+// session's connection (already-queued frames are still processed), and
+// waits — bounded by ctx — for all sessions to finalize and emit their
+// reports.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, sess := range s.sessions {
+		if !sess.done() {
+			sess.conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("svc: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// handleConn performs the handshake, registers the session, and runs
+// the reader loop; the worker runs on its own goroutine.
+func (s *Server) handleConn(conn net.Conn) {
+	fr := trace.NewFrameReader(conn, s.cfg.MaxFramePayload)
+	fw := trace.NewFrameWriter(conn)
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	t, payload, err := fr.ReadFrame()
+	if err != nil || t != client.FrameHello {
+		s.refuse(conn, fw, client.ErrCodeProtocol, "expected hello frame")
+		return
+	}
+	var h client.Handshake
+	if err := json.Unmarshal(payload, &h); err != nil {
+		s.refuse(conn, fw, client.ErrCodeProtocol, "malformed handshake: "+err.Error())
+		return
+	}
+	if h.Version != client.ProtocolVersion {
+		s.refuse(conn, fw, client.ErrCodeProtocol,
+			fmt.Sprintf("protocol version %d not supported (want %d)", h.Version, client.ProtocolVersion))
+		return
+	}
+	if s.draining.Load() {
+		s.refuse(conn, fw, client.ErrCodeDraining, "server is draining")
+		return
+	}
+
+	s.mu.Lock()
+	if s.active >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.refuse(conn, fw, client.ErrCodeSessionCap,
+			fmt.Sprintf("session cap reached (%d)", s.cfg.MaxSessions))
+		return
+	}
+	s.active++ // reserved; released in finalize
+	s.mu.Unlock()
+
+	mon, toolName, err := s.cfg.NewMonitor(h)
+	if err != nil {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+		code, msg := client.ErrCodeBadRequest, err.Error()
+		if c, m, ok := cutCode(msg); ok {
+			code, msg = c, m
+		}
+		s.refuse(conn, fw, code, msg)
+		return
+	}
+
+	id := fmt.Sprintf("s%06d", s.nextID.Add(1))
+	sess := newSession(s, id, conn, fw, mon, toolName, h)
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.sm.sessionsActive.Add(1)
+	s.sm.sessionsTotal.Inc()
+	s.cfg.Logf("svc: session %s open (tool=%s policy=%q shards=%d) from %s",
+		id, toolName, h.Policy, h.Shards, conn.RemoteAddr())
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		sess.workerLoop()
+	}()
+	if err := sess.reply(client.FrameHelloOK, client.HelloOK{SessionID: id}); err != nil {
+		// The client never saw a session; don't read from it.
+		conn.Close()
+		sess.closeQueue() // worker finalizes on the empty queue
+		return
+	}
+	sess.readLoop(fr)
+}
+
+// refuse answers a connection that never became a session.
+func (s *Server) refuse(conn net.Conn, fw *trace.FrameWriter, code, msg string) {
+	s.sm.errorsTotal.Inc()
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	b, _ := json.Marshal(client.WireError{Code: code, Msg: msg})
+	fw.WriteFrame(client.FrameErrorMsg, b)
+	conn.Close()
+	s.cfg.Logf("svc: refused %s: %s: %s", conn.RemoteAddr(), code, msg)
+}
+
+// finalized moves a finalized session into the retention window.
+func (s *Server) finalized(sess *session) {
+	s.mu.Lock()
+	s.active--
+	s.finished = append(s.finished, sess.id)
+	for len(s.finished) > s.cfg.RetainFinished {
+		delete(s.sessions, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+	s.sm.sessionsActive.Add(-1)
+	s.reg.DeleteByPrefix("svc.session." + sess.id + ".")
+	if dir := s.cfg.ReportDir; dir != "" {
+		if err := sess.writeReport(dir); err != nil {
+			s.cfg.Logf("svc: session %s report: %v", sess.id, err)
+		}
+	}
+	s.cfg.Logf("svc: session %s %s (events=%d frames=%d races=%d)",
+		sess.id, sess.stateName(), sess.events.Load(), sess.frames.Load(), sess.raceCount())
+}
+
+// lookup returns the session with the given id, live or retained.
+func (s *Server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// SessionInfo is the HTTP summary of one session.
+type SessionInfo struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Tool       string `json:"tool"`
+	Events     int64  `json:"events"`
+	Frames     int64  `json:"frames"`
+	Bytes      int64  `json:"bytes"`
+	Races      int    `json:"races"`
+	QueueDepth int    `json:"queueDepth"`
+	StartedAt  string `json:"startedAt"`
+	Err        string `json:"err,omitempty"`
+}
+
+// Handler returns the server's HTTP surface: the live metrics registry
+// at /metrics plus the session query endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		infos := make([]SessionInfo, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			infos = append(infos, sess.info())
+		}
+		s.mu.Unlock()
+		sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+		writeJSON(w, infos)
+	})
+	mux.HandleFunc("GET /sessions/{id}/races", func(w http.ResponseWriter, r *http.Request) {
+		sess := s.lookup(r.PathValue("id"))
+		if sess == nil {
+			http.Error(w, "no such session", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, sess.results(0))
+	})
+	mux.HandleFunc("GET /sessions/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		sess := s.lookup(r.PathValue("id"))
+		if sess == nil {
+			http.Error(w, "no such session", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct {
+			SessionInfo
+			Stats  fasttrack.Stats `json:"stats"`
+			Health client.Health   `json:"health"`
+		}{sess.info(), sess.mon.Stats(), client.HealthFrom(sess.mon.Health())})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errIdleEvicted marks a read-deadline expiry as an idle eviction.
+var errIdleEvicted = errors.New("svc: session evicted after idle timeout")
+
+// writeReport writes a session's final JSON report into dir.
+func (sess *session) writeReport(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	report := struct {
+		Schema string         `json:"schema"`
+		Info   SessionInfo    `json:"session"`
+		Result client.Results `json:"result"`
+	}{"fasttrack/svc-session/v1", sess.info(), sess.results(0)}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, sess.id+".json"), append(b, '\n'), 0o644)
+}

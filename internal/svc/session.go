@@ -1,0 +1,361 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fasttrack"
+	"fasttrack/client"
+	"fasttrack/internal/obs"
+	"fasttrack/trace"
+)
+
+// Session states. A session is live in stateStreaming and terminal in
+// every other state; terminal states are reached exactly once, in the
+// worker goroutine, via finalize.
+const (
+	stateStreaming int32 = iota
+	stateCompleted       // client sent FrameClose and got its final results
+	stateDrained         // finalized by a server drain (Shutdown)
+	stateLost            // connection ended without a close frame
+	stateEvicted         // idle timeout
+	stateFailed          // protocol, decode, or ingest error
+)
+
+var stateNames = map[int32]string{
+	stateStreaming: "streaming",
+	stateCompleted: "completed",
+	stateDrained:   "drained",
+	stateLost:      "lost",
+	stateEvicted:   "evicted",
+	stateFailed:    "failed",
+}
+
+// qitem is one unit of worker input: a frame, or a terminal marker
+// (err != nil or terminal == true) enqueued by the reader when the
+// connection ends.
+type qitem struct {
+	t        trace.FrameType
+	payload  []byte
+	err      error // terminal: the reader's exit cause (nil on FrameClose)
+	terminal bool
+}
+
+// session is one connection's analysis state.
+type session struct {
+	id    string
+	srv   *Server
+	conn  net.Conn
+	mon   *fasttrack.Monitor
+	tool  string
+	hello client.Handshake
+
+	wmu sync.Mutex // serializes reply frames onto conn
+	fw  *trace.FrameWriter
+
+	queue chan qitem
+
+	state      atomic.Int32
+	events     atomic.Int64
+	frames     atomic.Int64 // event-chunk frames accepted
+	bytes      atomic.Int64
+	lastActive atomic.Int64 // unix nanos
+	started    time.Time
+	errMsg     atomic.Value // string: failure cause
+
+	closeQ sync.Once
+	doneCh chan struct{} // closed by finalize
+	queueD *obs.Gauge
+}
+
+func newSession(srv *Server, id string, conn net.Conn, fw *trace.FrameWriter,
+	mon *fasttrack.Monitor, tool string, h client.Handshake) *session {
+	sess := &session{
+		id:      id,
+		srv:     srv,
+		conn:    conn,
+		fw:      fw,
+		mon:     mon,
+		tool:    tool,
+		hello:   h,
+		queue:   make(chan qitem, srv.cfg.QueueDepth),
+		started: time.Now(),
+		doneCh:  make(chan struct{}),
+		queueD:  srv.reg.Gauge("svc.session." + id + ".queueDepth"),
+	}
+	sess.lastActive.Store(time.Now().UnixNano())
+	return sess
+}
+
+func (sess *session) stateName() string { return stateNames[sess.state.Load()] }
+
+func (sess *session) done() bool {
+	select {
+	case <-sess.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// closeQueue ends the worker's input exactly once.
+func (sess *session) closeQueue() { sess.closeQ.Do(func() { close(sess.queue) }) }
+
+// readLoop parses frames off the connection and enqueues them for the
+// worker; it runs on the connection's accept goroutine and owns the
+// queue's producer side. It never touches the Monitor.
+func (sess *session) readLoop(fr *trace.FrameReader) {
+	defer sess.closeQueue()
+	idle := sess.srv.cfg.IdleTimeout
+	for {
+		if idle > 0 {
+			sess.conn.SetReadDeadline(time.Now().Add(idle))
+		} else {
+			sess.conn.SetReadDeadline(time.Time{})
+		}
+		t, payload, err := fr.ReadFrame()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !sess.srv.draining.Load() {
+				err = errIdleEvicted
+			}
+			sess.enqueue(qitem{terminal: true, err: err})
+			return
+		}
+		sess.lastActive.Store(time.Now().UnixNano())
+		sess.srv.sm.framesTotal.Inc()
+		// 9 = frame header (5) + CRC trailer (4) wire overhead.
+		sess.srv.sm.bytesTotal.Add(int64(len(payload)) + 9)
+		sess.enqueue(qitem{t: t, payload: payload})
+		if t == client.FrameClose {
+			// The worker finalizes and closes the connection; reading
+			// further would only race with that.
+			sess.enqueue(qitem{terminal: true})
+			return
+		}
+	}
+}
+
+// enqueue hands one item to the worker, blocking when the queue is
+// full: the reader stops reading, the TCP window fills, and the
+// client's sender stalls — bounded memory under a slow analysis.
+func (sess *session) enqueue(it qitem) {
+	select {
+	case sess.queue <- it:
+	default:
+		if !it.terminal {
+			sess.srv.sm.stalls.Inc()
+		}
+		sess.queue <- it
+	}
+	d := len(sess.queue)
+	sess.queueD.Set(int64(d))
+	sess.srv.sm.queuePeak.Max(int64(d))
+}
+
+// workerLoop is the session's single consumer: it drains the queue in
+// order, ingesting event chunks and answering control frames, then
+// finalizes the session. After a failure it keeps draining (discarding)
+// so a reader blocked on a full queue can always finish.
+func (sess *session) workerLoop() {
+	var (
+		terminalErr  error
+		sawClose     bool
+		failed       bool
+		failureCause error
+	)
+	for it := range sess.queue {
+		sess.queueD.Set(int64(len(sess.queue)))
+		if it.terminal {
+			terminalErr = it.err
+			continue
+		}
+		if failed || sawClose {
+			continue
+		}
+		if err := sess.handleFrame(it); err != nil {
+			failed = true
+			failureCause = err
+			sess.fail(err)
+		} else if it.t == client.FrameClose {
+			sawClose = true
+			sess.conn.Close()
+		}
+	}
+
+	switch {
+	case failed:
+		sess.finalize(stateFailed, failureCause)
+	case sawClose:
+		sess.finalize(stateCompleted, nil)
+	case errors.Is(terminalErr, errIdleEvicted):
+		sess.srv.sm.sessionsEvicted.Inc()
+		sess.conn.Close()
+		sess.finalize(stateEvicted, terminalErr)
+	case sess.srv.draining.Load():
+		sess.finalize(stateDrained, nil)
+	case terminalErr != nil && !isDisconnect(terminalErr):
+		// The stream itself was bad (CRC mismatch, oversized frame, torn
+		// mid-frame): tell the client before finalizing as failed.
+		sess.fail(fmt.Errorf("%s: %v", client.ErrCodeBadFrame, terminalErr))
+		sess.finalize(stateFailed, terminalErr)
+	default:
+		sess.finalize(stateLost, terminalErr)
+	}
+}
+
+// isDisconnect reports whether a read error is an ordinary end of
+// connection rather than a damaged stream.
+func isDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+}
+
+// handleFrame processes one frame in the worker; a non-nil error fails
+// the session.
+func (sess *session) handleFrame(it qitem) error {
+	switch it.t {
+	case client.FrameEvents:
+		n, err := sess.ingestChunk(it.payload)
+		sess.events.Add(n)
+		sess.srv.sm.eventsTotal.Add(n)
+		if err != nil {
+			return err
+		}
+		sess.frames.Add(1)
+		sess.bytes.Add(int64(len(it.payload)))
+		return nil
+	case client.FrameFlush:
+		var q client.Seq
+		if err := json.Unmarshal(it.payload, &q); err != nil {
+			return fmt.Errorf("%s: malformed flush: %v", client.ErrCodeProtocol, err)
+		}
+		return sess.reply(client.FrameFlushOK, client.FlushOK{Seq: q.Seq, Events: sess.events.Load()})
+	case client.FrameQuery:
+		var q client.Seq
+		if err := json.Unmarshal(it.payload, &q); err != nil {
+			return fmt.Errorf("%s: malformed query: %v", client.ErrCodeProtocol, err)
+		}
+		return sess.reply(client.FrameResults, sess.results(q.Seq))
+	case client.FrameClose:
+		var q client.Seq
+		json.Unmarshal(it.payload, &q) // seq optional on close
+		return sess.reply(client.FrameCloseOK, sess.results(q.Seq))
+	case client.FrameHello:
+		return fmt.Errorf("%s: duplicate hello", client.ErrCodeProtocol)
+	default:
+		return fmt.Errorf("%s: unexpected frame type %d", client.ErrCodeProtocol, it.t)
+	}
+}
+
+// ingestChunk decodes one event-chunk payload (a complete binary trace)
+// and feeds it event-by-event into the session's monitor. It returns
+// how many events were ingested even on error, so accounting stays
+// exact.
+func (sess *session) ingestChunk(payload []byte) (int64, error) {
+	sc := trace.NewScanner(bytes.NewReader(payload))
+	var n int64
+	for sc.Scan() {
+		if err := sess.mon.Ingest(sc.Event()); err != nil {
+			return n, fmt.Errorf("%s: %v", client.ErrCodeIngest, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("%s: chunk %d: %v", client.ErrCodeDecode, sess.frames.Load(), err)
+	}
+	return n, nil
+}
+
+// results snapshots the session's analysis state for a reply, a query
+// endpoint, or a report.
+func (sess *session) results(seq int64) client.Results {
+	return client.Results{
+		Seq:       seq,
+		SessionID: sess.id,
+		Tool:      sess.tool,
+		Events:    sess.events.Load(),
+		Races:     sess.mon.Races(),
+		Stats:     sess.mon.Stats(),
+		Health:    client.HealthFrom(sess.mon.Health()),
+	}
+}
+
+func (sess *session) raceCount() int { return len(sess.mon.Races()) }
+
+// reply serializes one frame onto the connection.
+func (sess *session) reply(t trace.FrameType, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.cfg.WriteTimeout))
+	return sess.fw.WriteFrame(t, b)
+}
+
+// fail sends a best-effort error frame and severs the connection; the
+// worker keeps draining and finalize records the cause.
+func (sess *session) fail(cause error) {
+	sess.srv.sm.errorsTotal.Inc()
+	code, msg := client.ErrCodeProtocol, cause.Error()
+	if c, m, ok := cutCode(msg); ok {
+		code, msg = c, m
+	}
+	sess.reply(client.FrameErrorMsg, client.WireError{Code: code, Msg: msg})
+	sess.conn.Close()
+}
+
+// cutCode splits "code: message" when the prefix looks like one of the
+// wire error codes (a single token without spaces).
+func cutCode(s string) (code, msg string, ok bool) {
+	c, m, found := strings.Cut(s, ": ")
+	if !found || c == "" || strings.ContainsAny(c, " :") {
+		return "", "", false
+	}
+	return c, m, true
+}
+
+// finalize moves the session to a terminal state exactly once: the
+// monitor is closed (its final races/stats/health stay queryable), the
+// per-session metrics are deleted, and the report is written.
+func (sess *session) finalize(state int32, cause error) {
+	if !sess.state.CompareAndSwap(stateStreaming, state) {
+		return
+	}
+	if cause != nil {
+		sess.errMsg.Store(cause.Error())
+		if state == stateFailed {
+			sess.srv.sm.sessionsFailed.Inc()
+		}
+	}
+	sess.mon.Close()
+	close(sess.doneCh)
+	sess.srv.finalized(sess)
+}
+
+// info builds the HTTP summary.
+func (sess *session) info() SessionInfo {
+	inf := SessionInfo{
+		ID:         sess.id,
+		State:      sess.stateName(),
+		Tool:       sess.tool,
+		Events:     sess.events.Load(),
+		Frames:     sess.frames.Load(),
+		Bytes:      sess.bytes.Load(),
+		Races:      sess.raceCount(),
+		QueueDepth: len(sess.queue),
+		StartedAt:  sess.started.UTC().Format(time.RFC3339Nano),
+	}
+	if e, _ := sess.errMsg.Load().(string); e != "" {
+		inf.Err = e
+	}
+	return inf
+}

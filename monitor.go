@@ -1,6 +1,7 @@
 package fasttrack
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -8,6 +9,10 @@ import (
 	"fasttrack/internal/rr"
 	"fasttrack/trace"
 )
+
+// ErrMonitorClosed is returned by Ingest (and reported by Err-aware
+// callers) for events offered to a monitor after Close.
+var ErrMonitorClosed = errors.New("fasttrack: monitor is closed")
 
 // Monitor is the thread-safe online front end: live goroutines report
 // their memory accesses and synchronization operations, and the wrapped
@@ -34,11 +39,34 @@ type Monitor struct {
 	seen   int
 	tids   *threadIDs // lazy; see Monitor.MainThread
 
+	// cfg is the configuration the monitor was built with, kept so Reset
+	// can rebuild an identical pipeline. Immutable after NewMonitor.
+	cfg monitorConfig
+	// shardedMode mirrors cfg.shards > 1; immutable after NewMonitor so
+	// the lock-free routing check in event() never races with Close
+	// (which nils the mutable sharding state under the write lock).
+	shardedMode bool
+
+	// Lifecycle (see Close/Reset). closed is guarded by mu (write under
+	// Lock, read under RLock or Lock); final holds the terminal snapshot
+	// queries serve once the live pipeline is released.
+	closed   bool
+	final    *monitorFinal
+	rejected atomic.Int64 // events rejected after Close
+
 	// Sharded ingestion (WithShards > 1); all nil/zero in serial mode.
 	sharded rr.ShardedTool
 	stripes []stripeLock
 	ensured atomic.Int32 // threads-materialized watermark, see access()
 	sm      *shardMetrics
+}
+
+// monitorFinal is the snapshot captured by Close, after which the
+// detector and its shadow state are released.
+type monitorFinal struct {
+	races  []Report
+	stats  Stats
+	health Health
 }
 
 // tool returns the dispatcher's current delivery target. Reads must go
@@ -123,26 +151,107 @@ func NewMonitor(opts ...MonitorOption) *Monitor {
 	d.Policy = cfg.policy
 	reg := obs.NewRegistry()
 	d.Obs = reg
-	m := &Monitor{disp: d, reg: reg, onRace: cfg.onRace}
+	m := &Monitor{disp: d, reg: reg, onRace: cfg.onRace, cfg: cfg, shardedMode: cfg.shards > 1}
 	if cfg.shards > 1 {
 		m.enableSharding(tool, cfg)
 	}
 	return m
 }
 
+// Close finalizes the monitor: it snapshots the warnings, statistics,
+// and health for later queries, releases the detector's shadow state
+// (the dominant memory cost of a long-lived monitor), and rejects all
+// further events — Ingest returns ErrMonitorClosed; the void typed
+// methods (Read, Acquire, ...) become counted no-ops. Close is
+// idempotent and safe to call concurrently with producers: in-flight
+// events complete first, later ones are rejected. Races, Stats, Health,
+// and Metrics keep serving the final snapshot.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	st := m.tool().Stats()
+	m.disp.FillStats(&st)
+	m.publishShardMetricsLocked()
+	m.final = &monitorFinal{
+		races:  append([]Report(nil), m.tool().Races()...),
+		stats:  st,
+		health: m.disp.Health(),
+	}
+	m.closed = true
+	// Drop the pipeline so the shadow state is collectable. Every event
+	// and query path checks closed under the lock before touching these.
+	m.disp = nil
+	m.sharded = nil
+	m.stripes = nil
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (m *Monitor) Closed() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.closed
+}
+
+// Rejected returns the number of events offered after Close.
+func (m *Monitor) Rejected() int64 { return m.rejected.Load() }
+
+// Reset rebuilds the monitor's pipeline from its original configuration
+// with fresh (empty) detector state, whether or not the monitor was
+// closed; prior warnings and statistics are discarded. It requires a
+// detector constructed by name — a caller-supplied WithTool instance
+// cannot be rebuilt — and must not run concurrently with producers
+// (unlike Close, which may). The thread-handle id allocator is
+// preserved, so MainThread-derived handles stay valid id sources.
+func (m *Monitor) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.tool != nil {
+		return errors.New("fasttrack: Reset requires a detector constructed by name (a WithTool instance cannot be rebuilt)")
+	}
+	tool, err := NewTool(m.cfg.toolName, m.cfg.hints)
+	if err != nil {
+		return err
+	}
+	d := rr.NewDispatcher(tool)
+	d.Granularity = m.cfg.granularity
+	d.Policy = m.cfg.policy
+	d.Obs = m.reg
+	m.disp = d
+	m.seen = 0
+	m.closed = false
+	m.final = nil
+	m.rejected.Store(0)
+	if m.shardedMode {
+		st := tool.(rr.ShardedTool)
+		st.EnableSharding(m.cfg.shards)
+		d.SetConcurrent()
+		m.sharded = st
+		m.stripes = make([]stripeLock, m.cfg.shards)
+		m.ensured.Store(0)
+	}
+	return nil
+}
+
 // event feeds one event under the appropriate lock and fires the race
-// callback for any new warnings.
-func (m *Monitor) event(e trace.Event) {
-	if m.sharded != nil {
+// callback for any new warnings. It returns ErrMonitorClosed after
+// Close.
+func (m *Monitor) event(e trace.Event) error {
+	if m.shardedMode {
 		if e.Kind == trace.Read || e.Kind == trace.Write {
-			m.access(e)
-			return
+			return m.access(e)
 		}
-		m.syncEvent(e)
-		return
+		return m.syncEvent(e)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		m.rejected.Add(1)
+		return ErrMonitorClosed
+	}
 	m.disp.Event(e)
 	if m.onRace != nil {
 		races := m.tool().Races()
@@ -150,13 +259,16 @@ func (m *Monitor) event(e trace.Event) {
 			m.onRace(races[m.seen])
 		}
 	}
+	return nil
 }
 
 // Ingest records one pre-encoded trace event, routing it exactly as the
 // corresponding typed method (Read, Acquire, ...) would. It is the entry
 // point for feeding recorded traces into a live monitor, e.g. from the
-// CLI or the scaling benchmarks.
-func (m *Monitor) Ingest(e trace.Event) { m.event(e) }
+// CLI, the scaling benchmarks, or the racedetectd ingestion service. It
+// returns ErrMonitorClosed once the monitor has been closed and nil
+// otherwise.
+func (m *Monitor) Ingest(e trace.Event) error { return m.event(e) }
 
 // Read records a read of location addr by thread tid.
 func (m *Monitor) Read(tid int32, addr uint64) { m.event(trace.Rd(tid, addr)) }
@@ -221,6 +333,9 @@ func (m *Monitor) TxEnd(tid int32) { m.event(trace.Event{Kind: trace.TxEnd, Tid:
 func (m *Monitor) Races() []Report {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return append([]Report(nil), m.final.races...)
+	}
 	return append([]Report(nil), m.tool().Races()...)
 }
 
@@ -230,6 +345,9 @@ func (m *Monitor) Races() []Report {
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return m.final.stats
+	}
 	st := m.tool().Stats()
 	m.disp.FillStats(&st)
 	return st
@@ -242,6 +360,9 @@ func (m *Monitor) Stats() Stats {
 func (m *Monitor) Health() Health {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return m.final.health
+	}
 	return m.disp.Health()
 }
 
@@ -254,10 +375,19 @@ func (m *Monitor) Health() Health {
 // monitor lock and the registry lock at once.
 func (m *Monitor) Metrics() MetricsSnapshot {
 	m.mu.Lock()
-	st := m.tool().Stats()
-	m.disp.FillStats(&st)
-	races := len(m.tool().Races())
-	m.publishShardMetricsLocked()
+	var (
+		st    Stats
+		races int
+	)
+	if m.closed {
+		st = m.final.stats
+		races = len(m.final.races)
+	} else {
+		st = m.tool().Stats()
+		m.disp.FillStats(&st)
+		races = len(m.tool().Races())
+		m.publishShardMetricsLocked()
+	}
 	m.mu.Unlock()
 
 	rr.PublishStats(m.reg, "tool", st)

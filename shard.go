@@ -95,12 +95,19 @@ func (m *Monitor) enableSharding(tool Tool, cfg monitorConfig) {
 // access delivers one Read/Write event on the striped fast path, or on
 // the full-lock slow path when the accessing thread is not yet known to
 // the detector.
-func (m *Monitor) access(e trace.Event) {
+func (m *Monitor) access(e trace.Event) error {
 	// The watermark only grows, and thread states are never moved once
 	// materialized, so a stale read here errs toward the slow path only.
 	if e.Tid < 0 || e.Tid >= m.ensured.Load() {
-		m.slowAccess(e)
-		return
+		return m.slowAccess(e)
+	}
+	m.mu.RLock()
+	// The mutable sharding state (disp, stripes) is released by Close;
+	// it may only be touched after the closed check under the lock.
+	if m.closed {
+		m.mu.RUnlock()
+		m.rejected.Add(1)
+		return ErrMonitorClosed
 	}
 	s := rr.StripeOf(m.disp.MapVar(e.Target), len(m.stripes))
 
@@ -115,7 +122,6 @@ func (m *Monitor) access(e trace.Event) {
 		m.sm.peak.Max(cur)
 	}
 
-	m.mu.RLock()
 	sl := &m.stripes[s]
 	if !sl.TryLock() {
 		sl.Lock()
@@ -132,13 +138,18 @@ func (m *Monitor) access(e trace.Event) {
 	if sampled {
 		m.sm.inflight.Set(m.sm.cur.Add(-1))
 	}
+	return nil
 }
 
 // slowAccess delivers an access under full exclusion so the detector may
 // materialize the accessing thread's state, then advances the watermark.
-func (m *Monitor) slowAccess(e trace.Event) {
+func (m *Monitor) slowAccess(e trace.Event) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		m.rejected.Add(1)
+		return ErrMonitorClosed
+	}
 	m.sm.slow.Inc()
 	m.disp.Event(e)
 	m.ensured.Store(int32(m.sharded.ThreadsMaterialized()))
@@ -147,13 +158,18 @@ func (m *Monitor) slowAccess(e trace.Event) {
 		s := rr.StripeOf(m.disp.MapVar(e.Target), len(m.stripes))
 		m.drainStripe(s, &m.stripes[s])
 	}
+	return nil
 }
 
 // syncEvent delivers a synchronization event under full exclusion — it
 // mutates thread/lock clocks that every stripe's access path reads.
-func (m *Monitor) syncEvent(e trace.Event) {
+func (m *Monitor) syncEvent(e trace.Event) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		m.rejected.Add(1)
+		return ErrMonitorClosed
+	}
 	m.disp.Event(e)
 	// Fork/join/barrier (and any first event of a tid) can materialize
 	// threads; publish the new watermark so their later accesses take
@@ -162,6 +178,7 @@ func (m *Monitor) syncEvent(e trace.Event) {
 	// The striped access path skips per-event registry updates; bring
 	// the live rr.* counters back in step while we hold full exclusion.
 	m.disp.SyncObs()
+	return nil
 }
 
 // drainStripe fires the race callback for stripe s's new warnings.
@@ -192,9 +209,11 @@ func (m *Monitor) publishShardMetricsLocked() {
 }
 
 // Shards returns the number of ingestion stripes (1 in serial mode).
+// It answers from the immutable configuration so it stays correct (and
+// lock-free) after Close releases the stripe state.
 func (m *Monitor) Shards() int {
-	if m.sharded == nil {
+	if !m.shardedMode {
 		return 1
 	}
-	return len(m.stripes)
+	return m.cfg.shards
 }

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file implements the wire framing used by the racedetectd network
+// ingestion service: a trace stream is carried as a sequence of
+// length-framed, CRC-protected chunks, each chunk's payload being an
+// independent message (for event chunks, a complete binary-codec trace
+// produced by Writer and decoded by Scanner).
+//
+// Frame layout, all integers big-endian:
+//
+//	[4 bytes payload length][1 byte frame type][payload][4 bytes CRC32]
+//
+// The CRC (IEEE polynomial) covers the type byte and the payload, so a
+// corrupted type or a corrupted body is detected as one failure class.
+// The frame layer knows nothing about frame-type semantics beyond the
+// one byte it carries; the service protocol assigns meanings.
+
+// FrameType tags a frame's payload; meanings are assigned by the
+// protocol layered on top (see internal/svc).
+type FrameType uint8
+
+// frameHeaderLen is the fixed per-frame overhead before the payload.
+const frameHeaderLen = 4 + 1
+
+// frameTrailerLen is the CRC32 trailer.
+const frameTrailerLen = 4
+
+// DefaultMaxFramePayload is the payload cap a FrameReader enforces when
+// the caller passes no explicit limit: large enough for generous event
+// batches, small enough that one malformed length prefix cannot make
+// the reader allocate unbounded memory.
+const DefaultMaxFramePayload = 4 << 20
+
+// ErrFrameTooLarge reports a frame whose declared payload length
+// exceeds the reader's limit.
+var ErrFrameTooLarge = errors.New("trace: frame payload exceeds limit")
+
+// ErrFrameCRC reports a frame whose checksum did not match — the
+// payload was damaged in transit or storage.
+var ErrFrameCRC = errors.New("trace: frame CRC mismatch")
+
+// FrameWriter encodes frames onto a writer. It buffers nothing beyond
+// the per-frame header, so a successful WriteFrame has handed the whole
+// frame to the underlying writer. Not safe for concurrent use.
+type FrameWriter struct {
+	w       io.Writer
+	scratch [frameHeaderLen]byte
+	frames  int64
+}
+
+// NewFrameWriter returns a frame writer over w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteFrame emits one frame of the given type.
+func (fw *FrameWriter) WriteFrame(t FrameType, payload []byte) error {
+	binary.BigEndian.PutUint32(fw.scratch[:4], uint32(len(payload)))
+	fw.scratch[4] = byte(t)
+	if _, err := fw.w.Write(fw.scratch[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := fw.w.Write(payload); err != nil {
+			return err
+		}
+	}
+	crc := crc32.ChecksumIEEE(fw.scratch[4:5])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var tr [frameTrailerLen]byte
+	binary.BigEndian.PutUint32(tr[:], crc)
+	if _, err := fw.w.Write(tr[:]); err != nil {
+		return err
+	}
+	fw.frames++
+	return nil
+}
+
+// Frames returns the number of frames written.
+func (fw *FrameWriter) Frames() int64 { return fw.frames }
+
+// FrameReader decodes frames from a reader, enforcing a payload size
+// limit and verifying each frame's CRC. Not safe for concurrent use.
+type FrameReader struct {
+	r      io.Reader
+	max    int
+	frames int64
+	bytes  int64
+}
+
+// NewFrameReader returns a frame reader over r. maxPayload bounds the
+// accepted payload size (DefaultMaxFramePayload if <= 0).
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFramePayload
+	}
+	return &FrameReader{r: r, max: maxPayload}
+}
+
+// ReadFrame reads the next frame. A clean EOF at a frame boundary is
+// returned as io.EOF; an EOF inside a frame is io.ErrUnexpectedEOF
+// (the stream was torn mid-frame).
+func (fr *FrameReader) ReadFrame() (FrameType, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
+		return 0, nil, err // clean EOF at a frame boundary
+	}
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("trace: frame %d header: %w", fr.frames, noEOF(err))
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	t := FrameType(hdr[4])
+	if n > uint32(fr.max) {
+		return 0, nil, fmt.Errorf("%w: frame %d declares %d bytes (limit %d)",
+			ErrFrameTooLarge, fr.frames, n, fr.max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("trace: frame %d payload: %w", fr.frames, noEOF(err))
+	}
+	var tr [frameTrailerLen]byte
+	if _, err := io.ReadFull(fr.r, tr[:]); err != nil {
+		return 0, nil, fmt.Errorf("trace: frame %d trailer: %w", fr.frames, noEOF(err))
+	}
+	crc := crc32.ChecksumIEEE(hdr[4:5])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if got := binary.BigEndian.Uint32(tr[:]); got != crc {
+		return 0, nil, fmt.Errorf("%w: frame %d: got %08x want %08x", ErrFrameCRC, fr.frames, got, crc)
+	}
+	fr.frames++
+	fr.bytes += int64(frameHeaderLen+frameTrailerLen) + int64(n)
+	return t, payload, nil
+}
+
+// Frames returns the number of frames successfully read.
+func (fr *FrameReader) Frames() int64 { return fr.frames }
+
+// Bytes returns the total wire bytes of successfully read frames.
+func (fr *FrameReader) Bytes() int64 { return fr.bytes }

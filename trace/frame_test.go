@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	payloads := [][]byte{[]byte("hello"), nil, bytes.Repeat([]byte{0xAB}, 1000)}
+	for i, p := range payloads {
+		if err := fw.WriteFrame(FrameType(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Frames() != int64(len(payloads)) {
+		t.Errorf("Frames() = %d, want %d", fw.Frames(), len(payloads))
+	}
+	fr := NewFrameReader(&buf, 0)
+	for i, want := range payloads {
+		typ, got, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != FrameType(i+1) {
+			t.Errorf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: payload %q, want %q", i, got, want)
+		}
+	}
+	if _, _, err := fr.ReadFrame(); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+	if fr.Frames() != int64(len(payloads)) {
+		t.Errorf("reader Frames() = %d, want %d", fr.Frames(), len(payloads))
+	}
+}
+
+func TestFrameCRCDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(3, []byte("payload under test")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit in every position after the length prefix; each must
+	// surface as a CRC mismatch (a corrupted length is a different class).
+	for pos := 4; pos < len(raw); pos++ {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x10
+		_, _, err := NewFrameReader(bytes.NewReader(mut), 0).ReadFrame()
+		if !errors.Is(err, ErrFrameCRC) {
+			t.Errorf("corruption at byte %d: err = %v, want ErrFrameCRC", pos, err)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(1, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := NewFrameReader(&buf, 50).ReadFrame()
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(1, []byte("some payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := NewFrameReader(bytes.NewReader(raw[:cut]), 0).ReadFrame()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// A cut at a frame boundary is a clean EOF.
+	if _, _, err := NewFrameReader(bytes.NewReader(nil), 0).ReadFrame(); err != io.EOF {
+		t.Errorf("empty input: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCarriesTraceChunk(t *testing.T) {
+	tr := sampleTrace()
+	var chunk bytes.Buffer
+	if err := WriteBinary(&chunk, tr); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewFrameWriter(&buf).WriteFrame(7, chunk.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := NewFrameReader(&buf, 0).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, NewScanner(bytes.NewReader(payload)))
+	if len(got) != len(tr) {
+		t.Fatalf("decoded %d events from framed chunk, want %d", len(got), len(tr))
+	}
+}

@@ -14,6 +14,7 @@ import (
 // without being memory-resident. The zero value is not usable; call
 // NewScanner.
 type Scanner struct {
+	src     *countingReader
 	br      *bufio.Reader
 	binary  bool
 	started bool
@@ -22,6 +23,19 @@ type Scanner struct {
 	err     error
 	cur     Event
 	stats   ScanStats
+}
+
+// countingReader counts bytes handed to the buffering layer so the
+// scanner can report byte offsets: consumed = read - still buffered.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // ScanStats counts what the scanner decoded, classified at the trace
@@ -38,8 +52,16 @@ type ScanStats struct {
 
 // NewScanner returns a scanner over r.
 func NewScanner(r io.Reader) *Scanner {
-	return &Scanner{br: bufio.NewReaderSize(r, 1<<16)}
+	cr := &countingReader{r: r}
+	return &Scanner{src: cr, br: bufio.NewReaderSize(cr, 1<<16)}
 }
+
+// Offset returns the number of input bytes consumed so far: after a
+// successful Scan it is the offset just past the returned event, and
+// after a failed Scan it positions the error in the byte stream. The
+// network ingestion tier uses it to enforce per-frame byte budgets and
+// to report positions of decode errors.
+func (s *Scanner) Offset() int64 { return s.src.n - int64(s.br.Buffered()) }
 
 // Scan advances to the next event; it returns false at end of input or
 // on error (check Err).
@@ -131,6 +153,7 @@ func (s *Scanner) scanText() (Event, error) {
 }
 
 func (s *Scanner) scanBinary() (Event, error) {
+	start := s.Offset()
 	kb, err := s.br.ReadByte()
 	if err != nil {
 		return Event{}, err // clean EOF at an event boundary
@@ -138,10 +161,10 @@ func (s *Scanner) scanBinary() (Event, error) {
 	// From here on the event has started: a mid-event EOF is a truncation
 	// and is reported with the position of the incomplete event.
 	pos := func(err error) error {
-		return fmt.Errorf("trace: event %d: %w", s.index, noEOF(err))
+		return fmt.Errorf("trace: event %d: %w (at byte %d)", s.index, noEOF(err), start)
 	}
 	if Kind(kb) >= numKinds {
-		return Event{}, fmt.Errorf("trace: event %d: bad kind %d", s.index, kb)
+		return Event{}, fmt.Errorf("trace: event %d: bad kind %d (at byte %d)", s.index, kb, start)
 	}
 	tid, err := binary.ReadUvarint(s.br)
 	if err != nil {

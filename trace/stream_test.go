@@ -178,3 +178,74 @@ func TestValidatorIndexInErrors(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestScannerOffsetBinary(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(buf.Len())
+	sc := NewScanner(bytes.NewReader(buf.Bytes()))
+	if got := sc.Offset(); got != 0 {
+		t.Errorf("Offset before first Scan = %d, want 0", got)
+	}
+	prev := int64(0)
+	for sc.Scan() {
+		off := sc.Offset()
+		if off <= prev {
+			t.Fatalf("Offset not strictly increasing: %d after %d (event %d)", off, prev, sc.Index()-1)
+		}
+		if off > total {
+			t.Fatalf("Offset %d beyond input size %d", off, total)
+		}
+		prev = off
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if prev != total {
+		t.Errorf("final Offset = %d, want %d (whole input consumed)", prev, total)
+	}
+}
+
+func TestScannerOffsetText(t *testing.T) {
+	in := "# comment\nwr 0 x1\n\nrd 1 x1\n"
+	sc := NewScanner(strings.NewReader(in))
+	var offs []int64
+	for sc.Scan() {
+		offs = append(offs, sc.Offset())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 2 {
+		t.Fatalf("scanned %d events, want 2", len(offs))
+	}
+	if offs[0] <= 0 || offs[1] <= offs[0] || offs[1] > int64(len(in)) {
+		t.Errorf("offsets %v not increasing within input of %d bytes", offs, len(in))
+	}
+}
+
+func TestScannerOffsetOnTruncation(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	cut := raw[:len(raw)-1] // tear the last event
+	sc := NewScanner(bytes.NewReader(cut))
+	for sc.Scan() {
+	}
+	err := sc.Err()
+	if err == nil {
+		t.Fatal("truncated stream scanned cleanly")
+	}
+	if !strings.Contains(err.Error(), "at byte") {
+		t.Errorf("truncation error %q does not report a byte position", err)
+	}
+	if off := sc.Offset(); off > int64(len(cut)) {
+		t.Errorf("Offset %d beyond truncated input size %d", off, len(cut))
+	}
+}
