@@ -21,9 +21,11 @@ const (
 	// Block makes Write wait for queue space: end-to-end backpressure,
 	// no event ever silently lost.
 	Block OverflowPolicy = iota
-	// Shed makes Write drop the oldest-unsent batch instead of waiting:
-	// bounded producer latency at the cost of analysis completeness.
-	// Shed frames are counted in Stats().FramesShed.
+	// Shed makes Write drop the newest batch — the one just sealed —
+	// when the queue is full, instead of waiting: bounded producer
+	// latency at the cost of analysis completeness. Batches already
+	// queued survive; it is the most recent part of the trace that is
+	// lost. Shed frames are counted in Stats().FramesShed.
 	Shed
 )
 

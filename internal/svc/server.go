@@ -117,10 +117,19 @@ func (c *Config) withDefaults() Config {
 	return d
 }
 
+// MaxShards bounds the per-session shard count a handshake may request.
+// Shard count drives per-stripe lock and detector-state allocation, so
+// without a cap a single handshake could force an arbitrarily large
+// allocation before the session has ingested a byte.
+const MaxShards = 256
+
 // BuildMonitor constructs a session Monitor from a handshake, returning
 // the monitor and the canonical detector name. It is the default
 // Config.NewMonitor.
 func BuildMonitor(h client.Handshake) (*fasttrack.Monitor, string, error) {
+	if h.Shards > MaxShards {
+		return nil, "", fmt.Errorf("%s: shards %d exceeds limit %d", client.ErrCodeBadRequest, h.Shards, MaxShards)
+	}
 	name := h.Tool
 	if name == "" {
 		name = "FastTrack"
@@ -236,11 +245,18 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		// The draining check and the Add are one step under s.mu:
+		// Shutdown sets draining while holding the lock, so once it
+		// releases the lock and starts wg.Wait, no handler can slip in
+		// between a stale draining check and its Add.
+		s.mu.Lock()
 		if s.draining.Load() {
+			s.mu.Unlock()
 			conn.Close()
 			continue
 		}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handleConn(conn)
@@ -253,8 +269,8 @@ func (s *Server) Serve(ln net.Listener) error {
 // waits — bounded by ctx — for all sessions to finalize and emit their
 // reports.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
 	s.mu.Lock()
+	s.draining.Store(true)
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -281,7 +297,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // handleConn performs the handshake, registers the session, and runs
 // the reader loop; the worker runs on its own goroutine.
 func (s *Server) handleConn(conn net.Conn) {
-	fr := trace.NewFrameReader(conn, s.cfg.MaxFramePayload)
+	ic := &idleConn{Conn: conn}
+	fr := trace.NewFrameReader(ic, s.cfg.MaxFramePayload)
 	fw := trace.NewFrameWriter(conn)
 
 	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
@@ -349,7 +366,28 @@ func (s *Server) handleConn(conn net.Conn) {
 		sess.closeQueue() // worker finalizes on the empty queue
 		return
 	}
+	conn.SetReadDeadline(time.Time{}) // clear the handshake deadline
+	ic.timeout = s.cfg.IdleTimeout
 	sess.readLoop(fr)
+}
+
+// idleConn wraps a session connection so the idle timeout measures gaps
+// in byte arrival rather than whole-frame transfer time: once armed,
+// every Read refreshes the read deadline, so a slow-but-active client
+// streaming a large frame over a slow link is never misclassified as
+// idle mid-frame. Read is only called from the session's reader
+// goroutine (via its FrameReader), so timeout needs no locking after
+// handleConn arms it.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration // 0 = disarmed; the deadline is left untouched
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if c.timeout > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	return c.Conn.Read(p)
 }
 
 // refuse answers a connection that never became a session.

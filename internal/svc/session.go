@@ -111,16 +111,13 @@ func (sess *session) closeQueue() { sess.closeQ.Do(func() { close(sess.queue) })
 
 // readLoop parses frames off the connection and enqueues them for the
 // worker; it runs on the connection's accept goroutine and owns the
-// queue's producer side. It never touches the Monitor.
+// queue's producer side. It never touches the Monitor. The idle timeout
+// is enforced by the idleConn the FrameReader wraps: each arriving byte
+// refreshes the deadline, so a deadline expiry here means the client
+// sent nothing at all for a full idle interval.
 func (sess *session) readLoop(fr *trace.FrameReader) {
 	defer sess.closeQueue()
-	idle := sess.srv.cfg.IdleTimeout
 	for {
-		if idle > 0 {
-			sess.conn.SetReadDeadline(time.Now().Add(idle))
-		} else {
-			sess.conn.SetReadDeadline(time.Time{})
-		}
 		t, payload, err := fr.ReadFrame()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() && !sess.srv.draining.Load() {

@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -466,6 +467,78 @@ func TestIdleEviction(t *testing.T) {
 	}
 }
 
+// TestIdleSlowFrameNotEvicted trickles one events frame a few bytes at
+// a time: every gap is well under the idle timeout but the whole frame
+// takes several timeouts to arrive. Idleness is measured between bytes,
+// so the session must survive and analyze the frame.
+func TestIdleSlowFrameNotEvicted(t *testing.T) {
+	srv, addr := startServer(t, Config{IdleTimeout: 250 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fw := trace.NewFrameWriter(conn)
+	fr := trace.NewFrameReader(conn, 0)
+	hello, _ := json.Marshal(client.Handshake{Version: client.ProtocolVersion})
+	if err := fw.WriteFrame(client.FrameHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := fr.ReadFrame(); err != nil || ft != client.FrameHelloOK {
+		t.Fatalf("hello reply: frame %d, err %v", ft, err)
+	}
+
+	// Seal one events frame in memory, then drip it over ~8 gaps whose
+	// total far exceeds the idle timeout.
+	var payload bytes.Buffer
+	w := trace.NewWriter(&payload, trace.Binary)
+	const events = 4
+	for i := 0; i < events; i++ {
+		if err := w.Write(trace.Wr(0, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var frame bytes.Buffer
+	if err := trace.NewFrameWriter(&frame).WriteFrame(client.FrameEvents, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	raw := frame.Bytes()
+	const chunks = 8
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*len(raw)/chunks, (i+1)*len(raw)/chunks
+		if lo == hi {
+			continue
+		}
+		if _, err := conn.Write(raw[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(60 * time.Millisecond) // 8 × 60ms ≈ 2× the idle timeout
+	}
+
+	flush, _ := json.Marshal(client.Seq{Seq: 1})
+	if err := fw.WriteFrame(client.FrameFlush, flush); err != nil {
+		t.Fatal(err)
+	}
+	ft, pl, err := fr.ReadFrame()
+	if err != nil || ft != client.FrameFlushOK {
+		t.Fatalf("flush reply: frame %d, err %v (session evicted mid-frame?)", ft, err)
+	}
+	var ok client.FlushOK
+	if err := json.Unmarshal(pl, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Events != events {
+		t.Errorf("server ingested %d events, want %d", ok.Events, events)
+	}
+	if n := srv.Registry().Snapshot().Counter("svc.sessionsEvicted"); n != 0 {
+		t.Errorf("%d sessions evicted during an active slow transfer", n)
+	}
+}
+
 // TestChaosFrameCorruption flips one byte inside an events frame: the
 // session must fail closed with the CRC diagnosed, while a concurrent
 // clean session on the same server is unaffected.
@@ -585,6 +658,12 @@ func TestHandshakeRejections(t *testing.T) {
 	if _, err := client.Dial(addr, client.WithShards(4), client.WithValidation("strict")); err == nil ||
 		!strings.Contains(err.Error(), client.ErrCodeBadRequest) {
 		t.Errorf("shards+validation: err = %v", err)
+	}
+	// A huge shard count must be refused before it drives any per-stripe
+	// allocation (a hostile handshake must not be able to OOM the daemon).
+	if _, err := client.Dial(addr, client.WithShards(1<<30)); err == nil ||
+		!strings.Contains(err.Error(), client.ErrCodeBadRequest) {
+		t.Errorf("oversized shards: err = %v", err)
 	}
 
 	sess, err := client.Dial(addr)
