@@ -81,7 +81,12 @@ func WithWriteTimeout(d time.Duration) Option { return func(c *config) { c.write
 // Close).
 func WithReadTimeout(d time.Duration) Option { return func(c *config) { c.readTimeout = d } }
 
-// WithBatchSize sets how many events are packed per wire frame.
+// WithBatchSize sets how many events are packed per wire frame. The
+// server ingests each frame as one Monitor.IngestBatch call, so the
+// batch size is also the server-side amortization unit: larger frames
+// mean fewer lock acquisitions per event in the daemon's analysis (at
+// the cost of flush latency, since a partial batch is only framed by
+// Flush, Results, or Close).
 func WithBatchSize(n int) Option {
 	return func(c *config) {
 		if n > 0 {

@@ -25,6 +25,13 @@
 // session's frames strictly in order, which is what makes FlushOK a
 // durability point: events acknowledged by a flush are ingested even if
 // the connection dies or the daemon drains immediately afterwards.
+//
+// One wire frame is one server-side batch: the daemon decodes a
+// FrameEvents payload and hands it to Monitor.IngestBatch in a single
+// call, so the client's batch size (WithBatchSize) directly sets the
+// server's per-event amortization unit. With a sharded session the
+// batch's accesses are checked stripe-by-stripe, so report indices
+// reflect that (legal) interleaving; the race set is unaffected.
 package client
 
 import (

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	racebench [-table all|1|2|3|rules|compose|eclipse|ops|shards] [-scale N] [-runs N]
+//	racebench [-table all|1|2|3|rules|compose|eclipse|ops|shards|batch] [-scale N] [-runs N]
 //
 // Table 1: slowdown and warnings for seven tools on sixteen benchmarks.
 // Table 2: vector clocks allocated / O(n) VC operations, DJIT+ vs
@@ -16,7 +16,10 @@
 // (BENCH_ops.json in CI). "shards": live-Monitor ingestion throughput,
 // serial vs lock-striped (WithShards), at 1/2/4/8 feeder goroutines;
 // with -out FILE it writes the fasttrack/bench-scaling/v1 artifact
-// (BENCH_scaling.json in CI).
+// (BENCH_scaling.json in CI). "batch": Monitor.IngestBatch throughput
+// across batch sizes vs per-event Ingest, serial and sharded; with
+// -out FILE it writes the fasttrack/bench-batch/v1 artifact
+// (BENCH_batch.json in CI).
 package main
 
 import (
@@ -28,11 +31,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
-	out := flag.String("out", "", "for -table ops/shards: also write the JSON artifact to this file")
+	out := flag.String("out", "", "for -table ops/shards/batch: also write the JSON artifact to this file")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -113,6 +116,17 @@ func main() {
 				check(f.Close())
 				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
 			}
+		case "batch":
+			fmt.Println("=== Extension: batched Monitor ingestion throughput ===")
+			rep := bench.Batch(cfg, nil, 0, 0)
+			bench.FprintBatch(os.Stdout, rep)
+			if *out != "" {
+				f, err := os.Create(*out)
+				check(err)
+				check(bench.WriteBatchJSON(f, rep))
+				check(f.Close())
+				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
 			os.Exit(2)
@@ -121,7 +135,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards"} {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch"} {
 			run(name)
 		}
 		return

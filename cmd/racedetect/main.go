@@ -6,8 +6,8 @@
 //
 //	racedetect [-tool FastTrack] [-all] [-granularity fine|coarse]
 //	           [-validate] [-stats] [-policy off|strict|repair|drop]
-//	           [-membudget bytes] [-shards N] [-json] [-json.file out.json]
-//	           [-metrics.addr :6060] trace-file
+//	           [-membudget bytes] [-shards N] [-batch N] [-json]
+//	           [-json.file out.json] [-metrics.addr :6060] trace-file
 //	racedetect -chaos [trace-file]
 //
 // With "-" as the file name the trace is read from standard input.
@@ -58,6 +58,7 @@ func main() {
 	policyName := flag.String("policy", "off", "stream-validation policy: off, strict, repair, or drop")
 	memBudget := flag.Int64("membudget", 0, "FastTrack shadow-memory budget in bytes (0 = unbounded)")
 	shards := flag.Int("shards", 1, "ingest through the lock-striped Monitor with this many stripes (single tool, -policy off, no -membudget or -stream)")
+	batch := flag.Int("batch", 0, "replay through the Monitor in IngestBatch chunks of this many events (0 = per-event; same restrictions as -shards)")
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection smoke suite over every detector")
 	jsonOut := flag.Bool("json", false, "write a machine-readable run report to stdout")
 	jsonFile := flag.String("json.file", "", "write the run report to this file instead of stdout")
@@ -145,17 +146,17 @@ func main() {
 		return
 	}
 
-	if *shards > 1 {
+	if *shards > 1 || *batch > 0 {
 		if *all {
-			fatal(fmt.Errorf("-shards runs a single tool; drop -all"))
+			fatal(fmt.Errorf("-shards/-batch run a single tool; drop -all"))
 		}
 		if policy != fasttrack.PolicyOff {
-			fatal(fmt.Errorf("-shards is incompatible with -policy %s (the stream validator is sequential)", *policyName))
+			fatal(fmt.Errorf("-shards/-batch are incompatible with -policy %s (the stream validator is sequential)", *policyName))
 		}
 		if *memBudget != 0 {
-			fatal(fmt.Errorf("-shards is incompatible with -membudget"))
+			fatal(fmt.Errorf("-shards/-batch are incompatible with -membudget"))
 		}
-		exit := runSharded(tr, *toolName, g, *shards, *stats, jsonWanted, ms, rep, humanOut)
+		exit := runMonitor(tr, *toolName, g, *shards, *batch, *stats, jsonWanted, ms, rep, humanOut)
 		finishJSON(jsonWanted, rep, *jsonFile)
 		os.Exit(exit)
 	}
@@ -219,13 +220,16 @@ func main() {
 	os.Exit(exit)
 }
 
-// runSharded replays the trace through the lock-striped Monitor
-// (WithShards) instead of the raw dispatcher. A batch replay is a single
-// feeder, so this does not speed the analysis up — it exercises exactly
-// the production concurrent path (striped locking, watermark slow path,
-// reconciled metrics) against a recorded trace, and reports the same
-// race set as the serial path.
-func runSharded(tr trace.Trace, toolName string, g fasttrack.Granularity, shards int,
+// runMonitor replays the trace through the Monitor (serial or
+// lock-striped via -shards) instead of the raw dispatcher, optionally
+// in IngestBatch chunks of batch events. A file replay is a single
+// feeder, so -shards does not speed the analysis up — it exercises
+// exactly the production concurrent path (striped locking, watermark
+// slow path, reconciled metrics) against a recorded trace and reports
+// the same race set as the serial path; -batch measures/exercises the
+// amortized batch ingestion the racedetectd service uses per wire
+// frame.
+func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards, batch int,
 	stats, jsonWanted bool, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
 
 	hints := fasttrack.Hints{Threads: tr.Threads()}
@@ -236,18 +240,27 @@ func runSharded(tr trace.Trace, toolName string, g fasttrack.Granularity, shards
 	if err != nil {
 		fatal(err)
 	}
-	if _, ok := tool.(fasttrack.ShardedTool); !ok {
-		fatal(fmt.Errorf("-shards: tool %q does not support sharded ingestion", tool.Name()))
-	}
-
-	mon := fasttrack.NewMonitor(
+	opts := []fasttrack.MonitorOption{
 		fasttrack.WithTool(tool),
 		fasttrack.WithGranularity(g),
-		fasttrack.WithShards(shards),
-	)
+	}
+	if shards > 1 {
+		if _, ok := tool.(fasttrack.ShardedTool); !ok {
+			fatal(fmt.Errorf("-shards: tool %q does not support sharded ingestion", tool.Name()))
+		}
+		opts = append(opts, fasttrack.WithShards(shards))
+	}
+
+	mon := fasttrack.NewMonitor(opts...)
 	ms.attach(mon.MetricsRegistry())
-	for _, e := range tr {
-		mon.Ingest(e)
+	if batch > 0 {
+		for i := 0; i < len(tr); i += batch {
+			mon.IngestBatch(tr[i:min(i+batch, len(tr))])
+		}
+	} else {
+		for _, e := range tr {
+			mon.Ingest(e)
+		}
 	}
 
 	races := mon.Races()
@@ -256,7 +269,14 @@ func runSharded(tr trace.Trace, toolName string, g fasttrack.Granularity, shards
 	snap := mon.Metrics() // also publishes tool.* and monitor.sharded.*
 
 	printReport(humanOut, tool, races, st, stats)
-	fmt.Fprintf(humanOut, "(%d events via %d-stripe monitor)\n", len(tr), mon.Shards())
+	mode := "serial monitor"
+	if mon.Shards() > 1 {
+		mode = fmt.Sprintf("%d-stripe monitor", mon.Shards())
+	}
+	if batch > 0 {
+		mode += fmt.Sprintf(", batch %d", batch)
+	}
+	fmt.Fprintf(humanOut, "(%d events via %s)\n", len(tr), mode)
 	if jsonWanted {
 		rep.Tools = append(rep.Tools, toolReport{
 			Tool:    tool.Name(),

@@ -89,6 +89,14 @@ type Detector struct {
 
 	races []rr.Report
 	st    rr.Stats
+
+	// raceSnap caches the merged, index-sorted view of the stripe race
+	// lists; raceSnapN is the total race count it was built from. Stripe
+	// race lists are append-only, so a changed sum of lengths is exactly
+	// "some stripe appended" — a per-stripe generation counter folded
+	// into one comparison. Guarded by the same full exclusion as Races.
+	raceSnap  []rr.Report
+	raceSnapN int
 }
 
 var (
@@ -513,11 +521,22 @@ func (d *Detector) Races() []rr.Report {
 	if d.stripes == nil {
 		return d.races
 	}
-	var all []rr.Report
+	total := 0
+	for i := range d.stripes {
+		total += len(d.stripes[i].races)
+	}
+	// Queries (Monitor.Races, Metrics, Close) are far more frequent than
+	// new races; re-merge and re-sort only when a stripe has appended
+	// since the cached snapshot was built.
+	if total == d.raceSnapN {
+		return d.raceSnap
+	}
+	all := make([]rr.Report, 0, total)
 	for i := range d.stripes {
 		all = append(all, d.stripes[i].races...)
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a].Index < all[b].Index })
+	d.raceSnap, d.raceSnapN = all, total
 	return all
 }
 

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"fasttrack/trace"
+)
+
+// TestShardedRacesSnapshotCache: the merged sharded race view is sorted
+// by event index, served from a cached snapshot while no stripe has
+// appended, and rebuilt when one has.
+func TestShardedRacesSnapshotCache(t *testing.T) {
+	d := New(2, 0)
+	d.EnableSharding(4)
+	i := 0
+	ev := func(e trace.Event) { d.HandleEvent(i, e); i++ }
+
+	if got := d.Races(); got != nil {
+		t.Fatalf("races before any event = %v", got)
+	}
+	for x := uint64(0); x < 8; x++ {
+		ev(trace.Wr(0, x))
+		ev(trace.Wr(1, x)) // unsynchronized: one write-write race per var
+	}
+	first := d.Races()
+	if len(first) != 8 {
+		t.Fatalf("races = %d, want 8", len(first))
+	}
+	for j := 1; j < len(first); j++ {
+		if first[j-1].Index > first[j].Index {
+			t.Fatalf("merged races not sorted by index: %v", first)
+		}
+	}
+	if second := d.Races(); &second[0] != &first[0] {
+		t.Error("clean repeat query rebuilt the snapshot instead of serving the cache")
+	}
+
+	ev(trace.Wr(0, 100))
+	ev(trace.Wr(1, 100))
+	third := d.Races()
+	if len(third) != 9 {
+		t.Fatalf("races after new conflict = %d, want 9", len(third))
+	}
+	if third[8].Var != 100 {
+		t.Errorf("rebuilt snapshot missing the new race: %v", third[8])
+	}
+	if fourth := d.Races(); &fourth[0] != &third[0] {
+		t.Error("second clean query after rebuild not served from cache")
+	}
+}

@@ -55,8 +55,10 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores the current value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
-// Add adjusts the value by n.
-func (g *Gauge) Add(n int64) { g.v.Add(n) }
+// Add adjusts the value by n and returns the new value, so a caller can
+// pair it with Max to maintain a high-water mark without a separate
+// backing counter.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
 
 // Max raises the value to n if n is larger, making the gauge a running
 // high-water mark (e.g. peak in-flight parallelism). Safe under

@@ -23,7 +23,9 @@ func TestCounterNeverDecreases(t *testing.T) {
 func TestGaugeMovesBothWays(t *testing.T) {
 	var g Gauge
 	g.Set(7)
-	g.Add(-10)
+	if got := g.Add(-10); got != -3 {
+		t.Errorf("Add returned %d, want the new value -3", got)
+	}
 	if got := g.Load(); got != -3 {
 		t.Errorf("gauge = %d, want -3", got)
 	}

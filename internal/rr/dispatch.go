@@ -221,9 +221,11 @@ func (d *Dispatcher) CurrentTool() Tool { return d.currentTool() }
 // Event offers one event to the dispatcher. Under PolicyStrict the first
 // violation halts the stream (see Err); all later events are ignored.
 func (d *Dispatcher) Event(e trace.Event) {
+	var idx int64
 	if d.concurrent {
-		atomic.AddInt64(&d.Fed, 1)
+		idx = atomic.AddInt64(&d.Fed, 1) - 1
 	} else {
+		idx = d.Fed
 		d.Fed++
 	}
 	if d.Obs != nil && d.om == nil {
@@ -235,6 +237,41 @@ func (d *Dispatcher) Event(e trace.Event) {
 	if d.om != nil && !d.concurrent {
 		d.om.fed.Inc()
 	}
+	d.checked(idx, e)
+}
+
+// EventBatch offers a batch of events in order. It is semantically
+// identical to calling Event once per element — validation, filtering,
+// and delivery all stay per-event — but the fed accounting (Fed, the
+// rr.events.fed counter) is amortized into one update per batch. idx
+// passed to the validator is each event's position in the fed stream,
+// exactly as the per-event path computes it.
+func (d *Dispatcher) EventBatch(events []trace.Event) {
+	n := int64(len(events))
+	if n == 0 {
+		return
+	}
+	var base int64
+	if d.concurrent {
+		base = atomic.AddInt64(&d.Fed, n) - n
+	} else {
+		base = d.Fed
+		d.Fed += n
+	}
+	if d.Obs != nil && d.om == nil {
+		d.initObs()
+	}
+	if d.om != nil && !d.concurrent {
+		d.om.fed.Add(n)
+	}
+	for i := range events {
+		d.checked(base+int64(i), events[i])
+	}
+}
+
+// checked runs the post-accounting half of Event: the sticky strict
+// error, the optional validator (fed position idx), and delivery.
+func (d *Dispatcher) checked(idx int64, e trace.Event) {
 	if d.verr != nil {
 		return
 	}
@@ -243,7 +280,7 @@ func (d *Dispatcher) Event(e trace.Event) {
 			d.val = NewValidator(d.Policy)
 			d.val.SetCaps(d.MaxTid, d.MaxTarget)
 		}
-		repairs, drop, err := d.val.Check(int(d.Fed-1), e)
+		repairs, drop, err := d.val.Check(int(idx), e)
 		if d.om != nil {
 			d.om.publishValidator(d.val)
 		}
@@ -259,6 +296,48 @@ func (d *Dispatcher) Event(e trace.Event) {
 		}
 	}
 	d.process(e)
+}
+
+// AccessBatch delivers a run of data-access (Read/Write) events that
+// the caller has serialized under a single stripe lock. It is the
+// batched analog of per-event delivery in concurrent mode: the fed
+// count and the delivery-index reservation are one atomic add each for
+// the whole run, and the delivered-kind counters are added once per
+// run instead of once per event. Requires SetConcurrent (and therefore
+// PolicyOff); events must all be Read or Write, already mapped to the
+// caller's stripe in shadow-location space.
+func (d *Dispatcher) AccessBatch(events []trace.Event) {
+	n := int64(len(events))
+	if n == 0 {
+		return
+	}
+	atomic.AddInt64(&d.Fed, n)
+	base := int(atomic.AddInt64(&d.next, n) - n)
+	var reads, writes int64
+	for i := range events {
+		e := events[i]
+		if d.Granularity == Coarse {
+			e.Target /= FieldsPerObject
+		}
+		// Reload the quarantine map per event: a delivery in this very
+		// run may panic and quarantine a location later in the run.
+		if q := d.quarantined.Load(); q != nil && (*q)[e.Target] {
+			atomic.AddInt64(&d.quarantinedHits, 1)
+			continue
+		}
+		if e.Kind == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+		d.invoke(base+i, e)
+	}
+	if reads > 0 {
+		atomic.AddInt64(&d.deliveredKind[trace.Read], reads)
+	}
+	if writes > 0 {
+		atomic.AddInt64(&d.deliveredKind[trace.Write], writes)
+	}
 }
 
 // Delivered returns how many events of kind k the dispatcher actually
@@ -386,7 +465,8 @@ func (d *Dispatcher) unheldRelease() {
 	}
 }
 
-// deliver hands the event to the tool inside the panic quarantine.
+// deliver counts the event into the per-kind delivery counters and
+// hands it to the tool.
 func (d *Dispatcher) deliver(i int, e trace.Event) {
 	if int(e.Kind) < len(d.deliveredKind) {
 		if d.concurrent {
@@ -395,10 +475,16 @@ func (d *Dispatcher) deliver(i int, e trace.Event) {
 			d.deliveredKind[e.Kind]++
 		}
 	}
+	if d.om != nil && !d.concurrent {
+		d.om.countDelivered(e.Kind)
+	}
+	d.invoke(i, e)
+}
+
+// invoke hands the event to the tool inside the panic quarantine.
+// AccessBatch calls it directly, having batched the kind counters.
+func (d *Dispatcher) invoke(i int, e trace.Event) {
 	if d.om != nil {
-		if !d.concurrent {
-			d.om.countDelivered(e.Kind)
-		}
 		// Sample 1 in latencySampleEvery deliveries into the latency
 		// histogram; registered before the recover defer (LIFO) so a
 		// panicking delivery is still timed. The histogram is kept in

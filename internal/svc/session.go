@@ -74,6 +74,10 @@ type session struct {
 	closeQ sync.Once
 	doneCh chan struct{} // closed by finalize
 	queueD *obs.Gauge
+
+	// scratch is the frame-decode buffer reused across event chunks; it
+	// is touched only by the worker goroutine (ingestChunk).
+	scratch []trace.Event
 }
 
 func newSession(srv *Server, id string, conn net.Conn, fw *trace.FrameWriter,
@@ -252,22 +256,30 @@ func (sess *session) handleFrame(it qitem) error {
 }
 
 // ingestChunk decodes one event-chunk payload (a complete binary trace)
-// and feeds it event-by-event into the session's monitor. It returns
-// how many events were ingested even on error, so accounting stays
-// exact.
+// into the session's reused scratch buffer and ingests it as a single
+// batch: one wire frame is one Monitor.IngestBatch call, so the
+// per-event lock and dispatch bookkeeping is amortized across the
+// frame. It returns how many events were ingested even on error, so
+// accounting stays exact.
 func (sess *session) ingestChunk(payload []byte) (int64, error) {
 	sc := trace.NewScanner(bytes.NewReader(payload))
-	var n int64
+	events := sess.scratch[:0]
 	for sc.Scan() {
-		if err := sess.mon.Ingest(sc.Event()); err != nil {
-			return n, fmt.Errorf("%s: %v", client.ErrCodeIngest, err)
-		}
-		n++
+		events = append(events, sc.Event())
 	}
-	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("%s: chunk %d: %v", client.ErrCodeDecode, sess.frames.Load(), err)
+	sess.scratch = events // keep the grown buffer for the next frame
+	if derr := sc.Err(); derr != nil {
+		// The frame's CRC passed but the payload is malformed. Ingest the
+		// decodable prefix so accounting matches the per-event path, then
+		// fail the session on the decode error.
+		n, _ := sess.mon.IngestBatch(events)
+		return int64(n), fmt.Errorf("%s: chunk %d: %v", client.ErrCodeDecode, sess.frames.Load(), derr)
 	}
-	return n, nil
+	n, err := sess.mon.IngestBatch(events)
+	if err != nil {
+		return int64(n), fmt.Errorf("%s: %v", client.ErrCodeIngest, err)
+	}
+	return int64(n), nil
 }
 
 // results snapshots the session's analysis state for a reply, a query

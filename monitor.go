@@ -232,6 +232,7 @@ func (m *Monitor) Reset() error {
 		m.sharded = st
 		m.stripes = make([]stripeLock, m.cfg.shards)
 		m.ensured.Store(0)
+		m.resetShardMetricsLocked()
 	}
 	return nil
 }
@@ -269,6 +270,45 @@ func (m *Monitor) event(e trace.Event) error {
 // returns ErrMonitorClosed once the monitor has been closed and nil
 // otherwise.
 func (m *Monitor) Ingest(e trace.Event) error { return m.event(e) }
+
+// IngestBatch records a batch of pre-encoded trace events in order and
+// returns how many were ingested. It is semantically identical to
+// calling Ingest once per element — same race set, same Stats, same
+// Health — but the per-event serialization cost is amortized: the
+// serial monitor takes its lock once per batch, and the sharded monitor
+// partitions each run of consecutive accesses by stripe so one read
+// lock and one stripe-lock acquisition cover a whole same-stripe run
+// (sync events inside the batch flush as full-exclusion barriers, in
+// order). Race callbacks are drained once per batch/stripe-run rather
+// than per event, still in report order.
+//
+// After Close the returned count n may be short: events[:n] were
+// ingested, the rest were rejected (and counted in Rejected), and the
+// error is ErrMonitorClosed. A batch can only be cut at a lock
+// boundary, so the serial path ingests all of the batch or none of it;
+// the sharded path can be cut between an access run and a sync event.
+func (m *Monitor) IngestBatch(events []trace.Event) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	if m.shardedMode {
+		return m.ingestBatchSharded(events)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		m.rejected.Add(int64(len(events)))
+		return 0, ErrMonitorClosed
+	}
+	m.disp.EventBatch(events)
+	if m.onRace != nil {
+		races := m.tool().Races()
+		for ; m.seen < len(races); m.seen++ {
+			m.onRace(races[m.seen])
+		}
+	}
+	return len(events), nil
+}
 
 // Read records a read of location addr by thread tid.
 func (m *Monitor) Read(tid int32, addr uint64) { m.event(trace.Rd(tid, addr)) }

@@ -3,7 +3,6 @@ package fasttrack
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"fasttrack/internal/obs"
 	"fasttrack/internal/rr"
@@ -47,7 +46,6 @@ type shardMetrics struct {
 	slow     *obs.Counter // accesses through the full-lock slow path
 	inflight *obs.Gauge   // accesses currently inside the striped section
 	peak     *obs.Gauge   // high-water mark of inflight
-	cur      atomic.Int64 // backing count for inflight/peak
 }
 
 // WithShards enables lock-striped concurrent ingestion with n stripes.
@@ -114,12 +112,13 @@ func (m *Monitor) access(e trace.Event) error {
 	// The parallelism gauges are sampled (~1/64 of accesses, decided by a
 	// per-call predicate so the increment and decrement pair up): updating
 	// a shared atomic on every access would reintroduce exactly the
-	// cross-core cache-line traffic striping exists to avoid.
+	// cross-core cache-line traffic striping exists to avoid. The gauge's
+	// own atomic is the single source of truth — each sampled access adds
+	// a delta on entry and subtracts it on exit, so concurrent samples
+	// cannot interleave a stale Set over a fresher count.
 	sampled := e.Target&63 == 0
 	if sampled {
-		cur := m.sm.cur.Add(1)
-		m.sm.inflight.Set(cur)
-		m.sm.peak.Max(cur)
+		m.sm.peak.Max(m.sm.inflight.Add(1))
 	}
 
 	sl := &m.stripes[s]
@@ -136,7 +135,7 @@ func (m *Monitor) access(e trace.Event) error {
 	m.mu.RUnlock()
 
 	if sampled {
-		m.sm.inflight.Set(m.sm.cur.Add(-1))
+		m.sm.inflight.Add(-1)
 	}
 	return nil
 }
@@ -181,6 +180,191 @@ func (m *Monitor) syncEvent(e trace.Event) error {
 	return nil
 }
 
+// ingestBatchSharded is IngestBatch's striped implementation. It walks
+// the batch as an alternation of access runs and sync events: each
+// maximal run of consecutive Read/Write events is delivered through
+// accessRun (one RWMutex.RLock, one lock acquisition per touched
+// stripe), and each sync event flushes through syncEvent as a
+// serialization barrier, exactly where it sat in the batch. A batch is
+// therefore cut only at run/sync boundaries when Close intervenes, and
+// the accepted prefix count n is exact.
+func (m *Monitor) ingestBatchSharded(events []trace.Event) (int, error) {
+	n := 0
+	for n < len(events) {
+		if k := events[n].Kind; k == trace.Read || k == trace.Write {
+			j := n + 1
+			for j < len(events) {
+				if k := events[j].Kind; k != trace.Read && k != trace.Write {
+					break
+				}
+				j++
+			}
+			accepted, err := m.accessRun(events[n:j])
+			n += accepted
+			if err != nil {
+				// The failing helper counted one rejection; account for
+				// the rest of the batch so accepted + Rejected adds up
+				// to the number of events offered.
+				m.rejected.Add(int64(len(events) - n - 1))
+				return n, err
+			}
+		} else {
+			if err := m.syncEvent(events[n]); err != nil {
+				m.rejected.Add(int64(len(events) - n - 1))
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// batchPartition is the reusable scratch state for partitioning one
+// access run by stripe: a stable counting sort over stripe indices, so
+// same-variable accesses keep their relative order inside a stripe's
+// segment.
+type batchPartition struct {
+	stripe []int32       // stripe of run[i]
+	start  []int         // segment start offsets, one past the end at [nStripes]
+	cursor []int         // scatter write cursors (start copy, consumed)
+	events []trace.Event // run scattered into per-stripe segments
+}
+
+func (p *batchPartition) grow(nEvents, nStripes int) {
+	if cap(p.stripe) < nEvents {
+		p.stripe = make([]int32, nEvents)
+		p.events = make([]trace.Event, nEvents)
+	}
+	p.stripe = p.stripe[:nEvents]
+	p.events = p.events[:nEvents]
+	if cap(p.start) < nStripes+1 {
+		p.start = make([]int, nStripes+1)
+		p.cursor = make([]int, nStripes)
+	}
+	p.start = p.start[:nStripes+1]
+	p.cursor = p.cursor[:nStripes]
+	clear(p.cursor)
+}
+
+var batchScratch = sync.Pool{New: func() any { return new(batchPartition) }}
+
+// accessRun delivers one run of consecutive Read/Write events on the
+// striped path: partition by stripe, then one lock acquisition (and one
+// race-callback drain) per touched stripe instead of per event. A run
+// containing an access by a thread the detector has not materialized
+// falls back to slowRun under full exclusion. Runs are all-or-nothing:
+// the only failure point is the closed check before any delivery.
+func (m *Monitor) accessRun(run []trace.Event) (int, error) {
+	w := m.ensured.Load()
+	for i := range run {
+		if run[i].Tid < 0 || run[i].Tid >= w {
+			return m.slowRun(run)
+		}
+	}
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		m.rejected.Add(1)
+		return 0, ErrMonitorClosed
+	}
+
+	// Sample the parallelism gauges once per run (see access); batching
+	// already amortizes the cost, but keeping the sampled discipline
+	// keeps the gauge's meaning comparable across both paths.
+	sampled := run[0].Target&63 == 0
+	if sampled {
+		m.sm.peak.Max(m.sm.inflight.Add(1))
+	}
+
+	nStripes := len(m.stripes)
+	p := batchScratch.Get().(*batchPartition)
+	p.grow(len(run), nStripes)
+	same := true
+	for i := range run {
+		s := rr.StripeOf(m.disp.MapVar(run[i].Target), nStripes)
+		p.stripe[i] = int32(s)
+		p.cursor[s]++ // counts during this pass; rewritten to cursors below
+		if s != int(p.stripe[0]) {
+			same = false
+		}
+	}
+
+	if same {
+		// Common fast case (small batches, hot variables): the whole run
+		// lands on one stripe, so deliver it in place without scattering.
+		m.deliverSegment(int(p.stripe[0]), run)
+	} else {
+		sum := 0
+		for s := 0; s < nStripes; s++ {
+			c := p.cursor[s]
+			p.start[s] = sum
+			p.cursor[s] = sum
+			sum += c
+		}
+		p.start[nStripes] = len(run)
+		for i := range run {
+			s := p.stripe[i]
+			p.events[p.cursor[s]] = run[i]
+			p.cursor[s]++
+		}
+		for s := 0; s < nStripes; s++ {
+			lo, hi := p.start[s], p.start[s+1]
+			if lo == hi {
+				continue
+			}
+			m.deliverSegment(s, p.events[lo:hi])
+		}
+		// Drop event payload references (barrier Tids slices and the
+		// like) so the pooled scratch does not pin them.
+		clear(p.events)
+	}
+	batchScratch.Put(p)
+	m.mu.RUnlock()
+
+	if sampled {
+		m.sm.inflight.Add(-1)
+	}
+	return len(run), nil
+}
+
+// deliverSegment feeds one stripe's segment of an access run under that
+// stripe's lock. Caller holds the RWMutex in read mode.
+func (m *Monitor) deliverSegment(s int, seg []trace.Event) {
+	sl := &m.stripes[s]
+	if !sl.TryLock() {
+		sl.Lock()
+		sl.contended++
+	}
+	sl.accesses += int64(len(seg))
+	m.disp.AccessBatch(seg)
+	if m.onRace != nil {
+		m.drainStripe(s, sl)
+	}
+	sl.Unlock()
+}
+
+// slowRun delivers a whole access run under full exclusion so the
+// detector may materialize any unseen threads, then advances the
+// watermark — the batch analogue of slowAccess.
+func (m *Monitor) slowRun(run []trace.Event) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		m.rejected.Add(1)
+		return 0, ErrMonitorClosed
+	}
+	m.sm.slow.Add(int64(len(run)))
+	m.disp.EventBatch(run)
+	m.ensured.Store(int32(m.sharded.ThreadsMaterialized()))
+	m.disp.SyncObs()
+	if m.onRace != nil {
+		for s := range m.stripes {
+			m.drainStripe(s, &m.stripes[s])
+		}
+	}
+	return len(run), nil
+}
+
 // drainStripe fires the race callback for stripe s's new warnings.
 // Caller holds stripe lock s or the full write lock; sl.seen is guarded
 // by the same.
@@ -206,6 +390,17 @@ func (m *Monitor) publishShardMetricsLocked() {
 	}
 	m.reg.Gauge("monitor.sharded.stripedAccesses").Set(accesses)
 	m.reg.Gauge("monitor.sharded.contended").Set(contended)
+}
+
+// resetShardMetricsLocked zeroes the monitor.sharded.* registry state
+// that outlives the stripes themselves; without this a post-Reset
+// Metrics() would report the previous run's striped work as current.
+// Caller holds the full write lock.
+func (m *Monitor) resetShardMetricsLocked() {
+	m.sm.inflight.Set(0)
+	m.sm.peak.Set(0)
+	m.reg.Gauge("monitor.sharded.stripedAccesses").Set(0)
+	m.reg.Gauge("monitor.sharded.contended").Set(0)
 }
 
 // Shards returns the number of ingestion stripes (1 in serial mode).

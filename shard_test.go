@@ -237,6 +237,43 @@ func TestShardedConfigConflictsPanic(t *testing.T) {
 	})
 }
 
+// TestShardedResetClearsMetrics: Reset rebuilds the stripes, so the
+// monitor.sharded.* registry view must stop reporting the previous
+// run's work. The raw registry is inspected (not Monitor.Metrics, which
+// republishes some of these gauges from the fresh stripes and would
+// mask staleness in the others, notably maxInflight).
+func TestShardedResetClearsMetrics(t *testing.T) {
+	m := NewMonitor(WithShards(4))
+	m.Fork(0, 1)
+	for k := 0; k < 5000; k++ {
+		// k%256 covers targets divisible by 64, so the sampled
+		// inflight/maxInflight gauges are exercised too.
+		m.Write(1, uint64(k%256))
+	}
+	m.Metrics() // publish stripedAccesses/contended
+	snap := m.MetricsRegistry().Snapshot()
+	if snap.Gauge("monitor.sharded.stripedAccesses") == 0 {
+		t.Fatal("no striped work recorded before Reset")
+	}
+	if snap.Gauge("monitor.sharded.maxInflight") == 0 {
+		t.Fatal("no sampled inflight peak recorded before Reset")
+	}
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	snap = m.MetricsRegistry().Snapshot()
+	for _, g := range []string{
+		"monitor.sharded.stripedAccesses",
+		"monitor.sharded.contended",
+		"monitor.sharded.inflight",
+		"monitor.sharded.maxInflight",
+	} {
+		if v := snap.Gauge(g); v != 0 {
+			t.Errorf("after Reset, %s = %d, want 0", g, v)
+		}
+	}
+}
+
 // TestShardsDefaultSerial: WithShards(1) and no option at all are the
 // same serial monitor.
 func TestShardsDefaultSerial(t *testing.T) {
