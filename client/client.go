@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,36 @@ const (
 // ErrSessionClosed is returned by operations on a session after Close.
 var ErrSessionClosed = errors.New("client: session is closed")
 
+// ErrResumed is returned by a control operation (Flush, Results, Close)
+// whose reply was lost to a connection drop that the session then
+// recovered from (WithReconnect). It is transient, not sticky: the
+// session is healthy again on a fresh connection and the operation can
+// simply be retried.
+var ErrResumed = errors.New("client: connection was lost and resumed; retry the operation")
+
+// ServerError is a server-diagnosed session failure (a FrameErrorMsg on
+// the wire): the daemon refused or tore down the session for cause.
+// Code is one of the ErrCode constants.
+type ServerError struct {
+	Code string
+	Msg  string
+	// RetryAfter is the server's redial hint on admission refusals
+	// (zero when the server gave none). Dial and the resume path fold
+	// it into their backoff.
+	RetryAfter time.Duration
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error [%s]: %s", e.Code, e.Msg)
+}
+
+// Temporary reports whether redialing may succeed: the daemon was
+// saturated or draining, conditions that clear, as opposed to a
+// rejected configuration or protocol violation.
+func (e *ServerError) Temporary() bool {
+	return e.Code == ErrCodeSessionCap || e.Code == ErrCodeDraining
+}
+
 // DialFunc opens the transport connection; overridable for tests and
 // fault injection.
 type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
@@ -45,9 +76,12 @@ type config struct {
 	onFull       OverflowPolicy
 	retries      int
 	backoff      time.Duration
+	schedule     func(attempt int) time.Duration
+	reconnects   int
 	maxFrame     int
 	hello        Handshake
 	dial         DialFunc
+	optErr       error
 }
 
 func defaultConfig() config {
@@ -66,6 +100,22 @@ func defaultConfig() config {
 			return net.DialTimeout("tcp", addr, timeout)
 		},
 	}
+}
+
+// retryDelay is the wait before retry number attempt (0-based): the
+// configured schedule, or the default jittered exponential backoff —
+// initial·2^attempt scaled by a uniform factor in [0.5, 1.5), so a
+// daemon restart does not get its reconnecting clients back in one
+// synchronized stampede.
+func (c *config) retryDelay(attempt int) time.Duration {
+	if c.schedule != nil {
+		return c.schedule(attempt)
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	d := c.backoff * (1 << attempt)
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
 }
 
 // Option configures Dial.
@@ -107,7 +157,9 @@ func WithQueue(frames int, p OverflowPolicy) Option {
 }
 
 // WithRetry sets the bounded dial retry budget: up to retries extra
-// attempts with exponentially growing backoff starting at initial.
+// attempts, waiting retryDelay(attempt) between them — by default
+// exponential backoff starting at initial with ±50% jitter (see
+// WithRetrySchedule to replace the schedule entirely).
 func WithRetry(retries int, initial time.Duration) Option {
 	return func(c *config) {
 		if retries >= 0 {
@@ -115,6 +167,31 @@ func WithRetry(retries int, initial time.Duration) Option {
 		}
 		if initial > 0 {
 			c.backoff = initial
+		}
+	}
+}
+
+// WithRetrySchedule replaces the dial/reconnect backoff schedule: f is
+// called with the 0-based retry attempt number and returns how long to
+// wait before that retry. The number of attempts is still bounded by
+// WithRetry's budget. The caller owns jitter when supplying a schedule;
+// a deterministic schedule re-creates the synchronized-stampede problem
+// the default avoids. A server Retry-After hint still takes precedence
+// when it is longer than the scheduled delay.
+func WithRetrySchedule(f func(attempt int) time.Duration) Option {
+	return func(c *config) { c.schedule = f }
+}
+
+// WithReconnect enables transparent reconnect-and-resume: when the
+// transport fails mid-session (not on a server-diagnosed error), the
+// session redials with the retry schedule, re-handshakes with an
+// incremented session epoch and the original session id as lineage, and
+// continues streaming — up to maxResumes times over the session's life.
+// See Session for the exact semantics and what resume does NOT promise.
+func WithReconnect(maxResumes int) Option {
+	return func(c *config) {
+		if maxResumes > 0 {
+			c.reconnects = maxResumes
 		}
 	}
 }
@@ -133,6 +210,24 @@ func WithShards(n int) Option { return func(c *config) { c.hello.Shards = n } }
 // "coarse").
 func WithGranularity(g string) Option { return func(c *config) { c.hello.Gran = g } }
 
+// WithFidelity selects the session's fidelity mode: "full" (default),
+// "sampled", "sampled(p)" with p in (0,1], or "adaptive" (the daemon's
+// governor adjusts the session with load). A malformed spec fails Dial.
+// Anything below full fidelity trades detection probability for
+// throughput; the granted rate and the achieved detection probability
+// are reported in Results.
+func WithFidelity(spec string) Option {
+	return func(c *config) {
+		mode, rate, err := ParseFidelity(spec)
+		if err != nil {
+			c.optErr = err
+			return
+		}
+		c.hello.Fidelity = mode
+		c.hello.SampleRate = rate
+	}
+}
+
 // WithDialFunc replaces the transport dialer (tests, fault injection).
 func WithDialFunc(f DialFunc) Option { return func(c *config) { c.dial = f } }
 
@@ -144,6 +239,7 @@ type Stats struct {
 	FramesSent    int64
 	FramesShed    int64
 	Stalls        int64 // Writes that had to wait for queue space
+	Resumes       int64 // successful reconnects (WithReconnect)
 }
 
 // Session is one open analysis session on a racedetectd server. A
@@ -151,24 +247,48 @@ type Stats struct {
 // concurrent writers are interleaved at batch granularity; the common
 // shape is one producing goroutine per session.
 //
-// Errors are sticky and fail-closed: once the connection or the
-// server-side session has failed, every subsequent operation returns
-// the first error. There is deliberately no transparent reconnect —
-// the server's monitor state died with the session, so resuming the
-// stream elsewhere would silently analyze a torn trace.
+// Errors are sticky and fail-closed by default: once the connection or
+// the server-side session has failed, every subsequent operation
+// returns the first error. WithReconnect relaxes this for transport
+// failures only: the session redials, re-handshakes with an incremented
+// epoch and its original id as lineage (so the server can refuse a
+// stale duplicate of an earlier connection — no event is ever counted
+// into two live sessions of one lineage), and resumes streaming into a
+// fresh server-side detector. Resume preserves liveness, not exactness:
+// the old connection's analysis state died with it, so events
+// unacknowledged at the drop may be lost and race reports start over
+// from the resumed stream's beginning. Control operations that were
+// awaiting a reply across the drop return the transient ErrResumed.
+// Server-diagnosed failures (FrameErrorMsg) never trigger resume; the
+// daemon tore the session down for cause and the error stays sticky.
 type Session struct {
 	cfg  config
-	conn net.Conn
-	id   string
+	addr string
+
+	// Connection state, replaced as a unit on resume. gen counts
+	// connection generations; genDead is closed when generation gen's
+	// connection is declared lost; replies carries generation gen's
+	// control replies. Control frames are stamped with the generation
+	// that enqueued them and are dropped rather than sent on a later
+	// one (their awaiter got ErrResumed); event frames are
+	// generation-free and survive resume.
+	connMu      sync.Mutex
+	conn        net.Conn // nil once the session has failed
+	gen         int64
+	genDead     chan struct{}
+	replies     chan inFrame
+	id          string
+	rootID      string // first session id of the lineage
+	epoch       int64  // last handshake epoch sent
+	resumesLeft int
 
 	bmu     sync.Mutex // guards the batch encoder
 	buf     bytes.Buffer
 	enc     *trace.Writer
 	batched int64
 
-	sendq   chan outFrame
-	replies chan inFrame
-	reqMu   sync.Mutex // one outstanding control request at a time
+	sendq chan outFrame
+	reqMu sync.Mutex // one outstanding control request at a time
 
 	dead     chan struct{} // closed by fail
 	failOnce sync.Once
@@ -183,11 +303,17 @@ type Session struct {
 	framesSent    atomic.Int64
 	framesShed    atomic.Int64
 	stalls        atomic.Int64
+	resumes       atomic.Int64
 }
+
+// eventsGen marks an outFrame that may be sent on any connection
+// generation (event payloads survive resume; control frames do not).
+const eventsGen = int64(-1)
 
 type outFrame struct {
 	t       trace.FrameType
 	payload []byte
+	gen     int64
 }
 
 type inFrame struct {
@@ -196,87 +322,122 @@ type inFrame struct {
 }
 
 // Dial connects to a racedetectd server and opens a session, retrying
-// transient connection failures with exponential backoff up to the
-// configured budget.
+// transient failures — both connection errors and server admission
+// refusals that carry a Retry-After hint — with jittered exponential
+// backoff up to the configured budget.
 func Dial(addr string, opts ...Option) (*Session, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.optErr != nil {
+		return nil, cfg.optErr
+	}
 
 	var (
 		conn net.Conn
-		err  error
+		ok   HelloOK
 	)
-	backoff := cfg.backoff
 	for attempt := 0; ; attempt++ {
+		var err error
 		conn, err = cfg.dial(addr, cfg.dialTimeout)
 		if err == nil {
-			break
+			ok, err = handshakeConn(conn, &cfg, cfg.hello)
+			if err == nil {
+				break
+			}
+			conn.Close()
+			var se *ServerError
+			if !errors.As(err, &se) || !se.Temporary() {
+				return nil, err
+			}
+			if attempt >= cfg.retries {
+				return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, err, attempt+1)
+			}
+			time.Sleep(maxDuration(cfg.retryDelay(attempt), se.RetryAfter))
+			continue
 		}
 		if attempt >= cfg.retries {
 			return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, err, attempt+1)
 		}
-		time.Sleep(backoff)
-		backoff *= 2
+		time.Sleep(cfg.retryDelay(attempt))
 	}
 
 	s := &Session{
-		cfg:     cfg,
-		conn:    conn,
-		sendq:   make(chan outFrame, cfg.queueFrames),
-		replies: make(chan inFrame, 4),
-		dead:    make(chan struct{}),
+		cfg:         cfg,
+		addr:        addr,
+		conn:        conn,
+		genDead:     make(chan struct{}),
+		replies:     make(chan inFrame, 4),
+		id:          ok.SessionID,
+		rootID:      ok.SessionID,
+		resumesLeft: cfg.reconnects,
+		sendq:       make(chan outFrame, cfg.queueFrames),
+		dead:        make(chan struct{}),
 	}
 	s.enc = trace.NewWriter(&s.buf, trace.Binary)
-
-	if err := s.handshake(); err != nil {
-		conn.Close()
-		return nil, err
-	}
 	go s.senderLoop()
-	go s.readerLoop()
+	go s.readerLoop(conn, 0, s.replies)
 	return s, nil
 }
 
-// handshake runs the hello exchange synchronously on the dialing
-// goroutine, before the sender/reader loops exist.
-func (s *Session) handshake() error {
-	fw := trace.NewFrameWriter(s.conn)
-	b, err := json.Marshal(s.cfg.hello)
+func maxDuration(a, b time.Duration) time.Duration {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// handshakeConn runs the hello exchange synchronously on a fresh
+// connection, before (or between) the sender/reader loops.
+func handshakeConn(conn net.Conn, cfg *config, hello Handshake) (HelloOK, error) {
+	fw := trace.NewFrameWriter(conn)
+	b, err := json.Marshal(hello)
 	if err != nil {
-		return err
+		return HelloOK{}, err
 	}
-	s.setWriteDeadline()
+	if cfg.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(cfg.writeTimeout))
+	}
 	if err := fw.WriteFrame(FrameHello, b); err != nil {
-		return fmt.Errorf("client: sending hello: %w", err)
+		return HelloOK{}, fmt.Errorf("client: sending hello: %w", err)
 	}
-	fr := trace.NewFrameReader(s.conn, s.cfg.maxFrame)
-	if s.cfg.readTimeout > 0 {
-		s.conn.SetReadDeadline(time.Now().Add(s.cfg.readTimeout))
+	fr := trace.NewFrameReader(conn, cfg.maxFrame)
+	if cfg.readTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(cfg.readTimeout))
 	}
 	t, payload, err := fr.ReadFrame()
 	if err != nil {
-		return fmt.Errorf("client: reading hello reply: %w", err)
+		return HelloOK{}, fmt.Errorf("client: reading hello reply: %w", err)
 	}
-	s.conn.SetReadDeadline(time.Time{})
+	conn.SetReadDeadline(time.Time{})
 	switch t {
 	case FrameHelloOK:
 		var ok HelloOK
 		if err := json.Unmarshal(payload, &ok); err != nil {
-			return fmt.Errorf("client: malformed hello reply: %w", err)
+			return HelloOK{}, fmt.Errorf("client: malformed hello reply: %w", err)
 		}
-		s.id = ok.SessionID
-		return nil
+		return ok, nil
 	case FrameErrorMsg:
-		return wireErr(payload)
+		return HelloOK{}, wireErr(payload)
 	default:
-		return fmt.Errorf("client: unexpected hello reply frame %d", t)
+		return HelloOK{}, fmt.Errorf("client: unexpected hello reply frame %d", t)
 	}
 }
 
-// ID returns the server-assigned session identifier.
-func (s *Session) ID() string { return s.id }
+// ID returns the server-assigned session identifier (of the current
+// connection generation; resume opens a new server session whose
+// lineage is RootID).
+func (s *Session) ID() string {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.id
+}
+
+// RootID returns the first session id of this session's lineage; it is
+// stable across resumes and is what resumed handshakes name in
+// ResumeOf.
+func (s *Session) RootID() string { return s.rootID }
 
 // Err returns the session's sticky error, nil while healthy.
 func (s *Session) Err() error {
@@ -286,57 +447,173 @@ func (s *Session) Err() error {
 	return nil
 }
 
-// fail records the first error, severs the connection, and wakes every
-// blocked operation. Subsequent calls are no-ops.
+// fail records the first error and wakes every blocked operation.
+// It does not touch the connection (callers own that; see closeConn).
 func (s *Session) fail(err error) {
 	s.failOnce.Do(func() {
 		s.errv.Store(err)
 		close(s.dead)
-		s.conn.Close()
 	})
 }
 
-func (s *Session) setWriteDeadline() {
-	if s.cfg.writeTimeout > 0 {
-		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
+// closeConn severs the current connection, unblocking the loops.
+func (s *Session) closeConn() {
+	s.connMu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// snapshot returns the current connection generation as one consistent
+// unit.
+func (s *Session) snapshot() (net.Conn, int64, chan inFrame, chan struct{}) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.conn, s.gen, s.replies, s.genDead
+}
+
+// generation returns the current connection generation number.
+func (s *Session) generation() int64 {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.gen
+}
+
+// lost is the single place a transport failure on generation gen is
+// handled: the first reporter (sender or reader loop) either resumes
+// the session on a fresh connection or makes the failure sticky.
+// Duplicate and stale reports are no-ops.
+func (s *Session) lost(gen int64, cause error) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.gen != gen || s.conn == nil {
+		return
+	}
+	s.conn.Close()
+	close(s.genDead) // awaiting control ops observe ErrResumed
+	if s.Err() != nil || s.closed.Load() || s.resumesLeft <= 0 {
+		s.fail(cause)
+		s.conn = nil
+		return
+	}
+	s.resumesLeft--
+	s.redialLocked(cause)
+}
+
+// redialLocked re-establishes the session under connMu: jittered-backoff
+// redial, then a resume handshake carrying the lineage's root id and a
+// strictly increasing epoch — incremented per attempt, so even if an
+// attempt's reply is lost after the server registered it, the next
+// attempt still presents a newer epoch. While it runs, senderLoop blocks
+// in snapshot and producers back up in the frame queue: reconnect is
+// backpressure, not loss.
+func (s *Session) redialLocked(cause error) {
+	hello := s.cfg.hello
+	hello.ResumeOf = s.rootID
+	var lastErr error = cause
+	for attempt := 0; ; attempt++ {
+		conn, err := s.cfg.dial(s.addr, s.cfg.dialTimeout)
+		var hint time.Duration
+		if err == nil {
+			s.epoch++
+			hello.Epoch = s.epoch
+			var ok HelloOK
+			ok, err = handshakeConn(conn, &s.cfg, hello)
+			if err == nil {
+				s.conn = conn
+				s.gen++
+				s.genDead = make(chan struct{})
+				s.replies = make(chan inFrame, 4)
+				s.id = ok.SessionID
+				s.resumes.Add(1)
+				go s.readerLoop(conn, s.gen, s.replies)
+				return
+			}
+			conn.Close()
+			var se *ServerError
+			if errors.As(err, &se) && se.Temporary() {
+				hint = se.RetryAfter
+			} else if errors.As(err, &se) {
+				s.fail(fmt.Errorf("client: resume refused: %w (connection lost: %v)", err, cause))
+				s.conn = nil
+				return
+			}
+		}
+		lastErr = err
+		if attempt >= s.cfg.retries {
+			s.fail(fmt.Errorf("client: resume failed: %w (after %d attempts; connection lost: %v)", lastErr, attempt+1, cause))
+			s.conn = nil
+			return
+		}
+		time.Sleep(maxDuration(s.cfg.retryDelay(attempt), hint))
 	}
 }
 
-// senderLoop is the only writer of the connection after the handshake.
+// senderLoop is the only writer of the connection(s) after the
+// handshake. A frame whose write fails is retried verbatim on the
+// replacement connection — safe because the resumed server session's
+// detector is fresh, so the events count exactly once there.
 func (s *Session) senderLoop() {
-	fw := trace.NewFrameWriter(s.conn)
+	var (
+		fw    *trace.FrameWriter
+		fwGen = int64(-1)
+	)
 	for {
+		var f outFrame
 		select {
-		case f := <-s.sendq:
-			s.setWriteDeadline()
-			if err := fw.WriteFrame(f.t, f.payload); err != nil {
-				s.fail(fmt.Errorf("client: writing frame: %w", err))
-				return
-			}
-			s.framesSent.Add(1)
+		case f = <-s.sendq:
 		case <-s.dead:
 			return
 		}
+		for {
+			conn, gen, _, _ := s.snapshot()
+			if conn == nil {
+				return // session failed
+			}
+			if f.gen != eventsGen && f.gen != gen {
+				// Control frame from a pre-resume generation: its
+				// awaiter already got ErrResumed; sending it to the
+				// fresh session would draw a reply nobody consumes.
+				break
+			}
+			if fwGen != gen {
+				fw = trace.NewFrameWriter(conn)
+				fwGen = gen
+			}
+			if s.cfg.writeTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
+			}
+			if err := fw.WriteFrame(f.t, f.payload); err == nil {
+				s.framesSent.Add(1)
+				break
+			} else {
+				s.lost(gen, fmt.Errorf("client: writing frame: %w", err))
+			}
+		}
 	}
 }
 
-// readerLoop is the only reader of the connection after the handshake;
-// it feeds replies to the waiting control operation and turns server
-// error frames into the sticky session error.
-func (s *Session) readerLoop() {
-	fr := trace.NewFrameReader(s.conn, s.cfg.maxFrame)
+// readerLoop is the only reader of one connection generation; it feeds
+// replies to the waiting control operation. Transport errors go through
+// lost (which may resume); server error frames are sticky — the daemon
+// tore the session down for cause, so resuming would replay the same
+// fate.
+func (s *Session) readerLoop(conn net.Conn, gen int64, replies chan inFrame) {
+	fr := trace.NewFrameReader(conn, s.cfg.maxFrame)
 	for {
 		t, payload, err := fr.ReadFrame()
 		if err != nil {
-			s.fail(fmt.Errorf("client: reading reply: %w", err))
+			s.lost(gen, fmt.Errorf("client: reading reply: %w", err))
 			return
 		}
 		if t == FrameErrorMsg {
+			conn.Close()
 			s.fail(wireErr(payload))
 			return
 		}
 		select {
-		case s.replies <- inFrame{t, payload}:
+		case replies <- inFrame{t, payload}:
 		case <-s.dead:
 			return
 		}
@@ -349,7 +626,11 @@ func wireErr(payload []byte) error {
 	if err := json.Unmarshal(payload, &we); err != nil {
 		return fmt.Errorf("client: malformed server error frame: %w", err)
 	}
-	return fmt.Errorf("client: server error [%s]: %s", we.Code, we.Msg)
+	return &ServerError{
+		Code:       we.Code,
+		Msg:        we.Msg,
+		RetryAfter: time.Duration(we.RetryAfterMillis) * time.Millisecond,
+	}
 }
 
 // Write appends one event to the current batch, sending the batch as a
@@ -397,7 +678,7 @@ func (s *Session) flushBatch() error {
 	s.batched = 0
 	s.bmu.Unlock()
 
-	f := outFrame{FrameEvents, payload}
+	f := outFrame{FrameEvents, payload, eventsGen}
 	if s.cfg.onFull == Shed {
 		select {
 		case s.sendq <- f:
@@ -422,24 +703,35 @@ func (s *Session) flushBatch() error {
 	return nil
 }
 
-// enqueueControl enqueues a control frame; control frames always block
-// for space (they are rare and must not be shed).
-func (s *Session) enqueueControl(t trace.FrameType, v any) error {
+// enqueueControl enqueues a control frame stamped with the generation
+// it belongs to; control frames always block for space (they are rare
+// and must not be shed).
+func (s *Session) enqueueControl(t trace.FrameType, v any, gen int64) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
 	select {
-	case s.sendq <- outFrame{t, b}:
+	case s.sendq <- outFrame{t, b, gen}:
 		return nil
 	case <-s.dead:
 		return s.Err()
 	}
 }
 
-// await waits for the reply of the outstanding control request.
-// Callers hold reqMu, so at most one reply is in flight.
-func (s *Session) await(want trace.FrameType, seq int64) (inFrame, error) {
+// await waits for the reply of the outstanding control request, issued
+// at connection generation gen0. Callers hold reqMu, so at most one
+// reply is in flight. If the connection was lost (and possibly resumed)
+// since the request was issued, the reply will never arrive; await
+// returns ErrResumed instead of waiting for the timeout.
+func (s *Session) await(want trace.FrameType, seq, gen0 int64) (inFrame, error) {
+	conn, gen, replies, gd := s.snapshot()
+	if gen != gen0 || conn == nil {
+		if err := s.Err(); err != nil {
+			return inFrame{}, err
+		}
+		return inFrame{}, ErrResumed
+	}
 	var timeout <-chan time.Time
 	if s.cfg.readTimeout > 0 {
 		tm := time.NewTimer(s.cfg.readTimeout)
@@ -451,31 +743,40 @@ func (s *Session) await(want trace.FrameType, seq int64) (inFrame, error) {
 	// CloseOK followed by its end of stream).
 	var r inFrame
 	select {
-	case r = <-s.replies:
+	case r = <-replies:
 	default:
 		select {
-		case r = <-s.replies:
+		case r = <-replies:
+		case <-gd:
+			if err := s.Err(); err != nil {
+				return inFrame{}, err
+			}
+			return inFrame{}, ErrResumed
 		case <-s.dead:
 			return inFrame{}, s.Err()
 		case <-timeout:
 			err := fmt.Errorf("client: timed out after %v waiting for frame %d", s.cfg.readTimeout, want)
 			s.fail(err)
+			s.closeConn()
 			return inFrame{}, err
 		}
 	}
 	if r.t != want {
 		err := fmt.Errorf("client: protocol error: got frame %d, want %d", r.t, want)
 		s.fail(err)
+		s.closeConn()
 		return inFrame{}, err
 	}
 	var q Seq
 	if err := json.Unmarshal(r.payload, &q); err != nil {
 		s.fail(fmt.Errorf("client: malformed reply: %w", err))
+		s.closeConn()
 		return inFrame{}, s.Err()
 	}
 	if q.Seq != seq {
 		err := fmt.Errorf("client: protocol error: reply seq %d, want %d", q.Seq, seq)
 		s.fail(err)
+		s.closeConn()
 		return inFrame{}, err
 	}
 	return r, nil
@@ -483,7 +784,10 @@ func (s *Session) await(want trace.FrameType, seq int64) (inFrame, error) {
 
 // Flush sends the current batch and blocks until the server
 // acknowledges that every event sent so far has been ingested. Events
-// acknowledged by a Flush survive even an immediate server drain.
+// acknowledged by a Flush survive even an immediate server drain. After
+// a resume, the acknowledgment covers the resumed session's stream —
+// events unacknowledged at the connection drop may have been lost with
+// the old session.
 func (s *Session) Flush() error {
 	s.reqMu.Lock()
 	defer s.reqMu.Unlock()
@@ -493,11 +797,12 @@ func (s *Session) Flush() error {
 	if err := s.flushBatch(); err != nil {
 		return err
 	}
+	gen0 := s.generation()
 	seq := s.seq.Add(1)
-	if err := s.enqueueControl(FrameFlush, Seq{Seq: seq}); err != nil {
+	if err := s.enqueueControl(FrameFlush, Seq{Seq: seq}, gen0); err != nil {
 		return err
 	}
-	_, err := s.await(FrameFlushOK, seq)
+	_, err := s.await(FrameFlushOK, seq, gen0)
 	return err
 }
 
@@ -516,11 +821,12 @@ func (s *Session) Results() (Results, error) {
 	if err := s.flushBatch(); err != nil {
 		return Results{}, err
 	}
+	gen0 := s.generation()
 	seq := s.seq.Add(1)
-	if err := s.enqueueControl(FrameQuery, Seq{Seq: seq}); err != nil {
+	if err := s.enqueueControl(FrameQuery, Seq{Seq: seq}, gen0); err != nil {
 		return Results{}, err
 	}
-	r, err := s.await(FrameResults, seq)
+	r, err := s.await(FrameResults, seq, gen0)
 	if err != nil {
 		return Results{}, err
 	}
@@ -549,21 +855,27 @@ func (s *Session) Close() error {
 		s.closed.Store(true)
 		return err
 	}
+	gen0 := s.generation()
 	seq := s.seq.Add(1)
-	if err := s.enqueueControl(FrameClose, Seq{Seq: seq}); err != nil {
+	if err := s.enqueueControl(FrameClose, Seq{Seq: seq}, gen0); err != nil {
 		s.closed.Store(true)
 		return err
 	}
-	r, err := s.await(FrameCloseOK, seq)
+	r, err := s.await(FrameCloseOK, seq, gen0)
 	s.closed.Store(true)
 	if err != nil {
+		// Tear the session down even when the goodbye was cut short
+		// (e.g. ErrResumed), so a resumed connection is not left open.
+		s.fail(err)
+		s.closeConn()
 		return err
 	}
 	var res Results
 	if err := json.Unmarshal(r.payload, &res); err == nil {
 		s.final.Store(res)
 	}
-	s.fail(ErrSessionClosed) // tear down the loops and the connection
+	s.fail(ErrSessionClosed) // tear down the loops...
+	s.closeConn()            // ...and the connection
 	return nil
 }
 
@@ -576,5 +888,6 @@ func (s *Session) Stats() Stats {
 		FramesSent:    s.framesSent.Load(),
 		FramesShed:    s.framesShed.Load(),
 		Stalls:        s.stalls.Load(),
+		Resumes:       s.resumes.Load(),
 	}
 }

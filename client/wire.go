@@ -35,6 +35,10 @@
 package client
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"fasttrack"
 	"fasttrack/trace"
 )
@@ -60,17 +64,48 @@ const (
 
 // Handshake opens a session: it selects the detector and pipeline
 // configuration the daemon builds the session's Monitor with.
+//
+// All post-version fields are optional JSON, so a version-1 peer that
+// predates them interoperates: an old client simply never degrades
+// fidelity, an old server ignores the request and runs full.
 type Handshake struct {
 	Version int    `json:"version"`
 	Tool    string `json:"tool,omitempty"`        // detector name ("" = FastTrack)
 	Policy  string `json:"policy,omitempty"`      // validation: off|strict|repair|drop ("" = off)
 	Shards  int    `json:"shards,omitempty"`      // lock-striped ingestion stripes (<=1 = serial)
 	Gran    string `json:"granularity,omitempty"` // fine|coarse ("" = fine)
+
+	// Fidelity selects the session's fidelity mode: "full" (default),
+	// "sampled" (fixed rate SampleRate), or "adaptive" (the daemon's
+	// governor moves the session along the full→sampled→coarse→shed
+	// ladder with load). See ParseFidelity for the accepted spellings.
+	Fidelity string `json:"fidelity,omitempty"`
+	// SampleRate is the sampling rate for "sampled" (and the starting/
+	// ceiling rate for "adaptive"); 0 means the server default.
+	SampleRate float64 `json:"sampleRate,omitempty"`
+
+	// Epoch and ResumeOf implement reconnect-and-resume: a client that
+	// lost its connection re-handshakes with ResumeOf naming its original
+	// session id and Epoch strictly greater than any it used before. The
+	// server refuses non-increasing epochs (ErrCodeStaleEpoch), so a
+	// delayed duplicate of an earlier connection can never double-count
+	// events into a live lineage. A resumed session gets a fresh detector
+	// (id and lineage are for reporting; shadow state is not carried).
+	Epoch    int64  `json:"epoch,omitempty"`
+	ResumeOf string `json:"resumeOf,omitempty"`
 }
 
 // HelloOK acknowledges a handshake.
 type HelloOK struct {
 	SessionID string `json:"sessionId"`
+	// Fidelity and SampleRate echo the session's granted starting state,
+	// which can differ from the request: under admission pressure the
+	// server may force a "full" session to start sampled (ForcedSampled
+	// is then true, and the session's ceiling is sampled until pressure
+	// clears).
+	Fidelity      string  `json:"fidelity,omitempty"`
+	SampleRate    float64 `json:"sampleRate,omitempty"`
+	ForcedSampled bool    `json:"forcedSampled,omitempty"`
 }
 
 // Seq carries a client-chosen request sequence number; the matching
@@ -133,6 +168,12 @@ type Results struct {
 	Races     []fasttrack.Report `json:"races"`
 	Stats     fasttrack.Stats    `json:"stats"`
 	Health    Health             `json:"health"`
+	// DetectionProbability is the fraction of offered accesses analyzed
+	// at full fidelity (1.0 unless the session ran sampled/degraded); a
+	// race on a sampled-out variable cannot appear in Races, so this
+	// bounds per-variable detection probability. Omitted when 0 (only
+	// possible on a session that never saw an access while fully shed).
+	DetectionProbability float64 `json:"detectionProbability,omitempty"`
 }
 
 // WireError is the payload of a FrameErrorMsg: the server's diagnosis
@@ -140,6 +181,11 @@ type Results struct {
 type WireError struct {
 	Code string `json:"code"` // stable machine-readable class
 	Msg  string `json:"msg"`
+	// RetryAfterMillis, when positive on an admission refusal
+	// (session-cap, draining), hints how long the client should wait
+	// before redialing — the wire analog of HTTP Retry-After. The client
+	// folds it into its jittered reconnect backoff.
+	RetryAfterMillis int64 `json:"retryAfterMillis,omitempty"`
 }
 
 // Error codes carried by WireError.
@@ -152,4 +198,38 @@ const (
 	ErrCodeSessionCap  = "session-cap"   // too many concurrent sessions
 	ErrCodeUnknownTool = "unknown-tool"  // handshake named an unknown detector
 	ErrCodeBadRequest  = "bad-handshake" // handshake configuration invalid
+	ErrCodeStaleEpoch  = "stale-epoch"   // resume epoch not newer than the lineage's last
 )
+
+// Fidelity modes of the Handshake.Fidelity field.
+const (
+	FidelityFull     = "full"
+	FidelitySampled  = "sampled"
+	FidelityAdaptive = "adaptive"
+)
+
+// ParseFidelity parses the human spellings of a fidelity mode, as
+// accepted by racedetect's -fidelity flag and racedetectd's handshake:
+// "" or "full"; "adaptive"; "sampled" (server-default rate); and
+// "sampled(p)" with p in (0,1], e.g. "sampled(0.1)". It returns the
+// canonical mode name and the explicit rate (0 when none was given).
+func ParseFidelity(s string) (mode string, rate float64, err error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "", FidelityFull:
+		return FidelityFull, 0, nil
+	case FidelityAdaptive:
+		return FidelityAdaptive, 0, nil
+	case FidelitySampled:
+		return FidelitySampled, 0, nil
+	}
+	low := strings.ToLower(s)
+	if strings.HasPrefix(low, "sampled(") && strings.HasSuffix(low, ")") {
+		p, perr := strconv.ParseFloat(low[len("sampled("):len(low)-1], 64)
+		if perr != nil || p <= 0 || p > 1 {
+			return "", 0, fmt.Errorf("client: bad sampling rate in %q (want sampled(p) with 0 < p <= 1)", s)
+		}
+		return FidelitySampled, p, nil
+	}
+	return "", 0, fmt.Errorf("client: unknown fidelity %q (want full, sampled, sampled(p), or adaptive)", s)
+}

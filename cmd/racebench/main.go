@@ -31,11 +31,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch, fidelity")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
-	out := flag.String("out", "", "for -table ops/shards/batch: also write the JSON artifact to this file")
+	out := flag.String("out", "", "for -table ops/shards/batch/fidelity: also write the JSON artifact to this file")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -127,6 +127,17 @@ func main() {
 				check(f.Close())
 				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
 			}
+		case "fidelity":
+			fmt.Println("=== Extension: sampling-tier cost/coverage curve ===")
+			rep := bench.Fidelity(cfg, nil, 0, 0)
+			bench.FprintFidelity(os.Stdout, rep)
+			if *out != "" {
+				f, err := os.Create(*out)
+				check(err)
+				check(bench.WriteFidelityJSON(f, rep))
+				check(f.Close())
+				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
 			os.Exit(2)
@@ -135,7 +146,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch"} {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch", "fidelity"} {
 			run(name)
 		}
 		return

@@ -7,8 +7,17 @@
 //	racedetect [-tool FastTrack] [-all] [-granularity fine|coarse]
 //	           [-validate] [-stats] [-policy off|strict|repair|drop]
 //	           [-membudget bytes] [-shards N] [-batch N] [-json]
+//	           [-fidelity full|sampled(p)|adaptive]
 //	           [-json.file out.json] [-metrics.addr :6060] trace-file
 //	racedetect -chaos [trace-file]
+//
+// -fidelity trades detection probability for analysis cost: sampled(p)
+// analyzes the fraction p of the variable space (accesses to the rest
+// are counted but not checked — a real race can be missed with
+// probability about 1-p, and the report says what fraction was
+// analyzed), and adaptive lets the racedetectd governor move the
+// session along the full→sampled→coarse→shed ladder under pressure, so
+// it requires -server.
 //
 // With "-" as the file name the trace is read from standard input.
 // -chaos runs the fault-injection smoke suite: every registered
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"fasttrack"
+	"fasttrack/client"
 	"fasttrack/internal/chaos"
 	"fasttrack/internal/hb"
 	"fasttrack/internal/obs"
@@ -64,6 +74,7 @@ func main() {
 	jsonFile := flag.String("json.file", "", "write the run report to this file instead of stdout")
 	metricsAddr := flag.String("metrics.addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
 	serverAddr := flag.String("server", "", "stream the trace to a racedetectd daemon at this address instead of analyzing locally")
+	fidelity := flag.String("fidelity", "", "analysis fidelity: full, sampled(p), or adaptive (adaptive requires -server)")
 	list := flag.Bool("list", false, "list available detectors and exit")
 	flag.Parse()
 
@@ -77,6 +88,17 @@ func main() {
 	policy, ok := rr.PolicyFromString(*policyName)
 	if !ok {
 		fatal(fmt.Errorf("unknown policy %q (want off, strict, repair, or drop)", *policyName))
+	}
+
+	fidMode, sampleRate, err := client.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	if fidMode == client.FidelityAdaptive && *serverAddr == "" {
+		fatal(fmt.Errorf("-fidelity adaptive is governed by racedetectd; add -server"))
+	}
+	if fidMode == client.FidelitySampled && sampleRate == 0 {
+		sampleRate = 0.25 // match the daemon's default sampled rung
 	}
 
 	if *chaosMode {
@@ -102,7 +124,7 @@ func main() {
 		if *all || *stream || *explain {
 			fatal(fmt.Errorf("-server streams a single tool's batch run; drop -all/-stream/-explain"))
 		}
-		os.Exit(runRemote(flag.Arg(0), *serverAddr, *toolName, *gran, *policyName, *shards, *validate))
+		os.Exit(runRemote(flag.Arg(0), *serverAddr, *toolName, *gran, *policyName, *fidelity, *shards, *validate))
 	}
 
 	ms, err := startMetrics(*metricsAddr)
@@ -119,6 +141,10 @@ func main() {
 	}
 	rep := &runReport{Schema: runReportSchema, Trace: flag.Arg(0), Stream: *stream}
 
+	if sampleRate > 0 && *all {
+		fatal(fmt.Errorf("-fidelity samples a single tool's run; drop -all"))
+	}
+
 	if *stream {
 		if *all {
 			fatal(fmt.Errorf("-stream runs a single tool; drop -all"))
@@ -126,7 +152,7 @@ func main() {
 		if *shards > 1 {
 			fatal(fmt.Errorf("-shards applies to batch ingestion; drop -stream"))
 		}
-		exit := runStream(flag.Arg(0), *toolName, g, policy, *validate, *stats, jsonWanted, *jsonFile, ms, rep, humanOut)
+		exit := runStream(flag.Arg(0), *toolName, g, policy, sampleRate, *validate, *stats, jsonWanted, *jsonFile, ms, rep, humanOut)
 		finishJSON(jsonWanted, rep, *jsonFile)
 		os.Exit(exit)
 	}
@@ -156,7 +182,7 @@ func main() {
 		if *memBudget != 0 {
 			fatal(fmt.Errorf("-shards/-batch are incompatible with -membudget"))
 		}
-		exit := runMonitor(tr, *toolName, g, *shards, *batch, *stats, jsonWanted, ms, rep, humanOut)
+		exit := runMonitor(tr, *toolName, g, *shards, *batch, sampleRate, *stats, jsonWanted, ms, rep, humanOut)
 		finishJSON(jsonWanted, rep, *jsonFile)
 		os.Exit(exit)
 	}
@@ -178,6 +204,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		applySampleRate(tool, sampleRate)
 
 		reg := obs.NewRegistry()
 		ms.attach(reg)
@@ -220,6 +247,20 @@ func main() {
 	os.Exit(exit)
 }
 
+// applySampleRate starts a tool's sampling tier at the -fidelity rate
+// (no-op at 0, i.e. full fidelity); a tool that cannot sample is a
+// configuration error, not a silent full-fidelity run.
+func applySampleRate(tool fasttrack.Tool, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	s, ok := tool.(fasttrack.Sampled)
+	if !ok {
+		fatal(fmt.Errorf("-fidelity: tool %q does not support sampled analysis", tool.Name()))
+	}
+	s.SetSamplingRate(rate)
+}
+
 // runMonitor replays the trace through the Monitor (serial or
 // lock-striped via -shards) instead of the raw dispatcher, optionally
 // in IngestBatch chunks of batch events. A file replay is a single
@@ -230,7 +271,7 @@ func main() {
 // amortized batch ingestion the racedetectd service uses per wire
 // frame.
 func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards, batch int,
-	stats, jsonWanted bool, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
+	sampleRate float64, stats, jsonWanted bool, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
 
 	hints := fasttrack.Hints{Threads: tr.Threads()}
 	if jsonWanted && toolName == "FastTrack" {
@@ -240,6 +281,7 @@ func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards
 	if err != nil {
 		fatal(err)
 	}
+	applySampleRate(tool, sampleRate)
 	opts := []fasttrack.MonitorOption{
 		fasttrack.WithTool(tool),
 		fasttrack.WithGranularity(g),
@@ -297,12 +339,13 @@ func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards
 // attached (validation policy, live metrics, progress reporting) and
 // returns the process exit code.
 func runStream(path, toolName string, g fasttrack.Granularity, policy fasttrack.Policy,
-	validate, stats, jsonWanted bool, jsonPath string, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
+	sampleRate float64, validate, stats, jsonWanted bool, jsonPath string, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
 
 	tool, err := fasttrack.NewTool(toolName, fasttrack.Hints{})
 	if err != nil {
 		fatal(err)
 	}
+	applySampleRate(tool, sampleRate)
 	r, closeFn, err := openInput(path)
 	if err != nil {
 		fatal(err)
@@ -552,6 +595,13 @@ func printReport(w io.Writer, tool fasttrack.Tool, races []fasttrack.Report, st 
 	fmt.Fprintf(w, "%s: %d warning(s)\n", tool.Name(), len(races))
 	for _, r := range races {
 		fmt.Fprintf(w, "  %s\n", r)
+	}
+	// A sampled run's verdict is qualified: accesses outside the sampled
+	// variable set were never checked, so "0 warnings" means "0 in the
+	// analyzed fraction".
+	if st.SampledOut > 0 {
+		fmt.Fprintf(w, "  sampled analysis: detection probability %.3f (%d of %d accesses analyzed)\n",
+			st.DetectionProbability(), st.Reads+st.Writes-st.SampledOut, st.Reads+st.Writes)
 	}
 	if stats {
 		fmt.Fprintf(w, "  events=%d reads=%d writes=%d syncs=%d vcAlloc=%d vcOps=%d shadowBytes=%d\n",

@@ -11,7 +11,7 @@ import (
 // analyzing it in-process, and renders the session's final report in
 // exactly the local batch format (so local and remote runs diff clean);
 // the transport note goes to stderr. Returns the process exit code.
-func runRemote(path, addr, toolName, gran, policyName string, shards int, validate bool) int {
+func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards int, validate bool) int {
 	tr, err := readTrace(path)
 	if err != nil {
 		fatal(err)
@@ -31,6 +31,9 @@ func runRemote(path, addr, toolName, gran, policyName string, shards int, valida
 	}
 	if shards > 1 {
 		opts = append(opts, client.WithShards(shards))
+	}
+	if fidelity != "" {
+		opts = append(opts, client.WithFidelity(fidelity))
 	}
 	sess, err := client.Dial(addr, opts...)
 	if err != nil {
@@ -52,6 +55,12 @@ func runRemote(path, addr, toolName, gran, policyName string, shards int, valida
 	fmt.Printf("%s: %d warning(s)\n", res.Tool, len(res.Races))
 	for _, r := range res.Races {
 		fmt.Printf("  %s\n", r)
+	}
+	// The daemon may have analyzed only a fraction of the offered
+	// accesses (a sampled/adaptive session, or a force-sampled admission
+	// under load); qualify the verdict.
+	if res.DetectionProbability > 0 && res.DetectionProbability < 1 {
+		fmt.Printf("  sampled analysis: detection probability %.3f\n", res.DetectionProbability)
 	}
 	fmt.Fprintf(os.Stderr, "racedetect: %d events analyzed remotely (session %s on %s)\n",
 		res.Events, res.SessionID, addr)

@@ -8,6 +8,16 @@
 //	racedetectd [-addr 127.0.0.1:7766] [-http 127.0.0.1:7767]
 //	            [-queue 64] [-max-frame bytes] [-max-sessions 256]
 //	            [-idle 5m] [-drain 30s] [-report.dir DIR] [-v]
+//	            [-governor 250ms] [-stuck-timeout 30s] [-mem-budget bytes]
+//	            [-sample-rate 0.25] [-retry-after 1s]
+//
+// The governor flags tune the adaptive fidelity layer: every -governor
+// tick each adaptive session is checked against its queue and
+// shadow-memory (-mem-budget) pressure and moved along the fidelity
+// ladder full → sampled(-sample-rate) → coarse → shed, and any session
+// whose worker makes no progress for -stuck-timeout is quarantined.
+// Admission refusals at the session cap carry the -retry-after redial
+// hint.
 //
 // The HTTP listener (enabled by -http) serves:
 //
@@ -15,6 +25,8 @@
 //	/sessions             summaries of live and recently finished sessions
 //	/sessions/{id}/races  a session's current race reports
 //	/sessions/{id}/stats  a session's detector statistics and health
+//	/healthz              liveness (always 200 while serving)
+//	/readyz               readiness (503 when draining or at the session cap)
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
 // lets every session's already-received frames finish analysis,
@@ -47,6 +59,11 @@ func main() {
 	idle := flag.Duration("idle", 5*time.Minute, "evict sessions idle for this long (0 = never)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
 	reportDir := flag.String("report.dir", "", "write one JSON report per finished session into this directory")
+	governor := flag.Duration("governor", 0, "fidelity governor tick interval (0 = default 250ms, negative = disabled)")
+	stuck := flag.Duration("stuck-timeout", 0, "quarantine sessions whose worker makes no progress for this long (0 = default 30s, negative = disabled)")
+	memBudget := flag.Int64("mem-budget", 0, "per-session shadow-memory budget in bytes before the governor degrades fidelity (0 = no memory signal)")
+	sampleRate := flag.Float64("sample-rate", 0, "default sampled-rung rate for sessions that pick none (0 = default 0.25)")
+	retryAfter := flag.Duration("retry-after", 0, "redial hint on session-cap refusals (0 = default 1s)")
 	verbose := flag.Bool("v", false, "log per-session lifecycle events")
 	flag.Parse()
 
@@ -57,12 +74,17 @@ func main() {
 	}
 
 	srv := svc.New(svc.Config{
-		QueueDepth:      *queue,
-		MaxFramePayload: *maxFrame,
-		MaxSessions:     *maxSessions,
-		IdleTimeout:     *idle,
-		ReportDir:       *reportDir,
-		Logf:            logf,
+		QueueDepth:        *queue,
+		MaxFramePayload:   *maxFrame,
+		MaxSessions:       *maxSessions,
+		IdleTimeout:       *idle,
+		ReportDir:         *reportDir,
+		GovernorInterval:  *governor,
+		StuckTimeout:      *stuck,
+		SessionMemBudget:  *memBudget,
+		DefaultSampleRate: *sampleRate,
+		RetryAfterHint:    *retryAfter,
+		Logf:              logf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // FaultConn wraps a net.Conn and injects deterministic transport faults
 // into the written byte stream, for exercising the ingestion service's
-// failure paths: frame corruption (caught by the frame CRC) and
-// connection resets mid-stream. Faults are positioned by absolute byte
+// failure paths: frame corruption (caught by the frame CRC), connection
+// resets mid-stream, added per-call latency, and one-shot stalls that
+// freeze the stream mid-frame. Byte-positioned faults use the absolute
 // offset of the write stream, so a test can aim past the handshake and
-// into a chosen frame. The read side is passed through untouched.
+// into a chosen frame. Reads pass through untouched except for the
+// optional ReadDelay.
 type FaultConn struct {
 	net.Conn
 
@@ -21,20 +24,60 @@ type FaultConn struct {
 	// ResetAfter, when > 0, closes the connection after this many bytes
 	// have been written, tearing the stream mid-frame.
 	ResetAfter int64
+	// WriteDelay, when > 0, sleeps before every write — a slow uplink.
+	// With a byte-positioned stall use StallAt/StallFor instead.
+	WriteDelay time.Duration
+	// ReadDelay, when > 0, sleeps before every read — a slow downlink
+	// that delays replies (HelloOK, FlushOK) without touching the
+	// payload, exercising client await timeouts and server write stalls.
+	ReadDelay time.Duration
+	// StallAt, when >= 0 with StallFor > 0, splits the write covering
+	// this stream offset and freezes the connection for StallFor before
+	// delivering the remainder — a mid-frame hang, the shape of fault
+	// idle eviction must NOT misfire on (the idleConn deadline measures
+	// gaps in byte arrival, and bytes did arrive). The stall fires once.
+	StallAt  int64
+	StallFor time.Duration
 
 	mu      sync.Mutex
 	written int64
+	stalled bool
 }
 
 // NewFaultConn returns a pass-through wrapper with no faults armed.
 func NewFaultConn(c net.Conn) *FaultConn {
-	return &FaultConn{Conn: c, FlipByte: -1}
+	return &FaultConn{Conn: c, FlipByte: -1, StallAt: -1}
 }
 
 // Write applies the armed faults to the outgoing stream.
 func (f *FaultConn) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.WriteDelay > 0 {
+		time.Sleep(f.WriteDelay)
+	}
+	off := f.written
+	if f.StallAt >= 0 && !f.stalled && f.StallAt < off+int64(len(p)) {
+		// Freeze mid-frame: deliver the bytes before the stall point, hold
+		// the stream for StallFor, then fall through with the remainder.
+		f.stalled = true
+		if f.StallAt > off {
+			n, err := f.writeLocked(p[:f.StallAt-off])
+			if err != nil {
+				return n, err
+			}
+			time.Sleep(f.StallFor)
+			m, err := f.writeLocked(p[f.StallAt-off:])
+			return n + m, err
+		}
+		time.Sleep(f.StallFor)
+	}
+	return f.writeLocked(p)
+}
+
+// writeLocked applies the corruption and reset faults and delivers the
+// bytes. Callers hold f.mu.
+func (f *FaultConn) writeLocked(p []byte) (int, error) {
 	off := f.written
 	if f.ResetAfter > 0 && off >= f.ResetAfter {
 		f.Conn.Close()
@@ -58,6 +101,14 @@ func (f *FaultConn) Write(p []byte) (int, error) {
 	n, err := f.Conn.Write(p)
 	f.written += int64(n)
 	return n, err
+}
+
+// Read delays the inbound stream when ReadDelay is armed.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	if d := f.ReadDelay; d > 0 {
+		time.Sleep(d)
+	}
+	return f.Conn.Read(p)
 }
 
 // Written returns how many bytes have passed through so far.

@@ -87,6 +87,12 @@ type Detector struct {
 	// detectors leave it nil and use the dense vars table below.
 	stripes []stripeState
 
+	// sampleThr is the sampling-tier threshold (see sampling.go): an
+	// access to x is analyzed iff sampleHash(x) < sampleThr. The default
+	// sampleFull (1<<32) is unreachable by the 32-bit hash, so full
+	// fidelity pays one compare and never hashes.
+	sampleThr uint64
+
 	races []rr.Report
 	st    rr.Stats
 
@@ -102,14 +108,16 @@ type Detector struct {
 var (
 	_ rr.Tool      = (*Detector)(nil)
 	_ rr.Prefilter = (*Detector)(nil)
+	_ rr.Sampled   = (*Detector)(nil)
 )
 
 // New returns a detector expecting roughly the given numbers of threads
 // and variables (hints only; both grow on demand).
 func New(threadHint, varHint int) *Detector {
 	d := &Detector{
-		locks: make(map[uint64]vc.VC),
-		vols:  make(map[uint64]vc.VC),
+		locks:     make(map[uint64]vc.VC),
+		vols:      make(map[uint64]vc.VC),
+		sampleThr: sampleFull,
 	}
 	if threadHint > 0 {
 		d.threads = make([]threadState, 0, threadHint)
@@ -280,6 +288,10 @@ func (d *Detector) flaggedOf(x uint64) bool {
 // sharded mode the handler reads only thread tid's clock and mutates
 // only state on x's stripe, so it is safe under that stripe's lock.
 func (d *Detector) read(i int, tid int32, x uint64, countEvent bool) {
+	if d.sampledOut(x) {
+		d.skipAccess(x, true, countEvent)
+		return
+	}
 	var (
 		vs *varState
 		st *rr.Stats
@@ -357,6 +369,10 @@ func (d *Detector) read(i int, tid int32, x uint64, countEvent bool) {
 // write implements the three write rules of Figure 2 / the write handler
 // of Figure 5. See read for the countEvent and sharding notes.
 func (d *Detector) write(i int, tid int32, x uint64, countEvent bool) {
+	if d.sampledOut(x) {
+		d.skipAccess(x, false, countEvent)
+		return
+	}
 	var (
 		vs *varState
 		st *rr.Stats

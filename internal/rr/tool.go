@@ -152,6 +152,28 @@ type Stats struct {
 	// shadow-memory budget (FastTrack).
 	MemSqueezes int64 `json:"memSqueezes,omitempty"` // read vector clocks forcibly squeezed to epochs
 	MemCoarse   int64 `json:"memCoarse,omitempty"`   // accesses remapped to coarse shadowing by the budget
+
+	// SampledOut counts accesses skipped by the sampling tier (see
+	// Sampled): they are included in Reads/Writes/Events but received no
+	// shadow-state maintenance. DetectionProbability derives from it.
+	SampledOut int64 `json:"sampledOut,omitempty"`
+}
+
+// DetectionProbability is the fraction of offered accesses that were
+// fully analyzed: 1.0 at full fidelity, (Reads+Writes-SampledOut) /
+// (Reads+Writes) under sampling. It bounds the per-variable race
+// detection probability of the run — a race on a sampled-out variable
+// cannot be reported — and is surfaced alongside race reports wherever
+// stats are (run reports, wire results, /sessions).
+func (s Stats) DetectionProbability() float64 {
+	accesses := s.Reads + s.Writes
+	if accesses == 0 || s.SampledOut <= 0 {
+		return 1
+	}
+	if s.SampledOut >= accesses {
+		return 0
+	}
+	return float64(accesses-s.SampledOut) / float64(accesses)
 }
 
 // CountKind records one synchronization or transaction-marker event in
@@ -232,6 +254,7 @@ func (s *Stats) Merge(o Stats) {
 	s.UnheldReleases += o.UnheldReleases
 	s.MemSqueezes += o.MemSqueezes
 	s.MemCoarse += o.MemCoarse
+	s.SampledOut += o.SampledOut
 }
 
 // Tool is a back-end dynamic analysis: it consumes the event stream one
@@ -257,4 +280,37 @@ type Tool interface {
 type Prefilter interface {
 	Tool
 	HandleFilter(i int, e trace.Event) bool
+}
+
+// Sampled is implemented by tools that support per-variable sampled
+// analysis: a degraded fidelity mode in which accesses to variables
+// outside the sampled set are counted (Events/Reads/Writes/SampledOut)
+// but receive no shadow-state maintenance, trading detection
+// probability for per-event cost and bounded shadow growth.
+//
+// The contract a conforming implementation must honor, because the
+// fidelity governor changes the rate mid-stream:
+//
+//   - The sampling decision is a pure function of the variable id and
+//     the current rate — never of shadow state — and the skip path must
+//     not mutate any shadow state. Synchronization events are always
+//     processed at full fidelity so happens-before clocks stay exact.
+//   - Consequently every race reported under any rate schedule is a
+//     race the same tool reports at rate 1.0 on the same stream (no
+//     sampling-induced false positives), and rate 1.0 is byte-identical
+//     to never having called SetSamplingRate.
+//
+// SetSamplingRate must be called under the same exclusion as
+// synchronization events (the Monitor's full write lock); reading the
+// rate on the access path is safe under the usual stripe discipline.
+type Sampled interface {
+	Tool
+	// SetSamplingRate sets the fraction of variables analyzed at full
+	// fidelity: 1 (or anything above) restores full analysis, 0 sheds
+	// every access, values between sample the variable space
+	// deterministically so a variable's verdict is stable at a fixed
+	// rate and monotone in the rate (raising p only adds variables).
+	SetSamplingRate(p float64)
+	// SamplingRate reports the current rate.
+	SamplingRate() float64
 }

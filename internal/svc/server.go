@@ -74,6 +74,24 @@ type Config struct {
 	// ReportDir, when non-empty, receives one <sessionID>.json report per
 	// finalized session.
 	ReportDir string
+	// GovernorInterval is the fidelity governor's tick period (default
+	// 250ms; negative disables the loop — tests then drive governorTick
+	// directly). See governor.go.
+	GovernorInterval time.Duration
+	// StuckTimeout is how long a session worker may sit on one item
+	// without completing it before the watchdog quarantines the session
+	// (default 30s; negative disables the watchdog).
+	StuckTimeout time.Duration
+	// SessionMemBudget is the per-session shadow-memory pressure threshold
+	// in bytes: an adaptive session above it is downgraded one fidelity
+	// rung at a time until pressure clears (0 = no memory signal).
+	SessionMemBudget int64
+	// DefaultSampleRate is the sampled rung's rate for sessions that did
+	// not pick one in their handshake (default 0.25).
+	DefaultSampleRate float64
+	// RetryAfterHint is the Retry-After hint attached to session-cap
+	// admission refusals (default 1s).
+	RetryAfterHint time.Duration
 	// Registry receives the service metrics (svc.* plus per-session
 	// svc.session.<id>.*); a private registry is created when nil.
 	Registry *obs.Registry
@@ -104,6 +122,18 @@ func (c *Config) withDefaults() Config {
 	}
 	if d.RetainFinished <= 0 {
 		d.RetainFinished = 64
+	}
+	if d.GovernorInterval == 0 {
+		d.GovernorInterval = 250 * time.Millisecond
+	}
+	if d.StuckTimeout == 0 {
+		d.StuckTimeout = 30 * time.Second
+	}
+	if d.DefaultSampleRate <= 0 || d.DefaultSampleRate >= 1 {
+		d.DefaultSampleRate = 0.25
+	}
+	if d.RetryAfterHint <= 0 {
+		d.RetryAfterHint = time.Second
 	}
 	if d.Registry == nil {
 		d.Registry = obs.NewRegistry()
@@ -185,6 +215,14 @@ type serverMetrics struct {
 	stalls          *obs.Counter // reader found the session queue full
 	errorsTotal     *obs.Counter // error frames sent
 	queuePeak       *obs.Gauge   // high-water mark of any session's queue
+
+	sessionsQuarantined    *obs.Gauge   // sessions isolated by the watchdog
+	governorDowngrades     *obs.Counter // fidelity rungs moved down
+	governorUpgrades       *obs.Counter // fidelity rungs moved up
+	governorQuarantines    *obs.Counter // watchdog quarantines
+	admissionRefused       *obs.Counter // hard-cap handshake refusals
+	admissionForcedSampled *obs.Counter // soft-limit forced-sampled admissions
+	resumes                *obs.Counter // sessions admitted as resumes
 }
 
 // Server is the racedetectd session multiplexer.
@@ -198,20 +236,33 @@ type Server struct {
 	sessions map[string]*session
 	finished []string // finalized session ids, oldest first, for retention
 	active   int
+	// epochs maps a resume lineage's root session id to the highest epoch
+	// admitted for it; a resume handshake must beat it or is refused as
+	// stale. epochOrder bounds the map (oldest lineage evicted first).
+	epochs     map[string]int64
+	epochOrder []string
 
-	nextID   atomic.Int64
-	draining atomic.Bool
-	wg       sync.WaitGroup
+	nextID      atomic.Int64
+	draining    atomic.Bool
+	quarantined atomic.Int64 // sessions currently isolated by the watchdog
+	wg          sync.WaitGroup
+
+	govStop     chan struct{}
+	govStopOnce sync.Once
+	govOnce     sync.Once
+	stuckTicksN int // governor ticks of zero progress before quarantine
 }
 
 // New returns a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
 		sessions: map[string]*session{},
+		epochs:   map[string]int64{},
+		govStop:  make(chan struct{}),
 		sm: serverMetrics{
 			sessionsActive:  reg.Gauge("svc.sessionsActive"),
 			sessionsTotal:   reg.Counter("svc.sessionsTotal"),
@@ -223,8 +274,37 @@ func New(cfg Config) *Server {
 			stalls:          reg.Counter("svc.backpressureStalls"),
 			errorsTotal:     reg.Counter("svc.errorsTotal"),
 			queuePeak:       reg.Gauge("svc.queueDepthPeak"),
+
+			sessionsQuarantined:    reg.Gauge("svc.sessionsQuarantined"),
+			governorDowngrades:     reg.Counter("svc.governorDowngrades"),
+			governorUpgrades:       reg.Counter("svc.governorUpgrades"),
+			governorQuarantines:    reg.Counter("svc.governorQuarantines"),
+			admissionRefused:       reg.Counter("svc.admissionRefused"),
+			admissionForcedSampled: reg.Counter("svc.admissionForcedSampled"),
+			resumes:                reg.Counter("svc.sessionResumes"),
 		},
 	}
+	// The watchdog's patience in ticks. With a manually ticked governor
+	// (GovernorInterval < 0, tests) the default interval still scales the
+	// timeout into a tick count.
+	if cfg.StuckTimeout > 0 {
+		interval := cfg.GovernorInterval
+		if interval <= 0 {
+			interval = 250 * time.Millisecond
+		}
+		s.stuckTicksN = int(cfg.StuckTimeout / interval)
+		if s.stuckTicksN < 1 {
+			s.stuckTicksN = 1
+		}
+	}
+	return s
+}
+
+// softLimitedLocked reports whether admission is under soft pressure
+// (>= 80% of the session cap in use): new sessions are admitted but
+// forced to start sampled. Callers hold s.mu.
+func (s *Server) softLimitedLocked() bool {
+	return s.active*5 >= s.cfg.MaxSessions*4
 }
 
 // Registry returns the server's metrics registry.
@@ -237,6 +317,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	if s.cfg.GovernorInterval > 0 {
+		s.govOnce.Do(func() { go s.governorLoop(s.govStop) })
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -269,6 +352,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // waits — bounded by ctx — for all sessions to finalize and emit their
 // reports.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.govStopOnce.Do(func() { close(s.govStop) })
 	s.mu.Lock()
 	s.draining.Store(true)
 	if s.ln != nil {
@@ -322,21 +406,40 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
+	// Admission, atomically with the epoch guard: hard cap refuses (with
+	// a Retry-After hint), the soft limit forces the session to start
+	// sampled, and a resume must beat the lineage's last admitted epoch.
 	s.mu.Lock()
 	if s.active >= s.cfg.MaxSessions {
 		s.mu.Unlock()
-		s.refuse(conn, fw, client.ErrCodeSessionCap,
-			fmt.Sprintf("session cap reached (%d)", s.cfg.MaxSessions))
+		s.sm.admissionRefused.Inc()
+		s.refuseRetry(conn, fw, client.ErrCodeSessionCap,
+			fmt.Sprintf("session cap reached (%d)", s.cfg.MaxSessions), s.cfg.RetryAfterHint)
 		return
 	}
+	if h.ResumeOf != "" {
+		if h.Epoch <= s.epochs[h.ResumeOf] {
+			last := s.epochs[h.ResumeOf]
+			s.mu.Unlock()
+			s.refuse(conn, fw, client.ErrCodeStaleEpoch,
+				fmt.Sprintf("resume epoch %d for %s is not newer than %d", h.Epoch, h.ResumeOf, last))
+			return
+		}
+		s.recordEpochLocked(h.ResumeOf, h.Epoch)
+	}
+	forced := s.softLimitedLocked()
 	s.active++ // reserved; released in finalize
 	s.mu.Unlock()
 
-	mon, toolName, err := s.cfg.NewMonitor(h)
-	if err != nil {
+	release := func() {
 		s.mu.Lock()
 		s.active--
 		s.mu.Unlock()
+	}
+
+	plan, err := s.resolveFidelity(h, forced)
+	if err != nil {
+		release()
 		code, msg := client.ErrCodeBadRequest, err.Error()
 		if c, m, ok := cutCode(msg); ok {
 			code, msg = c, m
@@ -345,22 +448,66 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
+	mon, toolName, err := s.cfg.NewMonitor(h)
+	if err != nil {
+		release()
+		code, msg := client.ErrCodeBadRequest, err.Error()
+		if c, m, ok := cutCode(msg); ok {
+			code, msg = c, m
+		}
+		s.refuse(conn, fw, code, msg)
+		return
+	}
+
+	// Apply the starting rate, which doubles as the sampling-capability
+	// probe: an explicit sampled/adaptive request needs a tool that can
+	// sample, while a merely forced-sampled admission of a full request
+	// falls back to an ordinary full session.
+	if plan.mode != client.FidelityFull || plan.forced {
+		startRate := 1.0
+		if plan.start > rungFull {
+			startRate = plan.baseRate
+		}
+		if !mon.SetSamplingRate(startRate) {
+			if plan.mode != client.FidelityFull {
+				release()
+				mon.Close()
+				s.refuse(conn, fw, client.ErrCodeBadRequest,
+					fmt.Sprintf("tool %q does not support %s fidelity", toolName, plan.mode))
+				return
+			}
+			plan = fidelityPlan{mode: client.FidelityFull, baseRate: plan.baseRate}
+		}
+	}
+	if plan.forced {
+		s.sm.admissionForcedSampled.Inc()
+	}
+	if h.ResumeOf != "" {
+		s.sm.resumes.Inc()
+	}
+
 	id := fmt.Sprintf("s%06d", s.nextID.Add(1))
-	sess := newSession(s, id, conn, fw, mon, toolName, h)
+	sess := newSession(s, id, conn, fw, mon, toolName, h, plan)
 	s.mu.Lock()
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	s.sm.sessionsActive.Add(1)
 	s.sm.sessionsTotal.Inc()
-	s.cfg.Logf("svc: session %s open (tool=%s policy=%q shards=%d) from %s",
-		id, toolName, h.Policy, h.Shards, conn.RemoteAddr())
+	s.cfg.Logf("svc: session %s open (tool=%s policy=%q shards=%d fidelity=%s) from %s",
+		id, toolName, h.Policy, h.Shards, sess.fidelityString(plan.start), conn.RemoteAddr())
 
 	s.wg.Add(1)
 	go func() {
-		defer s.wg.Done()
+		defer sess.workerDone()
 		sess.workerLoop()
 	}()
-	if err := sess.reply(client.FrameHelloOK, client.HelloOK{SessionID: id}); err != nil {
+	ok := client.HelloOK{
+		SessionID:     id,
+		Fidelity:      rungNames[plan.start],
+		SampleRate:    sess.rateFor(plan.start),
+		ForcedSampled: plan.forced,
+	}
+	if err := sess.reply(client.FrameHelloOK, ok); err != nil {
 		// The client never saw a session; don't read from it.
 		conn.Close()
 		sess.closeQueue() // worker finalizes on the empty queue
@@ -392,12 +539,39 @@ func (c *idleConn) Read(p []byte) (int, error) {
 
 // refuse answers a connection that never became a session.
 func (s *Server) refuse(conn net.Conn, fw *trace.FrameWriter, code, msg string) {
+	s.refuseRetry(conn, fw, code, msg, 0)
+}
+
+// refuseRetry is refuse with a Retry-After hint for refusals the client
+// should treat as transient (session cap, draining).
+func (s *Server) refuseRetry(conn net.Conn, fw *trace.FrameWriter, code, msg string, retryAfter time.Duration) {
 	s.sm.errorsTotal.Inc()
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	b, _ := json.Marshal(client.WireError{Code: code, Msg: msg})
+	we := client.WireError{Code: code, Msg: msg}
+	if retryAfter > 0 {
+		we.RetryAfterMillis = retryAfter.Milliseconds()
+	}
+	b, _ := json.Marshal(we)
 	fw.WriteFrame(client.FrameErrorMsg, b)
 	conn.Close()
 	s.cfg.Logf("svc: refused %s: %s: %s", conn.RemoteAddr(), code, msg)
+}
+
+// maxEpochLineages bounds the resume-epoch map so hostile handshakes
+// cannot grow it without bound; the oldest lineages are forgotten first.
+const maxEpochLineages = 4096
+
+// recordEpochLocked remembers the highest epoch admitted for a resume
+// lineage. Callers hold s.mu.
+func (s *Server) recordEpochLocked(root string, epoch int64) {
+	if _, ok := s.epochs[root]; !ok {
+		s.epochOrder = append(s.epochOrder, root)
+		for len(s.epochOrder) > maxEpochLineages {
+			delete(s.epochs, s.epochOrder[0])
+			s.epochOrder = s.epochOrder[1:]
+		}
+	}
+	s.epochs[root] = epoch
 }
 
 // finalized moves a finalized session into the retention window.
@@ -439,7 +613,16 @@ type SessionInfo struct {
 	Races      int    `json:"races"`
 	QueueDepth int    `json:"queueDepth"`
 	StartedAt  string `json:"startedAt"`
-	Err        string `json:"err,omitempty"`
+	// Fidelity is the session's current ladder position ("full",
+	// "sampled(0.25)", "coarse(0.031)", "shed"); SampleRate is that
+	// rung's rate and DetectionProbability the fraction of offered
+	// accesses actually analyzed so far.
+	Fidelity             string  `json:"fidelity,omitempty"`
+	SampleRate           float64 `json:"sampleRate,omitempty"`
+	DetectionProbability float64 `json:"detectionProbability,omitempty"`
+	Epoch                int64   `json:"epoch,omitempty"`
+	ResumeOf             string  `json:"resumeOf,omitempty"`
+	Err                  string  `json:"err,omitempty"`
 }
 
 // Handler returns the server's HTTP surface: the live metrics registry
@@ -471,11 +654,56 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "no such session", http.StatusNotFound)
 			return
 		}
+		// A quarantined session's monitor is off-limits: its wedged
+		// worker may hold the monitor lock forever.
+		var st fasttrack.Stats
+		var hl client.Health
+		if sess.state.Load() == stateQuarantined {
+			msg, _ := sess.errMsg.Load().(string)
+			hl = client.Health{Err: "quarantined: " + msg}
+		} else {
+			st = sess.mon.Stats()
+			hl = client.HealthFrom(sess.mon.Health())
+		}
 		writeJSON(w, struct {
 			SessionInfo
 			Stats  fasttrack.Stats `json:"stats"`
 			Health client.Health   `json:"health"`
-		}{sess.info(), sess.mon.Stats(), client.HealthFrom(sess.mon.Health())})
+		}{sess.info(), st, hl})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness: the process is up and serving; governor state is
+		// reported but never fails the probe.
+		s.mu.Lock()
+		active := s.active
+		s.mu.Unlock()
+		writeJSON(w, struct {
+			Status      string `json:"status"`
+			Draining    bool   `json:"draining"`
+			Sessions    int    `json:"sessions"`
+			Quarantined int64  `json:"quarantined"`
+		}{"ok", s.draining.Load(), active, s.quarantined.Load()})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		// Readiness: a draining or hard-capped node should get no new
+		// work routed to it.
+		s.mu.Lock()
+		active := s.active
+		soft := s.softLimitedLocked()
+		s.mu.Unlock()
+		draining := s.draining.Load()
+		ready := !draining && active < s.cfg.MaxSessions
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, struct {
+			Ready          bool  `json:"ready"`
+			Draining       bool  `json:"draining"`
+			ActiveSessions int   `json:"activeSessions"`
+			MaxSessions    int   `json:"maxSessions"`
+			SoftLimited    bool  `json:"softLimited"`
+			Quarantined    int64 `json:"quarantined"`
+		}{ready, draining, active, s.cfg.MaxSessions, soft, s.quarantined.Load()})
 	})
 	return mux
 }

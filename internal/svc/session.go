@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -22,21 +23,23 @@ import (
 // every other state; terminal states are reached exactly once, in the
 // worker goroutine, via finalize.
 const (
-	stateStreaming int32 = iota
-	stateCompleted       // client sent FrameClose and got its final results
-	stateDrained         // finalized by a server drain (Shutdown)
-	stateLost            // connection ended without a close frame
-	stateEvicted         // idle timeout
-	stateFailed          // protocol, decode, or ingest error
+	stateStreaming   int32 = iota
+	stateCompleted         // client sent FrameClose and got its final results
+	stateDrained           // finalized by a server drain (Shutdown)
+	stateLost              // connection ended without a close frame
+	stateEvicted           // idle timeout
+	stateFailed            // protocol, decode, or ingest error
+	stateQuarantined       // watchdog isolated a wedged session (see governor.go)
 )
 
 var stateNames = map[int32]string{
-	stateStreaming: "streaming",
-	stateCompleted: "completed",
-	stateDrained:   "drained",
-	stateLost:      "lost",
-	stateEvicted:   "evicted",
-	stateFailed:    "failed",
+	stateStreaming:   "streaming",
+	stateCompleted:   "completed",
+	stateDrained:     "drained",
+	stateLost:        "lost",
+	stateEvicted:     "evicted",
+	stateFailed:      "failed",
+	stateQuarantined: "quarantined",
 }
 
 // qitem is one unit of worker input: a frame, or a terminal marker
@@ -78,26 +81,79 @@ type session struct {
 	// scratch is the frame-decode buffer reused across event chunks; it
 	// is touched only by the worker goroutine (ingestChunk).
 	scratch []trace.Event
+
+	// Fidelity and governor plumbing (see governor.go). The immutable
+	// part is fixed at handshake; rung/pendingRate are written by the
+	// governor and read by the worker and the HTTP surface; the
+	// statsReq→shadowBytes/toolDisabled pair is the worker-refreshed
+	// snapshot the governor's memory/poison signals read, so the
+	// governor itself never takes the monitor lock.
+	fidelity string  // requested mode: full | sampled | adaptive
+	adaptive bool    // governor may move the session along the ladder
+	forced   bool    // admission soft limit forced a sampled start
+	baseRate float64 // the sampled rung's rate
+	epoch    int64   // resume epoch (0 on a first connection)
+	resumeOf string  // lineage root session id ("" unless resumed)
+
+	rung         atomic.Int32
+	pendingRate  atomic.Uint64 // Float64bits of the rate the worker should apply
+	appliedRate  uint64        // worker-local: Float64bits of the applied rate
+	statsReq     atomic.Bool
+	shadowBytes  atomic.Int64
+	toolDisabled atomic.Bool
+	working      atomic.Bool  // worker is between dequeue and completion of an item
+	progress     atomic.Int64 // items the worker has fully processed
+	fidGauge     *obs.Gauge
+
+	abortCh chan struct{} // closed by quarantine; unblocks the reader
+	wgOnce  sync.Once     // releases the worker's WaitGroup slot exactly once
+
+	// gov is governor-tick-local state; only governor ticks touch it.
+	gov struct {
+		lastProgress          int64
+		stuckTicks            int
+		overTicks, clearTicks int
+		cooldown              int
+		ceiling               int32
+		requestCeiling        int32
+	}
 }
 
 func newSession(srv *Server, id string, conn net.Conn, fw *trace.FrameWriter,
-	mon *fasttrack.Monitor, tool string, h client.Handshake) *session {
+	mon *fasttrack.Monitor, tool string, h client.Handshake, plan fidelityPlan) *session {
 	sess := &session{
-		id:      id,
-		srv:     srv,
-		conn:    conn,
-		fw:      fw,
-		mon:     mon,
-		tool:    tool,
-		hello:   h,
-		queue:   make(chan qitem, srv.cfg.QueueDepth),
-		started: time.Now(),
-		doneCh:  make(chan struct{}),
-		queueD:  srv.reg.Gauge("svc.session." + id + ".queueDepth"),
+		id:       id,
+		srv:      srv,
+		conn:     conn,
+		fw:       fw,
+		mon:      mon,
+		tool:     tool,
+		hello:    h,
+		queue:    make(chan qitem, srv.cfg.QueueDepth),
+		started:  time.Now(),
+		doneCh:   make(chan struct{}),
+		abortCh:  make(chan struct{}),
+		queueD:   srv.reg.Gauge("svc.session." + id + ".queueDepth"),
+		fidGauge: srv.reg.Gauge("svc.session." + id + ".fidelityRung"),
+		fidelity: plan.mode,
+		adaptive: plan.adaptive,
+		forced:   plan.forced,
+		baseRate: plan.baseRate,
+		epoch:    h.Epoch,
+		resumeOf: h.ResumeOf,
 	}
+	sess.gov.ceiling = plan.ceiling
+	sess.gov.requestCeiling = plan.requestCeiling
+	sess.setRung(plan.start)
+	sess.appliedRate = sess.pendingRate.Load() // handleConn applies the starting rate
 	sess.lastActive.Store(time.Now().UnixNano())
 	return sess
 }
+
+// workerDone releases the worker goroutine's WaitGroup slot exactly
+// once: normally from the worker's own defer, or on its behalf from
+// quarantine when the worker is wedged and drain must not wait for it.
+func (sess *session) workerDone() { sess.wgOnce.Do(sess.srv.wg.Done) }
 
 func (sess *session) stateName() string { return stateNames[sess.state.Load()] }
 
@@ -124,7 +180,13 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 	for {
 		t, payload, err := fr.ReadFrame()
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() && !sess.srv.draining.Load() {
+			// errors.As, not a type assertion: the FrameReader wraps a
+			// deadline expiry that lands mid-frame ("frame N payload:
+			// ..."), and a client that froze inside a frame is exactly as
+			// idle as one that froze between frames — both are evictions,
+			// not protocol failures.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !sess.srv.draining.Load() {
 				err = errIdleEvicted
 			}
 			sess.enqueue(qitem{terminal: true, err: err})
@@ -134,7 +196,9 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 		sess.srv.sm.framesTotal.Inc()
 		// 9 = frame header (5) + CRC trailer (4) wire overhead.
 		sess.srv.sm.bytesTotal.Add(int64(len(payload)) + 9)
-		sess.enqueue(qitem{t: t, payload: payload})
+		if !sess.enqueue(qitem{t: t, payload: payload}) {
+			return // quarantined; the deferred closeQueue lets an unwedged worker exit
+		}
 		if t == client.FrameClose {
 			// The worker finalizes and closes the connection; reading
 			// further would only race with that.
@@ -146,19 +210,28 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 
 // enqueue hands one item to the worker, blocking when the queue is
 // full: the reader stops reading, the TCP window fills, and the
-// client's sender stalls — bounded memory under a slow analysis.
-func (sess *session) enqueue(it qitem) {
+// client's sender stalls — bounded memory under a slow analysis. It
+// returns false (abandoning the item) when the session is quarantined,
+// so a reader blocked against a wedged worker's full queue can always
+// exit. Only the reader goroutine calls it, which is what makes the
+// deferred closeQueue after a false return safe.
+func (sess *session) enqueue(it qitem) bool {
 	select {
 	case sess.queue <- it:
 	default:
 		if !it.terminal {
 			sess.srv.sm.stalls.Inc()
 		}
-		sess.queue <- it
+		select {
+		case sess.queue <- it:
+		case <-sess.abortCh:
+			return false
+		}
 	}
 	d := len(sess.queue)
 	sess.queueD.Set(int64(d))
 	sess.srv.sm.queuePeak.Max(int64(d))
+	return true
 }
 
 // workerLoop is the session's single consumer: it drains the queue in
@@ -173,15 +246,13 @@ func (sess *session) workerLoop() {
 		failureCause error
 	)
 	for it := range sess.queue {
+		sess.working.Store(true)
 		sess.queueD.Set(int64(len(sess.queue)))
 		if it.terminal {
 			terminalErr = it.err
-			continue
-		}
-		if failed || sawClose {
-			continue
-		}
-		if err := sess.handleFrame(it); err != nil {
+		} else if failed || sawClose {
+			// draining only
+		} else if err := sess.handleFrame(it); err != nil {
 			failed = true
 			failureCause = err
 			sess.fail(err)
@@ -189,6 +260,8 @@ func (sess *session) workerLoop() {
 			sawClose = true
 			sess.conn.Close()
 		}
+		sess.progress.Add(1)
+		sess.working.Store(false)
 	}
 
 	switch {
@@ -223,6 +296,15 @@ func isDisconnect(err error) bool {
 func (sess *session) handleFrame(it qitem) error {
 	switch it.t {
 	case client.FrameEvents:
+		// Apply any governor rate change at the frame boundary: the
+		// worker is the monitor's only event producer, so this is the
+		// one place a rate write needs no coordination beyond the
+		// monitor's own lock — and a wedged worker (which can't apply
+		// anything) is exactly what the watchdog quarantines.
+		if r := sess.pendingRate.Load(); r != sess.appliedRate {
+			sess.appliedRate = r
+			sess.mon.SetSamplingRate(math.Float64frombits(r))
+		}
 		n, err := sess.ingestChunk(it.payload)
 		sess.events.Add(n)
 		sess.srv.sm.eventsTotal.Add(n)
@@ -231,6 +313,12 @@ func (sess *session) handleFrame(it qitem) error {
 		}
 		sess.frames.Add(1)
 		sess.bytes.Add(int64(len(it.payload)))
+		if sess.statsReq.CompareAndSwap(true, false) {
+			// Refresh the governor's lock-free pressure snapshot.
+			st := sess.mon.Stats()
+			sess.shadowBytes.Store(st.ShadowBytes)
+			sess.toolDisabled.Store(sess.mon.Health().ToolDisabled)
+		}
 		return nil
 	case client.FrameFlush:
 		var q client.Seq
@@ -283,20 +371,35 @@ func (sess *session) ingestChunk(payload []byte) (int64, error) {
 }
 
 // results snapshots the session's analysis state for a reply, a query
-// endpoint, or a report.
+// endpoint, or a report. A quarantined session's monitor is off-limits
+// (the wedged worker may hold its lock forever), so the snapshot is
+// built from the lock-free counters only.
 func (sess *session) results(seq int64) client.Results {
-	return client.Results{
+	res := client.Results{
 		Seq:       seq,
 		SessionID: sess.id,
 		Tool:      sess.tool,
 		Events:    sess.events.Load(),
-		Races:     sess.mon.Races(),
-		Stats:     sess.mon.Stats(),
-		Health:    client.HealthFrom(sess.mon.Health()),
 	}
+	if sess.state.Load() == stateQuarantined {
+		msg, _ := sess.errMsg.Load().(string)
+		res.Health = client.Health{Err: "quarantined: " + msg}
+		return res
+	}
+	st := sess.mon.Stats()
+	res.Races = sess.mon.Races()
+	res.Stats = st
+	res.Health = client.HealthFrom(sess.mon.Health())
+	res.DetectionProbability = st.DetectionProbability()
+	return res
 }
 
-func (sess *session) raceCount() int { return len(sess.mon.Races()) }
+func (sess *session) raceCount() int {
+	if sess.state.Load() == stateQuarantined {
+		return 0
+	}
+	return len(sess.mon.Races())
+}
 
 // reply serializes one frame onto the connection.
 func (sess *session) reply(t trace.FrameType, v any) error {
@@ -350,8 +453,10 @@ func (sess *session) finalize(state int32, cause error) {
 	sess.srv.finalized(sess)
 }
 
-// info builds the HTTP summary.
+// info builds the HTTP summary. Like results, it must not touch a
+// quarantined session's monitor.
 func (sess *session) info() SessionInfo {
+	rung := sess.rung.Load()
 	inf := SessionInfo{
 		ID:         sess.id,
 		State:      sess.stateName(),
@@ -362,6 +467,13 @@ func (sess *session) info() SessionInfo {
 		Races:      sess.raceCount(),
 		QueueDepth: len(sess.queue),
 		StartedAt:  sess.started.UTC().Format(time.RFC3339Nano),
+		Fidelity:   sess.fidelityString(rung),
+		SampleRate: sess.rateFor(rung),
+		Epoch:      sess.epoch,
+		ResumeOf:   sess.resumeOf,
+	}
+	if sess.state.Load() != stateQuarantined {
+		inf.DetectionProbability = sess.mon.Stats().DetectionProbability()
 	}
 	if e, _ := sess.errMsg.Load().(string); e != "" {
 		inf.Err = e

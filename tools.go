@@ -35,6 +35,14 @@ type ShardedTool = rr.ShardedTool
 // (Section 5.2 of the paper).
 type Prefilter = rr.Prefilter
 
+// Sampled is a Tool with a runtime-adjustable sampling tier: a
+// deterministic fraction of the variable space is analyzed at full
+// fidelity and the rest is counted but not checked. FastTrack implements
+// it; see the rr package for the soundness contract (sampled races are
+// always a subset of the full run's) and Stats.DetectionProbability for
+// the coverage it cost.
+type Sampled = rr.Sampled
+
 // Report is one race warning.
 type Report = rr.Report
 
@@ -109,6 +117,12 @@ type Hints struct {
 	// shadowing. Degradation is counted in Stats.MemSqueezes and
 	// Stats.MemCoarse. Zero means unbounded; other detectors ignore it.
 	MemoryBudget int64
+	// SampleRate starts FastTrack's sampling tier at the given rate in
+	// (0, 1): only that fraction of the variable space receives full
+	// analysis (see Sampled). Zero (and anything ≥ 1) means full
+	// fidelity; other detectors ignore it. The rate can be changed later
+	// through Monitor.SetSamplingRate.
+	SampleRate float64
 }
 
 // toolMakers maps canonical tool names to constructors.
@@ -120,6 +134,9 @@ var toolMakers = map[string]func(h Hints) Tool{
 		}
 		if h.MemoryBudget > 0 {
 			d.SetMemoryBudget(h.MemoryBudget)
+		}
+		if h.SampleRate > 0 && h.SampleRate < 1 {
+			d.SetSamplingRate(h.SampleRate)
 		}
 		return d
 	},
