@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fasttrack/internal/obs"
 	"fasttrack/trace"
 )
 
@@ -228,6 +229,25 @@ func WithFidelity(spec string) Option {
 	}
 }
 
+// WithTracing asks the server to trace this session's frames through
+// the pipeline stages, and records matching client-side spans (queue
+// wait and wire write per event frame, readable via TraceSpans). When
+// the server grants the request, every event frame is stamped with a
+// trace ID — the key that joins the client-side span to the server's
+// /debug/trace spans for the same frame. A server that predates
+// tracing simply never grants it; the session still works and the
+// client-side spans are still recorded, just without server spans to
+// join against.
+func WithTracing() Option { return func(c *config) { c.hello.Tracing = true } }
+
+// WithProvenance asks the server to run the provenance flight recorder
+// on this session's detector: Results then carries Detailed reports
+// with the evidence for each race (vector clocks, the failed
+// happens-before check, the recent release/acquire chain, and a
+// rendered explanation). Costs roughly one clock copy per analyzed
+// access on the server; see BENCH_provenance.json.
+func WithProvenance() Option { return func(c *config) { c.hello.Provenance = true } }
+
 // WithDialFunc replaces the transport dialer (tests, fault injection).
 func WithDialFunc(f DialFunc) Option { return func(c *config) { c.dial = f } }
 
@@ -304,6 +324,15 @@ type Session struct {
 	framesShed    atomic.Int64
 	stalls        atomic.Int64
 	resumes       atomic.Int64
+
+	// Tracing state (WithTracing). spans is nil when tracing was not
+	// requested; traceOK tracks the current connection's server grant
+	// (re-evaluated on every handshake, so a resume onto a server that
+	// does not speak the extension stops stamping frames).
+	spans     *obs.SpanRing
+	traceOK   atomic.Bool
+	traceSeq  atomic.Uint64
+	traceBase uint64
 }
 
 // eventsGen marks an outFrame that may be sent on any connection
@@ -314,6 +343,8 @@ type outFrame struct {
 	t       trace.FrameType
 	payload []byte
 	gen     int64
+	id      uint64 // trace ID; 0 = untraced (control frames, tracing off)
+	start   int64  // span start (batch sealed), unix nanos; 0 = no span
 }
 
 type inFrame struct {
@@ -375,11 +406,48 @@ func Dial(addr string, opts ...Option) (*Session, error) {
 		sendq:       make(chan outFrame, cfg.queueFrames),
 		dead:        make(chan struct{}),
 	}
+	if cfg.hello.Tracing {
+		// Random high bits keep one session's trace IDs from colliding
+		// with another's on the server's shared /debug/trace view; the
+		// low bits count the session's traced frames.
+		s.spans = obs.NewSpanRing(clientTraceSpans)
+		s.traceBase = rand.Uint64() << 20
+	}
+	s.traceOK.Store(ok.Tracing)
 	s.enc = trace.NewWriter(&s.buf, trace.Binary)
 	go s.senderLoop()
 	go s.readerLoop(conn, 0, s.replies)
 	return s, nil
 }
+
+// clientTraceSpans is the capacity of the client-side span ring.
+const clientTraceSpans = 64
+
+// nextTraceID returns a fresh nonzero trace ID for an event frame.
+func (s *Session) nextTraceID() uint64 {
+	id := s.traceBase + s.traceSeq.Add(1)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// TraceSpans returns the client-side spans of recently sent event
+// frames, newest first: the "enqueue" stage is the frame's wait in the
+// client queue (backpressure shows up here) and "write" is the wire
+// write. Nil unless the session was opened WithTracing. Each span's
+// trace ID matches the server-side span for the same frame when the
+// server granted tracing.
+func (s *Session) TraceSpans() []obs.Span {
+	if s.spans == nil {
+		return nil
+	}
+	return s.spans.Snapshot()
+}
+
+// TracingGranted reports whether the server granted the tracing
+// request on the current connection.
+func (s *Session) TracingGranted() bool { return s.traceOK.Load() }
 
 func maxDuration(a, b time.Duration) time.Duration {
 	if a >= b {
@@ -526,6 +594,7 @@ func (s *Session) redialLocked(cause error) {
 				s.genDead = make(chan struct{})
 				s.replies = make(chan inFrame, 4)
 				s.id = ok.SessionID
+				s.traceOK.Store(ok.Tracing)
 				s.resumes.Add(1)
 				go s.readerLoop(conn, s.gen, s.replies)
 				return
@@ -584,8 +653,25 @@ func (s *Session) senderLoop() {
 			if s.cfg.writeTimeout > 0 {
 				conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
 			}
-			if err := fw.WriteFrame(f.t, f.payload); err == nil {
+			// A frame stamped under an earlier connection's grant is
+			// sent plain if the resumed server did not re-grant tracing
+			// (it would reject the flagged type byte).
+			id := f.id
+			if id != 0 && !s.traceOK.Load() {
+				id = 0
+			}
+			var wstart int64
+			if f.start != 0 {
+				wstart = time.Now().UnixNano()
+			}
+			if err := fw.WriteTracedFrame(f.t, id, f.payload); err == nil {
 				s.framesSent.Add(1)
+				if f.start != 0 && s.spans != nil {
+					sp := obs.Span{TraceID: f.id, Label: s.rootID, Seq: s.framesSent.Load(), Start: f.start}
+					sp.AddStage("enqueue", wstart-f.start)
+					sp.AddStage("write", time.Now().UnixNano()-wstart)
+					s.spans.Record(sp)
+				}
 				break
 			} else {
 				s.lost(gen, fmt.Errorf("client: writing frame: %w", err))
@@ -678,7 +764,13 @@ func (s *Session) flushBatch() error {
 	s.batched = 0
 	s.bmu.Unlock()
 
-	f := outFrame{FrameEvents, payload, eventsGen}
+	f := outFrame{t: FrameEvents, payload: payload, gen: eventsGen}
+	if s.spans != nil {
+		f.start = time.Now().UnixNano()
+		if s.traceOK.Load() {
+			f.id = s.nextTraceID()
+		}
+	}
 	if s.cfg.onFull == Shed {
 		select {
 		case s.sendq <- f:
@@ -712,7 +804,7 @@ func (s *Session) enqueueControl(t trace.FrameType, v any, gen int64) error {
 		return err
 	}
 	select {
-	case s.sendq <- outFrame{t, b, gen}:
+	case s.sendq <- outFrame{t: t, payload: b, gen: gen}:
 		return nil
 	case <-s.dead:
 		return s.Err()

@@ -93,6 +93,17 @@ type Handshake struct {
 	// (id and lineage are for reporting; shadow state is not carried).
 	Epoch    int64  `json:"epoch,omitempty"`
 	ResumeOf string `json:"resumeOf,omitempty"`
+
+	// Tracing asks the server to time this session's frames through the
+	// pipeline stages and to accept the optional per-frame trace-ID
+	// header field. The client stamps trace IDs only after the server
+	// grants the request (HelloOK.Tracing), so a server that predates
+	// the extension never sees a flagged frame.
+	Tracing bool `json:"tracing,omitempty"`
+	// Provenance asks the session's detector to run the provenance
+	// flight recorder, so race reports in Results carry the Detailed
+	// evidence (clocks, failed check, sync chain, explanation).
+	Provenance bool `json:"provenance,omitempty"`
 }
 
 // HelloOK acknowledges a handshake.
@@ -106,6 +117,11 @@ type HelloOK struct {
 	Fidelity      string  `json:"fidelity,omitempty"`
 	SampleRate    float64 `json:"sampleRate,omitempty"`
 	ForcedSampled bool    `json:"forcedSampled,omitempty"`
+	// Tracing grants the handshake's tracing request: the server is
+	// timing this session's frames and will accept trace-ID-flagged
+	// frames. A server that predates tracing leaves it false, and the
+	// client then never flags a frame.
+	Tracing bool `json:"tracing,omitempty"`
 }
 
 // Seq carries a client-chosen request sequence number; the matching
@@ -174,6 +190,10 @@ type Results struct {
 	// bounds per-variable detection probability. Omitted when 0 (only
 	// possible on a session that never saw an access while fully shed).
 	DetectionProbability float64 `json:"detectionProbability,omitempty"`
+	// Detailed carries provenance-enriched race reports when the session
+	// was opened with Handshake.Provenance; it mirrors Races one-to-one.
+	// Absent on sessions without the flight recorder.
+	Detailed []fasttrack.DetailedReport `json:"detailed,omitempty"`
 }
 
 // WireError is the payload of a FrameErrorMsg: the server's diagnosis

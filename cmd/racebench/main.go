@@ -19,7 +19,10 @@
 // (BENCH_scaling.json in CI). "batch": Monitor.IngestBatch throughput
 // across batch sizes vs per-event Ingest, serial and sharded; with
 // -out FILE it writes the fasttrack/bench-batch/v1 artifact
-// (BENCH_batch.json in CI).
+// (BENCH_batch.json in CI). "provenance": FastTrack throughput with
+// the provenance flight recorder off vs on across workload mixes; with
+// -out FILE it writes the fasttrack/bench-provenance/v1 artifact
+// (BENCH_provenance.json in CI).
 package main
 
 import (
@@ -31,7 +34,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch, fidelity")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch, fidelity, provenance")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
@@ -138,6 +141,17 @@ func main() {
 				check(f.Close())
 				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
 			}
+		case "provenance":
+			fmt.Println("=== Extension: provenance flight-recorder overhead ===")
+			rep := bench.Provenance(cfg, 0)
+			bench.FprintProvenance(os.Stdout, rep)
+			if *out != "" {
+				f, err := os.Create(*out)
+				check(err)
+				check(bench.WriteProvenanceJSON(f, rep))
+				check(f.Close())
+				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
 			os.Exit(2)
@@ -146,7 +160,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch", "fidelity"} {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch", "fidelity", "provenance"} {
 			run(name)
 		}
 		return

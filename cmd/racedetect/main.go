@@ -7,9 +7,17 @@
 //	racedetect [-tool FastTrack] [-all] [-granularity fine|coarse]
 //	           [-validate] [-stats] [-policy off|strict|repair|drop]
 //	           [-membudget bytes] [-shards N] [-batch N] [-json]
-//	           [-fidelity full|sampled(p)|adaptive]
+//	           [-fidelity full|sampled(p)|adaptive] [-provenance]
 //	           [-json.file out.json] [-metrics.addr :6060] trace-file
 //	racedetect -chaos [trace-file]
+//
+// -provenance runs the provenance flight recorder (FastTrack only):
+// each warning then carries the vector clocks of both accesses, the
+// exact happens-before comparison that failed, the racing threads'
+// recent release/acquire chains, and a rendered "why this is a race"
+// explanation — in the text output, the -json report, and (with
+// -server) the daemon's results. Costs roughly one clock copy per
+// analyzed access; see BENCH_provenance.json.
 //
 // -fidelity trades detection probability for analysis cost: sampled(p)
 // analyzes the fraction p of the variable space (accesses to the rest
@@ -75,6 +83,8 @@ func main() {
 	metricsAddr := flag.String("metrics.addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
 	serverAddr := flag.String("server", "", "stream the trace to a racedetectd daemon at this address instead of analyzing locally")
 	fidelity := flag.String("fidelity", "", "analysis fidelity: full, sampled(p), or adaptive (adaptive requires -server)")
+	provenance := flag.Bool("provenance", false, "record race provenance: each warning carries clock evidence, the failed happens-before check, the recent sync chain, and a rendered explanation (FastTrack only)")
+	traceWire := flag.Bool("trace", false, "request pipeline tracing from the daemon: frames carry trace IDs and per-stage spans land in its /debug/trace (requires -server and a daemon started with -trace)")
 	list := flag.Bool("list", false, "list available detectors and exit")
 	flag.Parse()
 
@@ -101,6 +111,15 @@ func main() {
 		sampleRate = 0.25 // match the daemon's default sampled rung
 	}
 
+	if *provenance {
+		if *all {
+			fatal(fmt.Errorf("-provenance is a FastTrack feature; drop -all"))
+		}
+		if *toolName != "FastTrack" {
+			fatal(fmt.Errorf("-provenance: tool %q does not support provenance recording", *toolName))
+		}
+	}
+
 	if *chaosMode {
 		runChaos(flag.Args())
 		return
@@ -120,11 +139,14 @@ func main() {
 		fatal(fmt.Errorf("unknown granularity %q", *gran))
 	}
 
+	if *traceWire && *serverAddr == "" {
+		fatal(fmt.Errorf("-trace spans the client/daemon pipeline; add -server"))
+	}
 	if *serverAddr != "" {
 		if *all || *stream || *explain {
 			fatal(fmt.Errorf("-server streams a single tool's batch run; drop -all/-stream/-explain"))
 		}
-		os.Exit(runRemote(flag.Arg(0), *serverAddr, *toolName, *gran, *policyName, *fidelity, *shards, *validate))
+		os.Exit(runRemote(flag.Arg(0), *serverAddr, *toolName, *gran, *policyName, *fidelity, *shards, *validate, *provenance, *traceWire))
 	}
 
 	ms, err := startMetrics(*metricsAddr)
@@ -152,7 +174,7 @@ func main() {
 		if *shards > 1 {
 			fatal(fmt.Errorf("-shards applies to batch ingestion; drop -stream"))
 		}
-		exit := runStream(flag.Arg(0), *toolName, g, policy, sampleRate, *validate, *stats, jsonWanted, *jsonFile, ms, rep, humanOut)
+		exit := runStream(flag.Arg(0), *toolName, g, policy, sampleRate, *validate, *stats, jsonWanted, *provenance, *jsonFile, ms, rep, humanOut)
 		finishJSON(jsonWanted, rep, *jsonFile)
 		os.Exit(exit)
 	}
@@ -182,7 +204,7 @@ func main() {
 		if *memBudget != 0 {
 			fatal(fmt.Errorf("-shards/-batch are incompatible with -membudget"))
 		}
-		exit := runMonitor(tr, *toolName, g, *shards, *batch, sampleRate, *stats, jsonWanted, ms, rep, humanOut)
+		exit := runMonitor(tr, *toolName, g, *shards, *batch, sampleRate, *stats, jsonWanted, *provenance, ms, rep, humanOut)
 		finishJSON(jsonWanted, rep, *jsonFile)
 		os.Exit(exit)
 	}
@@ -200,6 +222,7 @@ func main() {
 		if jsonWanted && name == "FastTrack" {
 			hints.DetailedReports = true
 		}
+		hints.Provenance = *provenance
 		tool, err := fasttrack.NewTool(name, hints)
 		if err != nil {
 			fatal(err)
@@ -221,7 +244,15 @@ func main() {
 		rr.PublishStats(reg, "tool", st)
 		reg.Gauge("tool.races").Set(int64(len(races)))
 
+		var details []fasttrack.DetailedReport
+		if *provenance {
+			if dt, ok := tool.(rr.DetailedTool); ok {
+				details = dt.DetailedRaces()
+			}
+		}
+
 		printReport(humanOut, tool, races, st, *stats)
+		printDetails(humanOut, details)
 		if policy != fasttrack.PolicyOff {
 			printHealth(humanOut, health)
 		}
@@ -229,7 +260,7 @@ func main() {
 			rep.Tools = append(rep.Tools, toolReport{
 				Tool:    tool.Name(),
 				Events:  d.Fed,
-				Races:   raceReports(races, tr),
+				Races:   raceReportsDetailed(races, tr, details),
 				Stats:   st,
 				Health:  healthJSON(health),
 				Metrics: reg.Snapshot(),
@@ -271,9 +302,9 @@ func applySampleRate(tool fasttrack.Tool, rate float64) {
 // amortized batch ingestion the racedetectd service uses per wire
 // frame.
 func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards, batch int,
-	sampleRate float64, stats, jsonWanted bool, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
+	sampleRate float64, stats, jsonWanted, provenance bool, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
 
-	hints := fasttrack.Hints{Threads: tr.Threads()}
+	hints := fasttrack.Hints{Threads: tr.Threads(), Provenance: provenance}
 	if jsonWanted && toolName == "FastTrack" {
 		hints.DetailedReports = true
 	}
@@ -309,8 +340,13 @@ func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards
 	st := mon.Stats()
 	health := mon.Health()
 	snap := mon.Metrics() // also publishes tool.* and monitor.sharded.*
+	var details []fasttrack.DetailedReport
+	if provenance {
+		details = mon.DetailedRaces()
+	}
 
 	printReport(humanOut, tool, races, st, stats)
+	printDetails(humanOut, details)
 	mode := "serial monitor"
 	if mon.Shards() > 1 {
 		mode = fmt.Sprintf("%d-stripe monitor", mon.Shards())
@@ -323,7 +359,7 @@ func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards
 		rep.Tools = append(rep.Tools, toolReport{
 			Tool:    tool.Name(),
 			Events:  int64(len(tr)),
-			Races:   raceReports(races, tr),
+			Races:   raceReportsDetailed(races, tr, details),
 			Stats:   st,
 			Health:  healthJSON(health),
 			Metrics: snap,
@@ -339,9 +375,9 @@ func runMonitor(tr trace.Trace, toolName string, g fasttrack.Granularity, shards
 // attached (validation policy, live metrics, progress reporting) and
 // returns the process exit code.
 func runStream(path, toolName string, g fasttrack.Granularity, policy fasttrack.Policy,
-	sampleRate float64, validate, stats, jsonWanted bool, jsonPath string, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
+	sampleRate float64, validate, stats, jsonWanted, provenance bool, jsonPath string, ms *metricsServer, rep *runReport, humanOut io.Writer) int {
 
-	tool, err := fasttrack.NewTool(toolName, fasttrack.Hints{})
+	tool, err := fasttrack.NewTool(toolName, fasttrack.Hints{Provenance: provenance})
 	if err != nil {
 		fatal(err)
 	}
@@ -403,7 +439,15 @@ func runStream(path, toolName string, g fasttrack.Granularity, policy fasttrack.
 	reg.Gauge("tool.races").Set(int64(len(races)))
 	prog.final(d.Fed, len(races), st.ShadowBytes)
 
+	var details []fasttrack.DetailedReport
+	if provenance {
+		if dt, ok := tool.(rr.DetailedTool); ok {
+			details = dt.DetailedRaces()
+		}
+	}
+
 	printReport(humanOut, tool, races, st, stats)
+	printDetails(humanOut, details)
 	if policy != fasttrack.PolicyOff {
 		printHealth(humanOut, health)
 	}
@@ -413,7 +457,7 @@ func runStream(path, toolName string, g fasttrack.Granularity, policy fasttrack.
 		rep.Tools = append(rep.Tools, toolReport{
 			Tool:    tool.Name(),
 			Events:  d.Fed,
-			Races:   raceReports(races, nil),
+			Races:   raceReportsDetailed(races, nil, details),
 			Stats:   st,
 			Health:  healthJSON(health),
 			Metrics: reg.Snapshot(),
@@ -610,6 +654,23 @@ func printReport(w io.Writer, tool fasttrack.Tool, races []fasttrack.Report, st 
 			fmt.Fprintf(w, "  membudget: squeezes=%d coarseAccesses=%d\n", st.MemSqueezes, st.MemCoarse)
 		}
 		rr.FprintOpsMix(w, tool.Name(), st)
+	}
+}
+
+// printDetails renders the provenance evidence of each warning, one
+// blank-line-separated block per race, indented to match printReport's
+// warning lines. The remote path (-server) prints the daemon's details
+// through the same function, so local and remote -provenance output is
+// byte-identical for the same trace.
+func printDetails(w io.Writer, details []fasttrack.DetailedReport) {
+	for _, d := range details {
+		fmt.Fprintln(w)
+		for _, line := range strings.Split(d.Explanation, "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	if len(details) > 0 {
+		fmt.Fprintln(w)
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 // analyzing it in-process, and renders the session's final report in
 // exactly the local batch format (so local and remote runs diff clean);
 // the transport note goes to stderr. Returns the process exit code.
-func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards int, validate bool) int {
+func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards int, validate, provenance, traceWire bool) int {
 	tr, err := readTrace(path)
 	if err != nil {
 		fatal(err)
@@ -35,6 +35,12 @@ func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards i
 	if fidelity != "" {
 		opts = append(opts, client.WithFidelity(fidelity))
 	}
+	if provenance {
+		opts = append(opts, client.WithProvenance())
+	}
+	if traceWire {
+		opts = append(opts, client.WithTracing())
+	}
 	sess, err := client.Dial(addr, opts...)
 	if err != nil {
 		fatal(err)
@@ -56,6 +62,7 @@ func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards i
 	for _, r := range res.Races {
 		fmt.Printf("  %s\n", r)
 	}
+	printDetails(os.Stdout, res.Detailed)
 	// The daemon may have analyzed only a fraction of the offered
 	// accesses (a sampled/adaptive session, or a force-sampled admission
 	// under load); qualify the verdict.

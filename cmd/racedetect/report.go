@@ -48,6 +48,16 @@ type raceReport struct {
 	// memory-resident and the indices are known (batch mode).
 	Access     string `json:"access,omitempty"`
 	PrevAccess string `json:"prevAccess,omitempty"`
+	// The remaining fields are the provenance evidence (-provenance
+	// runs only): clock snapshots of both accesses, the failed
+	// happens-before comparison, the racing threads' recent sync
+	// operations, and the rendered explanation.
+	AccessClock []uint64               `json:"accessClock,omitempty"`
+	PrevClock   []uint64               `json:"prevClock,omitempty"`
+	PrevEpoch   string                 `json:"prevEpoch,omitempty"`
+	FailedCheck string                 `json:"failedCheck,omitempty"`
+	SyncChain   []fasttrack.SyncRecord `json:"syncChain,omitempty"`
+	Explanation string                 `json:"explanation,omitempty"`
 }
 
 type healthReport struct {
@@ -86,6 +96,26 @@ func raceReports(races []fasttrack.Report, tr trace.Trace) []raceReport {
 			}
 		}
 		out = append(out, rr)
+	}
+	return out
+}
+
+// raceReportsDetailed is raceReports plus the provenance evidence when
+// the flight recorder produced it. DetailedTool guarantees details
+// mirrors races one-to-one; a length mismatch (details nil, or a
+// non-detailed tool) degrades to the plain reports.
+func raceReportsDetailed(races []fasttrack.Report, tr trace.Trace, details []fasttrack.DetailedReport) []raceReport {
+	out := raceReports(races, tr)
+	if len(details) != len(out) {
+		return out
+	}
+	for i, d := range details {
+		out[i].AccessClock = d.AccessClock
+		out[i].PrevClock = d.PrevClock
+		out[i].PrevEpoch = d.PrevEpoch
+		out[i].FailedCheck = d.FailedCheck
+		out[i].SyncChain = d.SyncChain
+		out[i].Explanation = d.Explanation
 	}
 	return out
 }

@@ -10,6 +10,16 @@
 //	            [-idle 5m] [-drain 30s] [-report.dir DIR] [-v]
 //	            [-governor 250ms] [-stuck-timeout 30s] [-mem-budget bytes]
 //	            [-sample-rate 0.25] [-retry-after 1s]
+//	            [-trace] [-trace.slow 50ms] [-trace.spans 256]
+//	            [-log-format text|json]
+//
+// -trace enables the pipeline tracer: sessions that request tracing in
+// their handshake get per-frame stage spans (wire gap, queue wait,
+// decode, detect, callback) served at /debug/trace, with stage-latency
+// histograms in /metrics; frames slower than -trace.slow land in the
+// slow-frame log. -log-format json emits structured one-line-JSON
+// lifecycle events (session open/end, evictions, quarantines, governor
+// rung moves, admission refusals) on stderr, independent of -v.
 //
 // The governor flags tune the adaptive fidelity layer: every -governor
 // tick each adaptive session is checked against its queue and
@@ -23,8 +33,10 @@
 //
 //	/metrics              the live svc.* metrics registry as JSON
 //	/sessions             summaries of live and recently finished sessions
-//	/sessions/{id}/races  a session's current race reports
+//	/sessions/{id}/races  a session's current race reports (with provenance
+//	                      evidence on sessions opened with it)
 //	/sessions/{id}/stats  a session's detector statistics and health
+//	/debug/trace          recent frame spans and the slow-frame log (-trace)
 //	/healthz              liveness (always 200 while serving)
 //	/readyz               readiness (503 when draining or at the session cap)
 //
@@ -37,6 +49,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +57,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -64,6 +78,10 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "per-session shadow-memory budget in bytes before the governor degrades fidelity (0 = no memory signal)")
 	sampleRate := flag.Float64("sample-rate", 0, "default sampled-rung rate for sessions that pick none (0 = default 0.25)")
 	retryAfter := flag.Duration("retry-after", 0, "redial hint on session-cap refusals (0 = default 1s)")
+	tracing := flag.Bool("trace", false, "enable the pipeline tracer (/debug/trace, svc.stage.* histograms)")
+	traceSlow := flag.Duration("trace.slow", 0, "slow-frame log threshold (0 = default 50ms)")
+	traceSpans := flag.Int("trace.spans", 0, "recent-span ring capacity (0 = default 256)")
+	logFormat := flag.String("log-format", "text", "lifecycle log format: text (free-form, needs -v) or json (structured one-line events)")
 	verbose := flag.Bool("v", false, "log per-session lifecycle events")
 	flag.Parse()
 
@@ -73,18 +91,42 @@ func main() {
 		logf = logger.Printf
 	}
 
+	var eventLog func(svc.Event)
+	switch *logFormat {
+	case "text":
+	case "json":
+		// One JSON object per line on stderr, machine-parseable and
+		// independent of the free-form -v lines.
+		var mu sync.Mutex
+		enc := json.NewEncoder(os.Stderr)
+		eventLog = func(e svc.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			enc.Encode(struct {
+				Time string `json:"time"`
+				svc.Event
+			}{time.Now().UTC().Format(time.RFC3339Nano), e})
+		}
+	default:
+		logger.Fatalf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+
 	srv := svc.New(svc.Config{
-		QueueDepth:        *queue,
-		MaxFramePayload:   *maxFrame,
-		MaxSessions:       *maxSessions,
-		IdleTimeout:       *idle,
-		ReportDir:         *reportDir,
-		GovernorInterval:  *governor,
-		StuckTimeout:      *stuck,
-		SessionMemBudget:  *memBudget,
-		DefaultSampleRate: *sampleRate,
-		RetryAfterHint:    *retryAfter,
-		Logf:              logf,
+		QueueDepth:         *queue,
+		MaxFramePayload:    *maxFrame,
+		MaxSessions:        *maxSessions,
+		IdleTimeout:        *idle,
+		ReportDir:          *reportDir,
+		GovernorInterval:   *governor,
+		StuckTimeout:       *stuck,
+		SessionMemBudget:   *memBudget,
+		DefaultSampleRate:  *sampleRate,
+		RetryAfterHint:     *retryAfter,
+		Tracing:            *tracing,
+		SlowFrameThreshold: *traceSlow,
+		TraceSpans:         *traceSpans,
+		Logf:               logf,
+		EventLog:           eventLog,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

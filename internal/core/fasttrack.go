@@ -93,6 +93,11 @@ type Detector struct {
 	// fidelity pays one compare and never hashes.
 	sampleThr uint64
 
+	// prov is the provenance flight recorder (see provenance.go); nil —
+	// the default — means race reports stay plain and the access paths
+	// pay only this nil check.
+	prov *provState
+
 	races []rr.Report
 	st    rr.Stats
 
@@ -177,7 +182,7 @@ func (ts *threadState) refreshEpoch(t vc.Tid) { ts.epoch = ts.c.Epoch(t) }
 // report records a warning, at most one per variable, into the
 // detector's race list in serial mode or the variable's stripe in
 // sharded mode (sv is the variable's sharded state then, nil otherwise).
-func (d *Detector) report(x uint64, vs *varState, sv *shardedVar, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
+func (d *Detector) report(x uint64, vs *varState, sv *shardedVar, ts *threadState, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
 	if vs.flagged {
 		return
 	}
@@ -200,9 +205,13 @@ func (d *Detector) report(x uint64, vs *varState, sv *shardedVar, kind rr.RaceKi
 			prevIdx = d.lastWriteIdx[x]
 		}
 	}
-	*races = append(*races, rr.Report{
+	rep := rr.Report{
 		Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: prevIdx,
-	})
+	}
+	*races = append(*races, rep)
+	if d.prov != nil {
+		d.enrich(rep, vs, sv, ts)
+	}
 }
 
 // HandleEvent implements rr.Tool. Accesses are handled entirely inside
@@ -246,6 +255,9 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 		d.st.CountKind(e.Kind) // counted as markers, not syncs
 	}
 	// TxBegin/TxEnd/Notify carry no happens-before information.
+	if d.prov != nil {
+		d.provRecordSync(i, e)
+	}
 }
 
 // HandleFilter implements rr.Prefilter: it processes the event and
@@ -328,13 +340,16 @@ func (d *Detector) read(i int, tid int32, x uint64, countEvent bool) {
 
 	// Write-read race check: W_x � C_t.
 	if !vs.w.LEq(ts.c) {
-		d.report(x, vs, sv, rr.WriteRead, tid, vs.w.Tid(), i)
+		d.report(x, vs, sv, ts, rr.WriteRead, tid, vs.w.Tid(), i)
 	}
 	if d.detailed {
 		if sv != nil {
 			sv.lastR = i
 		} else {
 			d.lastReadIdx[x] = i
+		}
+		if d.prov != nil {
+			d.provVarOf(x, sv).r.record(tid, i, d.provGenOf(tid), ts.epoch)
 		}
 	}
 
@@ -404,14 +419,14 @@ func (d *Detector) write(i int, tid int32, x uint64, countEvent bool) {
 
 	// Write-write race check: W_x � C_t.
 	if !vs.w.LEq(ts.c) {
-		d.report(x, vs, sv, rr.WriteWrite, tid, vs.w.Tid(), i)
+		d.report(x, vs, sv, ts, rr.WriteWrite, tid, vs.w.Tid(), i)
 	}
 
 	if vs.r != readShared {
 		// [FT WRITE EXCLUSIVE] — read-write race check against the read
 		// epoch: R_x � C_t.
 		if !vs.r.LEq(ts.c) {
-			d.report(x, vs, sv, rr.ReadWrite, tid, vs.r.Tid(), i)
+			d.report(x, vs, sv, ts, rr.ReadWrite, tid, vs.r.Tid(), i)
 		}
 		st.WriteExclusive++
 	} else {
@@ -421,7 +436,7 @@ func (d *Detector) write(i int, tid int32, x uint64, countEvent bool) {
 		// to the minimal epoch ⊥e, re-enabling the fast paths.
 		st.VCOp++
 		if prev := vs.rvc.FirstExceeding(ts.c); prev >= 0 {
-			d.report(x, vs, sv, rr.ReadWrite, tid, prev, i)
+			d.report(x, vs, sv, ts, rr.ReadWrite, tid, prev, i)
 		}
 		vs.r = vc.Bottom
 		st.WriteShared++
@@ -431,6 +446,9 @@ func (d *Detector) write(i int, tid int32, x uint64, countEvent bool) {
 			sv.lastW = i
 		} else {
 			d.lastWriteIdx[x] = i
+		}
+		if d.prov != nil {
+			d.provVarOf(x, sv).w.record(tid, i, d.provGenOf(tid), ts.epoch)
 		}
 	}
 	vs.w = ts.epoch
@@ -568,6 +586,21 @@ func (d *Detector) footprint() int64 {
 		for _, sv := range d.stripes[i].vars {
 			bytes += 48 // map slot + w, r epochs, flag, history words
 			bytes += int64(sv.rvc.Bytes())
+			if sv.prov != nil {
+				bytes += 64 // pointer + two scalar last-access records
+			}
+		}
+	}
+	if d.prov != nil {
+		bytes += 56 * int64(len(d.prov.vars)) // two scalar last-access records each
+		for _, r := range d.prov.rings {
+			if r == nil {
+				continue
+			}
+			bytes += provRingSize*40 + 16 // sync ring + gen + length
+			for i := range r.snaps {
+				bytes += int64(r.snaps[i].Bytes())
+			}
 		}
 	}
 	for i := range d.threads {

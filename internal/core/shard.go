@@ -28,11 +28,15 @@ type stripeState struct {
 }
 
 // shardedVar is a variable's shadow state in the sharded layout. The
-// detailed-report history lives here rather than in the detector-wide
-// index slices, keeping the access path stripe-confined.
+// detailed-report history — and, when the flight recorder is enabled,
+// the provenance last-access record and the enriched report — lives
+// here rather than in detector-wide tables, keeping the access path
+// stripe-confined.
 type shardedVar struct {
 	varState
 	lastR, lastW int
+	prov         *provVarRec
+	detail       *rr.DetailedReport
 }
 
 // EnableSharding switches the detector's access-path storage to n

@@ -1,0 +1,73 @@
+package obs
+
+import "testing"
+
+// Edge-case coverage for HistogramSnapshot.Quantile: empty snapshots,
+// the extreme quantiles q=0 and q=1, and single-bucket distributions.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty snapshot Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	// A snapshot with buckets but no observations behaves the same.
+	r := NewRegistry()
+	r.Histogram("empty")
+	snap := r.Snapshot().Histograms["empty"]
+	if got := snap.Quantile(0.5); got != 0 {
+		t.Errorf("zero-count snapshot Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// Observations spread across three power-of-two buckets:
+	// 1 -> bucket hi 1, 100 -> hi 127, 5000 -> hi 8191.
+	h.Observe(1)
+	h.Observe(100)
+	h.Observe(5000)
+	snap := r.Snapshot().Histograms["lat"]
+
+	// q=0 is the floor: the first non-empty bucket's upper bound.
+	if got := snap.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1", got)
+	}
+	// q=1 is the ceiling: the rank clamps to the last observation, so
+	// the answer is the last non-empty bucket's upper bound, never an
+	// out-of-range read.
+	if got := snap.Quantile(1); got != 8191 {
+		t.Errorf("Quantile(1) = %d, want 8191", got)
+	}
+	if got := snap.Quantile(0.5); got != 127 {
+		t.Errorf("Quantile(0.5) = %d, want 127", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("one")
+	// All observations land in the same bucket (hi = 63).
+	for i := 0; i < 10; i++ {
+		h.Observe(40)
+	}
+	snap := r.Snapshot().Histograms["one"]
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := snap.Quantile(q); got != 63 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want 63", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("single").Observe(9) // bucket hi 15
+	snap := r.Snapshot().Histograms["single"]
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := snap.Quantile(q); got != 15 {
+			t.Errorf("Quantile(%v) = %d, want 15", q, got)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import "sync/atomic"
+
+// This file implements the pipeline-tracing primitive: a Span records
+// one unit of work (for racedetectd, one wire frame) as per-stage
+// durations keyed by a trace ID, and a SpanRing keeps the most recent
+// spans in a fixed-capacity lock-free ring for /debug/trace-style
+// endpoints. Recording is one atomic add plus one atomic pointer store,
+// so it is safe on hot paths and never blocks readers; snapshots are
+// point-in-time and may miss a span that is being overwritten while the
+// snapshot walks the ring (bounded staleness, no torn reads).
+
+// Span is one traced unit of work: per-stage durations, a caller-chosen
+// label (e.g. the session id), and the trace ID stamped by the producer
+// (0 when the producer did not stamp one). The JSON tags define the
+// stable schema served by /debug/trace.
+type Span struct {
+	TraceID uint64      `json:"traceId,omitempty"`
+	Label   string      `json:"label,omitempty"`
+	Seq     int64       `json:"seq"`           // producer-assigned ordinal (e.g. frame number)
+	Start   int64       `json:"startUnixNano"` // wall-clock start, unix nanoseconds
+	TotalNs int64       `json:"totalNs"`       // end-to-end duration
+	Stages  []SpanStage `json:"stages,omitempty"`
+}
+
+// SpanStage is one named stage of a span with its duration.
+type SpanStage struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// AddStage appends a stage and accumulates it into TotalNs.
+func (s *Span) AddStage(name string, ns int64) {
+	s.Stages = append(s.Stages, SpanStage{Name: name, Ns: ns})
+	s.TotalNs += ns
+}
+
+// StageNs returns the duration of the named stage, or 0 if absent.
+func (s *Span) StageNs(name string) int64 {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st.Ns
+		}
+	}
+	return 0
+}
+
+// SpanRing is a fixed-capacity ring of recent spans. Record is lock-free
+// and safe for concurrent producers; Snapshot is safe concurrently with
+// Record. The zero value is not usable; use NewSpanRing.
+type SpanRing struct {
+	slots []atomic.Pointer[Span]
+	cur   atomic.Uint64 // total spans ever recorded
+}
+
+// NewSpanRing returns a ring keeping the latest n spans (minimum 1).
+func NewSpanRing(n int) *SpanRing {
+	if n < 1 {
+		n = 1
+	}
+	return &SpanRing{slots: make([]atomic.Pointer[Span], n)}
+}
+
+// Record stores a copy of s, evicting the oldest span once the ring is
+// full.
+func (r *SpanRing) Record(s Span) {
+	i := (r.cur.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(&s)
+}
+
+// Recorded returns the total number of spans ever recorded.
+func (r *SpanRing) Recorded() int64 { return int64(r.cur.Load()) }
+
+// Cap returns the ring's capacity.
+func (r *SpanRing) Cap() int { return len(r.slots) }
+
+// Snapshot returns the ring's current spans, newest first. Concurrent
+// recording can make a snapshot skip or repeat a boundary span; it
+// never observes a torn one.
+func (r *SpanRing) Snapshot() []Span {
+	total := r.cur.Load()
+	n := uint64(len(r.slots))
+	if total < n {
+		n = total
+	}
+	out := make([]Span, 0, n)
+	for k := uint64(0); k < n; k++ {
+		p := r.slots[(total-1-k)%uint64(len(r.slots))].Load()
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

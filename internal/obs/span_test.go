@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanStagesAndTotal(t *testing.T) {
+	var s Span
+	s.AddStage("decode", 100)
+	s.AddStage("detect", 250)
+	if s.TotalNs != 350 {
+		t.Errorf("TotalNs = %d, want 350", s.TotalNs)
+	}
+	if got := s.StageNs("detect"); got != 250 {
+		t.Errorf("StageNs(detect) = %d, want 250", got)
+	}
+	if got := s.StageNs("missing"); got != 0 {
+		t.Errorf("StageNs(missing) = %d, want 0", got)
+	}
+}
+
+func TestSpanRingEvictsOldest(t *testing.T) {
+	r := NewSpanRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	for i := 1; i <= 10; i++ {
+		r.Record(Span{Seq: int64(i)})
+	}
+	if r.Recorded() != 10 {
+		t.Errorf("Recorded = %d, want 10", r.Recorded())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("Snapshot kept %d spans, want 4", len(got))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, want := range []int64{10, 9, 8, 7} {
+		if got[i].Seq != want {
+			t.Errorf("Snapshot[%d].Seq = %d, want %d", i, got[i].Seq, want)
+		}
+	}
+}
+
+func TestSpanRingPartiallyFilled(t *testing.T) {
+	r := NewSpanRing(8)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Errorf("empty ring snapshot has %d spans", len(got))
+	}
+	r.Record(Span{Seq: 1, TraceID: 42})
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].TraceID != 42 {
+		t.Errorf("Snapshot = %+v", got)
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(16)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s := Span{TraceID: uint64(p), Seq: int64(i)}
+				s.AddStage("work", int64(i))
+				r.Record(s)
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, s := range r.Snapshot() {
+				if len(s.Stages) != 1 || s.Stages[0].Ns != s.Seq {
+					t.Errorf("torn span observed: %+v", s)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Recorded() != 4000 {
+		t.Errorf("Recorded = %d, want 4000", r.Recorded())
+	}
+}
+
+func TestSpanJSONSchema(t *testing.T) {
+	s := Span{TraceID: 7, Label: "s01", Seq: 3, Start: 12345, Stages: []SpanStage{{Name: "wire", Ns: 10}}}
+	s.TotalNs = 10
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceId":7,"label":"s01","seq":3,"startUnixNano":12345,"totalNs":10,"stages":[{"name":"wire","ns":10}]}`
+	if string(b) != want {
+		t.Errorf("JSON = %s\n want %s", b, want)
+	}
+}

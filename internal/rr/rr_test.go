@@ -158,10 +158,17 @@ func TestPipelineFiltersAccessesPassesSync(t *testing.T) {
 }
 
 func TestReportString(t *testing.T) {
-	r := Report{Var: 3, Kind: WriteWrite, Tid: 1, PrevTid: 0, Index: 7}
+	r := Report{Var: 3, Kind: WriteWrite, Tid: 1, PrevTid: 0, Index: 7, PrevIndex: -1}
 	if got := r.String(); got != "write-write race on x3: thread 1 conflicts with thread 0 (event 7)" {
 		t.Errorf("String = %q", got)
 	}
+	// When the prior access's index is known (detailed reports), both
+	// halves of the race are pinpointed.
+	r.PrevIndex = 4
+	if got := r.String(); got != "write-write race on x3: thread 1 (event 7) conflicts with thread 0 (event 4)" {
+		t.Errorf("String = %q", got)
+	}
+	r.PrevIndex = -1
 	r.PrevTid = -1
 	if got := r.String(); got != "write-write race on x3: thread 1 (event 7)" {
 		t.Errorf("String = %q", got)

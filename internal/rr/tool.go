@@ -77,6 +77,10 @@ type Report struct {
 
 func (r Report) String() string {
 	if r.PrevTid >= 0 {
+		if r.PrevIndex >= 0 {
+			return fmt.Sprintf("%s on x%d: thread %d (event %d) conflicts with thread %d (event %d)",
+				r.Kind, r.Var, r.Tid, r.Index, r.PrevTid, r.PrevIndex)
+		}
 		return fmt.Sprintf("%s on x%d: thread %d conflicts with thread %d (event %d)",
 			r.Kind, r.Var, r.Tid, r.PrevTid, r.Index)
 	}

@@ -167,6 +167,8 @@ func (s *Server) governSession(sess *session, soft bool) {
 			sess.setRung(rungShed)
 			s.sm.governorDowngrades.Inc()
 			s.cfg.Logf("svc: session %s shed (tool disabled)", sess.id)
+			s.event(Event{Kind: "downgrade", Session: sess.id, Remote: sess.remote,
+				Fidelity: "shed", Reason: "tool disabled"})
 		}
 		return
 	}
@@ -188,6 +190,9 @@ func (s *Server) governSession(sess *session, soft bool) {
 			s.sm.governorDowngrades.Inc()
 			s.cfg.Logf("svc: session %s downgraded to %s (queue=%d shadowBytes=%d)",
 				sess.id, sess.fidelityString(rung+1), queued, sess.shadowBytes.Load())
+			s.event(Event{Kind: "downgrade", Session: sess.id, Remote: sess.remote,
+				Fidelity: sess.fidelityString(rung + 1),
+				Reason:   fmt.Sprintf("queue=%d shadowBytes=%d", queued, sess.shadowBytes.Load())})
 		}
 	} else {
 		sess.gov.overTicks = 0
@@ -200,6 +205,8 @@ func (s *Server) governSession(sess *session, soft bool) {
 			sess.gov.cooldown = cooldownTicks
 			s.sm.governorUpgrades.Inc()
 			s.cfg.Logf("svc: session %s upgraded to %s", sess.id, sess.fidelityString(rung-1))
+			s.event(Event{Kind: "upgrade", Session: sess.id, Remote: sess.remote,
+				Fidelity: sess.fidelityString(rung - 1), Reason: "pressure cleared"})
 		}
 	}
 
@@ -237,6 +244,8 @@ func (s *Server) quarantine(sess *session, reason string) {
 	s.quarantined.Add(1)
 	s.reg.DeleteByPrefix("svc.session." + sess.id + ".")
 	s.cfg.Logf("svc: session %s quarantined: %s", sess.id, reason)
+	s.event(Event{Kind: "quarantine", Session: sess.id, Remote: sess.remote,
+		Fidelity: sess.fidelityString(sess.rung.Load()), Reason: reason})
 }
 
 // fidelityPlan is a session's resolved starting position on the ladder.

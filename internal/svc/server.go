@@ -101,6 +101,42 @@ type Config struct {
 	NewMonitor func(client.Handshake) (*fasttrack.Monitor, string, error)
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
+	// EventLog, when non-nil, receives structured lifecycle events
+	// (session open/end, evictions, quarantines, governor rung moves,
+	// admission refusals) in addition to the free-form Logf lines; the
+	// daemon's -log-format json wires this to a one-line-JSON emitter.
+	EventLog func(Event)
+	// Tracing enables the pipeline tracer: sessions that request tracing
+	// in their handshake get per-frame stage spans (wire gap, queue wait,
+	// decode, detect, callback) in a bounded ring served at /debug/trace,
+	// stage-latency histograms in /metrics, and the per-frame trace-ID
+	// wire extension. Off by default; per-frame cost when on is a few
+	// clock reads and one small allocation.
+	Tracing bool
+	// SlowFrameThreshold is the processing latency (queue wait through
+	// callback, excluding the inter-frame wire gap) above which a traced
+	// frame is also kept in the slow-frame log (default 50ms).
+	SlowFrameThreshold time.Duration
+	// TraceSpans caps the recent-span ring (default 256).
+	TraceSpans int
+}
+
+// Event is one structured lifecycle event for Config.EventLog. Kind is
+// the stable event name: "open", "end", "eviction", "quarantine",
+// "downgrade", "upgrade", "refused".
+type Event struct {
+	Kind     string `json:"event"`
+	Session  string `json:"session,omitempty"`
+	Remote   string `json:"remote,omitempty"`
+	Fidelity string `json:"fidelity,omitempty"` // rung after the event
+	Reason   string `json:"reason,omitempty"`
+}
+
+// event emits a structured lifecycle event when a sink is configured.
+func (s *Server) event(e Event) {
+	if s.cfg.EventLog != nil {
+		s.cfg.EventLog(e)
+	}
 }
 
 func (c *Config) withDefaults() Config {
@@ -135,6 +171,12 @@ func (c *Config) withDefaults() Config {
 	if d.RetryAfterHint <= 0 {
 		d.RetryAfterHint = time.Second
 	}
+	if d.SlowFrameThreshold <= 0 {
+		d.SlowFrameThreshold = 50 * time.Millisecond
+	}
+	if d.TraceSpans <= 0 {
+		d.TraceSpans = 256
+	}
 	if d.Registry == nil {
 		d.Registry = obs.NewRegistry()
 	}
@@ -164,7 +206,8 @@ func BuildMonitor(h client.Handshake) (*fasttrack.Monitor, string, error) {
 	if name == "" {
 		name = "FastTrack"
 	}
-	tool, err := fasttrack.NewTool(name, fasttrack.Hints{})
+	hints := fasttrack.Hints{Provenance: h.Provenance}
+	tool, err := fasttrack.NewTool(name, hints)
 	if err != nil {
 		return nil, "", fmt.Errorf("%s: %w", client.ErrCodeUnknownTool, err)
 	}
@@ -196,6 +239,7 @@ func BuildMonitor(h client.Handshake) (*fasttrack.Monitor, string, error) {
 		fasttrack.WithDetector(name),
 		fasttrack.WithGranularity(gran),
 		fasttrack.WithValidation(policy),
+		fasttrack.WithHints(hints),
 	}
 	if h.Shards > 1 {
 		opts = append(opts, fasttrack.WithShards(h.Shards))
@@ -225,11 +269,24 @@ type serverMetrics struct {
 	resumes                *obs.Counter // sessions admitted as resumes
 }
 
+// stageHists are the per-stage frame-latency histograms (nanoseconds),
+// published as svc.stage.<name>.ns when tracing is enabled.
+type stageHists struct {
+	wire, queue, decode, detect, callback *obs.Histogram
+}
+
 // Server is the racedetectd session multiplexer.
 type Server struct {
 	cfg Config
 	reg *obs.Registry
 	sm  serverMetrics
+
+	// Pipeline tracer state; all nil unless Config.Tracing. spans keeps
+	// the most recent traced frames, slow the frames whose processing
+	// latency crossed SlowFrameThreshold.
+	spans *obs.SpanRing
+	slow  *obs.SpanRing
+	stage *stageHists
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -283,6 +340,17 @@ func New(cfg Config) *Server {
 			admissionForcedSampled: reg.Counter("svc.admissionForcedSampled"),
 			resumes:                reg.Counter("svc.sessionResumes"),
 		},
+	}
+	if cfg.Tracing {
+		s.spans = obs.NewSpanRing(cfg.TraceSpans)
+		s.slow = obs.NewSpanRing(64)
+		s.stage = &stageHists{
+			wire:     reg.Histogram("svc.stage.wire.ns"),
+			queue:    reg.Histogram("svc.stage.queue.ns"),
+			decode:   reg.Histogram("svc.stage.decode.ns"),
+			detect:   reg.Histogram("svc.stage.detect.ns"),
+			callback: reg.Histogram("svc.stage.callback.ns"),
+		}
 	}
 	// The watchdog's patience in ticks. With a manually ticked governor
 	// (GovernorInterval < 0, tests) the default interval still scales the
@@ -495,6 +563,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.sm.sessionsTotal.Inc()
 	s.cfg.Logf("svc: session %s open (tool=%s policy=%q shards=%d fidelity=%s) from %s",
 		id, toolName, h.Policy, h.Shards, sess.fidelityString(plan.start), conn.RemoteAddr())
+	s.event(Event{Kind: "open", Session: id, Remote: sess.remote, Fidelity: sess.fidelityString(plan.start)})
 
 	s.wg.Add(1)
 	go func() {
@@ -506,6 +575,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		Fidelity:      rungNames[plan.start],
 		SampleRate:    sess.rateFor(plan.start),
 		ForcedSampled: plan.forced,
+		Tracing:       sess.traced,
 	}
 	if err := sess.reply(client.FrameHelloOK, ok); err != nil {
 		// The client never saw a session; don't read from it.
@@ -555,6 +625,7 @@ func (s *Server) refuseRetry(conn net.Conn, fw *trace.FrameWriter, code, msg str
 	fw.WriteFrame(client.FrameErrorMsg, b)
 	conn.Close()
 	s.cfg.Logf("svc: refused %s: %s: %s", conn.RemoteAddr(), code, msg)
+	s.event(Event{Kind: "refused", Remote: conn.RemoteAddr().String(), Reason: code + ": " + msg})
 }
 
 // maxEpochLineages bounds the resume-epoch map so hostile handshakes
@@ -593,6 +664,16 @@ func (s *Server) finalized(sess *session) {
 	}
 	s.cfg.Logf("svc: session %s %s (events=%d frames=%d races=%d)",
 		sess.id, sess.stateName(), sess.events.Load(), sess.frames.Load(), sess.raceCount())
+	kind := "end"
+	if sess.state.Load() == stateEvicted {
+		kind = "eviction"
+	}
+	reason := sess.stateName()
+	if e, _ := sess.errMsg.Load().(string); e != "" {
+		reason = e
+	}
+	s.event(Event{Kind: kind, Session: sess.id, Remote: sess.remote,
+		Fidelity: sess.fidelityString(sess.rung.Load()), Reason: reason})
 }
 
 // lookup returns the session with the given id, live or retained.
@@ -670,6 +751,23 @@ func (s *Server) Handler() http.Handler {
 			Stats  fasttrack.Stats `json:"stats"`
 			Health client.Health   `json:"health"`
 		}{sess.info(), st, hl})
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		out := struct {
+			Enabled         bool       `json:"enabled"`
+			SlowThresholdNs int64      `json:"slowThresholdNs,omitempty"`
+			Recorded        int64      `json:"recorded"`
+			Spans           []obs.Span `json:"spans"`
+			Slow            []obs.Span `json:"slow"`
+		}{Spans: []obs.Span{}, Slow: []obs.Span{}}
+		if s.spans != nil {
+			out.Enabled = true
+			out.SlowThresholdNs = s.cfg.SlowFrameThreshold.Nanoseconds()
+			out.Recorded = s.spans.Recorded()
+			out.Spans = s.spans.Snapshot()
+			out.Slow = s.slow.Snapshot()
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		// Liveness: the process is up and serving; governor state is

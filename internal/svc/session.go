@@ -50,16 +50,25 @@ type qitem struct {
 	payload  []byte
 	err      error // terminal: the reader's exit cause (nil on FrameClose)
 	terminal bool
+
+	// Tracing fields, populated by the reader only on traced sessions:
+	// when the frame arrived, the gap since the session's previous frame
+	// (the span's "wire" stage), and the client-stamped trace ID.
+	recv    int64
+	gap     int64
+	traceID uint64
 }
 
 // session is one connection's analysis state.
 type session struct {
-	id    string
-	srv   *Server
-	conn  net.Conn
-	mon   *fasttrack.Monitor
-	tool  string
-	hello client.Handshake
+	id     string
+	srv    *Server
+	conn   net.Conn
+	mon    *fasttrack.Monitor
+	tool   string
+	hello  client.Handshake
+	remote string // client address, kept for logs after conn closes
+	traced bool   // server tracing on AND the handshake asked for it
 
 	wmu sync.Mutex // serializes reply frames onto conn
 	fw  *trace.FrameWriter
@@ -125,6 +134,8 @@ func newSession(srv *Server, id string, conn net.Conn, fw *trace.FrameWriter,
 		id:       id,
 		srv:      srv,
 		conn:     conn,
+		remote:   conn.RemoteAddr().String(),
+		traced:   srv.cfg.Tracing && h.Tracing,
 		fw:       fw,
 		mon:      mon,
 		tool:     tool,
@@ -177,6 +188,7 @@ func (sess *session) closeQueue() { sess.closeQ.Do(func() { close(sess.queue) })
 // sent nothing at all for a full idle interval.
 func (sess *session) readLoop(fr *trace.FrameReader) {
 	defer sess.closeQueue()
+	var lastRecv int64 // previous frame's arrival, for the "wire" gap
 	for {
 		t, payload, err := fr.ReadFrame()
 		if err != nil {
@@ -192,11 +204,20 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 			sess.enqueue(qitem{terminal: true, err: err})
 			return
 		}
-		sess.lastActive.Store(time.Now().UnixNano())
+		now := time.Now().UnixNano()
+		sess.lastActive.Store(now)
 		sess.srv.sm.framesTotal.Inc()
 		// 9 = frame header (5) + CRC trailer (4) wire overhead.
 		sess.srv.sm.bytesTotal.Add(int64(len(payload)) + 9)
-		if !sess.enqueue(qitem{t: t, payload: payload}) {
+		it := qitem{t: t, payload: payload}
+		if sess.traced {
+			it.recv, it.traceID = now, fr.TraceID()
+			if lastRecv != 0 {
+				it.gap = now - lastRecv
+			}
+			lastRecv = now
+		}
+		if !sess.enqueue(it) {
 			return // quarantined; the deferred closeQueue lets an unwedged worker exit
 		}
 		if t == client.FrameClose {
@@ -296,6 +317,10 @@ func isDisconnect(err error) bool {
 func (sess *session) handleFrame(it qitem) error {
 	switch it.t {
 	case client.FrameEvents:
+		var dequeued int64 // tracing: when the worker picked the frame up
+		if sess.traced {
+			dequeued = time.Now().UnixNano()
+		}
 		// Apply any governor rate change at the frame boundary: the
 		// worker is the monitor's only event producer, so this is the
 		// one place a rate write needs no coordination beyond the
@@ -305,7 +330,7 @@ func (sess *session) handleFrame(it qitem) error {
 			sess.appliedRate = r
 			sess.mon.SetSamplingRate(math.Float64frombits(r))
 		}
-		n, err := sess.ingestChunk(it.payload)
+		n, decodeNs, detectNs, err := sess.ingestChunk(it.payload)
 		sess.events.Add(n)
 		sess.srv.sm.eventsTotal.Add(n)
 		if err != nil {
@@ -318,6 +343,9 @@ func (sess *session) handleFrame(it qitem) error {
 			st := sess.mon.Stats()
 			sess.shadowBytes.Store(st.ShadowBytes)
 			sess.toolDisabled.Store(sess.mon.Health().ToolDisabled)
+		}
+		if sess.traced {
+			sess.recordSpan(it, dequeued, decodeNs, detectNs)
 		}
 		return nil
 	case client.FrameFlush:
@@ -348,26 +376,66 @@ func (sess *session) handleFrame(it qitem) error {
 // batch: one wire frame is one Monitor.IngestBatch call, so the
 // per-event lock and dispatch bookkeeping is amortized across the
 // frame. It returns how many events were ingested even on error, so
-// accounting stays exact.
-func (sess *session) ingestChunk(payload []byte) (int64, error) {
+// accounting stays exact. On traced sessions it also times the decode
+// and detect stages (both 0 otherwise).
+func (sess *session) ingestChunk(payload []byte) (n, decodeNs, detectNs int64, err error) {
+	var t0 int64
+	if sess.traced {
+		t0 = time.Now().UnixNano()
+	}
 	sc := trace.NewScanner(bytes.NewReader(payload))
 	events := sess.scratch[:0]
 	for sc.Scan() {
 		events = append(events, sc.Event())
 	}
 	sess.scratch = events // keep the grown buffer for the next frame
+	var t1 int64
+	if sess.traced {
+		t1 = time.Now().UnixNano()
+		decodeNs = t1 - t0
+	}
 	if derr := sc.Err(); derr != nil {
 		// The frame's CRC passed but the payload is malformed. Ingest the
 		// decodable prefix so accounting matches the per-event path, then
 		// fail the session on the decode error.
-		n, _ := sess.mon.IngestBatch(events)
-		return int64(n), fmt.Errorf("%s: chunk %d: %v", client.ErrCodeDecode, sess.frames.Load(), derr)
+		k, _ := sess.mon.IngestBatch(events)
+		return int64(k), decodeNs, 0, fmt.Errorf("%s: chunk %d: %v", client.ErrCodeDecode, sess.frames.Load(), derr)
 	}
-	n, err := sess.mon.IngestBatch(events)
-	if err != nil {
-		return int64(n), fmt.Errorf("%s: %v", client.ErrCodeIngest, err)
+	k, ierr := sess.mon.IngestBatch(events)
+	if sess.traced {
+		detectNs = time.Now().UnixNano() - t1
 	}
-	return int64(n), nil
+	if ierr != nil {
+		return int64(k), decodeNs, detectNs, fmt.Errorf("%s: %v", client.ErrCodeIngest, ierr)
+	}
+	return int64(k), decodeNs, detectNs, nil
+}
+
+// recordSpan publishes one traced event frame's span: "wire" is the
+// arrival gap since the session's previous frame, "queue" the wait in
+// the session queue, "decode"/"detect" from ingestChunk, and "callback"
+// the post-ingest remainder (accounting, governor snapshot refresh).
+// Frames whose processing latency (everything but "wire") crosses the
+// slow threshold are also kept in the slow-frame log.
+func (sess *session) recordSpan(it qitem, dequeued, decodeNs, detectNs int64) {
+	now := time.Now().UnixNano()
+	sp := obs.Span{TraceID: it.traceID, Label: sess.id, Seq: sess.frames.Load(), Start: it.recv}
+	sp.AddStage("wire", it.gap)
+	sp.AddStage("queue", dequeued-it.recv)
+	sp.AddStage("decode", decodeNs)
+	sp.AddStage("detect", detectNs)
+	sp.AddStage("callback", now-dequeued-decodeNs-detectNs)
+	srv := sess.srv
+	srv.spans.Record(sp)
+	st := srv.stage
+	st.wire.Observe(it.gap)
+	st.queue.Observe(dequeued - it.recv)
+	st.decode.Observe(decodeNs)
+	st.detect.Observe(detectNs)
+	st.callback.Observe(now - dequeued - decodeNs - detectNs)
+	if now-it.recv >= srv.cfg.SlowFrameThreshold.Nanoseconds() {
+		srv.slow.Record(sp)
+	}
 }
 
 // results snapshots the session's analysis state for a reply, a query
@@ -391,6 +459,9 @@ func (sess *session) results(seq int64) client.Results {
 	res.Stats = st
 	res.Health = client.HealthFrom(sess.mon.Health())
 	res.DetectionProbability = st.DetectionProbability()
+	if sess.hello.Provenance {
+		res.Detailed = sess.mon.DetailedRaces()
+	}
 	return res
 }
 

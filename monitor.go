@@ -64,9 +64,10 @@ type Monitor struct {
 // monitorFinal is the snapshot captured by Close, after which the
 // detector and its shadow state are released.
 type monitorFinal struct {
-	races  []Report
-	stats  Stats
-	health Health
+	races    []Report
+	detailed []DetailedReport
+	stats    Stats
+	health   Health
 }
 
 // tool returns the dispatcher's current delivery target. Reads must go
@@ -179,6 +180,9 @@ func (m *Monitor) Close() error {
 		races:  append([]Report(nil), m.tool().Races()...),
 		stats:  st,
 		health: m.disp.Health(),
+	}
+	if dt, ok := m.tool().(rr.DetailedTool); ok {
+		m.final.detailed = append([]DetailedReport(nil), dt.DetailedRaces()...)
 	}
 	m.closed = true
 	// Drop the pipeline so the shadow state is collectable. Every event
@@ -416,6 +420,30 @@ func (m *Monitor) Races() []Report {
 		return append([]Report(nil), m.final.races...)
 	}
 	return append([]Report(nil), m.tool().Races()...)
+}
+
+// DetailedRaces returns the provenance-enriched view of Races(): one
+// DetailedReport per warning, in the same order, with the embedded
+// Report identical to the plain snapshot. Reports carry the recorder's
+// evidence (clock snapshots, the failed happens-before check, recent
+// sync chains, a rendered explanation) only when the wrapped detector
+// had provenance enabled (Hints.Provenance); otherwise — including
+// tools without a recorder — each entry holds just the plain fields.
+func (m *Monitor) DetailedRaces() []DetailedReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return append([]DetailedReport(nil), m.final.detailed...)
+	}
+	if dt, ok := m.tool().(rr.DetailedTool); ok {
+		return append([]DetailedReport(nil), dt.DetailedRaces()...)
+	}
+	races := m.tool().Races()
+	out := make([]DetailedReport, len(races))
+	for i, r := range races {
+		out[i] = DetailedReport{Report: r}
+	}
+	return out
 }
 
 // Stats returns a snapshot of the detector's counters, including the

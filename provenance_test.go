@@ -1,0 +1,135 @@
+package fasttrack
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fasttrack/internal/chaos"
+	"fasttrack/internal/sim"
+	"fasttrack/trace"
+)
+
+// replayProv feeds tr through a fresh FastTrack monitor and returns the
+// plain and detailed race snapshots.
+func replayProv(tr trace.Trace, shards int, provenance bool) ([]Report, []DetailedReport) {
+	opts := []MonitorOption{WithHints(Hints{Provenance: provenance})}
+	if shards > 1 {
+		opts = append(opts, WithShards(shards))
+	}
+	m := NewMonitor(opts...)
+	for _, e := range tr {
+		m.Ingest(e)
+	}
+	return m.Races(), m.DetailedRaces()
+}
+
+// assertProvenanceEquivalent is the enrichment soundness property: the
+// flight recorder must never change which races are reported — enabling
+// it yields the identical Report sequence (not just set) as a plain
+// run, on the serial and sharded paths alike — and every enriched
+// report must describe the race its embedded Report names.
+func assertProvenanceEquivalent(t *testing.T, label string, tr trace.Trace, shards int) {
+	t.Helper()
+	plainRaces, plainDetails := replayProv(tr, shards, false)
+	provRaces, provDetails := replayProv(tr, shards, true)
+
+	// Provenance-off runs keep plain reports: no recorder, PrevIndex
+	// stays -1 (detailed reports are off by default).
+	for _, d := range plainDetails {
+		if d.Explanation != "" || len(d.AccessClock) != 0 {
+			t.Errorf("%s: recorder off but report enriched: %+v", label, d)
+		}
+	}
+
+	if len(provRaces) != len(plainRaces) {
+		t.Fatalf("%s: provenance changed the race count: %d with, %d without",
+			label, len(provRaces), len(plainRaces))
+	}
+	for i := range plainRaces {
+		p, q := plainRaces[i], provRaces[i]
+		// The recorder implies detailed reports, which fill PrevIndex;
+		// everything else must match field for field.
+		q.PrevIndex = p.PrevIndex
+		if p != q {
+			t.Errorf("%s: race %d diverges\n plain: %+v\n prov:  %+v", label, i, p, q)
+		}
+	}
+
+	if len(provDetails) != len(provRaces) {
+		t.Fatalf("%s: %d detailed reports for %d races", label, len(provDetails), len(provRaces))
+	}
+	for i, d := range provDetails {
+		if d.Report != provRaces[i] {
+			t.Errorf("%s: detail %d embeds %+v, want %+v", label, i, d.Report, provRaces[i])
+		}
+		if d.Explanation == "" || d.FailedCheck == "" || len(d.AccessClock) == 0 {
+			t.Errorf("%s: detail %d missing evidence: %+v", label, i, d)
+		}
+		want := fmt.Sprintf("on x%d", d.Var)
+		if !strings.Contains(d.Explanation, want) {
+			t.Errorf("%s: detail %d explanation does not name its variable: %q", label, i, d.Explanation)
+		}
+	}
+}
+
+// TestProvenanceEquivalenceSim: paper-shaped benchmark workloads and
+// random feasible traces, serial and sharded.
+func TestProvenanceEquivalenceSim(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		for _, b := range sim.Benchmarks()[:4] {
+			assertProvenanceEquivalent(t, fmt.Sprintf("%s/shards=%d", b.Name, shards), b.Trace(0.05), shards)
+		}
+		cfg := sim.DefaultRandomConfig()
+		cfg.Events = 600
+		cfg.Vars = 12
+		for seed := int64(1); seed <= 6; seed++ {
+			tr := sim.RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+			assertProvenanceEquivalent(t, fmt.Sprintf("random/seed=%d/shards=%d", seed, shards), tr, shards)
+		}
+	}
+}
+
+// TestProvenanceEquivalenceChaos: the property must also hold on
+// corrupted streams, where the dispatcher repairs or intercepts
+// malformed events before they reach the detector.
+func TestProvenanceEquivalenceChaos(t *testing.T) {
+	base := sim.RandomTrace(rand.New(rand.NewSource(7)), sim.DefaultRandomConfig())
+	for _, shards := range []int{1, 8} {
+		for _, mode := range chaos.Modes() {
+			raw := chaos.Mutate(base, mode, rand.New(rand.NewSource(3)))
+			var tr trace.Trace
+			sc := trace.NewScanner(bytes.NewReader(raw))
+			for sc.Scan() {
+				tr = append(tr, sc.Event())
+			}
+			if len(tr) == 0 {
+				continue
+			}
+			assertProvenanceEquivalent(t, fmt.Sprintf("chaos/%s/shards=%d", mode, shards), tr, shards)
+		}
+	}
+}
+
+// TestProvenanceSurvivesClose: the detailed snapshot outlives Close,
+// like races and stats do.
+func TestProvenanceSurvivesClose(t *testing.T) {
+	m := NewMonitor(WithHints(Hints{Provenance: true}))
+	m.Fork(0, 1)
+	m.Write(0, 3)
+	m.Write(1, 3)
+	live := m.DetailedRaces()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := m.DetailedRaces()
+	if len(live) != 1 || len(final) != 1 {
+		t.Fatalf("detailed counts: live %d, final %d, want 1", len(live), len(final))
+	}
+	if live[0].Explanation == "" || live[0].Explanation != final[0].Explanation {
+		t.Errorf("snapshot diverges across Close:\n live:  %q\n final: %q",
+			live[0].Explanation, final[0].Explanation)
+	}
+}

@@ -46,6 +46,17 @@ type Sampled = rr.Sampled
 // Report is one race warning.
 type Report = rr.Report
 
+// DetailedReport is a race warning enriched by the provenance flight
+// recorder (Hints.Provenance): vector-clock snapshots of both accesses,
+// the exact happens-before comparison that failed, the racing threads'
+// recent release/acquire chains, and a rendered "why this is a race"
+// explanation. See Monitor.DetailedRaces.
+type DetailedReport = rr.DetailedReport
+
+// SyncRecord is one entry of a DetailedReport's sync chain: a recent
+// synchronization operation of one of the racing threads.
+type SyncRecord = rr.SyncRecord
+
 // Stats are a tool's instrumentation counters (vector clocks allocated,
 // O(n) vector-clock operations, per-rule hit counts, shadow bytes).
 type Stats = rr.Stats
@@ -110,6 +121,14 @@ type Hints struct {
 	// so reports carry PrevIndex (the prior racing access's event
 	// position). Other detectors ignore it.
 	DetailedReports bool
+	// Provenance enables FastTrack's flight recorder (implying
+	// DetailedReports): bounded per-thread rings of recent sync
+	// operations plus a per-variable last-access record, so each race is
+	// enriched into a DetailedReport explaining why happens-before
+	// failed. Costs roughly one vector-clock copy per non-redundant
+	// access while enabled (see BENCH_provenance.json); other detectors
+	// ignore it.
+	Provenance bool
 	// MemoryBudget caps FastTrack's shadow-memory footprint at the given
 	// number of bytes. Under pressure the detector degrades precision
 	// instead of growing: read vector clocks are squeezed back to epochs
@@ -131,6 +150,9 @@ var toolMakers = map[string]func(h Hints) Tool{
 		d := core.New(h.Threads, h.Vars)
 		if h.DetailedReports {
 			d.EnableDetailedReports()
+		}
+		if h.Provenance {
+			d.EnableProvenance()
 		}
 		if h.MemoryBudget > 0 {
 			d.SetMemoryBudget(h.MemoryBudget)

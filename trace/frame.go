@@ -22,10 +22,27 @@ import (
 // corrupted type or a corrupted body is detected as one failure class.
 // The frame layer knows nothing about frame-type semantics beyond the
 // one byte it carries; the service protocol assigns meanings.
+//
+// One optional header extension exists for pipeline tracing: when the
+// high bit of the type byte is set, an 8-byte big-endian trace ID sits
+// between the type byte and the payload (counted in the declared
+// length, covered by the CRC). Readers strip it transparently; writers
+// emit it only via WriteTracedFrame, and only to peers that negotiated
+// the extension, so the base framing stays wire-compatible.
 
 // FrameType tags a frame's payload; meanings are assigned by the
 // protocol layered on top (see internal/svc).
 type FrameType uint8
+
+// frameTraceIDFlag is the high bit of the wire type byte: when set, an
+// 8-byte big-endian trace ID precedes the payload (and is counted in
+// the declared payload length and covered by the CRC). The flag is an
+// optional, negotiated extension — see WriteTracedFrame — so peers that
+// predate it never receive flagged frames and never need to parse it.
+const frameTraceIDFlag = 0x80
+
+// frameTraceIDLen is the size of the optional trace-ID header field.
+const frameTraceIDLen = 8
 
 // frameHeaderLen is the fixed per-frame overhead before the payload.
 const frameHeaderLen = 4 + 1
@@ -61,17 +78,46 @@ func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
 
 // WriteFrame emits one frame of the given type.
 func (fw *FrameWriter) WriteFrame(t FrameType, payload []byte) error {
-	binary.BigEndian.PutUint32(fw.scratch[:4], uint32(len(payload)))
-	fw.scratch[4] = byte(t)
+	return fw.writeFrame(t, 0, payload)
+}
+
+// WriteTracedFrame emits one frame carrying the optional trace-ID
+// header field (id != 0): the wire type byte gets the trace flag and
+// the 8-byte ID precedes the payload, inside the declared length and
+// the CRC. id == 0 degrades to a plain WriteFrame. Because a reader
+// that predates the extension rejects the flagged type byte, senders
+// must only use it with peers that negotiated support (the racedetectd
+// protocol advertises it in the handshake).
+func (fw *FrameWriter) WriteTracedFrame(t FrameType, id uint64, payload []byte) error {
+	return fw.writeFrame(t, id, payload)
+}
+
+func (fw *FrameWriter) writeFrame(t FrameType, id uint64, payload []byte) error {
+	declared := len(payload)
+	wireType := byte(t)
+	var idBuf [frameTraceIDLen]byte
+	if id != 0 {
+		declared += frameTraceIDLen
+		wireType |= frameTraceIDFlag
+		binary.BigEndian.PutUint64(idBuf[:], id)
+	}
+	binary.BigEndian.PutUint32(fw.scratch[:4], uint32(declared))
+	fw.scratch[4] = wireType
 	if _, err := fw.w.Write(fw.scratch[:]); err != nil {
 		return err
+	}
+	crc := crc32.ChecksumIEEE(fw.scratch[4:5])
+	if id != 0 {
+		if _, err := fw.w.Write(idBuf[:]); err != nil {
+			return err
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, idBuf[:])
 	}
 	if len(payload) > 0 {
 		if _, err := fw.w.Write(payload); err != nil {
 			return err
 		}
 	}
-	crc := crc32.ChecksumIEEE(fw.scratch[4:5])
 	crc = crc32.Update(crc, crc32.IEEETable, payload)
 	var tr [frameTrailerLen]byte
 	binary.BigEndian.PutUint32(tr[:], crc)
@@ -92,6 +138,7 @@ type FrameReader struct {
 	max    int
 	frames int64
 	bytes  int64
+	lastID uint64
 }
 
 // NewFrameReader returns a frame reader over r. maxPayload bounds the
@@ -105,7 +152,9 @@ func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
 
 // ReadFrame reads the next frame. A clean EOF at a frame boundary is
 // returned as io.EOF; an EOF inside a frame is io.ErrUnexpectedEOF
-// (the stream was torn mid-frame).
+// (the stream was torn mid-frame). When the frame carried the optional
+// trace-ID header field, the ID is stripped from the returned payload
+// and available from TraceID until the next ReadFrame.
 func (fr *FrameReader) ReadFrame() (FrameType, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
@@ -133,10 +182,23 @@ func (fr *FrameReader) ReadFrame() (FrameType, []byte, error) {
 	if got := binary.BigEndian.Uint32(tr[:]); got != crc {
 		return 0, nil, fmt.Errorf("%w: frame %d: got %08x want %08x", ErrFrameCRC, fr.frames, got, crc)
 	}
+	fr.lastID = 0
+	if t&frameTraceIDFlag != 0 {
+		if n < frameTraceIDLen {
+			return 0, nil, fmt.Errorf("trace: frame %d declares a trace ID but carries %d bytes", fr.frames, n)
+		}
+		fr.lastID = binary.BigEndian.Uint64(payload[:frameTraceIDLen])
+		payload = payload[frameTraceIDLen:]
+		t &^= frameTraceIDFlag
+	}
 	fr.frames++
 	fr.bytes += int64(frameHeaderLen+frameTrailerLen) + int64(n)
 	return t, payload, nil
 }
+
+// TraceID returns the trace ID of the most recently read frame, or 0
+// when that frame carried none.
+func (fr *FrameReader) TraceID() uint64 { return fr.lastID }
 
 // Frames returns the number of frames successfully read.
 func (fr *FrameReader) Frames() int64 { return fr.frames }

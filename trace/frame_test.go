@@ -109,3 +109,80 @@ func TestFrameCarriesTraceChunk(t *testing.T) {
 		t.Fatalf("decoded %d events from framed chunk, want %d", len(got), len(tr))
 	}
 }
+
+func TestTracedFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteTracedFrame(5, 0xDEADBEEFCAFE, []byte("events")); err != nil {
+		t.Fatal(err)
+	}
+	// A zero ID degrades to a plain frame.
+	if err := fw.WriteTracedFrame(6, 0, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf, 0)
+	typ, payload, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != 5 || string(payload) != "events" {
+		t.Errorf("traced frame decoded as (%d, %q)", typ, payload)
+	}
+	if fr.TraceID() != 0xDEADBEEFCAFE {
+		t.Errorf("TraceID = %#x, want 0xDEADBEEFCAFE", fr.TraceID())
+	}
+	typ, payload, err = fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != 6 || string(payload) != "plain" {
+		t.Errorf("plain frame decoded as (%d, %q)", typ, payload)
+	}
+	// The ID does not leak across frames.
+	if fr.TraceID() != 0 {
+		t.Errorf("TraceID after plain frame = %#x, want 0", fr.TraceID())
+	}
+}
+
+func TestTracedFrameBackwardCompatible(t *testing.T) {
+	// Untraced frames produced by the extended writer are byte-identical
+	// to the legacy encoding: the extension costs nothing unless used.
+	var plain, viaTraced bytes.Buffer
+	if err := NewFrameWriter(&plain).WriteFrame(3, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewFrameWriter(&viaTraced).WriteTracedFrame(3, 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), viaTraced.Bytes()) {
+		t.Errorf("zero-ID WriteTracedFrame is not byte-identical to WriteFrame")
+	}
+}
+
+func TestTracedFrameCRCCoversID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewFrameWriter(&buf).WriteTracedFrame(2, 42, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt one byte of the embedded trace ID (bytes 5..12).
+	raw[8] ^= 0xFF
+	_, _, err := NewFrameReader(bytes.NewReader(raw), 0).ReadFrame()
+	if !errors.Is(err, ErrFrameCRC) {
+		t.Errorf("corrupted trace ID: err = %v, want ErrFrameCRC", err)
+	}
+}
+
+func TestTracedFrameTruncatedID(t *testing.T) {
+	// A flagged frame whose declared payload is shorter than the ID field
+	// is rejected (defense against hand-crafted input).
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(FrameType(1|frameTraceIDFlag), []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := NewFrameReader(&buf, 0).ReadFrame()
+	if err == nil {
+		t.Fatal("flagged frame with 3-byte payload was accepted")
+	}
+}
