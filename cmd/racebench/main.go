@@ -22,7 +22,11 @@
 // (BENCH_batch.json in CI). "provenance": FastTrack throughput with
 // the provenance flight recorder off vs on across workload mixes; with
 // -out FILE it writes the fasttrack/bench-provenance/v1 artifact
-// (BENCH_provenance.json in CI).
+// (BENCH_provenance.json in CI). "speed": serial per-event throughput
+// of the struct-of-arrays shadow layout against the frozen pre-refactor
+// baseline (DESIGN.md §13); with -out FILE it writes the
+// fasttrack/bench-speed/v1 artifact (BENCH_speed.json in CI, gated at
+// geomean >= 2x).
 package main
 
 import (
@@ -34,7 +38,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch, fidelity, provenance")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch, fidelity, provenance, speed")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
@@ -152,6 +156,18 @@ func main() {
 				check(f.Close())
 				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
 			}
+		case "speed":
+			fmt.Println("=== Refactor gate: raw shadow-layout speed vs frozen baseline ===")
+			rep, err := bench.Speed(cfg)
+			check(err)
+			bench.FprintSpeed(os.Stdout, rep)
+			if *out != "" {
+				f, err := os.Create(*out)
+				check(err)
+				check(bench.WriteSpeedJSON(f, rep))
+				check(f.Close())
+				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
 			os.Exit(2)
@@ -160,7 +176,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch", "fidelity", "provenance"} {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch", "fidelity", "provenance", "speed"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
+	"fasttrack/trace"
+)
+
+// This file freezes the pre-refactor serial FastTrack detector — the
+// array-of-structs layout internal/core shipped before the
+// struct-of-arrays refactor (DESIGN.md §13) — as an in-harness
+// baseline. The speed table measures it and the current detector in the
+// same process on the same event streams, so BENCH_speed.json reports a
+// machine-independent ratio: whatever the host, both sides pay the same
+// clock, allocator and cache hierarchy. The replica is faithful to the
+// old hot path, including its branch structure for features the
+// workloads leave off (sampling, budget, detailed reports, provenance,
+// sharding): those branches were part of the old per-event cost.
+//
+// Do not "improve" this code; its job is to stay exactly as fast as the
+// detector the refactor replaced.
+
+// blReadShared is the old read-shared sentinel: R_x pointing at the
+// variable's own vector clock.
+const blReadShared = ^vc.Epoch(0)
+
+// blVarState is the old per-variable shadow record: 40 bytes + padding,
+// 1.33 variables per cache line against the refactor's 8 epochs.
+type blVarState struct {
+	w, r    vc.Epoch
+	rvc     vc.VC
+	flagged bool
+}
+
+type blThreadState struct {
+	c     vc.VC
+	epoch vc.Epoch
+}
+
+// speedBaseline is the frozen detector. Field set and handler structure
+// mirror the old core.Detector; unused feature fields stay zero so the
+// hot path's branches evaluate exactly as they did.
+type speedBaseline struct {
+	threads   []blThreadState
+	locks     map[uint64]vc.VC
+	vols      map[uint64]vc.VC
+	vars      []blVarState
+	detailed  bool
+	budget    int64
+	extended  bool
+	sampleThr uint64
+	races     []rr.Report
+	st        rr.Stats
+}
+
+func newSpeedBaseline() *speedBaseline {
+	return &speedBaseline{
+		locks:     make(map[uint64]vc.VC),
+		vols:      make(map[uint64]vc.VC),
+		sampleThr: uint64(1) << 32,
+	}
+}
+
+func (d *speedBaseline) thread(t int32) *blThreadState {
+	for int(t) >= len(d.threads) {
+		u := vc.Tid(len(d.threads))
+		cv := vc.New(len(d.threads) + 1).Inc(u)
+		d.st.VCAlloc++
+		d.threads = append(d.threads, blThreadState{c: cv, epoch: cv.Epoch(u)})
+	}
+	return &d.threads[t]
+}
+
+func (d *speedBaseline) variable(x uint64) *blVarState {
+	for x >= uint64(len(d.vars)) {
+		d.vars = append(d.vars, blVarState{})
+	}
+	return &d.vars[x]
+}
+
+func (d *speedBaseline) sampledOut(x uint64) bool {
+	thr := d.sampleThr
+	if thr == uint64(1)<<32 {
+		return false
+	}
+	h := x
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h>>32 >= thr
+}
+
+func (d *speedBaseline) report(x uint64, vs *blVarState, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
+	if vs.flagged {
+		return
+	}
+	vs.flagged = true
+	d.races = append(d.races, rr.Report{Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: -1})
+}
+
+func (d *speedBaseline) read(i int, tid int32, x uint64) {
+	if d.sampledOut(x) {
+		return
+	}
+	d.st.Reads++
+	if d.budget > 0 {
+		x = d.budgetVar(x)
+	}
+	vs := d.variable(x)
+	d.st.Events++
+	ts := d.thread(tid)
+	if vs.r == ts.epoch {
+		d.st.ReadSameEpoch++
+		return
+	}
+	if d.extended && vs.r == blReadShared && vs.rvc.Get(vc.Tid(tid)) == ts.c.Get(vc.Tid(tid)) {
+		d.st.ReadSameEpoch++
+		return
+	}
+	if !vs.w.LEq(ts.c) {
+		d.report(x, vs, rr.WriteRead, tid, vs.w.Tid(), i)
+	}
+	if d.detailed {
+		_ = i
+	}
+	t := vc.Tid(tid)
+	switch {
+	case vs.r == blReadShared:
+		vs.rvc = vs.rvc.Set(t, ts.c.Get(t))
+		d.st.ReadShared++
+	case vs.r.LEq(ts.c):
+		vs.r = ts.epoch
+		d.st.ReadExclusive++
+	default:
+		if vs.rvc == nil {
+			vs.rvc = vc.New(len(d.threads))
+			d.st.VCAlloc++
+		} else {
+			for j := range vs.rvc {
+				vs.rvc[j] = 0
+			}
+		}
+		vs.rvc = vs.rvc.Set(vs.r.Tid(), vs.r.Clock())
+		vs.rvc = vs.rvc.Set(t, ts.c.Get(t))
+		vs.r = blReadShared
+		d.st.ReadShare++
+	}
+}
+
+func (d *speedBaseline) write(i int, tid int32, x uint64) {
+	if d.sampledOut(x) {
+		return
+	}
+	d.st.Writes++
+	if d.budget > 0 {
+		x = d.budgetVar(x)
+	}
+	vs := d.variable(x)
+	d.st.Events++
+	ts := d.thread(tid)
+	if vs.w == ts.epoch {
+		d.st.WriteSameEpoch++
+		return
+	}
+	if !vs.w.LEq(ts.c) {
+		d.report(x, vs, rr.WriteWrite, tid, vs.w.Tid(), i)
+	}
+	if vs.r != blReadShared {
+		if !vs.r.LEq(ts.c) {
+			d.report(x, vs, rr.ReadWrite, tid, vs.r.Tid(), i)
+		}
+		d.st.WriteExclusive++
+	} else {
+		d.st.VCOp++
+		if prev := vs.rvc.FirstExceeding(ts.c); prev >= 0 {
+			d.report(x, vs, rr.ReadWrite, tid, prev, i)
+		}
+		vs.r = vc.Bottom
+		d.st.WriteShared++
+	}
+	if d.detailed {
+		_ = i
+	}
+	vs.w = ts.epoch
+}
+
+func (d *speedBaseline) budgetVar(x uint64) uint64 { return x }
+
+// HandleEvent mirrors the old core.Detector.HandleEvent dispatch.
+func (d *speedBaseline) HandleEvent(i int, e trace.Event) {
+	switch e.Kind {
+	case trace.Read:
+		d.read(i, e.Tid, e.Target)
+		return
+	case trace.Write:
+		d.write(i, e.Tid, e.Target)
+		return
+	}
+	d.st.Events++
+	switch e.Kind {
+	case trace.Acquire:
+		d.st.CountKind(e.Kind)
+		ts := d.thread(e.Tid)
+		if lm, ok := d.locks[e.Target]; ok {
+			ts.c = ts.c.Join(lm)
+			d.st.VCOp++
+		}
+	case trace.Release:
+		d.st.CountKind(e.Kind)
+		ts := d.thread(e.Tid)
+		lm, ok := d.locks[e.Target]
+		if !ok {
+			d.st.VCAlloc++
+		}
+		d.locks[e.Target] = lm.CopyInto(ts.c)
+		d.st.VCOp++
+		ts.c = ts.c.Inc(vc.Tid(e.Tid))
+		ts.epoch = ts.c.Epoch(vc.Tid(e.Tid))
+	case trace.Fork:
+		d.st.CountKind(e.Kind)
+		u := int32(e.Target)
+		d.thread(u)
+		ts := d.thread(e.Tid)
+		us := d.thread(u)
+		us.c = us.c.Join(ts.c)
+		us.epoch = us.c.Epoch(vc.Tid(u))
+		d.st.VCOp++
+		ts.c = ts.c.Inc(vc.Tid(e.Tid))
+		ts.epoch = ts.c.Epoch(vc.Tid(e.Tid))
+	case trace.Join:
+		d.st.CountKind(e.Kind)
+		u := int32(e.Target)
+		d.thread(u)
+		ts := d.thread(e.Tid)
+		us := d.thread(u)
+		ts.c = ts.c.Join(us.c)
+		ts.epoch = ts.c.Epoch(vc.Tid(e.Tid))
+		d.st.VCOp++
+		us.c = us.c.Inc(vc.Tid(u))
+		us.epoch = us.c.Epoch(vc.Tid(u))
+	case trace.VolatileRead:
+		d.st.CountKind(e.Kind)
+		ts := d.thread(e.Tid)
+		if lv, ok := d.vols[e.Target]; ok {
+			ts.c = ts.c.Join(lv)
+			d.st.VCOp++
+		}
+	case trace.VolatileWrite:
+		d.st.CountKind(e.Kind)
+		ts := d.thread(e.Tid)
+		lv, ok := d.vols[e.Target]
+		if !ok {
+			d.st.VCAlloc++
+		}
+		d.vols[e.Target] = lv.Join(ts.c)
+		d.st.VCOp++
+		ts.c = ts.c.Inc(vc.Tid(e.Tid))
+		ts.epoch = ts.c.Epoch(vc.Tid(e.Tid))
+	case trace.BarrierRelease:
+		d.st.CountKind(e.Kind)
+		if len(e.Tids) == 0 {
+			return
+		}
+		join := vc.New(len(d.threads))
+		d.st.VCAlloc++
+		for _, u := range e.Tids {
+			join = join.Join(d.thread(u).c)
+			d.st.VCOp++
+		}
+		for _, u := range e.Tids {
+			us := d.thread(u)
+			us.c = us.c.CopyInto(join).Inc(vc.Tid(u))
+			us.epoch = us.c.Epoch(vc.Tid(u))
+			d.st.VCOp++
+		}
+	}
+}
+
+// Races returns the baseline's reports, for the equivalence check the
+// speed harness runs before timing.
+func (d *speedBaseline) Races() []rr.Report { return d.races }

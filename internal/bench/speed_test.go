@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpeedShape checks the raw-speed table's structure at unit-test
+// scale. The >= 2x throughput gate is asserted on the full-scale
+// artifact in CI, not here: at 0.1x the working sets collapse into
+// cache and the ratio measures only shared dispatch overhead.
+func TestSpeedShape(t *testing.T) {
+	rep, err := Speed(Config{Scale: 0.1, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SpeedSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, SpeedSchema)
+	}
+	want := []string{"same-epoch", "sweep", "read-shared", "first-touch", "mixed"}
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(want))
+	}
+	for i, r := range rep.Rows {
+		if r.Workload != want[i] {
+			t.Errorf("row %d: workload %q, want %q", i, r.Workload, want[i])
+		}
+		if r.Events <= 0 {
+			t.Errorf("%s: no events", r.Workload)
+		}
+		if r.BaselineNsPerEvent <= 0 || r.NsPerEvent <= 0 {
+			t.Errorf("%s: non-positive timing (baseline %.2f, current %.2f)",
+				r.Workload, r.BaselineNsPerEvent, r.NsPerEvent)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: non-positive speedup %.2f", r.Workload, r.Speedup)
+		}
+	}
+	if rep.GeomeanSpeedup <= 0 {
+		t.Errorf("non-positive geomean %.2f", rep.GeomeanSpeedup)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSpeedJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back SpeedReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.GeomeanSpeedup != rep.GeomeanSpeedup || len(back.Rows) != len(rep.Rows) {
+		t.Error("artifact round-trip lost fields")
+	}
+
+	var tbl strings.Builder
+	FprintSpeed(&tbl, rep)
+	for _, w := range want {
+		if !strings.Contains(tbl.String(), w) {
+			t.Errorf("rendered table missing workload %q", w)
+		}
+	}
+}

@@ -86,21 +86,25 @@ func (d *Detector) Compact(dead []int32) CompactStats {
 	// retained marks dead threads still referenced somewhere.
 	retained := map[vc.Tid]bool{}
 
-	compactVar := func(vs *varState) {
-		if vs.w != vc.Bottom && deadSet[vs.w.Tid()] {
-			if dominated(vs.w) {
-				vs.w = vc.Bottom
+	compactVar := func(wp, rp *vc.Epoch, rs *rvcStore) {
+		w := *wp
+		if w != vc.Bottom && deadSet[w.Tid()] {
+			if dominated(w) {
+				*wp = vc.Bottom
 				st.ClearedWriteEpochs++
 			} else {
-				retained[vs.w.Tid()] = true
+				retained[w.Tid()] = true
 			}
 		}
-		if vs.r == readShared {
+		r := *rp
+		if isShared(r) {
+			idx := sharedIdx(r)
+			rvc := rs.vcAt(idx)
 			changed := false
 			for u := range deadSet {
-				if c := vs.rvc.Get(u); c > 0 {
+				if c := rvc.Get(u); c > 0 {
 					if c <= minLive[u] {
-						vs.rvc = vs.rvc.Set(u, 0)
+						rvc[u] = 0
 						st.ClearedReadRefs++
 						changed = true
 					} else {
@@ -109,34 +113,50 @@ func (d *Detector) Compact(dead []int32) CompactStats {
 				}
 			}
 			if changed {
-				vs.rvc = vs.rvc.Trim()
-				if len(vs.rvc) == 0 {
-					// All recorded readers reclaimed: back to epoch mode.
-					vs.rvc = nil
-					vs.r = vc.Bottom
+				// Trim the region to its live width (the slab equivalent
+				// of VC.Trim); the compactSlab at the end of the pass
+				// reclaims the slack.
+				n := len(rvc)
+				for n > 0 && rvc[n-1] == 0 {
+					n--
+				}
+				if n == 0 {
+					// All recorded readers reclaimed: back to epoch mode;
+					// the store slot's region is dropped, not pooled —
+					// compaction is a reclamation seam.
+					rs.discard(idx)
+					*rp = vc.Bottom
+				} else {
+					rs.regions[idx].width = int32(n)
 				}
 			}
-		} else if vs.r != vc.Bottom && deadSet[vs.r.Tid()] {
-			if dominated(vs.r) {
-				vs.r = vc.Bottom
+		} else if r != vc.Bottom && deadSet[r.Tid()] {
+			if dominated(r) {
+				*rp = vc.Bottom
 				st.ClearedReadRefs++
 			} else {
-				retained[vs.r.Tid()] = true
+				retained[r.Tid()] = true
 			}
 		}
 	}
-	for x := range d.vars {
-		compactVar(&d.vars[x])
+	for x := range d.r {
+		compactVar(&d.w[x], &d.r[x], &d.shared)
 	}
+	d.shared.compactSlab()
 	for i := range d.stripes {
-		for _, sv := range d.stripes[i].vars {
-			compactVar(&sv.varState)
+		s := &d.stripes[i]
+		for slot := range s.tab.keys {
+			if s.tab.meta[slot]&slotUsed != 0 {
+				compactVar(&s.tab.w[slot], &s.tab.r[slot], &s.shared)
+			}
 		}
+		s.shared.compactSlab()
 	}
 
 	// Lock and volatile clocks: dominated dead components are zeroed.
-	compactL := func(m map[uint64]vc.VC) {
-		for k, l := range m {
+	compactL := func(lt *lockTab) {
+		lt.eachRef(func(_ uint64, p *vc.VC) {
+			l := *p
 			changed := false
 			for u := range deadSet {
 				if c := l.Get(u); c > 0 {
@@ -149,14 +169,16 @@ func (d *Detector) Compact(dead []int32) CompactStats {
 				}
 			}
 			if changed {
-				m[k] = l.Trim()
+				*p = l.Trim()
 			}
-		}
+		})
 	}
-	compactL(d.locks)
-	compactL(d.vols)
+	compactL(&d.locks)
+	compactL(&d.vols)
 
-	// Drop fully-unreferenced dead threads' own clocks.
+	// Drop fully-unreferenced dead threads' own clocks. Dropped, not
+	// pooled: compaction's contract is that the footprint shrinks, and
+	// pooled slabs would stay pinned (and counted).
 	for u := range deadSet {
 		if retained[u] {
 			st.RetainedThreads++

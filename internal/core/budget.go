@@ -74,27 +74,33 @@ func (d *Detector) enforceBudget() {
 		return
 	}
 	// Rung 1: squeeze read vector clocks back to epochs and shed slack.
-	for i := range d.vars {
-		vs := &d.vars[i]
-		if vs.r != readShared {
+	// The store slots are discarded, not released, and the slab repacked:
+	// the point is to give the memory back to the allocator, not keep it
+	// pooled.
+	for x := range d.r {
+		rx := d.r[x]
+		if !isShared(rx) {
 			continue
 		}
-		vs.r = squeezeEpoch(vs.rvc)
-		vs.rvc = nil
+		idx := sharedIdx(rx)
+		d.r[x] = squeezeEpoch(d.shared.vcAt(idx))
+		d.shared.discard(idx)
 		d.st.MemSqueezes++
 	}
+	d.shared.compactSlab()
 	for i := range d.threads {
 		if d.threads[i].c != nil {
 			d.threads[i].c = d.threads[i].c.Trim()
 		}
 	}
+	d.pool.Drain()
 	if d.footprint() <= d.budget {
 		return
 	}
 	// Rung 2: fold locations not yet shadowed into coarse shadow
 	// locations. Locations below coarseFrom keep their precise state.
 	if d.coarseFrom == 0 {
-		d.coarseFrom = uint64(len(d.vars))
+		d.coarseFrom = uint64(len(d.r))
 		if d.coarseFrom == 0 {
 			d.coarseFrom = 1
 		}

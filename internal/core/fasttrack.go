@@ -15,6 +15,17 @@
 //
 // The result is O(1) space per variable and O(1) time per access in the
 // common case, with no loss of precision (Theorem 1).
+//
+// Shadow-state layout (DESIGN.md §13): the per-variable history is
+// stored struct-of-arrays. The write and read epochs live in dense
+// parallel w[]/r[] arrays — eight variables per cache line — so the
+// same-epoch fast path (>96% of accesses in the paper's workloads)
+// loads exactly one shadow word. Everything cold (read vector clocks,
+// race flags, detailed-mode indices, provenance records) lives in side
+// tables consulted only on the slow paths. A read-shared variable's r[]
+// entry carries a tag (thread-id field all ones) whose low bits index
+// the detector's read-VC store, so promotion costs no extra lookup
+// structure and demotion recycles the backing array in place.
 package core
 
 import (
@@ -25,17 +36,164 @@ import (
 	"fasttrack/trace"
 )
 
-// readShared marks a read history that has been promoted to a vector
-// clock, mirroring the READ_SHARED sentinel of Figure 5.
-const readShared = ^vc.Epoch(0)
+// epochClockMask masks the clock field of a packed epoch.
+const epochClockMask = uint64(1)<<vc.ClockBits - 1
 
-// varState is the per-variable shadow state ("VarState" in Figure 5):
-// the write epoch W, the read epoch R, and the read vector clock Rvc,
-// which is in use iff r == readShared.
-type varState struct {
-	w, r    vc.Epoch
-	rvc     vc.VC
-	flagged bool // a race was already reported on this variable
+// sharedTagBase marks a read history promoted to a vector clock: every
+// r[] value at or above it (thread-id field all ones — a tid no real
+// program reaches, mirroring the READ_SHARED sentinel of Figure 5) is
+// read-shared, and its clock field indexes the layout's rvcStore.
+const sharedTagBase = vc.Epoch(uint64(vc.MaxTid) << vc.ClockBits)
+
+// isShared reports whether a stored read history is the promoted form.
+func isShared(e vc.Epoch) bool { return e >= sharedTagBase }
+
+// sharedIdx extracts the rvcStore slot of a promoted read history.
+func sharedIdx(e vc.Epoch) int { return int(uint64(e) & epochClockMask) }
+
+// sharedTag builds the tagged r[] value for rvcStore slot idx.
+func sharedTag(idx int) vc.Epoch { return sharedTagBase | vc.Epoch(idx) }
+
+// rvcStore holds the read vector clocks of a layout's read-shared
+// variables as regions of one flat, pointer-free clock slab, indexed by
+// the tag in the variable's r[] entry. The slab layout is what makes
+// the [FT READ SHARED] rule — the hottest slow path — a pair of int32
+// loads and one word store: no per-variable clock allocation, no slice
+// header to write back, no write barrier, and nothing for the garbage
+// collector to scan. Releasing a slot (write-shared demotion) keeps its
+// region for the next promotion, so the read-share inflation path
+// allocates only when the store has never been this large; discarding
+// (budget squeeze, accordion compaction) forgets the region, and
+// compactSlab repacks the survivors so the memory actually returns to
+// the allocator. Serial detectors own one store; in sharded mode each
+// stripe owns its own, preserving stripe confinement.
+type rvcStore struct {
+	clocks  []vc.Clock  // flat slab of every slot's components
+	regions []rvcRegion // slot -> region in clocks
+	free    []int32     // recycled slot indices
+}
+
+// rvcRegion locates one slot's clock inside the slab. Packing offset
+// and width together keeps a slot lookup to one 8-byte load.
+type rvcRegion struct {
+	off, width int32
+}
+
+// vcAt returns slot idx's clock as a zero-copy vector view into the
+// slab. The three-index slice keeps an append by a caller from bleeding
+// into the next region.
+func (rs *rvcStore) vcAt(idx int) vc.VC {
+	g := rs.regions[idx]
+	return vc.VC(rs.clocks[g.off : g.off+g.width : g.off+g.width])
+}
+
+// get returns component t of slot idx (missing components are zero).
+func (rs *rvcStore) get(idx int, t vc.Tid) vc.Clock {
+	if g := rs.regions[idx]; int32(t) < g.width {
+		return rs.clocks[g.off+int32(t)]
+	}
+	return 0
+}
+
+// set updates component t of slot idx in place. The region grows
+// (rarely: only when threads were created after the promotion) by
+// re-carving at the slab's end. The [FT READ SHARED] rule in readSlow
+// open-codes the in-bounds store and only calls here to grow.
+func (rs *rvcStore) set(idx int, t vc.Tid, c vc.Clock) {
+	if int32(t) >= rs.regions[idx].width {
+		rs.growSlot(idx, int(t)+1)
+	}
+	rs.clocks[rs.regions[idx].off+int32(t)] = c
+}
+
+// growSlot re-carves slot idx's region with at least n components,
+// preserving its contents. The old region leaks inside the slab until
+// the next compactSlab.
+func (rs *rvcStore) growSlot(idx, n int) {
+	g := rs.regions[idx]
+	rs.regions[idx] = rvcRegion{off: int32(len(rs.clocks)), width: int32(n)}
+	rs.clocks = append(rs.clocks, rs.clocks[g.off:g.off+g.width]...)
+	for k := n - int(g.width); k > 0; k-- {
+		rs.clocks = append(rs.clocks, 0)
+	}
+}
+
+// promote services a read-share inflation in one call: it returns a
+// slot of >= n components holding exactly {rt: rc, t: c} — the prior
+// reader's epoch and the current reader — recycling a freed slot's
+// region when one exists. Fusing the slot recycle, the zeroing and
+// both component stores into one operation keeps the [FT READ SHARE]
+// rule at a single region lookup.
+func (rs *rvcStore) promote(n int, rt vc.Tid, rc vc.Clock, t vc.Tid, c vc.Clock) int {
+	var idx int
+	if k := len(rs.free); k > 0 {
+		idx = int(rs.free[k-1])
+		rs.free = rs.free[:k-1]
+		if int(rs.regions[idx].width) < n {
+			rs.growSlot(idx, n)
+		}
+		g := rs.regions[idx]
+		v := rs.clocks[g.off : g.off+g.width]
+		for i := range v {
+			v[i] = 0
+		}
+	} else {
+		idx = len(rs.regions)
+		rs.regions = append(rs.regions, rvcRegion{off: int32(len(rs.clocks)), width: int32(n)})
+		for k := n; k > 0; k-- {
+			rs.clocks = append(rs.clocks, 0)
+		}
+	}
+	o := rs.regions[idx].off
+	rs.clocks[o+int32(rt)] = rc
+	rs.clocks[o+int32(t)] = c
+	return idx
+}
+
+// release retires a slot, keeping its region for reuse.
+func (rs *rvcStore) release(idx int) { rs.free = append(rs.free, int32(idx)) }
+
+// discard retires a slot and forgets its region, for the memory
+// reclamation seams (budget squeeze, compaction). The slab space is
+// reclaimed by the compactSlab those seams run afterwards.
+func (rs *rvcStore) discard(idx int) {
+	rs.regions[idx].width = 0
+	rs.free = append(rs.free, int32(idx))
+}
+
+// compactSlab repacks the live regions into a fresh, exactly-sized slab
+// so discarded and leaked regions go back to the allocator. Called by
+// the reclamation seams, never on access paths.
+func (rs *rvcStore) compactSlab() {
+	freeSet := make(map[int32]bool, len(rs.free))
+	for _, idx := range rs.free {
+		freeSet[idx] = true
+	}
+	var live int32
+	for idx := range rs.regions {
+		if !freeSet[int32(idx)] {
+			live += rs.regions[idx].width
+		}
+	}
+	packed := make([]vc.Clock, 0, live)
+	for idx := range rs.regions {
+		if freeSet[int32(idx)] {
+			rs.regions[idx] = rvcRegion{}
+			continue
+		}
+		g := rs.regions[idx]
+		rs.regions[idx].off = int32(len(packed))
+		packed = append(packed, rs.clocks[g.off:g.off+g.width]...)
+	}
+	rs.clocks = packed
+}
+
+// bytes reports the store's footprint: the slab (leaked and free
+// regions included — they are pinned until compactSlab) plus the slot
+// and free-list tables.
+func (rs *rvcStore) bytes() int64 {
+	return int64(cap(rs.clocks))*8 +
+		int64(cap(rs.regions))*8 + int64(cap(rs.free))*4
 }
 
 // threadState caches each thread's vector clock C_t and current epoch
@@ -49,9 +207,22 @@ type threadState struct {
 // It implements rr.Tool and rr.Prefilter.
 type Detector struct {
 	threads []threadState
-	locks   map[uint64]vc.VC // L: lock -> VC of last release
-	vols    map[uint64]vc.VC // L extended to volatiles (Section 4)
-	vars    []varState       // R and W, indexed by variable id
+	locks   lockTab // L: lock -> VC of last release (see synctab.go)
+	vols    lockTab // L extended to volatiles (Section 4)
+
+	// Serial struct-of-arrays variable tables: W and R epochs indexed by
+	// variable id (hot), the per-variable race flags as a bitset, and
+	// the read-VC side store (cold). Sharded detectors leave these empty
+	// and use the per-stripe tables instead (see shard.go).
+	w, r    []vc.Epoch
+	flagged []uint64
+	shared  rvcStore
+
+	// pool recycles vector-clock backing arrays across the allocation
+	// sites that run under full exclusion (lock/volatile
+	// materialization, barrier joins, thread creation); the reclamation
+	// seams (Compact, budget trims) feed it.
+	pool vc.Pool
 
 	// Detailed error reporting (the "more precise error reporting" of
 	// the paper's Section 4 implementation notes): when enabled, the
@@ -84,7 +255,7 @@ type Detector struct {
 	// stripes, when non-nil, holds the per-stripe variable tables, access
 	// counters and race lists used under the sharded Monitor's
 	// stripe-locking discipline (see shard.go and rr.ShardedTool). Serial
-	// detectors leave it nil and use the dense vars table below.
+	// detectors leave it nil and use the dense tables above.
 	stripes []stripeState
 
 	// sampleThr is the sampling-tier threshold (see sampling.go): an
@@ -120,15 +291,14 @@ var (
 // and variables (hints only; both grow on demand).
 func New(threadHint, varHint int) *Detector {
 	d := &Detector{
-		locks:     make(map[uint64]vc.VC),
-		vols:      make(map[uint64]vc.VC),
 		sampleThr: sampleFull,
 	}
 	if threadHint > 0 {
 		d.threads = make([]threadState, 0, threadHint)
 	}
 	if varHint > 0 {
-		d.vars = make([]varState, 0, varHint)
+		d.w = make([]vc.Epoch, 0, varHint)
+		d.r = make([]vc.Epoch, 0, varHint)
 	}
 	return d
 }
@@ -145,7 +315,7 @@ func (d *Detector) EnableExtendedSameEpoch() { d.extendedSameEpoch = true }
 // call have no history (their PrevIndex would report -1).
 func (d *Detector) EnableDetailedReports() {
 	d.detailed = true
-	for len(d.lastWriteIdx) < len(d.vars) {
+	for len(d.lastWriteIdx) < len(d.r) {
 		d.lastWriteIdx = append(d.lastWriteIdx, -1)
 		d.lastReadIdx = append(d.lastReadIdx, -1)
 	}
@@ -156,61 +326,144 @@ func (d *Detector) EnableDetailedReports() {
 func (d *Detector) thread(t int32) *threadState {
 	for int(t) >= len(d.threads) {
 		u := vc.Tid(len(d.threads))
-		cv := vc.New(len(d.threads) + 1).Inc(u)
+		cv := d.pool.Get(len(d.threads) + 1).Inc(u)
 		d.st.VCAlloc++
 		d.threads = append(d.threads, threadState{c: cv, epoch: cv.Epoch(u)})
 	}
 	return &d.threads[t]
 }
 
-// variable returns the shadow state of variable x, growing the dense
-// variable table on demand. Fresh variables have R = W = ⊥e.
-func (d *Detector) variable(x uint64) *varState {
-	for x >= uint64(len(d.vars)) {
-		d.vars = append(d.vars, varState{})
-		if d.detailed {
+// growVars extends the dense serial tables so variable x is valid.
+// Fresh variables have R = W = ⊥e (the zero epoch) and a clear flag.
+// Growth doubles explicitly rather than relying on append: the runtime's
+// large-slice growth factor (~1.25x) re-copies a multi-megabyte table
+// dozens of times during a rapid-allocation phase, and per-element
+// appends pay that for w and r separately. make zeroes the whole
+// capacity and the tables never shrink, so extending within capacity is
+// a pure reslice — fresh variables are born ⊥e for free.
+func (d *Detector) growVars(x uint64) {
+	n := int(x) + 1
+	d.w = growEpochs(d.w, n)
+	d.r = growEpochs(d.r, n)
+	if d.detailed {
+		for len(d.lastWriteIdx) < n {
 			d.lastWriteIdx = append(d.lastWriteIdx, -1)
 			d.lastReadIdx = append(d.lastReadIdx, -1)
 		}
 	}
-	return &d.vars[x]
+	if nw := (n + 63) >> 6; len(d.flagged) < nw {
+		if nw <= cap(d.flagged) {
+			d.flagged = d.flagged[:nw]
+		} else {
+			c := 2 * cap(d.flagged)
+			if c < 16 {
+				c = 16
+			}
+			for c < nw {
+				c *= 2
+			}
+			nf := make([]uint64, nw, c)
+			copy(nf, d.flagged)
+			d.flagged = nf
+		}
+	}
+}
+
+// growEpochs extends es to length n, doubling capacity as needed.
+func growEpochs(es []vc.Epoch, n int) []vc.Epoch {
+	if n <= cap(es) {
+		return es[:n]
+	}
+	c := 2 * cap(es)
+	if c < 64 {
+		c = 64
+	}
+	for c < n {
+		c *= 2
+	}
+	ns := make([]vc.Epoch, n, c)
+	copy(ns, es)
+	return ns
+}
+
+// flagBit reports whether variable x is flagged (serial layout).
+func (d *Detector) flagBit(x uint64) bool {
+	w := x >> 6
+	return w < uint64(len(d.flagged)) && d.flagged[w]&(1<<(x&63)) != 0
 }
 
 // refreshEpoch re-caches E(t) after C_t(t) changed.
 func (ts *threadState) refreshEpoch(t vc.Tid) { ts.epoch = ts.c.Epoch(t) }
 
+// incThread implements inc_t with the overflow accounting: a thread
+// whose scalar clock has pinned at vc.MaxClock keeps running (the
+// increment saturates) but each further increment is counted, surfacing
+// the precision loss through Stats instead of panicking the session.
+// The common case mutates the component in place — a thread's own
+// component always exists (thread() sizes the clock to include it and
+// Trim cannot drop a nonzero tail) — so the sync paths that increment
+// on every operation store one word instead of a slice header.
+func (d *Detector) incThread(ts *threadState, t vc.Tid) {
+	c := ts.c
+	if int(t) < len(c) {
+		if c[t] < vc.MaxClock {
+			c[t]++
+		}
+		if c[t] >= vc.MaxClock {
+			d.st.ClockSaturations++
+		}
+	} else {
+		ts.c = c.Inc(t)
+		if ts.c.Get(t) >= vc.MaxClock {
+			d.st.ClockSaturations++
+		}
+	}
+	ts.refreshEpoch(t)
+}
+
 // report records a warning, at most one per variable, into the
 // detector's race list in serial mode or the variable's stripe in
-// sharded mode (sv is the variable's sharded state then, nil otherwise).
-func (d *Detector) report(x uint64, vs *varState, sv *shardedVar, ts *threadState, kind rr.RaceKind, t int32, prev vc.Tid, i int) {
-	if vs.flagged {
-		return
-	}
-	vs.flagged = true
+// sharded mode (s/slot identify the stripe slot then; s is nil in
+// serial mode and x is the dense index). w and r are the variable's
+// pre-update history, rs the active read-VC store — the enricher needs
+// them because the caller overwrites the history right after.
+func (d *Detector) report(i int, x uint64, s *stripeState, slot int, w, r vc.Epoch, rs *rvcStore, ts *threadState, kind rr.RaceKind, tid int32, prev vc.Tid) {
 	prevIdx := -1
 	races := &d.races
-	if sv != nil {
-		races = &d.stripeOf(x).races
+	if s != nil {
+		if s.tab.meta[slot]&slotFlagged != 0 {
+			return
+		}
+		s.tab.meta[slot] |= slotFlagged
+		races = &s.races
 		if d.detailed {
-			if kind == rr.ReadWrite {
-				prevIdx = sv.lastR
-			} else {
-				prevIdx = sv.lastW
+			if c := s.tab.coldOf(slot); c != nil {
+				if kind == rr.ReadWrite {
+					prevIdx = c.lastR
+				} else {
+					prevIdx = c.lastW
+				}
 			}
 		}
-	} else if d.detailed {
-		if kind == rr.ReadWrite {
-			prevIdx = d.lastReadIdx[x]
-		} else {
-			prevIdx = d.lastWriteIdx[x]
+	} else {
+		if d.flagBit(x) {
+			return
+		}
+		d.flagged[x>>6] |= 1 << (x & 63)
+		if d.detailed {
+			if kind == rr.ReadWrite {
+				prevIdx = d.lastReadIdx[x]
+			} else {
+				prevIdx = d.lastWriteIdx[x]
+			}
 		}
 	}
 	rep := rr.Report{
-		Var: x, Kind: kind, Tid: t, PrevTid: int32(prev), Index: i, PrevIndex: prevIdx,
+		Var: x, Kind: kind, Tid: tid, PrevTid: int32(prev), Index: i, PrevIndex: prevIdx,
 	}
 	*races = append(*races, rep)
 	if d.prov != nil {
-		d.enrich(rep, vs, sv, ts)
+		d.enrich(rep, w, r, rs, s, slot, ts)
 	}
 }
 
@@ -283,197 +536,307 @@ func (d *Detector) HandleFilter(i int, e trace.Event) bool {
 }
 
 // flaggedOf reports whether a race has already been recorded on variable
-// x, without materializing shadow state in sharded mode.
+// x, without materializing shadow state in either layout.
 func (d *Detector) flaggedOf(x uint64) bool {
 	if d.stripes != nil {
-		if sv := d.stripeOf(x).vars[x]; sv != nil {
-			return sv.flagged
+		s := d.stripeOf(x)
+		if slot := s.tab.find(x); slot >= 0 {
+			return s.tab.meta[slot]&slotFlagged != 0
 		}
 		return false
 	}
-	return d.variable(x).flagged
+	return d.flagBit(x)
 }
 
 // read implements the four read rules of Figure 2 / the read handler of
 // Figure 5. countEvent distinguishes the Tool path (which counts the
-// event) from the Prefilter path (which historically does not). In
-// sharded mode the handler reads only thread tid's clock and mutates
-// only state on x's stripe, so it is safe under that stripe's lock.
+// event) from the Prefilter path (which historically does not). The
+// serial body is the zero-allocation fast path: counters, then a single
+// r[] load against the thread's cached epoch; everything else defers to
+// readSlow.
 func (d *Detector) read(i int, tid int32, x uint64, countEvent bool) {
-	if d.sampledOut(x) {
+	if d.stripes != nil {
+		d.readSharded(i, tid, x, countEvent)
+		return
+	}
+	if d.sampleThr != sampleFull && sampleHash(x) >= d.sampleThr {
 		d.skipAccess(x, true, countEvent)
 		return
 	}
-	var (
-		vs *varState
-		st *rr.Stats
-		sv *shardedVar // non-nil iff sharded
-	)
-	if d.stripes == nil {
-		st = &d.st
-		st.Reads++
-		if d.budget > 0 {
-			x = d.budgetAccess(x)
-		}
-		vs = d.variable(x)
-	} else {
-		var s *stripeState
-		s, sv = d.stripeVar(x)
-		vs, st = &sv.varState, &s.st
-		st.Reads++
-	}
+	d.st.Reads++
 	if countEvent {
-		st.Events++
+		d.st.Events++
 	}
-	ts := d.thread(tid)
-
+	if d.budget > 0 {
+		x = d.budgetAccess(x)
+	}
+	if x >= uint64(len(d.r)) {
+		d.growVars(x)
+	}
+	if int(tid) >= len(d.threads) {
+		d.thread(tid)
+	}
 	// [FT READ SAME EPOCH] — 63.4% of reads in the paper's benchmarks.
-	if vs.r == ts.epoch {
-		st.ReadSameEpoch++
+	ts := &d.threads[tid]
+	r := d.r[x]
+	if r == ts.epoch {
+		d.st.ReadSameEpoch++
 		return
 	}
+	// The remaining rules, open-coded for the serial layout (no extra
+	// call on the non-fast-path reads). Mirrors readSlow, which serves
+	// the sharded layout; the serial/sharded equivalence property tests
+	// keep the two in lockstep.
+	t := vc.Tid(tid)
+	rs := &d.shared
 	// Extended rule (optional): same-epoch read of read-shared data.
-	if d.extendedSameEpoch && vs.r == readShared && vs.rvc.Get(vc.Tid(tid)) == ts.c.Get(vc.Tid(tid)) {
-		st.ReadSameEpoch++
+	if d.extendedSameEpoch && isShared(r) && rs.get(sharedIdx(r), t) == ts.c.Get(t) {
+		d.st.ReadSameEpoch++
 		return
 	}
-
-	// Write-read race check: W_x � C_t.
-	if !vs.w.LEq(ts.c) {
-		d.report(x, vs, sv, ts, rr.WriteRead, tid, vs.w.Tid(), i)
+	// Write-read race check: W_x ⊑ C_t.
+	w := d.w[x]
+	if !w.LEq(ts.c) {
+		d.report(i, x, nil, 0, w, r, rs, ts, rr.WriteRead, tid, w.Tid())
 	}
 	if d.detailed {
-		if sv != nil {
-			sv.lastR = i
-		} else {
-			d.lastReadIdx[x] = i
-		}
-		if d.prov != nil {
-			d.provVarOf(x, sv).r.record(tid, i, d.provGenOf(tid), ts.epoch)
-		}
+		d.noteRead(i, x, nil, 0, tid, ts)
 	}
-
-	t := vc.Tid(tid)
 	switch {
-	case vs.r == readShared:
-		// [FT READ SHARED] — update one component of R_x in place.
-		vs.rvc = vs.rvc.Set(t, ts.c.Get(t))
+	case isShared(r):
+		// [FT READ SHARED] — one word store into the slab.
+		idx := sharedIdx(r)
+		if g := rs.regions[idx]; int32(t) < g.width {
+			rs.clocks[g.off+int32(t)] = ts.c.Get(t)
+		} else {
+			rs.set(idx, t, ts.c.Get(t))
+		}
+		d.st.ReadShared++
+	case r.LEq(ts.c):
+		// [FT READ EXCLUSIVE].
+		d.r[x] = ts.epoch
+		d.st.ReadExclusive++
+	default:
+		// [FT READ SHARE] — inflate to a vector clock.
+		idx := rs.promote(len(d.threads), r.Tid(), r.Clock(), t, ts.c.Get(t))
+		d.st.VCAlloc++
+		d.r[x] = sharedTag(idx)
+		d.st.ReadShare++
+	}
+}
+
+// readSlow runs the remaining read rules against the variable's
+// history. wp/rp point into the active layout's epoch arrays and rs is
+// that layout's read-VC store; s/slot identify the sharded slot (s nil
+// in serial mode). In sharded mode everything it mutates is confined to
+// x's stripe, so it is safe under that stripe's lock.
+func (d *Detector) readSlow(i int, tid int32, x uint64, wp, rp *vc.Epoch, rs *rvcStore, st *rr.Stats, s *stripeState, slot int) {
+	ts := &d.threads[tid]
+	t := vc.Tid(tid)
+	r := *rp
+	// Extended rule (optional): same-epoch read of read-shared data.
+	if d.extendedSameEpoch && isShared(r) && rs.get(sharedIdx(r), t) == ts.c.Get(t) {
+		st.ReadSameEpoch++
+		return
+	}
+	// Write-read race check: W_x � C_t.
+	w := *wp
+	if !w.LEq(ts.c) {
+		d.report(i, x, s, slot, w, r, rs, ts, rr.WriteRead, tid, w.Tid())
+	}
+	if d.detailed {
+		d.noteRead(i, x, s, slot, tid, ts)
+	}
+	switch {
+	case isShared(r):
+		// [FT READ SHARED] — update one component of R_x in place: one
+		// word store into the slab, no allocation, no write barrier
+		// (open-coded from rvcStore.set so it stays call-free; the grow
+		// branch is only taken when threads appeared after promotion).
+		idx := sharedIdx(r)
+		if g := rs.regions[idx]; int32(t) < g.width {
+			rs.clocks[g.off+int32(t)] = ts.c.Get(t)
+		} else {
+			rs.set(idx, t, ts.c.Get(t))
+		}
 		st.ReadShared++
-	case vs.r.LEq(ts.c):
+	case r.LEq(ts.c):
 		// [FT READ EXCLUSIVE] — reads still totally ordered.
-		vs.r = ts.epoch
+		*rp = ts.epoch
 		st.ReadExclusive++
 	default:
 		// [FT READ SHARE] — concurrent reads; inflate to a vector clock.
-		// (The slow path of Figure 5: 0.1% of reads.)
-		if vs.rvc == nil {
-			vs.rvc = vc.New(len(d.threads))
-			st.VCAlloc++
-		} else {
-			for j := range vs.rvc {
-				vs.rvc[j] = 0
-			}
-		}
-		vs.rvc = vs.rvc.Set(vs.r.Tid(), vs.r.Clock())
-		vs.rvc = vs.rvc.Set(t, ts.c.Get(t))
-		vs.r = readShared
+		// (The slow path of Figure 5: 0.1% of reads.) VCAlloc counts the
+		// logical allocation even when the store recycles a demoted
+		// variable's region — the counter tracks the algorithm's
+		// allocation behavior, not the allocator's, so serial and sharded
+		// layouts report identically.
+		idx := rs.promote(len(d.threads), r.Tid(), r.Clock(), t, ts.c.Get(t))
+		st.VCAlloc++
+		*rp = sharedTag(idx)
 		st.ReadShare++
 	}
 }
 
 // write implements the three write rules of Figure 2 / the write handler
-// of Figure 5. See read for the countEvent and sharding notes.
+// of Figure 5. See read for the fast-path shape and sharding notes.
 func (d *Detector) write(i int, tid int32, x uint64, countEvent bool) {
-	if d.sampledOut(x) {
+	if d.stripes != nil {
+		d.writeSharded(i, tid, x, countEvent)
+		return
+	}
+	if d.sampleThr != sampleFull && sampleHash(x) >= d.sampleThr {
 		d.skipAccess(x, false, countEvent)
 		return
 	}
-	var (
-		vs *varState
-		st *rr.Stats
-		sv *shardedVar // non-nil iff sharded
-	)
-	if d.stripes == nil {
-		st = &d.st
-		st.Writes++
-		if d.budget > 0 {
-			x = d.budgetAccess(x)
-		}
-		vs = d.variable(x)
-	} else {
-		var s *stripeState
-		s, sv = d.stripeVar(x)
-		vs, st = &sv.varState, &s.st
-		st.Writes++
-	}
+	d.st.Writes++
 	if countEvent {
-		st.Events++
+		d.st.Events++
 	}
-	ts := d.thread(tid)
-
+	if d.budget > 0 {
+		x = d.budgetAccess(x)
+	}
+	if x >= uint64(len(d.r)) {
+		d.growVars(x)
+	}
+	if int(tid) >= len(d.threads) {
+		d.thread(tid)
+	}
 	// [FT WRITE SAME EPOCH] — 71.0% of writes.
-	if vs.w == ts.epoch {
-		st.WriteSameEpoch++
+	ts := &d.threads[tid]
+	if d.w[x] == ts.epoch {
+		d.st.WriteSameEpoch++
 		return
 	}
-
-	// Write-write race check: W_x � C_t.
-	if !vs.w.LEq(ts.c) {
-		d.report(x, vs, sv, ts, rr.WriteWrite, tid, vs.w.Tid(), i)
+	// Remaining rules, open-coded for the serial layout; mirrors
+	// writeSlow (the sharded path), kept in lockstep by the equivalence
+	// property tests.
+	w, r := d.w[x], d.r[x]
+	rs := &d.shared
+	// Write-write race check: W_x ⊑ C_t.
+	if !w.LEq(ts.c) {
+		d.report(i, x, nil, 0, w, r, rs, ts, rr.WriteWrite, tid, w.Tid())
 	}
+	if !isShared(r) {
+		// [FT WRITE EXCLUSIVE] — read-write race check against the read
+		// epoch: R_x ⊑ C_t.
+		if !r.LEq(ts.c) {
+			d.report(i, x, nil, 0, w, r, rs, ts, rr.ReadWrite, tid, r.Tid())
+		}
+		d.st.WriteExclusive++
+	} else {
+		// [FT WRITE SHARED] — full vector compare, then demote.
+		d.st.VCOp++
+		idx := sharedIdx(r)
+		if prev := rs.vcAt(idx).FirstExceeding(ts.c); prev >= 0 {
+			d.report(i, x, nil, 0, w, r, rs, ts, rr.ReadWrite, tid, prev)
+		}
+		rs.release(idx)
+		d.r[x] = vc.Bottom
+		d.st.WriteShared++
+	}
+	if d.detailed {
+		d.noteWrite(i, x, nil, 0, tid, ts)
+	}
+	d.w[x] = ts.epoch
+}
 
-	if vs.r != readShared {
+// writeSlow runs the remaining write rules; see readSlow for the
+// parameter and confinement notes.
+func (d *Detector) writeSlow(i int, tid int32, x uint64, wp, rp *vc.Epoch, rs *rvcStore, st *rr.Stats, s *stripeState, slot int) {
+	ts := &d.threads[tid]
+	w, r := *wp, *rp
+	// Write-write race check: W_x � C_t.
+	if !w.LEq(ts.c) {
+		d.report(i, x, s, slot, w, r, rs, ts, rr.WriteWrite, tid, w.Tid())
+	}
+	if !isShared(r) {
 		// [FT WRITE EXCLUSIVE] — read-write race check against the read
 		// epoch: R_x � C_t.
-		if !vs.r.LEq(ts.c) {
-			d.report(x, vs, sv, ts, rr.ReadWrite, tid, vs.r.Tid(), i)
+		if !r.LEq(ts.c) {
+			d.report(i, x, s, slot, w, r, rs, ts, rr.ReadWrite, tid, r.Tid())
 		}
 		st.WriteExclusive++
 	} else {
 		// [FT WRITE SHARED] — the one slow write path (0.1% of writes):
 		// R_x ⊑ C_t is a full vector-clock comparison. The write then
 		// happens after all reads, so the read history is demoted back
-		// to the minimal epoch ⊥e, re-enabling the fast paths.
+		// to the minimal epoch ⊥e, re-enabling the fast paths; the
+		// vector's backing array goes back to the store for the next
+		// promotion.
 		st.VCOp++
-		if prev := vs.rvc.FirstExceeding(ts.c); prev >= 0 {
-			d.report(x, vs, sv, ts, rr.ReadWrite, tid, prev, i)
+		idx := sharedIdx(r)
+		if prev := rs.vcAt(idx).FirstExceeding(ts.c); prev >= 0 {
+			d.report(i, x, s, slot, w, r, rs, ts, rr.ReadWrite, tid, prev)
 		}
-		vs.r = vc.Bottom
+		rs.release(idx)
+		*rp = vc.Bottom
 		st.WriteShared++
 	}
 	if d.detailed {
-		if sv != nil {
-			sv.lastW = i
-		} else {
-			d.lastWriteIdx[x] = i
-		}
-		if d.prov != nil {
-			d.provVarOf(x, sv).w.record(tid, i, d.provGenOf(tid), ts.epoch)
-		}
+		d.noteWrite(i, x, s, slot, tid, ts)
 	}
-	vs.w = ts.epoch
+	*wp = ts.epoch
+}
+
+// noteRead records the detailed-mode read history (and, when the flight
+// recorder is on, the provenance last-access record) for the layout the
+// access ran under.
+func (d *Detector) noteRead(i int, x uint64, s *stripeState, slot int, tid int32, ts *threadState) {
+	if s != nil {
+		c := s.tab.coldFor(slot)
+		c.lastR = i
+		if d.prov != nil {
+			c.provRec().r.record(tid, i, d.provGenOf(tid), ts.epoch)
+		}
+		return
+	}
+	d.lastReadIdx[x] = i
+	if d.prov != nil {
+		d.provVarSerial(x).r.record(tid, i, d.provGenOf(tid), ts.epoch)
+	}
+}
+
+// noteWrite is noteRead's write-side twin.
+func (d *Detector) noteWrite(i int, x uint64, s *stripeState, slot int, tid int32, ts *threadState) {
+	if s != nil {
+		c := s.tab.coldFor(slot)
+		c.lastW = i
+		if d.prov != nil {
+			c.provRec().w.record(tid, i, d.provGenOf(tid), ts.epoch)
+		}
+		return
+	}
+	d.lastWriteIdx[x] = i
+	if d.prov != nil {
+		d.provVarSerial(x).w.record(tid, i, d.provGenOf(tid), ts.epoch)
+	}
 }
 
 // acquire implements [FT ACQUIRE]: C_t := C_t ⊔ L_m.
 func (d *Detector) acquire(tid int32, m uint64) {
 	ts := d.thread(tid)
-	if lm, ok := d.locks[m]; ok {
+	if lm, ok := d.locks.get(m); ok {
 		ts.c = ts.c.Join(lm)
 		d.st.VCOp++
 	}
 }
 
-// release implements [FT RELEASE]: L_m := C_t; C_t := inc_t(C_t).
+// release implements [FT RELEASE]: L_m := C_t; C_t := inc_t(C_t). One
+// table probe resolves the lock; its clock is materialized from the
+// slab pool on first release and copied into in place afterwards, so
+// steady-state releases do not allocate.
 func (d *Detector) release(tid int32, m uint64) {
 	ts := d.thread(tid)
-	lm, ok := d.locks[m]
-	if !ok {
+	p := d.locks.ref(m)
+	lm := *p
+	if lm == nil {
+		lm = d.pool.Get(len(ts.c))
 		d.st.VCAlloc++
 	}
-	d.locks[m] = lm.CopyInto(ts.c)
+	*p = lm.CopyInto(ts.c)
 	d.st.VCOp++
-	ts.c = ts.c.Inc(vc.Tid(tid))
-	ts.refreshEpoch(vc.Tid(tid))
+	d.incThread(ts, vc.Tid(tid))
 }
 
 // fork implements [FT FORK]: C_u := C_u ⊔ C_t; C_t := inc_t(C_t).
@@ -486,8 +849,7 @@ func (d *Detector) fork(tid, u int32) {
 	us.c = us.c.Join(ts.c)
 	us.refreshEpoch(vc.Tid(u))
 	d.st.VCOp++
-	ts.c = ts.c.Inc(vc.Tid(tid))
-	ts.refreshEpoch(vc.Tid(tid))
+	d.incThread(ts, vc.Tid(tid))
 }
 
 // join implements [FT JOIN]: C_t := C_t ⊔ C_u; C_u := inc_u(C_u).
@@ -498,14 +860,13 @@ func (d *Detector) join(tid, u int32) {
 	ts.c = ts.c.Join(us.c)
 	ts.refreshEpoch(vc.Tid(tid))
 	d.st.VCOp++
-	us.c = us.c.Inc(vc.Tid(u))
-	us.refreshEpoch(vc.Tid(u))
+	d.incThread(us, vc.Tid(u))
 }
 
 // volatileRead implements [FT READ VOLATILE]: C_t := C_t ⊔ L_vx.
 func (d *Detector) volatileRead(tid int32, v uint64) {
 	ts := d.thread(tid)
-	if lv, ok := d.vols[v]; ok {
+	if lv, ok := d.vols.get(v); ok {
 		ts.c = ts.c.Join(lv)
 		d.st.VCOp++
 	}
@@ -515,24 +876,26 @@ func (d *Detector) volatileRead(tid int32, v uint64) {
 // L_vx := C_t ⊔ L_vx; C_t := inc_t(C_t).
 func (d *Detector) volatileWrite(tid int32, v uint64) {
 	ts := d.thread(tid)
-	lv, ok := d.vols[v]
-	if !ok {
+	p := d.vols.ref(v)
+	lv := *p
+	if lv == nil {
+		lv = d.pool.Get(len(ts.c))
 		d.st.VCAlloc++
 	}
-	d.vols[v] = lv.Join(ts.c)
+	*p = lv.Join(ts.c)
 	d.st.VCOp++
-	ts.c = ts.c.Inc(vc.Tid(tid))
-	ts.refreshEpoch(vc.Tid(tid))
+	d.incThread(ts, vc.Tid(tid))
 }
 
 // barrier implements [FT BARRIER RELEASE]: every released thread's clock
 // becomes inc_t(⊔_{u∈T} C_u), so each thread's first post-barrier step
-// happens after all pre-barrier steps of all participants.
+// happens after all pre-barrier steps of all participants. The join
+// scratch comes from (and returns to) the slab pool.
 func (d *Detector) barrier(tids []int32) {
 	if len(tids) == 0 {
 		return
 	}
-	join := vc.New(len(d.threads))
+	join := d.pool.Get(len(d.threads))
 	d.st.VCAlloc++
 	for _, u := range tids {
 		join = join.Join(d.thread(u).c)
@@ -540,10 +903,11 @@ func (d *Detector) barrier(tids []int32) {
 	}
 	for _, u := range tids {
 		us := d.thread(u)
-		us.c = us.c.CopyInto(join).Inc(vc.Tid(u))
-		us.refreshEpoch(vc.Tid(u))
+		us.c = us.c.CopyInto(join)
+		d.incThread(us, vc.Tid(u))
 		d.st.VCOp++
 	}
+	d.pool.Put(join)
 }
 
 // Races implements rr.Tool. In sharded mode the per-stripe race lists
@@ -576,23 +940,23 @@ func (d *Detector) Races() []rr.Report {
 
 // footprint computes the live shadow-memory footprint in bytes; the
 // memory budget (budget.go) compares it against the configured ceiling.
+// Every retained byte is charged to the structure that pins it: the
+// dense epoch arrays (16 bytes per variable across w and r), the flag
+// bitset, the detailed-mode index tables, read-VC stores (free slots
+// included — their arrays are still held), stripe tables, provenance
+// state, thread/lock/volatile clocks, and the slab pool's free lists.
 func (d *Detector) footprint() int64 {
 	var bytes int64
-	for i := range d.vars {
-		bytes += 24 // w, r epochs + flag word
-		bytes += int64(d.vars[i].rvc.Bytes())
-	}
+	bytes += int64(cap(d.w)+cap(d.r)) * 8
+	bytes += int64(cap(d.flagged)) * 8
+	bytes += int64(cap(d.lastWriteIdx)+cap(d.lastReadIdx)) * 8
+	bytes += d.shared.bytes()
 	for i := range d.stripes {
-		for _, sv := range d.stripes[i].vars {
-			bytes += 48 // map slot + w, r epochs, flag, history words
-			bytes += int64(sv.rvc.Bytes())
-			if sv.prov != nil {
-				bytes += 64 // pointer + two scalar last-access records
-			}
-		}
+		bytes += d.stripes[i].tab.bytes()
+		bytes += d.stripes[i].shared.bytes()
 	}
 	if d.prov != nil {
-		bytes += 56 * int64(len(d.prov.vars)) // two scalar last-access records each
+		bytes += provVarRecBytes * int64(len(d.prov.vars))
 		for _, r := range d.prov.rings {
 			if r == nil {
 				continue
@@ -604,16 +968,17 @@ func (d *Detector) footprint() int64 {
 		}
 	}
 	for i := range d.threads {
-		bytes += int64(d.threads[i].c.Bytes()) + 8
+		bytes += int64(d.threads[i].c.Bytes()) + 32 // VC header + cached epoch
 	}
-	for _, l := range d.locks {
-		bytes += int64(l.Bytes())
-	}
-	for _, l := range d.vols {
-		bytes += int64(l.Bytes())
-	}
+	bytes += d.locks.bytes()
+	bytes += d.vols.bytes()
+	bytes += d.pool.Bytes()
 	return bytes
 }
+
+// provVarRecBytes is the size of a provVarRec (two provAccess records
+// of four scalars each).
+const provVarRecBytes = 64
 
 // Stats implements rr.Tool; ShadowBytes is computed from live state. In
 // sharded mode the per-stripe counters are merged into the detector's
@@ -635,22 +1000,29 @@ func (d *Detector) ClockOf(t int32) vc.VC { return d.thread(t).c.Copy() }
 // ReadStateOf exposes variable x's read history for white-box tests: the
 // epoch and false, or the read vector clock and true when read-shared.
 func (d *Detector) ReadStateOf(x uint64) (vc.Epoch, vc.VC, bool) {
-	vs := d.varOf(x)
-	if vs.r == readShared {
-		return 0, vs.rvc.Copy(), true
+	_, rp, rs := d.histOf(x)
+	if isShared(*rp) {
+		return 0, rs.vcAt(sharedIdx(*rp)).Copy(), true
 	}
-	return vs.r, nil, false
+	return *rp, nil, false
 }
 
 // WriteEpochOf exposes variable x's write epoch W_x for white-box tests.
-func (d *Detector) WriteEpochOf(x uint64) vc.Epoch { return d.varOf(x).w }
+func (d *Detector) WriteEpochOf(x uint64) vc.Epoch {
+	wp, _, _ := d.histOf(x)
+	return *wp
+}
 
-// varOf returns variable x's shadow state in whichever layout is active,
-// materializing it if needed.
-func (d *Detector) varOf(x uint64) *varState {
+// histOf returns pointers to variable x's epoch history and the read-VC
+// store of whichever layout is active, materializing the slot if needed.
+func (d *Detector) histOf(x uint64) (wp, rp *vc.Epoch, rs *rvcStore) {
 	if d.stripes != nil {
-		_, sv := d.stripeVar(x)
-		return &sv.varState
+		s := d.stripeOf(x)
+		slot := s.tab.lookup(x)
+		return &s.tab.w[slot], &s.tab.r[slot], &s.shared
 	}
-	return d.variable(x)
+	if x >= uint64(len(d.r)) {
+		d.growVars(x)
+	}
+	return &d.w[x], &d.r[x], &d.shared
 }

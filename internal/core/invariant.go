@@ -26,14 +26,17 @@ import (
 // for epoch-mode variables.
 func (d *Detector) CheckWellFormed() error {
 	// Condition 1. Threads dropped by Compact (nil clock) are no longer
-	// part of the analysis state and are skipped.
+	// part of the analysis state and are skipped, as are threads whose
+	// scalar clock has pinned at vc.MaxClock: inc_t saturates there (see
+	// vc.Inc), so the strict inequalities 1 and 2 degrade to non-strict
+	// ones by design — the precision loss Stats.ClockSaturations counts.
 	for u := range d.threads {
 		cu := d.threads[u].c
 		if cu == nil {
 			continue
 		}
 		for t := range d.threads {
-			if t == u || d.threads[t].c == nil {
+			if t == u || d.threads[t].c == nil || d.threads[t].c.Get(vc.Tid(t)) >= vc.MaxClock {
 				continue
 			}
 			if cu.Get(vc.Tid(t)) >= d.threads[t].c.Get(vc.Tid(t)) {
@@ -45,7 +48,7 @@ func (d *Detector) CheckWellFormed() error {
 	// Condition 2 (locks and volatiles both instantiate L).
 	check2 := func(kind string, id uint64, l vc.VC) error {
 		for t := range d.threads {
-			if d.threads[t].c == nil {
+			if d.threads[t].c == nil || d.threads[t].c.Get(vc.Tid(t)) >= vc.MaxClock {
 				continue
 			}
 			if l.Get(vc.Tid(t)) >= d.threads[t].c.Get(vc.Tid(t)) {
@@ -55,15 +58,19 @@ func (d *Detector) CheckWellFormed() error {
 		}
 		return nil
 	}
-	for m, l := range d.locks {
-		if err := check2("m", m, l); err != nil {
-			return err
+	var lerr error
+	d.locks.eachRef(func(m uint64, l *vc.VC) {
+		if lerr == nil {
+			lerr = check2("m", m, *l)
 		}
-	}
-	for v, l := range d.vols {
-		if err := check2("v", v, l); err != nil {
-			return err
+	})
+	d.vols.eachRef(func(v uint64, l *vc.VC) {
+		if lerr == nil {
+			lerr = check2("v", v, *l)
 		}
+	})
+	if lerr != nil {
+		return lerr
 	}
 	// Conditions 3 and 4.
 	checkEpoch := func(what string, x uint64, e vc.Epoch) error {
@@ -80,36 +87,41 @@ func (d *Detector) CheckWellFormed() error {
 		}
 		return nil
 	}
-	checkVar := func(x uint64, vs *varState) error {
-		if err := checkEpoch("W", x, vs.w); err != nil {
+	checkVar := func(x uint64, w, r vc.Epoch, rs *rvcStore) error {
+		if err := checkEpoch("W", x, w); err != nil {
 			return err
 		}
-		if vs.r == readShared {
+		if isShared(r) {
+			rvc := rs.vcAt(sharedIdx(r))
 			for t := range d.threads {
 				if d.threads[t].c == nil {
-					if vs.rvc.Get(vc.Tid(t)) > 0 {
+					if rvc.Get(vc.Tid(t)) > 0 {
 						return fmt.Errorf("R_%d(%d) references dropped thread", x, t)
 					}
 					continue
 				}
-				if vs.rvc.Get(vc.Tid(t)) > d.threads[t].c.Get(vc.Tid(t)) {
+				if rvc.Get(vc.Tid(t)) > d.threads[t].c.Get(vc.Tid(t)) {
 					return fmt.Errorf("R_%d(%d) = %d > C_%d(%d) = %d",
-						x, t, vs.rvc.Get(vc.Tid(t)), t, t, d.threads[t].c.Get(vc.Tid(t)))
+						x, t, rvc.Get(vc.Tid(t)), t, t, d.threads[t].c.Get(vc.Tid(t)))
 				}
 			}
 			return nil
 		}
-		return checkEpoch("R", x, vs.r)
+		return checkEpoch("R", x, r)
 	}
-	for x := range d.vars {
-		if err := checkVar(uint64(x), &d.vars[x]); err != nil {
+	for x := range d.r {
+		if err := checkVar(uint64(x), d.w[x], d.r[x], &d.shared); err != nil {
 			return err
 		}
 	}
 	// Sharded layout: the same conditions over every stripe's table.
 	for i := range d.stripes {
-		for x, sv := range d.stripes[i].vars {
-			if err := checkVar(x, &sv.varState); err != nil {
+		s := &d.stripes[i]
+		for slot := range s.tab.keys {
+			if s.tab.meta[slot]&slotUsed == 0 {
+				continue
+			}
+			if err := checkVar(s.tab.keys[slot], s.tab.w[slot], s.tab.r[slot], &s.shared); err != nil {
 				return err
 			}
 		}

@@ -83,7 +83,7 @@ func TestWellFormedDetectsCorruption(t *testing.T) {
 	d.HandleEvent(1, trace.Wr(0, 0))
 	// Corrupt: pretend variable 0 was written at a clock far beyond
 	// thread 0's current time.
-	d.vars[0].w = d.threads[0].c.Epoch(0) + 1000
+	d.w[0] = d.threads[0].c.Epoch(0) + 1000
 	if err := d.CheckWellFormed(); err == nil {
 		t.Error("corrupted write epoch not detected")
 	}
@@ -100,7 +100,8 @@ func TestWellFormedDetectsCorruption(t *testing.T) {
 	d3 := New(2, 2)
 	d3.HandleEvent(0, trace.Acq(0, 5))
 	d3.HandleEvent(1, trace.Rel(0, 5))
-	d3.locks[5] = d3.locks[5].Set(0, 99)
+	p := d3.locks.ref(5)
+	*p = (*p).Set(0, 99)
 	if err := d3.CheckWellFormed(); err == nil {
 		t.Error("corrupted lock clock not detected")
 	}

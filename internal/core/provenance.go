@@ -142,9 +142,6 @@ func (d *Detector) EnableProvenance() {
 	}
 	d.EnableDetailedReports()
 	d.prov = &provState{details: make(map[uint64]*rr.DetailedReport)}
-	if d.stripes == nil {
-		d.prov.vars = make([]provVarRec, len(d.vars))
-	}
 }
 
 // ProvenanceEnabled reports whether the flight recorder is on.
@@ -246,17 +243,11 @@ func (d *Detector) provRingOf(t int32) *provRing {
 	return nil
 }
 
-// provVarOf returns variable x's last-access record in whichever layout
-// is active, or nil when the recorder is off. Callers hold x's stripe
-// lock (sharded) or full exclusion (serial), the same discipline as the
-// shadow state itself.
-func (d *Detector) provVarOf(x uint64, sv *shardedVar) *provVarRec {
-	if sv != nil {
-		if sv.prov == nil {
-			sv.prov = &provVarRec{w: provAccess{idx: -1}, r: provAccess{idx: -1}}
-		}
-		return sv.prov
-	}
+// provVarSerial returns (materializing if needed) variable x's
+// last-access record in the serial layout; sharded records live in the
+// variable's stripe-confined varCold (see varCold.provRec). Callers hold
+// full exclusion, the same discipline as the serial shadow state itself.
+func (d *Detector) provVarSerial(x uint64) *provVarRec {
 	for x >= uint64(len(d.prov.vars)) {
 		d.prov.vars = append(d.prov.vars, provVarRec{
 			w: provAccess{idx: -1}, r: provAccess{idx: -1},
@@ -281,33 +272,40 @@ func clockSnapshot(c vc.VC) []uint64 {
 
 // enrich builds the DetailedReport for a just-detected race and stores
 // it where DetailedRaces will find it: the serial details map, or the
-// variable's sharded record (stripe-confined). It runs at most once per
-// variable, under the same lock as the access that raced.
-func (d *Detector) enrich(rep rr.Report, vs *varState, sv *shardedVar, ts *threadState) {
+// variable's stripe-confined cold entry (s/slot identify it; s is nil in
+// serial mode). w and r are the variable's pre-update history — w the
+// prior write epoch, r (or a component of the rs store's clock it tags)
+// the prior read history. It runs at most once per variable, under the
+// same lock as the access that raced.
+func (d *Detector) enrich(rep rr.Report, w, r vc.Epoch, rs *rvcStore, s *stripeState, slot int, ts *threadState) {
 	det := &rr.DetailedReport{
 		Report:      rep,
 		AccessClock: clockSnapshot(ts.c),
-		FailedCheck: d.failedCheck(rep, vs, ts),
+		FailedCheck: d.failedCheck(rep, w, r, rs, ts),
 	}
 
-	// The epoch and clock snapshot of the prior access. vs still holds
-	// the pre-update history: vs.w is the prior write epoch, vs.r (or a
-	// component of vs.rvc) the prior read epoch.
+	var pv *provVarRec
+	if s != nil {
+		pv = s.tab.coldFor(slot).provRec()
+	} else {
+		pv = d.provVarSerial(rep.Var)
+	}
+	// The epoch and clock snapshot of the prior access.
 	prev := vc.Tid(rep.PrevTid)
 	var prevRec *provAccess
 	switch rep.Kind {
 	case rr.WriteWrite, rr.WriteRead:
-		det.PrevEpoch = vs.w.String()
-		if pv := d.provVarOf(rep.Var, sv); pv.w.idx >= 0 {
+		det.PrevEpoch = w.String()
+		if pv.w.idx >= 0 {
 			prevRec = &pv.w
 		}
 	case rr.ReadWrite:
-		if vs.r == readShared {
-			det.PrevEpoch = vc.MakeEpoch(prev, vs.rvc.Get(prev)).String()
+		if isShared(r) {
+			det.PrevEpoch = vc.MakeEpoch(prev, rs.get(sharedIdx(r), prev)).String()
 		} else {
-			det.PrevEpoch = vs.r.String()
+			det.PrevEpoch = r.String()
 		}
-		if pv := d.provVarOf(rep.Var, sv); pv.r.idx >= 0 {
+		if pv.r.idx >= 0 {
 			prevRec = &pv.r
 		}
 	}
@@ -327,30 +325,31 @@ func (d *Detector) enrich(rep rr.Report, vs *varState, sv *shardedVar, ts *threa
 
 	det.Explanation = det.Render()
 
-	if sv != nil {
-		sv.detail = det
+	if s != nil {
+		s.tab.coldFor(slot).detail = det
 	} else {
 		d.prov.details[rep.Var] = det
 	}
 }
 
 // failedCheck renders the FastTrack happens-before comparison the race
-// failed, in the paper's notation.
-func (d *Detector) failedCheck(rep rr.Report, vs *varState, ts *threadState) string {
+// failed, in the paper's notation. w/r/rs are the pre-update history, as
+// in enrich.
+func (d *Detector) failedCheck(rep rr.Report, w, r vc.Epoch, rs *rvcStore, ts *threadState) string {
 	switch rep.Kind {
 	case rr.WriteRead, rr.WriteWrite:
 		// W_x ⋠ C_t: the write epoch's clock exceeds the reader's /
 		// writer's component for that thread.
 		return fmt.Sprintf("W_x%d = %s !<= C_%d (C_%d[%d] = %d)",
-			rep.Var, vs.w, rep.Tid, rep.Tid, vs.w.Tid(), ts.c.Get(vs.w.Tid()))
+			rep.Var, w, rep.Tid, rep.Tid, w.Tid(), ts.c.Get(w.Tid()))
 	case rr.ReadWrite:
-		if vs.r == readShared {
+		if isShared(r) {
 			prev := vc.Tid(rep.PrevTid)
 			return fmt.Sprintf("R_x%d[%d] = %d !<= C_%d[%d] = %d",
-				rep.Var, prev, vs.rvc.Get(prev), rep.Tid, prev, ts.c.Get(prev))
+				rep.Var, prev, rs.get(sharedIdx(r), prev), rep.Tid, prev, ts.c.Get(prev))
 		}
 		return fmt.Sprintf("R_x%d = %s !<= C_%d (C_%d[%d] = %d)",
-			rep.Var, vs.r, rep.Tid, rep.Tid, vs.r.Tid(), ts.c.Get(vs.r.Tid()))
+			rep.Var, r, rep.Tid, rep.Tid, r.Tid(), ts.c.Get(r.Tid()))
 	}
 	return ""
 }
@@ -377,8 +376,11 @@ func (d *Detector) DetailedRaces() []rr.DetailedReport {
 		var det *rr.DetailedReport
 		if d.prov != nil {
 			if d.stripes != nil {
-				if sv := d.stripeOf(r.Var).vars[r.Var]; sv != nil {
-					det = sv.detail
+				tb := &d.stripeOf(r.Var).tab
+				if slot := tb.find(r.Var); slot >= 0 {
+					if c := tb.coldOf(slot); c != nil {
+						det = c.detail
+					}
 				}
 			} else {
 				det = d.prov.details[r.Var]

@@ -52,16 +52,10 @@ package core
 const sampleFull = uint64(1) << 32
 
 // sampleHash mixes a variable id to a uniform 32-bit value with the
-// finalizer of MurmurHash3 — the same mixer as rr.StripeOf, but keeping
-// the high word so stripe choice and sampling verdict stay independent.
-func sampleHash(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x >> 32
-}
+// finalizer of MurmurHash3 (mix64, shared with the stripe tables) — the
+// same mixer as rr.StripeOf, but keeping the high word so stripe choice
+// and sampling verdict stay independent.
+func sampleHash(x uint64) uint64 { return mix64(x) >> 32 }
 
 // SetSamplingRate implements rr.Sampled: the fraction of the variable
 // space analyzed at full fidelity. p >= 1 restores full fidelity; p <= 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fasttrack/internal/rr"
+	"fasttrack/internal/vc"
 )
 
 // This file holds the detector's sharded storage layout, the back half
@@ -15,28 +16,236 @@ import (
 // whose lock the caller holds. Thread, lock and volatile clocks stay on
 // the detector: the access path only reads them, and every event that
 // writes them is delivered under full exclusion.
+//
+// Storage mirrors the serial struct-of-arrays layout (DESIGN.md §13):
+// each stripe owns an open-addressing table whose parallel arrays hold
+// the hot epoch pair next to the key, so the same-epoch fast path costs
+// one probe and one epoch compare — no map header chase, no per-variable
+// heap node. Cold per-variable state (detailed-mode indices, provenance
+// records, enriched reports) lives in a side slice reached through a
+// per-slot index, materialized only for variables that need it.
 
-// stripeState is one stripe's share of the analysis state: the shadow
-// states of the variables mapping onto the stripe, the access-path
-// counters those variables' accesses are counted into, and the races
-// detected on them. Everything in it is guarded by the caller-held
-// stripe lock.
-type stripeState struct {
-	vars  map[uint64]*shardedVar
-	st    rr.Stats
-	races []rr.Report
+// meta bits of a stripeTab slot.
+const (
+	slotUsed    = 1 << 0 // key/w/r are live
+	slotFlagged = 1 << 1 // a race was recorded on this variable
+)
+
+// stripeTab is one stripe's variable table: open addressing with linear
+// probing over power-of-two parallel arrays. Variables are never
+// deleted (compaction rewrites values, not keys), so probing needs no
+// tombstones. Growth doubles at 3/4 load.
+type stripeTab struct {
+	keys    []uint64
+	meta    []uint8
+	w, r    []vc.Epoch
+	coldIdx []int32 // slot -> cold index, -1 if none; junk for unused slots
+	cold    []varCold
+	mask    uint64
+	used    int
 }
 
-// shardedVar is a variable's shadow state in the sharded layout. The
-// detailed-report history — and, when the flight recorder is enabled,
-// the provenance last-access record and the enriched report — lives
-// here rather than in detector-wide tables, keeping the access path
-// stripe-confined.
-type shardedVar struct {
-	varState
+// varCold is the rarely-touched per-variable state of the sharded
+// layout: detailed-report access indices and, when the flight recorder
+// is on, the provenance record and the enriched report. Stripe-confined
+// like the rest of the table.
+type varCold struct {
 	lastR, lastW int
 	prov         *provVarRec
 	detail       *rr.DetailedReport
+}
+
+// provRec returns (materializing if needed) the cold entry's provenance
+// last-access record.
+func (c *varCold) provRec() *provVarRec {
+	if c.prov == nil {
+		c.prov = &provVarRec{w: provAccess{idx: -1}, r: provAccess{idx: -1}}
+	}
+	return c.prov
+}
+
+// mix64 is the 64-bit murmur finalizer, the probe hash of stripeTab.
+// Raw variable ids are often sequential, which linear probing punishes;
+// the finalizer's avalanche spreads them across the table. sampleHash
+// (sampling.go) uses the top half of the same mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// lookup returns variable x's slot, inserting a fresh history (R = W =
+// ⊥e, unflagged) if the table does not have one.
+func (tb *stripeTab) lookup(x uint64) int {
+	if tb.mask != 0 {
+		h := mix64(x) & tb.mask
+		for tb.meta[h]&slotUsed != 0 {
+			if tb.keys[h] == x {
+				return int(h)
+			}
+			h = (h + 1) & tb.mask
+		}
+	}
+	return tb.insert(x)
+}
+
+// find returns variable x's slot, or -1 without inserting.
+func (tb *stripeTab) find(x uint64) int {
+	if tb.mask == 0 {
+		return -1
+	}
+	h := mix64(x) & tb.mask
+	for tb.meta[h]&slotUsed != 0 {
+		if tb.keys[h] == x {
+			return int(h)
+		}
+		h = (h + 1) & tb.mask
+	}
+	return -1
+}
+
+func (tb *stripeTab) insert(x uint64) int {
+	if tb.mask == 0 || tb.used*4 >= len(tb.keys)*3 {
+		tb.grow()
+	}
+	h := mix64(x) & tb.mask
+	for tb.meta[h]&slotUsed != 0 {
+		h = (h + 1) & tb.mask
+	}
+	tb.keys[h] = x
+	tb.meta[h] = slotUsed
+	tb.coldIdx[h] = -1
+	tb.used++
+	return int(h)
+}
+
+// grow rehashes into arrays of double the size (64 slots to start). The
+// cold slice is carried by index, so only the slot arrays move. Fresh
+// slots are zero: W = R = ⊥e is exactly a fresh variable's history.
+func (tb *stripeTab) grow() {
+	n := 2 * len(tb.keys)
+	if n == 0 {
+		n = 64
+	}
+	old := *tb
+	tb.keys = make([]uint64, n)
+	tb.meta = make([]uint8, n)
+	tb.w = make([]vc.Epoch, n)
+	tb.r = make([]vc.Epoch, n)
+	tb.coldIdx = make([]int32, n)
+	tb.mask = uint64(n - 1)
+	for i := range old.keys {
+		if old.meta[i]&slotUsed == 0 {
+			continue
+		}
+		h := mix64(old.keys[i]) & tb.mask
+		for tb.meta[h]&slotUsed != 0 {
+			h = (h + 1) & tb.mask
+		}
+		tb.keys[h] = old.keys[i]
+		tb.meta[h] = old.meta[i]
+		tb.w[h] = old.w[i]
+		tb.r[h] = old.r[i]
+		tb.coldIdx[h] = old.coldIdx[i]
+	}
+}
+
+// coldOf returns slot's cold entry, or nil if none was materialized.
+func (tb *stripeTab) coldOf(slot int) *varCold {
+	if ci := tb.coldIdx[slot]; ci >= 0 {
+		return &tb.cold[ci]
+	}
+	return nil
+}
+
+// coldFor returns (materializing if needed) slot's cold entry.
+func (tb *stripeTab) coldFor(slot int) *varCold {
+	if ci := tb.coldIdx[slot]; ci >= 0 {
+		return &tb.cold[ci]
+	}
+	tb.cold = append(tb.cold, varCold{lastR: -1, lastW: -1})
+	tb.coldIdx[slot] = int32(len(tb.cold) - 1)
+	return &tb.cold[len(tb.cold)-1]
+}
+
+// bytes is the table's contribution to the shadow footprint: the
+// parallel slot arrays (29 bytes per slot), the cold entries, and the
+// provenance records hanging off them.
+func (tb *stripeTab) bytes() int64 {
+	b := int64(cap(tb.keys))*8 + int64(cap(tb.meta)) +
+		int64(cap(tb.w)+cap(tb.r))*8 + int64(cap(tb.coldIdx))*4 +
+		int64(cap(tb.cold))*48
+	for i := range tb.cold {
+		if tb.cold[i].prov != nil {
+			b += provVarRecBytes
+		}
+	}
+	return b
+}
+
+// stripeState is one stripe's share of the analysis state: the variable
+// table, the read-VC store backing its read-shared variables, the
+// access-path counters those variables' accesses are counted into, and
+// the races detected on them. Everything in it is guarded by the
+// caller-held stripe lock.
+type stripeState struct {
+	tab    stripeTab
+	shared rvcStore
+	st     rr.Stats
+	races  []rr.Report
+}
+
+// readSharded is the sharded read access path: everything it touches —
+// the slot, the stripe's store, counters and race list — is confined to
+// x's stripe. Thread state is read-only here (the sharded Monitor's
+// watermark guarantees the thread is materialized).
+func (d *Detector) readSharded(i int, tid int32, x uint64, countEvent bool) {
+	s := d.stripeOf(x)
+	st := &s.st
+	st.Reads++
+	if countEvent {
+		st.Events++
+	}
+	if d.sampleThr != sampleFull && sampleHash(x) >= d.sampleThr {
+		st.SampledOut++
+		return
+	}
+	slot := s.tab.lookup(x)
+	if int(tid) >= len(d.threads) {
+		d.thread(tid)
+	}
+	// [FT READ SAME EPOCH], sharded: one probe, one compare.
+	if s.tab.r[slot] == d.threads[tid].epoch {
+		st.ReadSameEpoch++
+		return
+	}
+	d.readSlow(i, tid, x, &s.tab.w[slot], &s.tab.r[slot], &s.shared, st, s, slot)
+}
+
+// writeSharded is readSharded's write-side twin.
+func (d *Detector) writeSharded(i int, tid int32, x uint64, countEvent bool) {
+	s := d.stripeOf(x)
+	st := &s.st
+	st.Writes++
+	if countEvent {
+		st.Events++
+	}
+	if d.sampleThr != sampleFull && sampleHash(x) >= d.sampleThr {
+		st.SampledOut++
+		return
+	}
+	slot := s.tab.lookup(x)
+	if int(tid) >= len(d.threads) {
+		d.thread(tid)
+	}
+	if s.tab.w[slot] == d.threads[tid].epoch {
+		st.WriteSameEpoch++
+		return
+	}
+	d.writeSlow(i, tid, x, &s.tab.w[slot], &s.tab.r[slot], &s.shared, st, s, slot)
 }
 
 // EnableSharding switches the detector's access-path storage to n
@@ -53,32 +262,16 @@ func (d *Detector) EnableSharding(n int) {
 	if d.budget > 0 {
 		panic("core: EnableSharding is incompatible with a memory budget")
 	}
-	if d.st.Events != 0 || len(d.vars) > 0 || len(d.threads) > 0 {
+	if d.st.Events != 0 || len(d.r) > 0 || len(d.threads) > 0 {
 		panic("core: EnableSharding called after events were handled")
 	}
 	d.stripes = make([]stripeState, n)
-	for i := range d.stripes {
-		d.stripes[i].vars = make(map[uint64]*shardedVar)
-	}
 }
 
 // stripeOf returns the stripe owning variable x. Must agree with the
 // lock the caller chose, so it uses the shared rr.StripeOf mapping.
 func (d *Detector) stripeOf(x uint64) *stripeState {
 	return &d.stripes[rr.StripeOf(x, len(d.stripes))]
-}
-
-// stripeVar returns (materializing if needed) variable x's stripe and
-// sharded shadow state. Caller must hold x's stripe lock or full
-// exclusion.
-func (d *Detector) stripeVar(x uint64) (*stripeState, *shardedVar) {
-	s := d.stripeOf(x)
-	sv := s.vars[x]
-	if sv == nil {
-		sv = &shardedVar{lastR: -1, lastW: -1}
-		s.vars[x] = sv
-	}
-	return s, sv
 }
 
 // ThreadsMaterialized implements rr.ShardedTool: the number of thread

@@ -156,8 +156,11 @@ func (d *Detector) Races() []rr.Report { return d.races }
 func (d *Detector) Stats() rr.Stats {
 	st := d.sync.St
 	bytes := d.sync.SyncShadowBytes()
+	// Each varState pays two VC slice headers plus the padded flag word
+	// (56 bytes) before any backing array — the array-of-structs cost a
+	// struct-of-arrays layout avoids.
+	bytes += int64(cap(d.vars)) * 56
 	for i := range d.vars {
-		bytes += 8 // flag word
 		bytes += int64(d.vars[i].r.Bytes() + d.vars[i].w.Bytes())
 	}
 	st.ShadowBytes = bytes

@@ -161,6 +161,16 @@ type Stats struct {
 	// Sampled): they are included in Reads/Writes/Events but received no
 	// shadow-state maintenance. DetectionProbability derives from it.
 	SampledOut int64 `json:"sampledOut,omitempty"`
+
+	// ClockSaturations counts increments of a thread clock that had
+	// already reached the epoch format's MaxClock (2^40-1). A saturated
+	// thread's epoch stops advancing, so later accesses by it may be
+	// treated as ordered when they are not — races can be missed, never
+	// invented. Nonzero means the session has outlived the clock width
+	// and its precision is degrading; long-running deployments should
+	// recycle the session (the downgrade/Reset machinery) when this
+	// starts moving.
+	ClockSaturations int64 `json:"clockSaturations,omitempty"`
 }
 
 // DetectionProbability is the fraction of offered accesses that were
@@ -259,6 +269,7 @@ func (s *Stats) Merge(o Stats) {
 	s.MemSqueezes += o.MemSqueezes
 	s.MemCoarse += o.MemCoarse
 	s.SampledOut += o.SampledOut
+	s.ClockSaturations += o.ClockSaturations
 }
 
 // Tool is a back-end dynamic analysis: it consumes the event stream one

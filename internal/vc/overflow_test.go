@@ -1,0 +1,47 @@
+package vc
+
+import "testing"
+
+// The clock field of an Epoch is 40 bits wide. Before the saturation
+// fix, MakeEpoch panicked the first time a thread's scalar clock
+// crossed MaxClock — and since every Inc on a thread clock funnels
+// through the epoch refresh, one long-lived thread could take down a
+// whole long-running session. These tests pin the boundary behavior:
+// clocks saturate, epochs stay representable, nothing panics.
+
+func TestIncSaturatesAtMaxClock(t *testing.T) {
+	v := New(1).Set(0, MaxClock-1)
+	v = v.Inc(0)
+	if got := v.Get(0); got != MaxClock {
+		t.Fatalf("Inc at MaxClock-1: clock = %d, want %d", got, MaxClock)
+	}
+	// The overflow increment: the clock must pin, not wrap or panic.
+	v = v.Inc(0)
+	if got := v.Get(0); got != MaxClock {
+		t.Fatalf("Inc at MaxClock: clock = %d, want saturation at %d", got, MaxClock)
+	}
+}
+
+func TestMakeEpochSaturatesOverflowingClock(t *testing.T) {
+	if got := MakeEpoch(3, MaxClock); got.Clock() != MaxClock || got.Tid() != 3 {
+		t.Fatalf("MakeEpoch(3, MaxClock) = %v", got)
+	}
+	got := MakeEpoch(3, MaxClock+1) // must clamp, not panic
+	if got.Clock() != MaxClock || got.Tid() != 3 {
+		t.Fatalf("MakeEpoch(3, MaxClock+1) = %d@%d, want %d@3", got.Clock(), got.Tid(), MaxClock)
+	}
+}
+
+func TestSaturatedEpochStaysOrdered(t *testing.T) {
+	// An epoch at the saturated clock still compares correctly against
+	// clocks that have absorbed it: saturation can only hide races
+	// (compares pass), never invent them (compares that should pass
+	// still pass).
+	e := MakeEpoch(0, MaxClock)
+	if !e.LEq(New(1).Set(0, MaxClock)) {
+		t.Fatal("saturated epoch not <= a clock that absorbed it")
+	}
+	if e.LEq(New(1).Set(0, MaxClock-1)) {
+		t.Fatal("saturated epoch <= a clock that has not absorbed it")
+	}
+}

@@ -1,0 +1,68 @@
+package vc
+
+import "testing"
+
+func TestPoolRecyclesBackingArrays(t *testing.T) {
+	var p Pool
+	v := p.Get(5)
+	if len(v) != 5 {
+		t.Fatalf("Get(5) returned len %d", len(v))
+	}
+	v = v.Set(3, 9)
+	p.Put(v)
+	w := p.Get(4)
+	if len(w) != 4 {
+		t.Fatalf("Get(4) returned len %d", len(w))
+	}
+	for i, c := range w {
+		if c != 0 {
+			t.Fatalf("recycled array not zeroed: w[%d] = %d", i, c)
+		}
+	}
+	if p.Recycled != 1 || p.Fresh != 1 {
+		t.Fatalf("Recycled = %d, Fresh = %d, want 1, 1", p.Recycled, p.Fresh)
+	}
+}
+
+func TestPoolGetSatisfiesLargerClass(t *testing.T) {
+	var p Pool
+	// cap 8 is filed under class 3 and must not serve a request for 9.
+	p.Put(make(VC, 8))
+	v := p.Get(9)
+	if cap(v) < 9 {
+		t.Fatalf("Get(9) returned cap %d", cap(v))
+	}
+	if p.Recycled != 0 {
+		t.Fatal("request larger than the pooled array was served from the pool")
+	}
+	// A second request of 8 or fewer is served from the free list.
+	w := p.Get(6)
+	if p.Recycled != 1 || cap(w) < 6 {
+		t.Fatalf("Get(6) not recycled (Recycled = %d, cap %d)", p.Recycled, cap(w))
+	}
+}
+
+func TestPoolZeroSizeAndBounds(t *testing.T) {
+	var p Pool
+	if v := p.Get(0); v != nil {
+		t.Fatalf("Get(0) = %v, want nil", v)
+	}
+	p.Put(nil)
+	p.Put(make(VC, 0))
+	for i := 0; i < 2*poolPerClass; i++ {
+		p.Put(make(VC, 4))
+	}
+	if n := len(p.classes[2]); n > poolPerClass {
+		t.Fatalf("class free list grew to %d, cap is %d", n, poolPerClass)
+	}
+	if p.Bytes() <= 0 {
+		t.Fatal("Bytes() reported nothing pinned")
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	var p Pool
+	for i := 0; i < b.N; i++ {
+		p.Put(p.Get(16))
+	}
+}

@@ -55,13 +55,19 @@ const (
 // not unique — 0@1 is also minimal — but Bottom is the canonical one.)
 const Bottom Epoch = 0
 
-// MakeEpoch returns the epoch c@t.
+// MakeEpoch returns the epoch c@t. Clocks beyond MaxClock saturate at
+// MaxClock rather than panicking: a thread that performs 2^40
+// synchronization operations stops advancing its epoch, which can only
+// make the analysis miss races (an access ordered after a saturated
+// clock still compares >=), never report false ones. Detectors count
+// the condition in Stats.ClockSaturations so long-running sessions can
+// surface it instead of dying mid-stream.
 func MakeEpoch(t Tid, c Clock) Epoch {
 	if t < 0 || t > MaxTid {
 		panic(fmt.Sprintf("vc: thread id %d out of range [0,%d]", t, MaxTid))
 	}
 	if c > MaxClock {
-		panic(fmt.Sprintf("vc: clock %d exceeds %d", c, MaxClock))
+		c = MaxClock
 	}
 	return Epoch(uint64(t)<<ClockBits | uint64(c))
 }
@@ -75,8 +81,17 @@ func (e Epoch) Clock() Clock { return Clock(uint64(e) & clockMask) }
 // LEq reports whether the epoch happens before (or equals) the vector
 // clock V, written c@t � V in the paper: c <= V(t). This is the O(1)
 // comparison that replaces the O(n) vector-clock comparison on the
-// FastTrack fast paths.
-func (e Epoch) LEq(v VC) bool { return e.Clock() <= v.Get(e.Tid()) }
+// FastTrack fast paths. The body is flattened (no Get/Clock/Tid calls)
+// so it inlines into the access handlers: one shift, one predictable
+// bounds branch, one compare.
+func (e Epoch) LEq(v VC) bool {
+	t := uint64(e) >> ClockBits
+	var c Clock
+	if t < uint64(len(v)) {
+		c = v[t]
+	}
+	return Clock(uint64(e)&clockMask) <= c
+}
 
 // String renders the epoch in the paper's c@t notation.
 func (e Epoch) String() string { return fmt.Sprintf("%d@%d", e.Clock(), e.Tid()) }
@@ -106,10 +121,15 @@ func (v VC) Set(t Tid, c Clock) VC {
 }
 
 // Inc increments component t (the helper function inc_t of Section 2.2)
-// and returns the (possibly reallocated) vector.
+// and returns the (possibly reallocated) vector. The component saturates
+// at MaxClock — the widest clock an Epoch can carry — so that a
+// long-lived thread's 2^40'th increment degrades precision (its epoch
+// stops advancing; see MakeEpoch) instead of panicking the pipeline.
 func (v VC) Inc(t Tid) VC {
 	v = v.grow(t)
-	v[t]++
+	if v[t] < MaxClock {
+		v[t]++
+	}
 	return v
 }
 

@@ -40,10 +40,12 @@ func TestEpochPackingRoundTrip(t *testing.T) {
 }
 
 func TestMakeEpochPanics(t *testing.T) {
+	// Only structurally impossible thread ids panic; an overflowing
+	// clock saturates instead (see overflow_test.go).
 	for _, c := range []struct {
 		tid   Tid
 		clock Clock
-	}{{-1, 0}, {MaxTid + 1, 0}, {0, MaxClock + 1}} {
+	}{{-1, 0}, {MaxTid + 1, 0}} {
 		func() {
 			defer func() {
 				if recover() == nil {
