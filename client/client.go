@@ -248,6 +248,14 @@ func WithTracing() Option { return func(c *config) { c.hello.Tracing = true } }
 // access on the server; see BENCH_provenance.json.
 func WithProvenance() Option { return func(c *config) { c.hello.Provenance = true } }
 
+// WithDetailedReports asks the server to keep per-variable access
+// history for this session, so each race report in Results carries the
+// prior access's event index (Report.PrevIndex). The racedetect CLI
+// sets it for JSON runs, making a remote race list byte-identical to a
+// local analysis of the same trace. Costs two ints per variable on the
+// server plus one store per slow-path access.
+func WithDetailedReports() Option { return func(c *config) { c.hello.Detailed = true } }
+
 // WithDialFunc replaces the transport dialer (tests, fault injection).
 func WithDialFunc(f DialFunc) Option { return func(c *config) { c.dial = f } }
 

@@ -104,6 +104,12 @@ type Handshake struct {
 	// flight recorder, so race reports in Results carry the Detailed
 	// evidence (clocks, failed check, sync chain, explanation).
 	Provenance bool `json:"provenance,omitempty"`
+	// Detailed asks the session's detector to keep per-variable access
+	// history, so race reports carry the prior access's event index
+	// (Report.PrevIndex). Clients that render machine-readable reports
+	// set it so a remote run's race list matches a local run of the same
+	// trace byte-for-byte.
+	Detailed bool `json:"detailed,omitempty"`
 }
 
 // HelloOK acknowledges a handshake.

@@ -26,7 +26,10 @@
 // of the struct-of-arrays shadow layout against the frozen pre-refactor
 // baseline (DESIGN.md §13); with -out FILE it writes the
 // fasttrack/bench-speed/v1 artifact (BENCH_speed.json in CI, gated at
-// geomean >= 2x).
+// geomean >= 2x). "chan": channel happens-before cost and precision
+// against the legacy volatile encoding on channel-heavy workloads
+// (DESIGN.md §14); with -out FILE it writes the fasttrack/bench-chan/v1
+// artifact (BENCH_chan.json in CI).
 package main
 
 import (
@@ -38,7 +41,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch, fidelity, provenance, speed")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, rules, compose, eclipse, scaling, accordion, ops, shards, batch, fidelity, provenance, speed, chan")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	runs := flag.Int("runs", 3, "timed repetitions per cell (fastest kept)")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV instead of formatted tables (tables 1, 2, 3, compose, scaling, accordion)")
@@ -168,6 +171,17 @@ func main() {
 				check(f.Close())
 				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
 			}
+		case "chan":
+			fmt.Println("=== Extension: channel happens-before vs volatile encoding ===")
+			rep := bench.Chan(cfg, 0)
+			bench.FprintChan(os.Stdout, rep)
+			if *out != "" {
+				f, err := os.Create(*out)
+				check(err)
+				check(bench.WriteChanJSON(f, rep))
+				check(f.Close())
+				fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *out)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", name)
 			os.Exit(2)
@@ -176,7 +190,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch", "fidelity", "provenance", "speed"} {
+		for _, name := range []string{"1", "2", "3", "rules", "compose", "eclipse", "scaling", "accordion", "ops", "shards", "batch", "fidelity", "provenance", "speed", "chan"} {
 			run(name)
 		}
 		return

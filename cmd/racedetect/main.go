@@ -66,6 +66,14 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch must precede flag.Parse: `racedetect run` and
+	// `racedetect test` instrument and execute a real Go package, then
+	// feed the captured trace back through the flag-based analysis path.
+	if len(os.Args) > 1 && (os.Args[1] == "run" || os.Args[1] == "test") {
+		runFrontend(os.Args[1], os.Args[2:])
+		return
+	}
+
 	toolName := flag.String("tool", "FastTrack", "detector to run (see -list)")
 	all := flag.Bool("all", false, "run every detector and compare")
 	gran := flag.String("granularity", "fine", "shadow granularity: fine or coarse")
@@ -126,6 +134,7 @@ func main() {
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: racedetect [flags] trace-file")
+		fmt.Fprintln(os.Stderr, "       racedetect run|test [flags] package-dir")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -146,7 +155,7 @@ func main() {
 		if *all || *stream || *explain {
 			fatal(fmt.Errorf("-server streams a single tool's batch run; drop -all/-stream/-explain"))
 		}
-		os.Exit(runRemote(flag.Arg(0), *serverAddr, *toolName, *gran, *policyName, *fidelity, *shards, *validate, *provenance, *traceWire))
+		os.Exit(runRemote(flag.Arg(0), *serverAddr, *toolName, *gran, *policyName, *fidelity, *shards, *validate, *provenance, *traceWire, *jsonOut, *jsonFile))
 	}
 
 	ms, err := startMetrics(*metricsAddr)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"fasttrack/client"
@@ -11,7 +12,7 @@ import (
 // analyzing it in-process, and renders the session's final report in
 // exactly the local batch format (so local and remote runs diff clean);
 // the transport note goes to stderr. Returns the process exit code.
-func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards int, validate, provenance, traceWire bool) int {
+func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards int, validate, provenance, traceWire, jsonOut bool, jsonFile string) int {
 	tr, err := readTrace(path)
 	if err != nil {
 		fatal(err)
@@ -22,9 +23,17 @@ func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards i
 		}
 	}
 
+	jsonWanted := jsonOut || jsonFile != ""
+
 	opts := []client.Option{
 		client.WithTool(toolName),
 		client.WithGranularity(gran),
+	}
+	if jsonWanted && toolName == "FastTrack" {
+		// Same gate as the local path: JSON FastTrack reports carry the
+		// prior access's event index, so local and remote race lists for
+		// the same trace diff clean.
+		opts = append(opts, client.WithDetailedReports())
 	}
 	if policyName != "" && policyName != "off" {
 		opts = append(opts, client.WithValidation(policyName))
@@ -58,16 +67,47 @@ func runRemote(path, addr, toolName, gran, policyName, fidelity string, shards i
 		fatal(err)
 	}
 
-	fmt.Printf("%s: %d warning(s)\n", res.Tool, len(res.Races))
-	for _, r := range res.Races {
-		fmt.Printf("  %s\n", r)
+	// With the JSON report on stdout, the human-readable output moves to
+	// stderr so stdout stays pure JSON (same convention as local runs).
+	var humanOut io.Writer = os.Stdout
+	if jsonWanted && jsonFile == "" {
+		humanOut = os.Stderr
 	}
-	printDetails(os.Stdout, res.Detailed)
+
+	fmt.Fprintf(humanOut, "%s: %d warning(s)\n", res.Tool, len(res.Races))
+	for _, r := range res.Races {
+		fmt.Fprintf(humanOut, "  %s\n", r)
+	}
+	printDetails(humanOut, res.Detailed)
 	// The daemon may have analyzed only a fraction of the offered
 	// accesses (a sampled/adaptive session, or a force-sampled admission
 	// under load); qualify the verdict.
 	if res.DetectionProbability > 0 && res.DetectionProbability < 1 {
-		fmt.Printf("  sampled analysis: detection probability %.3f\n", res.DetectionProbability)
+		fmt.Fprintf(humanOut, "  sampled analysis: detection probability %.3f\n", res.DetectionProbability)
+	}
+	if jsonWanted {
+		rep := &runReport{Schema: runReportSchema, Trace: path, Tools: []toolReport{{
+			Tool:   res.Tool,
+			Events: res.Events,
+			Races:  raceReportsDetailed(res.Races, tr, res.Detailed),
+			Stats:  res.Stats,
+			Health: healthReport{
+				Healthy:              res.Health.Healthy,
+				ToolDisabled:         res.Health.ToolDisabled,
+				Panics:               res.Health.Panics,
+				QuarantinedLocations: res.Health.QuarantinedLocations,
+				QuarantinedAccesses:  res.Health.QuarantinedAccesses,
+				Violations:           res.Health.Violations,
+				Repaired:             res.Health.Repaired,
+				Dropped:              res.Health.Dropped,
+				Synthesized:          res.Health.Synthesized,
+				UnheldReleases:       res.Health.UnheldReleases,
+				Error:                res.Health.Err,
+			},
+		}}}
+		if err := emitJSON(rep, jsonFile); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "racedetect: %d events analyzed remotely (session %s on %s)\n",
 		res.Events, res.SessionID, addr)

@@ -6,6 +6,12 @@
 //	tracegen -workload tsp [-scale 1] [-format text|binary] [-o out.trace]
 //	tracegen -random -events 500 -threads 4 [-seed 42] [-o out.trace]
 //	tracegen -list
+//
+// Besides the paper's named benchmarks, "chan" generates the
+// channel-heavy workload (ping-pong, bounded buffer, seeded
+// buffered-slack races; DESIGN.md §14) on first-class channel events,
+// and "chan-volatile" the same workload on the legacy volatile
+// encoding — the pair racebench -table chan compares.
 package main
 
 import (
@@ -35,6 +41,9 @@ func main() {
 		for _, b := range append(sim.Benchmarks(), sim.EclipseOps()...) {
 			fmt.Printf("%s (%d threads, %d seeded races)\n", b.Name, b.Threads, b.KnownRaces())
 		}
+		c := sim.ChanMix()
+		fmt.Printf("%s (%d threads, %d seeded races; chan-volatile re-encodes it on volatiles)\n",
+			c.Name, c.Threads(), c.KnownRaces())
 		return
 	}
 
@@ -45,6 +54,10 @@ func main() {
 		cfg.Events = *events
 		cfg.Threads = *threads
 		tr = sim.RandomTrace(rand.New(rand.NewSource(*seed)), cfg)
+	case *workload == "chan":
+		tr = sim.ChanMix().Generate(*scale, sim.ChanNative)
+	case *workload == "chan-volatile":
+		tr = sim.ChanMix().Generate(*scale, sim.ChanVolatile)
 	case *workload != "":
 		b, ok := sim.ByName(*workload)
 		if !ok {

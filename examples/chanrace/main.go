@@ -1,0 +1,66 @@
+// Chanrace: a plain Go program (no fasttrack imports) for the
+// instrumentation front-end, with one seeded data race and one
+// correctly synchronized counterpart — both built on channels.
+//
+// The seeded race abuses a buffered channel's slack: with capacity 2,
+// both sends complete without waiting for the receiver, so nothing
+// orders the receiver goroutine's write before the sender's read. The
+// safe half publishes through an unbuffered handoff, whose send/receive
+// rendezvous is a real happens-before edge.
+//
+// Analyze it with the front-end:
+//
+//	racedetect run ./examples/chanrace
+//
+// which must report exactly one race (the slack variable), and
+// cross-check with the Go runtime's own detector:
+//
+//	go build -race -o chanrace ./examples/chanrace
+//	./chanrace   # reports the same race; exits 66
+//
+// (`go run -race` works too, but wraps the 66 into its own exit 1.)
+package main
+
+import "fmt"
+
+var (
+	slack   int // racy: published through a buffered channel's slack
+	handoff int // safe: published through an unbuffered handoff
+)
+
+func main() {
+	racyBufferedSlack()
+	safeChannelHandoff()
+}
+
+// racyBufferedSlack writes slack in one goroutine and reads it in
+// another with only a buffered channel in between — and the buffer is
+// never full, so no send ever waits on a receive and no happens-before
+// edge ever points from the writer to the reader.
+func racyBufferedSlack() {
+	ch := make(chan int, 2)
+	done := make(chan struct{})
+	go func() {
+		slack = 1
+		<-ch
+		<-ch
+		close(done)
+	}()
+	ch <- 1
+	ch <- 2                       // both sends fit the buffer: no rendezvous with the receiver
+	fmt.Println("slack =", slack) // RACE: unordered with the write above
+	<-done
+}
+
+// safeChannelHandoff publishes through an unbuffered channel: the send
+// happens before the receive completes, so the read is ordered after
+// the write and no race exists.
+func safeChannelHandoff() {
+	ch := make(chan int)
+	go func() {
+		handoff = 42
+		ch <- 1
+	}()
+	<-ch
+	fmt.Println("handoff =", handoff)
+}

@@ -1,0 +1,225 @@
+package instrument
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// racyProgram has one race (the read of y concurrent with the child's
+// write) and one channel-synchronized pair (x, published over the
+// unbuffered done channel) that must NOT be reported.
+const racyProgram = `package main
+
+import "fmt"
+
+var x, y int
+
+func main() {
+	done := make(chan bool)
+	go func() {
+		x = 1
+		y = 1
+		done <- true
+	}()
+	before := y
+	<-done
+	after := x
+	fmt.Sprintln(before, after)
+}
+`
+
+// cleanProgram synchronizes everything with a mutex and a WaitGroup;
+// zero races expected.
+const cleanProgram = `package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var c int
+
+func main() {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			c++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	fmt.Sprintln(c)
+}
+`
+
+// chanProgram exercises buffered-channel slack: with capacity 2 the
+// second send does not wait for the first receive, so the receiver-side
+// write is unordered with the sender's read — one race.
+const chanProgram = `package main
+
+import "fmt"
+
+var v int
+
+func main() {
+	ch := make(chan int, 2)
+	done := make(chan bool)
+	go func() {
+		v = 1
+		<-ch
+		<-ch
+		done <- true
+	}()
+	ch <- 1
+	ch <- 2
+	r := v
+	<-done
+	fmt.Sprintln(r)
+}
+`
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(dir)
+}
+
+func instrumentSource(t *testing.T, src string) (*Result, string) {
+	t.Helper()
+	srcDir := t.TempDir()
+	outDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(srcDir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Instrument(srcDir, outDir, Options{ModuleDir: repoRoot(t)})
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	return res, outDir
+}
+
+func TestRewriteInjectsShimCalls(t *testing.T) {
+	_, outDir := instrumentSource(t, racyProgram)
+	data, err := os.ReadFile(filepath.Join(outDir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{
+		`__ft "fasttrack/instrument/rt"`,
+		"defer __ft.Boot()()",
+		"__ft.Fork()",
+		"__ft.Begin(__ft_parent)",
+		"defer __ft.End()",
+		"__ft.W(&x)",
+		"__ft.W(&y)",
+		"__ft.R(&y)",
+		"__ft.R(&x)",
+		"__ft.ChanSend(done)",
+		"__ft.ChanRecv(done)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("instrumented source missing %q:\n%s", want, got)
+		}
+	}
+	gomod, err := os.ReadFile(filepath.Join(outDir, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gomod), "replace fasttrack => ") {
+		t.Fatalf("go.mod missing replace directive:\n%s", gomod)
+	}
+}
+
+func TestRewriteSyncCalls(t *testing.T) {
+	res, outDir := instrumentSource(t, cleanProgram)
+	data, err := os.ReadFile(filepath.Join(outDir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{
+		"__ft.Acquire(&mu)",
+		"__ft.Release(&mu)",
+		"__ft.WGDone(&wg)",
+		"__ft.WGWait(&wg)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("instrumented source missing %q:\n%s", want, got)
+		}
+	}
+	if res.Stats.SyncOps == 0 || res.Stats.Forks != 1 {
+		t.Fatalf("unexpected stats: %+v", res.Stats)
+	}
+}
+
+// runInstrumented builds and executes an instrumented module with the
+// in-process monitor sink and returns the parsed report.
+func runInstrumented(t *testing.T, src string) (races int) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	_, outDir := instrumentSource(t, src)
+	bin := filepath.Join(outDir, "prog")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Dir = outDir
+	build.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	report := filepath.Join(outDir, "report.json")
+	run := exec.Command(bin)
+	run.Env = append(os.Environ(), "FASTTRACK_MODE=local", "FASTTRACK_REPORT="+report)
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Fatalf("instrumented run: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Tool   string `json:"tool"`
+		Events int64  `json:"events"`
+		Races  []struct {
+			Var  uint64 `json:"var"`
+			Kind string `json:"kind"`
+		} `json:"races"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, data)
+	}
+	if rep.Events == 0 {
+		t.Fatalf("report claims zero events:\n%s", data)
+	}
+	return len(rep.Races)
+}
+
+func TestInstrumentedRacyProgram(t *testing.T) {
+	if races := runInstrumented(t, racyProgram); races != 1 {
+		t.Fatalf("racy program: %d races, want exactly 1 (the y pair; x is channel-synchronized)", races)
+	}
+}
+
+func TestInstrumentedCleanProgram(t *testing.T) {
+	if races := runInstrumented(t, cleanProgram); races != 0 {
+		t.Fatalf("clean program: %d races, want 0", races)
+	}
+}
+
+func TestInstrumentedBufferedChannelSlack(t *testing.T) {
+	if races := runInstrumented(t, chanProgram); races != 1 {
+		t.Fatalf("buffered slack program: %d races, want exactly 1", races)
+	}
+}

@@ -1,0 +1,378 @@
+// Package rt is the runtime shim linked into programs instrumented by
+// fasttrack/instrument: the rewriter injects calls to this package at
+// every shared-memory access and synchronization operation, and the
+// shim turns them into the detector's event stream.
+//
+// The shim owns three jobs:
+//
+//   - identity: goroutines are mapped to dense thread ids (the
+//     instrumented go statement records the fork edge; goroutines that
+//     appear without one — the testing framework's, for example — are
+//     adopted with a synthetic fork from the main thread, which can
+//     only mask races, never invent them); memory addresses, locks,
+//     channels and WaitGroups are mapped to dense per-namespace ids;
+//   - batching: each goroutine buffers its memory accesses locally and
+//     coalesces adjacent same-variable duplicates, flushing to the
+//     serialized sink before every synchronization event it emits (a
+//     buffered access may drift relative to OTHER goroutines' accesses
+//     — which is a legal reordering, accesses only synchronize through
+//     sync events — but never across its own sync events);
+//   - delivery: events go to one of three sinks selected by
+//     FASTTRACK_MODE — "trace" (default; append to the binary trace
+//     file named by FASTTRACK_TRACE for offline analysis — what
+//     racedetect run drives), "local" (in-process fasttrack.Monitor;
+//     report written at exit to FASTTRACK_REPORT or stderr), or
+//     "server" (stream to the racedetectd daemon at FASTTRACK_SERVER
+//     via the client package).
+package rt
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"fasttrack/trace"
+)
+
+// flushThreshold bounds a goroutine's local access buffer.
+const flushThreshold = 256
+
+// gstate is one goroutine's shim state. It is only touched by its own
+// goroutine (except at Shutdown, which runs after user goroutines are
+// expected to have finished; stragglers lose buffered accesses, not
+// correctness).
+type gstate struct {
+	tid int32
+	buf []trace.Event
+}
+
+var (
+	initOnce sync.Once
+	sink     eventSink
+
+	mu      sync.Mutex // serializes sync events + flushes into the sink
+	nextTid int32
+	goids   sync.Map // goroutine id -> *gstate
+	mainGid int64
+
+	idMu    sync.Mutex
+	varIDs  map[uintptr]uint64
+	lockIDs map[uintptr]uint64
+	volIDs  map[uintptr]uint64
+	chanIDs map[uintptr]uint64
+)
+
+// goid returns the current goroutine's runtime id, parsed from the
+// first stack line ("goroutine N [...]"). There is no public API for
+// this; the parse is the standard fallback and costs about a
+// microsecond, which the access-path batching amortizes.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// initShim sets up the sink from the environment on first use.
+func initShim() {
+	initOnce.Do(func() {
+		varIDs = make(map[uintptr]uint64)
+		lockIDs = make(map[uintptr]uint64)
+		volIDs = make(map[uintptr]uint64)
+		chanIDs = make(map[uintptr]uint64)
+		var err error
+		sink, err = newSink()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fasttrack/rt:", err)
+			os.Exit(2)
+		}
+		// The goroutine that initializes the shim is the main thread.
+		mainGid = goid()
+		g := &gstate{tid: 0}
+		nextTid = 1
+		goids.Store(mainGid, g)
+	})
+}
+
+// Boot initializes the shim and returns the finalizer the instrumented
+// main defers: it flushes every goroutine's buffer, closes the sink,
+// and emits the report (mode-dependent). Boot is also called by the
+// generated TestMain.
+func Boot() func() {
+	initShim()
+	return Shutdown
+}
+
+// Shutdown flushes all buffered events and finalizes the sink. Safe to
+// call once; events arriving afterwards are dropped.
+func Shutdown() {
+	initShim()
+	mu.Lock()
+	goids.Range(func(_, v any) bool {
+		flushLocked(v.(*gstate))
+		return true
+	})
+	s := sink
+	sink = nil
+	mu.Unlock()
+	if s != nil {
+		if err := s.finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "fasttrack/rt:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// self returns the calling goroutine's state, adopting unknown
+// goroutines with a synthetic fork edge from the main thread (see the
+// package comment).
+func self() *gstate {
+	initShim()
+	id := goid()
+	if v, ok := goids.Load(id); ok {
+		return v.(*gstate)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if v, ok := goids.Load(id); ok {
+		return v.(*gstate)
+	}
+	g := &gstate{tid: nextTid}
+	nextTid++
+	emitLocked(trace.ForkOf(0, g.tid))
+	goids.Store(id, g)
+	return g
+}
+
+// flushLocked drains g's access buffer into the sink. Caller holds mu.
+func flushLocked(g *gstate) {
+	if len(g.buf) == 0 {
+		return
+	}
+	if sink != nil {
+		sink.events(g.buf)
+	}
+	g.buf = g.buf[:0]
+}
+
+// emitLocked forwards one (synchronization) event. Caller holds mu.
+func emitLocked(e trace.Event) {
+	if sink != nil {
+		sink.events([]trace.Event{e})
+	}
+}
+
+// syncEvent flushes the goroutine's accesses and then emits e, as one
+// serialized step so no other goroutine's sync event lands in between.
+func (g *gstate) syncEvent(e trace.Event) {
+	mu.Lock()
+	flushLocked(g)
+	emitLocked(e)
+	mu.Unlock()
+}
+
+// access buffers one read/write event, coalescing an immediate
+// duplicate (same kind, same variable: tight loops over one location).
+func (g *gstate) access(e trace.Event) {
+	if n := len(g.buf); n > 0 && g.buf[n-1].Kind == e.Kind && g.buf[n-1].Target == e.Target {
+		return
+	}
+	g.buf = append(g.buf, e)
+	if len(g.buf) >= flushThreshold {
+		mu.Lock()
+		flushLocked(g)
+		mu.Unlock()
+	}
+}
+
+// denseID assigns stable dense ids per namespace table.
+func denseID(tab map[uintptr]uint64, p uintptr) uint64 {
+	idMu.Lock()
+	id, ok := tab[p]
+	if !ok {
+		id = uint64(len(tab))
+		tab[p] = id
+	}
+	idMu.Unlock()
+	return id
+}
+
+// ptrOf extracts the pointer identity of p (a pointer, channel, map,
+// or other reference value).
+func ptrOf(p any) uintptr { return reflect.ValueOf(p).Pointer() }
+
+// R records a read of the location *p.
+func R(p any) {
+	g := self()
+	g.access(trace.Rd(g.tid, denseID(varIDs, ptrOf(p))))
+}
+
+// W records a write of the location *p.
+func W(p any) {
+	g := self()
+	g.access(trace.Wr(g.tid, denseID(varIDs, ptrOf(p))))
+}
+
+// Fork allocates a thread id for a goroutine about to start and records
+// the fork edge. The rewriter evaluates Fork in the parent, before the
+// go statement, and passes the result to Begin inside the child.
+func Fork() int32 {
+	g := self()
+	mu.Lock()
+	child := nextTid
+	nextTid++
+	flushLocked(g)
+	emitLocked(trace.ForkOf(g.tid, child))
+	mu.Unlock()
+	return child
+}
+
+// Begin registers the calling goroutine under the thread id its parent
+// forked for it.
+func Begin(tid int32) {
+	initShim()
+	goids.Store(goid(), &gstate{tid: tid})
+}
+
+// End flushes the goroutine's remaining buffered accesses and retires
+// its registration (the runtime may reuse goroutine ids).
+func End() {
+	g := self()
+	mu.Lock()
+	flushLocked(g)
+	mu.Unlock()
+	goids.Delete(goid())
+}
+
+// Acquire records that the caller acquired the mutex at p. The rewriter
+// places it after the real Lock returns.
+func Acquire(p any) {
+	g := self()
+	g.syncEvent(trace.Acq(g.tid, denseID(lockIDs, ptrOf(p))))
+}
+
+// Release records that the caller is releasing the mutex at p. The
+// rewriter places it before the real Unlock.
+func Release(p any) {
+	g := self()
+	g.syncEvent(trace.Rel(g.tid, denseID(lockIDs, ptrOf(p))))
+}
+
+// volID maps a pointer to a volatile id, with room for two volatiles
+// per object (the RWMutex reader/writer pair, the WaitGroup latch).
+func volID(p any, side uint64) uint64 {
+	return denseID(volIDs, ptrOf(p))<<1 | side
+}
+
+// RAcquire records a read-lock acquisition of the RWMutex at p: the
+// reader is ordered after the last write-unlock (modeled as a volatile
+// read of the writer-release volatile). Placed after the real RLock.
+func RAcquire(p any) {
+	g := self()
+	g.syncEvent(trace.VRd(g.tid, volID(p, 0)))
+}
+
+// RRelease records a read-unlock of the RWMutex at p: later write-locks
+// are ordered after it (a volatile write of the reader-release
+// volatile). Placed before the real RUnlock.
+func RRelease(p any) {
+	g := self()
+	g.syncEvent(trace.VWr(g.tid, volID(p, 1)))
+}
+
+// AcquireRW records a write-lock acquisition of the RWMutex at p: mutual
+// exclusion plus ordering after every reader's unlock. Placed after the
+// real Lock.
+func AcquireRW(p any) {
+	g := self()
+	l := denseID(lockIDs, ptrOf(p))
+	mu.Lock()
+	flushLocked(g)
+	emitLocked(trace.Acq(g.tid, l))
+	emitLocked(trace.VRd(g.tid, volID(p, 0)))
+	emitLocked(trace.VRd(g.tid, volID(p, 1)))
+	mu.Unlock()
+}
+
+// ReleaseRW records a write-unlock of the RWMutex at p. Placed before
+// the real Unlock.
+func ReleaseRW(p any) {
+	g := self()
+	l := denseID(lockIDs, ptrOf(p))
+	mu.Lock()
+	flushLocked(g)
+	emitLocked(trace.VWr(g.tid, volID(p, 0)))
+	emitLocked(trace.Rel(g.tid, l))
+	mu.Unlock()
+}
+
+// WGDone records a WaitGroup count-down at p: a volatile write every
+// later Wait is ordered after (the paper's latch model — exact for the
+// final Wait). Placed before the real Done.
+func WGDone(p any) {
+	g := self()
+	g.syncEvent(trace.VWr(g.tid, volID(p, 0)))
+}
+
+// WGWait records that a Wait on the WaitGroup at p returned. Placed
+// after the real Wait.
+func WGWait(p any) {
+	g := self()
+	g.syncEvent(trace.VRd(g.tid, volID(p, 0)))
+}
+
+// OnceDo records a sync.Once.Do completion as an acquire/release pair
+// on a dedicated lock: every Do is ordered after every earlier Do,
+// which covers the initializer-publication edge (and over-orders
+// observers among themselves — conservative, never a false alarm).
+// Placed after the real Do returns.
+func OnceDo(p any) {
+	g := self()
+	l := denseID(lockIDs, ptrOf(p))
+	mu.Lock()
+	flushLocked(g)
+	emitLocked(trace.Acq(g.tid, l))
+	emitLocked(trace.Rel(g.tid, l))
+	mu.Unlock()
+}
+
+// chanMeta extracts the identity and capacity of channel ch.
+func chanMeta(ch any) (uint64, int32) {
+	v := reflect.ValueOf(ch)
+	return denseID(chanIDs, v.Pointer()), int32(v.Cap())
+}
+
+// ChanSend records a send on ch. The rewriter places it before the real
+// send, so the k-th send event precedes the k-th receive event in the
+// serialized stream (a blocked send has already recorded its event).
+func ChanSend(ch any) {
+	g := self()
+	id, capacity := chanMeta(ch)
+	g.syncEvent(trace.ChSend(g.tid, id, capacity))
+}
+
+// ChanRecv records a receive from ch. Placed after the real receive
+// completes. Select-statement sends are also recorded post-operation
+// (the rewriter cannot interpose before a select commits), which can
+// order a chrecv before its chsend in the stream; the detector's
+// accumulator fallback keeps that sound.
+func ChanRecv(ch any) {
+	g := self()
+	id, capacity := chanMeta(ch)
+	g.syncEvent(trace.ChRecv(g.tid, id, capacity))
+}
+
+// ChanClose records a close of ch. Placed before the real close.
+func ChanClose(ch any) {
+	g := self()
+	id, capacity := chanMeta(ch)
+	g.syncEvent(trace.ChClose(g.tid, id, capacity))
+}

@@ -54,6 +54,8 @@ type Velodrome struct {
 	lastReads  map[uint64][]*txn
 	lockRel    map[uint64]*txn // last releasing transaction per lock
 	volWrite   map[uint64]*txn
+	chanSent   map[uint64]*txn // last sending/closing transaction per channel
+	chanRecvd  map[uint64]*txn // last receiving transaction per channel
 	nextID     int64
 	dfsStamp   int64
 	races      []rr.Report
@@ -70,6 +72,8 @@ func NewVelodrome() *Velodrome {
 		lastReads:  map[uint64][]*txn{},
 		lockRel:    map[uint64]*txn{},
 		volWrite:   map[uint64]*txn{},
+		chanSent:   map[uint64]*txn{},
+		chanRecvd:  map[uint64]*txn{},
 		flaggedVar: map[uint64]bool{},
 	}
 }
@@ -234,6 +238,28 @@ func (v *Velodrome) HandleEvent(i int, e trace.Event) {
 		childLast := v.lastOf[e.Target]
 		n := v.current(e.Tid)
 		v.edge(childLast, n, noVar, i)
+		v.maybeCloseUnary(e.Tid)
+	case trace.ChanSend:
+		// Channels create transactional happens-before edges like a
+		// volatile in each direction: a send is ordered after the last
+		// receive (conservative for buffered channels) and publishes to
+		// later receives.
+		v.st.CountKind(e.Kind)
+		n := v.current(e.Tid)
+		v.edge(v.chanRecvd[e.Target], n, e.Target, i)
+		v.chanSent[e.Target] = n
+		v.maybeCloseUnary(e.Tid)
+	case trace.ChanRecv:
+		v.st.CountKind(e.Kind)
+		n := v.current(e.Tid)
+		v.edge(v.chanSent[e.Target], n, e.Target, i)
+		v.chanRecvd[e.Target] = n
+		v.maybeCloseUnary(e.Tid)
+	case trace.ChanClose:
+		// Close publishes like a send.
+		v.st.CountKind(e.Kind)
+		n := v.current(e.Tid)
+		v.chanSent[e.Target] = n
 		v.maybeCloseUnary(e.Tid)
 	case trace.BarrierRelease:
 		v.st.CountKind(e.Kind)

@@ -96,6 +96,23 @@ func referenceClocks(tr trace.Trace) []vc.VC {
 	clocks := []vc.VC{}
 	locks := map[uint64]vc.VC{}
 	vols := map[uint64]vc.VC{}
+	type refChan struct {
+		capacity           int32
+		closed             bool
+		sendsAtClose       int
+		closeClk           vc.VC
+		sendAcc, recvAcc   vc.VC
+		sendClks, recvClks []vc.VC
+	}
+	chans := map[uint64]*refChan{}
+	chanOf := func(ch uint64, capacity int32) *refChan {
+		h := chans[ch]
+		if h == nil {
+			h = &refChan{capacity: max(capacity, 0)}
+			chans[ch] = h
+		}
+		return h
+	}
 	at := func(t int32) vc.VC {
 		for int(t) >= len(clocks) {
 			clocks = append(clocks, vc.New(0).Inc(vc.Tid(len(clocks))))
@@ -140,6 +157,46 @@ func referenceClocks(tr trace.Trace) []vc.VC {
 			for _, u := range e.Tids {
 				clocks[u] = at(u).CopyInto(join).Inc(vc.Tid(u))
 			}
+		case trace.ChanSend:
+			h := chanOf(e.Target, e.Cap)
+			h.sendClks = append(h.sendClks, nil) // placeholder; filled below
+			k := len(h.sendClks)
+			if h.capacity == 0 {
+				clocks[e.Tid] = at(e.Tid).Join(h.recvAcc)
+				h.sendAcc = h.sendAcc.Join(clocks[e.Tid])
+			} else if j := k - int(h.capacity); j >= 1 && j <= len(h.recvClks) {
+				clocks[e.Tid] = at(e.Tid).Join(h.recvClks[j-1])
+			}
+			h.sendClks[k-1] = at(e.Tid).Copy()
+			clocks[e.Tid] = clocks[e.Tid].Inc(vc.Tid(e.Tid))
+		case trace.ChanRecv:
+			h := chanOf(e.Target, e.Cap)
+			h.recvClks = append(h.recvClks, nil)
+			k := len(h.recvClks)
+			if h.capacity == 0 {
+				clocks[e.Tid] = at(e.Tid).Join(h.sendAcc)
+				h.recvAcc = h.recvAcc.Join(clocks[e.Tid])
+			} else {
+				if k <= len(h.sendClks) {
+					clocks[e.Tid] = at(e.Tid).Join(h.sendClks[k-1])
+				}
+				if h.closed && k > h.sendsAtClose {
+					clocks[e.Tid] = at(e.Tid).Join(h.closeClk)
+				}
+			}
+			h.recvClks[k-1] = at(e.Tid).Copy()
+			clocks[e.Tid] = clocks[e.Tid].Inc(vc.Tid(e.Tid))
+		case trace.ChanClose:
+			h := chanOf(e.Target, e.Cap)
+			if !h.closed {
+				h.closed = true
+				h.sendsAtClose = len(h.sendClks)
+			}
+			h.closeClk = h.closeClk.Join(at(e.Tid))
+			if h.capacity == 0 {
+				h.sendAcc = h.sendAcc.Join(at(e.Tid))
+			}
+			clocks[e.Tid] = clocks[e.Tid].Inc(vc.Tid(e.Tid))
 		case trace.Read, trace.Write:
 			at(e.Tid)
 		}

@@ -210,6 +210,11 @@ type Detector struct {
 	locks   lockTab // L: lock -> VC of last release (see synctab.go)
 	vols    lockTab // L extended to volatiles (Section 4)
 
+	// chans holds the per-channel happens-before state (see channel.go).
+	// Channel events are sync events, always delivered under full
+	// exclusion, so sharded detectors share this table like locks.
+	chans map[uint64]*chanState
+
 	// Serial struct-of-arrays variable tables: W and R epochs indexed by
 	// variable id (hot), the per-variable race flags as a bitset, and
 	// the read-VC side store (cold). Sharded detectors leave these empty
@@ -504,6 +509,15 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 	case trace.BarrierRelease:
 		d.st.CountKind(e.Kind)
 		d.barrier(e.Tids)
+	case trace.ChanSend:
+		d.st.CountKind(e.Kind)
+		d.chanSend(e.Tid, e.Target, e.Cap)
+	case trace.ChanRecv:
+		d.st.CountKind(e.Kind)
+		d.chanRecv(e.Tid, e.Target, e.Cap)
+	case trace.ChanClose:
+		d.st.CountKind(e.Kind)
+		d.chanClose(e.Tid, e.Target, e.Cap)
 	case trace.TxBegin, trace.TxEnd:
 		d.st.CountKind(e.Kind) // counted as markers, not syncs
 	}
@@ -972,6 +986,7 @@ func (d *Detector) footprint() int64 {
 	}
 	bytes += d.locks.bytes()
 	bytes += d.vols.bytes()
+	bytes += d.chanBytes()
 	bytes += d.pool.Bytes()
 	return bytes
 }

@@ -72,6 +72,28 @@ func (d *Detector) CheckWellFormed() error {
 	if lerr != nil {
 		return lerr
 	}
+	// Channel snapshots are release clocks too (captured before the
+	// sender/receiver/closer incremented), so condition 2 extends to them.
+	for ch, cs := range d.chans {
+		for _, ring := range [][]chanSlot{cs.sendRing, cs.recvRing} {
+			for i := range ring {
+				if ring[i].seq == 0 || ring[i].clk == nil {
+					continue
+				}
+				if err := check2("c", ch, ring[i].clk); err != nil {
+					return err
+				}
+			}
+		}
+		for _, acc := range []vc.VC{cs.sendAcc, cs.recvAcc, cs.closeClk} {
+			if acc == nil {
+				continue
+			}
+			if err := check2("c", ch, acc); err != nil {
+				return err
+			}
+		}
+	}
 	// Conditions 3 and 4.
 	checkEpoch := func(what string, x uint64, e vc.Epoch) error {
 		t := e.Tid()

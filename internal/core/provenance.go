@@ -154,7 +154,8 @@ func (d *Detector) ProvenanceEnabled() bool { return d.prov != nil }
 // handler ran — it sees the post-operation clocks.
 func (d *Detector) provRecordSync(i int, e trace.Event) {
 	switch e.Kind {
-	case trace.Acquire, trace.Release, trace.VolatileRead, trace.VolatileWrite:
+	case trace.Acquire, trace.Release, trace.VolatileRead, trace.VolatileWrite,
+		trace.ChanSend, trace.ChanRecv, trace.ChanClose:
 		r, ts := d.provRing(e.Tid), d.thread(e.Tid)
 		r.add(provSyncRec{
 			idx: i, tid: e.Tid, kind: e.Kind, target: e.Target,

@@ -106,10 +106,11 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 		// after a barrier, so barrier-phased programs (sor, lufact,
 		// moldyn) do not flood the user with spurious warnings.
 		d.gen++
-	case trace.Fork, trace.Join, trace.VolatileRead, trace.VolatileWrite:
+	case trace.Fork, trace.Join, trace.VolatileRead, trace.VolatileWrite,
+		trace.ChanSend, trace.ChanRecv, trace.ChanClose:
 		// Classic Eraser tracks no happens-before: these are ignored,
-		// which is exactly why it false-alarms on fork-join and
-		// volatile-publication idioms.
+		// which is exactly why it false-alarms on fork-join, volatile-
+		// publication, and channel-handoff idioms.
 		d.st.CountKind(e.Kind)
 	case trace.TxBegin, trace.TxEnd:
 		d.st.CountKind(e.Kind)

@@ -41,11 +41,18 @@ const (
 	lockTag   = uint64(1) << 62
 	volTag    = uint64(2) << 62
 	threadTag = uint64(3) << 62
+
+	// Channel devices live in the otherwise-unused 0<<62 space, one per
+	// direction (see the ChanSend case below for the model).
+	chanSendTag = uint64(1) << 60
+	chanRecvTag = uint64(2) << 60
 )
 
-func lockDev(m uint64) device  { return device(lockTag | m) }
-func volDev(v uint64) device   { return device(volTag | v) }
-func threadDev(t int32) device { return device(threadTag | uint64(t)) }
+func lockDev(m uint64) device     { return device(lockTag | m) }
+func volDev(v uint64) device      { return device(volTag | v) }
+func threadDev(t int32) device    { return device(threadTag | uint64(t)) }
+func chanSendDev(c uint64) device { return device(chanSendTag | c) }
+func chanRecvDev(c uint64) device { return device(chanRecvTag | c) }
 
 // logEntry is one synchronization operation in the global log. Each entry
 // denotes the transfer rule "if trigger ∈ GLS(x) then GLS(x) ∪= {adds}".
@@ -135,6 +142,27 @@ func (d *Detector) HandleEvent(i int, e trace.Event) {
 		for _, t := range e.Tids {
 			d.log = append(d.log, logEntry{trigger: dev, adds: threadDev(t)})
 		}
+	case trace.ChanSend:
+		// Channels are modeled conservatively as a pair of volatiles, one
+		// per direction: a send is ordered after every prior receive and
+		// publishes to later receives; symmetrically for receives. This
+		// over-orders buffered channels (like the capacity-unaware
+		// syncmodel encoding), which is sound for Goldilocks' one-sided
+		// guarantee: extra ordering can only suppress reports.
+		d.st.CountKind(e.Kind)
+		d.log = append(d.log,
+			logEntry{trigger: chanRecvDev(e.Target), adds: threadDev(e.Tid)},
+			logEntry{trigger: threadDev(e.Tid), adds: chanSendDev(e.Target)})
+	case trace.ChanRecv:
+		d.st.CountKind(e.Kind)
+		d.log = append(d.log,
+			logEntry{trigger: chanSendDev(e.Target), adds: threadDev(e.Tid)},
+			logEntry{trigger: threadDev(e.Tid), adds: chanRecvDev(e.Target)})
+	case trace.ChanClose:
+		// Close publishes like a send (close happens before any receive
+		// observing the closed state).
+		d.st.CountKind(e.Kind)
+		d.log = append(d.log, logEntry{trigger: threadDev(e.Tid), adds: chanSendDev(e.Target)})
 	case trace.TxBegin, trace.TxEnd:
 		d.st.CountKind(e.Kind)
 	}

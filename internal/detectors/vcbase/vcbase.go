@@ -31,7 +31,24 @@ type Sync struct {
 	Threads []ThreadState
 	Locks   map[uint64]vc.VC
 	Vols    map[uint64]vc.VC
+	Chans   map[uint64]*chanHist
 	St      rr.Stats
+}
+
+// chanHist is one channel's synchronization history for the Go memory
+// model's channel rules (same semantics as internal/core, but with an
+// unbounded per-operation clock history instead of bounded rings — the
+// comparison detectors only run on small traces).
+type chanHist struct {
+	capacity     int32
+	sends        int
+	closed       bool
+	sendsAtClose int
+	closeClk     vc.VC
+	// Capacity 0: conservative rendezvous accumulators. Capacity > 0:
+	// exact per-operation snapshots.
+	sendAcc, recvAcc   vc.VC
+	sendClks, recvClks []vc.VC
 }
 
 // NewSync returns an initialized Sync with capacity hints.
@@ -39,11 +56,26 @@ func NewSync(threadHint int) Sync {
 	s := Sync{
 		Locks: make(map[uint64]vc.VC),
 		Vols:  make(map[uint64]vc.VC),
+		Chans: make(map[uint64]*chanHist),
 	}
 	if threadHint > 0 {
 		s.Threads = make([]ThreadState, 0, threadHint)
 	}
 	return s
+}
+
+// chanOf returns channel ch's history, materializing it on first use
+// (capacity fixed by the first event naming the channel).
+func (s *Sync) chanOf(ch uint64, capacity int32) *chanHist {
+	h := s.Chans[ch]
+	if h == nil {
+		if capacity < 0 {
+			capacity = 0
+		}
+		h = &chanHist{capacity: capacity}
+		s.Chans[ch] = h
+	}
+	return h
 }
 
 // Thread returns thread t's state, initializing C_t = inc_t(⊥V) on first
@@ -140,6 +172,74 @@ func (s *Sync) HandleSync(e trace.Event) bool {
 			us.refresh(vc.Tid(u))
 			s.St.VCOp++
 		}
+	case trace.ChanSend:
+		s.St.CountKind(e.Kind)
+		ts := s.Thread(e.Tid)
+		h := s.chanOf(e.Target, e.Cap)
+		h.sends++
+		if h.capacity == 0 {
+			if h.recvAcc != nil {
+				ts.C = ts.C.Join(h.recvAcc)
+				s.St.VCOp++
+			}
+			h.sendAcc = h.sendAcc.Join(ts.C)
+			s.St.VCOp++
+		} else {
+			// The (k-C)-th receive happens before the k-th send completes.
+			if j := h.sends - int(h.capacity); j >= 1 && j <= len(h.recvClks) {
+				ts.C = ts.C.Join(h.recvClks[j-1])
+				s.St.VCOp++
+			}
+			h.sendClks = append(h.sendClks, vc.VC(nil).CopyInto(ts.C))
+			s.St.VCAlloc++
+		}
+		ts.C = ts.C.Inc(vc.Tid(e.Tid))
+		ts.refresh(vc.Tid(e.Tid))
+	case trace.ChanRecv:
+		s.St.CountKind(e.Kind)
+		ts := s.Thread(e.Tid)
+		h := s.chanOf(e.Target, e.Cap)
+		if h.capacity == 0 {
+			// sendAcc already folds in any close, so a draining receive is
+			// ordered after the close through it.
+			if h.sendAcc != nil {
+				ts.C = ts.C.Join(h.sendAcc)
+				s.St.VCOp++
+			}
+			h.recvAcc = h.recvAcc.Join(ts.C)
+			s.St.VCOp++
+		} else {
+			// The k-th send happens before the k-th receive.
+			k := len(h.recvClks) + 1
+			if k <= len(h.sendClks) {
+				ts.C = ts.C.Join(h.sendClks[k-1])
+				s.St.VCOp++
+			}
+			if h.closed && h.closeClk != nil && k > h.sendsAtClose {
+				ts.C = ts.C.Join(h.closeClk)
+				s.St.VCOp++
+			}
+			h.recvClks = append(h.recvClks, vc.VC(nil).CopyInto(ts.C))
+			s.St.VCAlloc++
+		}
+		ts.C = ts.C.Inc(vc.Tid(e.Tid))
+		ts.refresh(vc.Tid(e.Tid))
+	case trace.ChanClose:
+		s.St.CountKind(e.Kind)
+		ts := s.Thread(e.Tid)
+		h := s.chanOf(e.Target, e.Cap)
+		if !h.closed {
+			h.closed = true
+			h.sendsAtClose = h.sends
+		}
+		h.closeClk = h.closeClk.Join(ts.C)
+		s.St.VCOp++
+		if h.capacity == 0 {
+			h.sendAcc = h.sendAcc.Join(ts.C)
+			s.St.VCOp++
+		}
+		ts.C = ts.C.Inc(vc.Tid(e.Tid))
+		ts.refresh(vc.Tid(e.Tid))
 	case trace.TxBegin, trace.TxEnd:
 		s.St.CountKind(e.Kind) // markers only; no happens-before edge
 	}
@@ -159,6 +259,15 @@ func (s *Sync) SyncShadowBytes() int64 {
 	}
 	for _, l := range s.Vols {
 		bytes += int64(l.Bytes())
+	}
+	for _, h := range s.Chans {
+		bytes += 64 + int64(h.closeClk.Bytes()+h.sendAcc.Bytes()+h.recvAcc.Bytes())
+		for _, c := range h.sendClks {
+			bytes += int64(c.Bytes())
+		}
+		for _, c := range h.recvClks {
+			bytes += int64(c.Bytes())
+		}
 	}
 	return bytes
 }

@@ -42,6 +42,27 @@ func (o *Oracle) build() {
 	volWrites := map[uint64][]int32{} // all volatile writes per volatile
 	pendingFork := map[int32]int32{}  // child tid -> fork event index
 
+	// Per-channel operation history for the Go memory model's channel
+	// rules (capacity fixed by the first event naming the channel).
+	type chanInfo struct {
+		capacity     int32
+		sends, recvs []int32 // event indices in operation order
+		closes       []int32
+		sendsAtClose int // len(sends) at the first close
+	}
+	chans := map[uint64]*chanInfo{}
+	chanOf := func(ch uint64, capacity int32) *chanInfo {
+		ci := chans[ch]
+		if ci == nil {
+			if capacity < 0 {
+				capacity = 0
+			}
+			ci = &chanInfo{capacity: capacity}
+			chans[ch] = ci
+		}
+		return ci
+	}
+
 	edge := func(from, to int32) {
 		if from >= 0 {
 			o.succ[from] = append(o.succ[from], to)
@@ -102,6 +123,54 @@ func (o *Oracle) build() {
 			for _, w := range volWrites[e.Target] {
 				edge(w, i)
 			}
+		case trace.ChanSend:
+			// Go memory model: the k-th receive on a channel with capacity
+			// C happens before the (k+C)-th send completes. For a
+			// rendezvous channel (C = 0) the detector is conservative —
+			// every prior receive orders every send — and the oracle
+			// matches that relation (on a feasible strictly-alternating
+			// stream the extra edges are implied by transitivity anyway).
+			ci := chanOf(e.Target, e.Cap)
+			k := len(ci.sends) + 1
+			if ci.capacity == 0 {
+				for _, r := range ci.recvs {
+					edge(r, i)
+				}
+			} else if j := k - int(ci.capacity); j >= 1 && j <= len(ci.recvs) {
+				edge(ci.recvs[j-1], i)
+			}
+			ci.sends = append(ci.sends, i)
+		case trace.ChanRecv:
+			// The k-th send happens before the k-th receive; a close
+			// happens before any receive observing the closed state (for
+			// C = 0 the detector folds the close into the send
+			// accumulator, so every later receive is ordered after it).
+			ci := chanOf(e.Target, e.Cap)
+			k := len(ci.recvs) + 1
+			if ci.capacity == 0 {
+				for _, s := range ci.sends {
+					edge(s, i)
+				}
+				for _, c := range ci.closes {
+					edge(c, i)
+				}
+			} else {
+				if k <= len(ci.sends) {
+					edge(ci.sends[k-1], i)
+				}
+				if len(ci.closes) > 0 && k > ci.sendsAtClose {
+					for _, c := range ci.closes {
+						edge(c, i)
+					}
+				}
+			}
+			ci.recvs = append(ci.recvs, i)
+		case trace.ChanClose:
+			ci := chanOf(e.Target, e.Cap)
+			if len(ci.closes) == 0 {
+				ci.sendsAtClose = len(ci.sends)
+			}
+			ci.closes = append(ci.closes, i)
 		}
 
 		// Fork edge: fork(t,u) happens before u's first event.

@@ -89,7 +89,7 @@ type Dispatcher struct {
 	// deliveredKind counts events actually handed to the tool, indexed
 	// by event kind — the dispatcher-side ground truth the detectors'
 	// own Stats are audited against.
-	deliveredKind [trace.TxEnd + 1]int64
+	deliveredKind [trace.ChanClose + 1]int64
 
 	// concurrent switches the access-path bookkeeping (Fed, next,
 	// deliveredKind, the quarantine check) to atomic operations so the

@@ -58,8 +58,8 @@ func FprintOpsMix(w io.Writer, name string, st Stats) {
 	}
 
 	if st.Syncs > 0 {
-		fmt.Fprintf(w, "    sync: acquire=%d release=%d fork=%d join=%d volatile=%d barrier=%d wait=%d\n",
-			st.Acquires, st.Releases, st.Forks, st.Joins, st.Volatiles, st.Barriers, st.Waits)
+		fmt.Fprintf(w, "    sync: acquire=%d release=%d fork=%d join=%d volatile=%d barrier=%d wait=%d chan=%d\n",
+			st.Acquires, st.Releases, st.Forks, st.Joins, st.Volatiles, st.Barriers, st.Waits, st.Channels)
 	}
 	if st.Markers > 0 {
 		fmt.Fprintf(w, "    markers: %d\n", st.Markers)

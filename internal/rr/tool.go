@@ -110,6 +110,9 @@ type Stats struct {
 	Volatiles int64 `json:"volatiles,omitempty"` // volatile reads + writes
 	Barriers  int64 `json:"barriers,omitempty"`
 	Waits     int64 `json:"waits,omitempty"`
+	// Channels counts chsend/chrecv/chclose events, the channel
+	// happens-before edges of the Go memory model (DESIGN.md §14).
+	Channels int64 `json:"channels,omitempty"`
 	// Markers counts transaction boundary events (txbegin/txend), which
 	// carry no happens-before edge and are outside Syncs.
 	Markers int64 `json:"markers,omitempty"`
@@ -220,6 +223,9 @@ func (s *Stats) CountKind(k trace.Kind) {
 	case trace.Wait:
 		s.Syncs++
 		s.Waits++
+	case trace.ChanSend, trace.ChanRecv, trace.ChanClose:
+		s.Syncs++
+		s.Channels++
 	case trace.TxBegin, trace.TxEnd:
 		s.Markers++
 	}
@@ -229,7 +235,7 @@ func (s *Stats) CountKind(k trace.Kind) {
 // that counts via CountKind it equals Syncs exactly (the accounting
 // invariant the observability tests assert).
 func (s Stats) SyncKindSum() int64 {
-	return s.Acquires + s.Releases + s.Forks + s.Joins + s.Volatiles + s.Barriers + s.Waits
+	return s.Acquires + s.Releases + s.Forks + s.Joins + s.Volatiles + s.Barriers + s.Waits + s.Channels
 }
 
 // Merge adds every counter of o into s. Tee and Pipeline use it to
@@ -246,6 +252,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Volatiles += o.Volatiles
 	s.Barriers += o.Barriers
 	s.Waits += o.Waits
+	s.Channels += o.Channels
 	s.Markers += o.Markers
 	s.VCAlloc += o.VCAlloc
 	s.VCOp += o.VCOp

@@ -20,6 +20,7 @@ type RandomConfig struct {
 	Vars      int // number of ordinary variables
 	Locks     int // number of locks
 	Volatiles int // number of volatile variables
+	Chans     int // number of channels (capacity 0-2, fixed per channel)
 	Events    int // approximate number of events to generate
 
 	// PAcquire etc. weight the non-access operations; accesses take the
@@ -31,6 +32,7 @@ type RandomConfig struct {
 	PJoin    float64
 	PVol     float64
 	PBarrier float64
+	PChan    float64
 }
 
 // DefaultRandomConfig returns a configuration that exercises every
@@ -41,12 +43,14 @@ func DefaultRandomConfig() RandomConfig {
 		Vars:      6,
 		Locks:     3,
 		Volatiles: 2,
+		Chans:     2,
 		Events:    120,
 		PAcquire:  0.10,
 		PFork:     0.03,
 		PJoin:     0.02,
 		PVol:      0.04,
 		PBarrier:  0.01,
+		PChan:     0.05,
 	}
 }
 
@@ -71,6 +75,18 @@ func RandomTrace(rng *rand.Rand, cfg RandomConfig) trace.Trace {
 	active := make([]bool, cfg.Threads) // executed >= 1 instruction
 	lockOwner := map[uint64]int32{}
 	held := make([][]uint64, cfg.Threads)
+
+	// Per-channel bookkeeping keeps channel streams feasible: the shim
+	// records sends pre-operation and receives post-operation, so the
+	// k-th receive event can only appear once k sends were recorded (or
+	// the channel is closed — draining receives always complete); sends
+	// and closes never follow a close (they would panic).
+	type chanSim struct {
+		capacity     int32
+		sends, recvs uint64
+		closed, init bool
+	}
+	chanStates := make([]chanSim, cfg.Chans)
 
 	var tr trace.Trace
 	aliveThreads := func() []int32 {
@@ -153,6 +169,37 @@ func RandomTrace(rng *rand.Rand, cfg RandomConfig) trace.Trace {
 				active[u] = true
 			}
 			continue // barrier has no single Tid; skip the marker below
+		case r < cfg.PAcquire+cfg.PFork+cfg.PJoin+cfg.PVol+cfg.PBarrier+cfg.PChan:
+			if cfg.Chans == 0 {
+				continue
+			}
+			c := rng.Intn(cfg.Chans)
+			cs := &chanStates[c]
+			if !cs.init {
+				cs.capacity = int32(rng.Intn(3))
+				cs.init = true
+			}
+			id := uint64(c)
+			switch rng.Intn(6) {
+			case 0: // close
+				if cs.closed {
+					continue
+				}
+				tr = append(tr, trace.ChClose(t, id, cs.capacity))
+				cs.closed = true
+			case 1, 2: // send
+				if cs.closed {
+					continue
+				}
+				tr = append(tr, trace.ChSend(t, id, cs.capacity))
+				cs.sends++
+			default: // recv
+				if cs.recvs >= cs.sends && !cs.closed {
+					continue
+				}
+				tr = append(tr, trace.ChRecv(t, id, cs.capacity))
+				cs.recvs++
+			}
 		default:
 			x := uint64(rng.Intn(cfg.Vars))
 			if rng.Intn(5) == 0 {

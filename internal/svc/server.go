@@ -206,7 +206,7 @@ func BuildMonitor(h client.Handshake) (*fasttrack.Monitor, string, error) {
 	if name == "" {
 		name = "FastTrack"
 	}
-	hints := fasttrack.Hints{Provenance: h.Provenance}
+	hints := fasttrack.Hints{Provenance: h.Provenance, DetailedReports: h.Detailed}
 	tool, err := fasttrack.NewTool(name, hints)
 	if err != nil {
 		return nil, "", fmt.Errorf("%s: %w", client.ErrCodeUnknownTool, err)

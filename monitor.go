@@ -364,6 +364,25 @@ func (m *Monitor) BarrierRelease(b uint64, tids ...int32) {
 	m.event(trace.Barrier(b, tids...))
 }
 
+// ChanSend records that thread tid sent on channel ch (capacity cap).
+// Record it immediately before the send operation, so the k-th send
+// event precedes the k-th receive event in the monitor's serialization.
+func (m *Monitor) ChanSend(tid int32, ch uint64, capacity int32) {
+	m.event(trace.ChSend(tid, ch, capacity))
+}
+
+// ChanRecv records that thread tid received from channel ch (capacity
+// cap). Record it immediately after the receive completes.
+func (m *Monitor) ChanRecv(tid int32, ch uint64, capacity int32) {
+	m.event(trace.ChRecv(tid, ch, capacity))
+}
+
+// ChanClose records that thread tid closed channel ch (capacity cap).
+// Record it immediately before the close operation.
+func (m *Monitor) ChanClose(tid int32, ch uint64, capacity int32) {
+	m.event(trace.ChClose(tid, ch, capacity))
+}
+
 // TxBegin marks the start of an atomic block of thread tid, consumed by
 // the downstream atomicity checkers; race detectors ignore it.
 func (m *Monitor) TxBegin(tid int32) { m.event(trace.Event{Kind: trace.TxBegin, Tid: tid}) }

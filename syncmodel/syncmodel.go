@@ -39,7 +39,8 @@ const (
 	semTag     = uint64(4) << 60 // volatile: semaphore hand-over
 	latchTag   = uint64(5) << 60 // volatile: countdown publication
 	onceTag    = uint64(6) << 60 // volatile: once publication
-	chanTag    = uint64(7) << 60 // volatile: channel hand-over
+	// Channels use the detector's first-class chsend/chrecv/chclose
+	// events and their own id namespace; no tag needed.
 )
 
 // RWMutex models a read-write lock.
@@ -209,37 +210,60 @@ func (b *CyclicBarrier) Await(tid int32) {
 	b.gen++
 }
 
-// Channel models a Go channel. The Go memory model guarantees that the
-// k-th send happens before the k-th receive completes (and, for
-// unbuffered channels, that a receive happens before the corresponding
-// send completes). The model is conservative in the same way as
-// Semaphore: a receive is ordered after every preceding send, and — for
-// unbuffered channels — a send is ordered after every preceding receive
-// completion.
+// Channel models a Go channel with its real capacity, on the detector's
+// first-class chsend/chrecv/chclose events (the Monitor's ChanSend,
+// ChanRecv and ChanClose methods). The Go memory model edges tracked:
+//
+//   - the k-th send happens before the k-th receive completes;
+//   - the k-th receive happens before the (k+capacity)-th send
+//     completes — for an unbuffered channel, before the k-th send
+//     completes;
+//   - a close happens before any receive that observes the closed
+//     (drained) channel.
+//
+// Unlike the package's earlier volatile encoding — which ordered every
+// receive after every preceding send regardless of capacity — a
+// buffered channel here induces no ordering between operations that the
+// runtime does not actually order, so races "through" a buffered
+// channel's slack are reported (see the regression tests). Capacity 0
+// is modeled conservatively (every send ordered after every preceding
+// receive and vice versa); on a rendezvous channel's strictly
+// alternating operations the extra edges are already implied by
+// transitivity, so no precision is lost.
+//
+// Channel ids live in their own namespace (separate from the Monitor's
+// lock and volatile namespaces), so they only need to be unique among
+// channels of the same Monitor.
 type Channel struct {
-	m          *fasttrack.Monitor
-	id         uint64
-	unbuffered bool
+	m        *fasttrack.Monitor
+	id       uint64
+	capacity int32
 }
 
-// NewChannel returns a model of a channel named id. Unbuffered channels
-// additionally order sends after preceding receive completions.
-func NewChannel(m *fasttrack.Monitor, id uint64, unbuffered bool) *Channel {
-	return &Channel{m: m, id: id, unbuffered: unbuffered}
+// NewChannel returns a model of a channel named id with the given
+// capacity (as in make(chan T, capacity); 0 means unbuffered).
+func NewChannel(m *fasttrack.Monitor, id uint64, capacity int) *Channel {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Channel{m: m, id: id, capacity: int32(capacity)}
 }
 
-// Send records that thread tid completed a send on the channel.
+// Send records a send on the channel by thread tid. Call it immediately
+// before the real send, so the k-th send event precedes the k-th
+// receive event in the monitor's serialization.
 func (c *Channel) Send(tid int32) {
-	if c.unbuffered {
-		c.m.VolatileRead(tid, chanTag|c.id|1<<59)
-	}
-	c.m.VolatileWrite(tid, chanTag|c.id)
+	c.m.ChanSend(tid, c.id, c.capacity)
 }
 
-// Recv records that thread tid completed a receive from the channel.
+// Recv records a receive from the channel by thread tid. Call it
+// immediately after the real receive completes.
 func (c *Channel) Recv(tid int32) {
-	c.m.VolatileRead(tid, chanTag|c.id)
-	if c.unbuffered {
-		c.m.VolatileWrite(tid, chanTag|c.id|1<<59)
-	}
+	c.m.ChanRecv(tid, c.id, c.capacity)
+}
+
+// Close records that thread tid closed the channel. Call it immediately
+// before the real close.
+func (c *Channel) Close(tid int32) {
+	c.m.ChanClose(tid, c.id, c.capacity)
 }

@@ -156,7 +156,7 @@ func TestOncePublication(t *testing.T) {
 
 func TestChannelSendRecv(t *testing.T) {
 	m := monitor()
-	ch := NewChannel(m, 6, false)
+	ch := NewChannel(m, 6, 4)
 	m.Fork(0, 1)
 	m.Write(0, 5)
 	ch.Send(0)
@@ -168,9 +168,11 @@ func TestChannelSendRecv(t *testing.T) {
 func TestUnbufferedChannelBackEdge(t *testing.T) {
 	// For unbuffered channels a receive happens before the send
 	// completes, so the sender may read what the receiver wrote before
-	// receiving.
+	// receiving. (The send event is recorded pre-operation, so a send
+	// whose receive has not been recorded yet is a send still blocked in
+	// the rendezvous; a later send is ordered after that receive.)
 	m := monitor()
-	ch := NewChannel(m, 6, true)
+	ch := NewChannel(m, 6, 0)
 	m.Fork(0, 1)
 	m.Write(1, 5) // receiver's earlier write
 	ch.Recv(1)
@@ -178,9 +180,10 @@ func TestUnbufferedChannelBackEdge(t *testing.T) {
 	m.Read(0, 5)
 	wantRaces(t, m, 0, "unbuffered back edge")
 
-	// Without the back edge (buffered), the same schedule races.
+	// With a buffered channel the same schedule has no back edge: the
+	// send completes without waiting for any receive.
 	m2 := monitor()
-	ch2 := NewChannel(m2, 6, false)
+	ch2 := NewChannel(m2, 6, 4)
 	m2.Fork(0, 1)
 	m2.Write(1, 5)
 	ch2.Recv(1)
@@ -191,12 +194,67 @@ func TestUnbufferedChannelBackEdge(t *testing.T) {
 
 func TestChannelWithoutRecvRaces(t *testing.T) {
 	m := monitor()
-	ch := NewChannel(m, 6, false)
+	ch := NewChannel(m, 6, 4)
 	m.Fork(0, 1)
 	m.Write(0, 5)
 	ch.Send(0)
 	m.Read(1, 5) // forgot to receive first
 	wantRaces(t, m, 1, "read without receive")
+}
+
+// TestBufferedChannelSlackRace is the regression test for the
+// capacity-aware model: with capacity 2, two sends complete without any
+// receive, so the receiver's earlier write is NOT ordered before the
+// sender's later access. The old capacity-unaware encoding ordered
+// every send after every prior receive and silently masked this race.
+func TestBufferedChannelSlackRace(t *testing.T) {
+	m := monitor()
+	ch := NewChannel(m, 6, 2)
+	m.Fork(0, 1)
+	ch.Send(0)
+	m.Write(1, 5) // receiver-side write, before its receive
+	ch.Recv(1)
+	ch.Send(0) // send 2 ≤ capacity: completes without the receive
+	m.Read(0, 5)
+	wantRaces(t, m, 1, "buffered slack race")
+
+	// Same schedule on an unbuffered channel: send 2 waited for recv 1,
+	// so the write is ordered and no race is reported.
+	m2 := monitor()
+	ch2 := NewChannel(m2, 6, 0)
+	m2.Fork(0, 1)
+	ch2.Send(0)
+	m2.Write(1, 5)
+	ch2.Recv(1)
+	ch2.Send(0)
+	m2.Read(0, 5)
+	wantRaces(t, m2, 0, "unbuffered same schedule")
+}
+
+// TestChannelCloseEdges: close happens before a receive observing the
+// closed channel, and a receive of a value sent before the close is not
+// ordered after the close.
+func TestChannelCloseEdges(t *testing.T) {
+	m := monitor()
+	ch := NewChannel(m, 6, 4)
+	m.Fork(0, 1)
+	ch.Send(0)
+	m.Write(0, 5)
+	ch.Close(0)
+	ch.Recv(1) // drains the buffered value: not ordered after the close
+	ch.Recv(1) // observes closed: ordered after the close
+	m.Read(1, 5)
+	wantRaces(t, m, 0, "close publication")
+
+	m2 := monitor()
+	ch2 := NewChannel(m2, 6, 4)
+	m2.Fork(0, 1)
+	ch2.Send(0)
+	m2.Write(0, 5)
+	ch2.Close(0)
+	ch2.Recv(1) // value sent before the write; no edge from the close
+	m2.Read(1, 5)
+	wantRaces(t, m2, 1, "pre-close receive is not ordered")
 }
 
 func TestCyclicBarrierPhases(t *testing.T) {

@@ -129,6 +129,16 @@ func (t *Thread) VolatileRead(v uint64) { t.m.VolatileRead(t.id, v) }
 // VolatileWrite records a volatile write by this thread.
 func (t *Thread) VolatileWrite(v uint64) { t.m.VolatileWrite(t.id, v) }
 
+// ChanSend records a channel send by this thread (call before sending).
+func (t *Thread) ChanSend(ch uint64, capacity int32) { t.m.ChanSend(t.id, ch, capacity) }
+
+// ChanRecv records a channel receive by this thread (call after the
+// receive completes).
+func (t *Thread) ChanRecv(ch uint64, capacity int32) { t.m.ChanRecv(t.id, ch, capacity) }
+
+// ChanClose records a channel close by this thread (call before closing).
+func (t *Thread) ChanClose(ch uint64, capacity int32) { t.m.ChanClose(t.id, ch, capacity) }
+
 // Locked runs body with lock l held (both for the detector and as a
 // convenience for pairing Acquire/Release correctly).
 func (t *Thread) Locked(l uint64, body func()) {

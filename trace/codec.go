@@ -36,9 +36,10 @@ const binaryMagic = "FTRK1\n"
 // Both directions reject out-of-range tids with a positional error.
 const maxWireTid = uint64(1<<31 - 1)
 
-// checkWireTids rejects events whose thread ids cannot round-trip through
-// the codecs: negative tids, and fork/join targets or barrier participants
-// outside the int32 range. The index i positions the error in the stream.
+// checkWireTids rejects events whose thread ids or channel capacities
+// cannot round-trip through the codecs: negative tids, fork/join targets
+// or barrier participants outside the int32 range, and chan capacities
+// outside [0, MaxChanCap]. The index i positions the error in the stream.
 func checkWireTids(i int, e Event) error {
 	if e.Kind != BarrierRelease && e.Tid < 0 {
 		return fmt.Errorf("trace: event %d: negative thread id %d", i, e.Tid)
@@ -53,6 +54,10 @@ func checkWireTids(i int, e Event) error {
 			if t < 0 {
 				return fmt.Errorf("trace: event %d: negative thread id %d", i, t)
 			}
+		}
+	case ChanSend, ChanRecv, ChanClose:
+		if e.Cap < 0 || e.Cap > MaxChanCap {
+			return fmt.Errorf("trace: event %d: channel capacity %d out of range [0, %d]", i, e.Cap, MaxChanCap)
 		}
 	}
 	return nil
@@ -165,6 +170,23 @@ func parseLine(line string) (Event, error) {
 			return Event{}, err
 		}
 		e.Tid = tid
+	case ChanSend, ChanRecv, ChanClose:
+		if len(fields) != 4 {
+			return Event{}, fmt.Errorf("%s needs 3 operands", kind)
+		}
+		tid, err := parseTid(fields[1])
+		if err != nil {
+			return Event{}, err
+		}
+		target, err := parseTarget(fields[2], "c")
+		if err != nil {
+			return Event{}, err
+		}
+		capv, err := strconv.ParseInt(fields[3], 10, 32)
+		if err != nil || capv < 0 || int32(capv) > MaxChanCap {
+			return Event{}, fmt.Errorf("bad channel capacity %q", fields[3])
+		}
+		e.Tid, e.Target, e.Cap = tid, target, int32(capv)
 	case BarrierRelease:
 		if len(fields) < 3 {
 			return Event{}, fmt.Errorf("barrier needs an id and at least one thread")
@@ -220,6 +242,11 @@ func WriteBinary(w io.Writer, tr Trace) error {
 				if err := putUvarint(uint64(t)); err != nil {
 					return err
 				}
+			}
+		}
+		if e.Kind == ChanSend || e.Kind == ChanRecv || e.Kind == ChanClose {
+			if err := putUvarint(uint64(e.Cap)); err != nil {
+				return err
 			}
 		}
 	}
@@ -282,6 +309,16 @@ func ReadBinary(r io.Reader) (Trace, error) {
 				}
 				e.Tids[i] = int32(t)
 			}
+		}
+		if e.Kind == ChanSend || e.Kind == ChanRecv || e.Kind == ChanClose {
+			c, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", len(tr), err)
+			}
+			if c > uint64(MaxChanCap) {
+				return nil, fmt.Errorf("trace: event %d: channel capacity %d out of range [0, %d]", len(tr), c, MaxChanCap)
+			}
+			e.Cap = int32(c)
 		}
 		tr = append(tr, e)
 	}

@@ -23,6 +23,11 @@ func sampleTrace() Trace {
 		Event{Kind: Wait, Tid: 0, Target: 9},
 		Event{Kind: Notify, Tid: 1, Target: 9},
 		Barrier(4, 0, 1),
+		ChSend(1, 5, 0),
+		ChRecv(0, 5, 0),
+		ChSend(1, 6, 3),
+		ChClose(1, 6, 3),
+		ChRecv(0, 6, 3),
 		Event{Kind: TxEnd, Tid: 1},
 		JoinOf(0, 1),
 	}
@@ -82,6 +87,10 @@ func TestReadTextErrors(t *testing.T) {
 		"barrier x0 1",     // wrong sigil
 		"txbegin 0 extra",  // too many operands
 		"acq 0 m1 garbage", // too many operands
+		"chsend 0 c1",      // missing capacity
+		"chrecv 0 x1 0",    // wrong sigil
+		"chclose 0 c1 -1",  // negative capacity
+		"chsend 0 c1 9999999", // capacity above MaxChanCap
 	}
 	for _, in := range cases {
 		if _, err := ReadText(strings.NewReader(in)); err == nil {
@@ -144,6 +153,9 @@ func randomTrace(rng *rand.Rand, n int) Trace {
 				e.Tids[j] = int32(rng.Intn(64))
 			}
 		}
+		if k == ChanSend || k == ChanRecv || k == ChanClose {
+			e.Cap = int32(rng.Intn(8))
+		}
 		tr[i] = e
 	}
 	return tr
@@ -190,5 +202,28 @@ func TestBinaryIsSmallerThanText(t *testing.T) {
 	}
 	if bb.Len() >= tb.Len() {
 		t.Errorf("binary (%d bytes) not smaller than text (%d bytes)", bb.Len(), tb.Len())
+	}
+}
+
+// TestUnassignedKindRejected pins the forward-compatibility contract that
+// let decoders built before the chan kinds reject them cleanly instead of
+// misparsing: any kind byte >= numKinds fails decoding in both the batch
+// reader and the scanner with a "bad kind" error.
+func TestUnassignedKindRejected(t *testing.T) {
+	in := append([]byte(binaryMagic), byte(numKinds), 0, 0)
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil || !strings.Contains(err.Error(), "bad kind") {
+		t.Errorf("ReadBinary(kind %d) = %v, want bad-kind error", numKinds, err)
+	}
+	sc := NewScanner(bytes.NewReader(in))
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err == nil || !strings.Contains(err.Error(), "bad kind") {
+		t.Errorf("Scanner(kind %d) = %v, want bad-kind error", numKinds, err)
+	}
+	// And the text mnemonics for the chan kinds were never parseable by the
+	// pre-chan grammar: KindFromString is the only gate, so misparsing was
+	// impossible — an unknown mnemonic is a hard error.
+	if _, err := ReadText(strings.NewReader("chbogus 0 c1 0\n")); err == nil {
+		t.Error("unknown chan-like mnemonic accepted")
 	}
 }

@@ -53,6 +53,17 @@ const (
 	TxBegin
 	// TxEnd marks the end of the current transaction of thread t.
 	TxEnd
+	// ChanSend is chsend(t,c): thread t completes a send on channel c.
+	// Together with ChanRecv it encodes the Go memory model's channel
+	// edges: the k-th send on c happens before the k-th receive, and on a
+	// channel with capacity C the k-th receive happens before the
+	// (k+C)-th send. The event's Cap field carries the capacity.
+	ChanSend
+	// ChanRecv is chrecv(t,c): thread t completes a receive on channel c.
+	ChanRecv
+	// ChanClose is chclose(t,c): thread t closes channel c. The close
+	// happens before any receive that observes the closed channel.
+	ChanClose
 
 	numKinds
 )
@@ -71,7 +82,15 @@ var kindNames = [numKinds]string{
 	BarrierRelease: "barrier",
 	TxBegin:        "txbegin",
 	TxEnd:          "txend",
+	ChanSend:       "chsend",
+	ChanRecv:       "chrecv",
+	ChanClose:      "chclose",
 }
+
+// MaxChanCap is the largest channel capacity either codec accepts. Caps
+// size per-channel ring buffers in the detector, so an unbounded value in
+// a hostile trace could force enormous allocations.
+const MaxChanCap = int32(1 << 20)
 
 // String returns the mnemonic used by the text trace format.
 func (k Kind) String() string {
@@ -100,7 +119,8 @@ func (k Kind) IsAccess() bool { return k == Read || k == Write }
 // IsSync reports whether k imposes a happens-before edge between threads.
 func (k Kind) IsSync() bool {
 	switch k {
-	case Acquire, Release, Fork, Join, VolatileRead, VolatileWrite, Wait, BarrierRelease:
+	case Acquire, Release, Fork, Join, VolatileRead, VolatileWrite, Wait, BarrierRelease,
+		ChanSend, ChanRecv, ChanClose:
 		return true
 	}
 	return false
@@ -110,13 +130,19 @@ func (k Kind) IsSync() bool {
 //
 // Target identifies the operand: a variable for Read/Write and the
 // volatile kinds, a lock for Acquire/Release/Wait/Notify, the child
-// thread for Fork/Join, and a barrier identifier for BarrierRelease.
-// Variables, locks, volatiles, and barriers live in separate namespaces:
-// variable 3 and lock 3 are unrelated.
+// thread for Fork/Join, a barrier identifier for BarrierRelease, and a
+// channel identifier for the Chan kinds. Variables, locks, volatiles,
+// barriers, and channels live in separate namespaces: variable 3 and
+// lock 3 are unrelated.
 type Event struct {
 	Kind   Kind
 	Tid    int32
 	Target uint64
+	// Cap is the channel capacity for ChanSend/ChanRecv/ChanClose
+	// (0 = unbuffered); unused otherwise. Every event on a channel
+	// carries its capacity so any of them can materialize the
+	// per-channel detector state.
+	Cap int32
 	// Tids is the participant set of a BarrierRelease; nil otherwise.
 	Tids []int32
 }
@@ -140,6 +166,8 @@ func (e Event) String() string {
 		return s
 	case TxBegin, TxEnd:
 		return fmt.Sprintf("%s %d", e.Kind, e.Tid)
+	case ChanSend, ChanRecv, ChanClose:
+		return fmt.Sprintf("%s %d c%d %d", e.Kind, e.Tid, e.Target, e.Cap)
 	default:
 		return fmt.Sprintf("%s %d %d", e.Kind, e.Tid, e.Target)
 	}
@@ -175,4 +203,19 @@ func VWr(t int32, v uint64) Event { return Event{Kind: VolatileWrite, Tid: t, Ta
 // Barrier returns barrier_rel(T) for barrier b releasing threads tids.
 func Barrier(b uint64, tids ...int32) Event {
 	return Event{Kind: BarrierRelease, Target: b, Tids: tids}
+}
+
+// ChSend returns chsend(t,c) on a channel of the given capacity.
+func ChSend(t int32, c uint64, capacity int32) Event {
+	return Event{Kind: ChanSend, Tid: t, Target: c, Cap: capacity}
+}
+
+// ChRecv returns chrecv(t,c) on a channel of the given capacity.
+func ChRecv(t int32, c uint64, capacity int32) Event {
+	return Event{Kind: ChanRecv, Tid: t, Target: c, Cap: capacity}
+}
+
+// ChClose returns chclose(t,c) on a channel of the given capacity.
+func ChClose(t int32, c uint64, capacity int32) Event {
+	return Event{Kind: ChanClose, Tid: t, Target: c, Cap: capacity}
 }

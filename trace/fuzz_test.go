@@ -15,6 +15,8 @@ func FuzzReadText(f *testing.F) {
 	f.Add("barrier b0 0 1 2\nfork 0 1\njoin 0 1\n")
 	f.Add("txbegin 0\nvrd 1 v2\nvwr 1 v2\ntxend 0\n")
 	f.Add("wait 0 m1\nnotify 0 m1\n")
+	f.Add("chsend 0 c1 0\nchrecv 1 c1 0\nchclose 0 c1 0\n")
+	f.Add("chsend 0 c2 3\nchrecv 1 c2 3\n")
 	f.Add("rd")
 	f.Add("rd 0 x99999999999999999999")
 	f.Fuzz(func(t *testing.T, in string) {
@@ -42,6 +44,9 @@ func FuzzReadBinary(f *testing.F) {
 	var seed bytes.Buffer
 	_ = WriteBinary(&seed, Trace{Rd(0, 1), Barrier(0, 0, 1), ForkOf(0, 1)})
 	f.Add(seed.Bytes())
+	var chseed bytes.Buffer
+	_ = WriteBinary(&chseed, Trace{ChSend(0, 1, 2), ChRecv(1, 1, 2), ChClose(0, 1, 2)})
+	f.Add(chseed.Bytes())
 	f.Add([]byte("FTRK1\n"))
 	f.Add([]byte("FTRK1\n\x00\x00"))
 	f.Add([]byte{})

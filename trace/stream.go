@@ -201,6 +201,16 @@ func (s *Scanner) scanBinary() (Event, error) {
 			e.Tids[i] = int32(t)
 		}
 	}
+	if e.Kind == ChanSend || e.Kind == ChanRecv || e.Kind == ChanClose {
+		c, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return Event{}, pos(err)
+		}
+		if c > uint64(MaxChanCap) {
+			return Event{}, fmt.Errorf("trace: event %d: channel capacity %d out of range [0, %d]", s.index, c, MaxChanCap)
+		}
+		e.Cap = int32(c)
+	}
 	return e, nil
 }
 
@@ -276,6 +286,11 @@ func (w *Writer) Write(e Event) error {
 			if err := w.uvarint(uint64(t)); err != nil {
 				return err
 			}
+		}
+	}
+	if e.Kind == ChanSend || e.Kind == ChanRecv || e.Kind == ChanClose {
+		if err := w.uvarint(uint64(e.Cap)); err != nil {
+			return err
 		}
 	}
 	return nil

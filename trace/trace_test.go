@@ -24,7 +24,7 @@ func TestKindClassification(t *testing.T) {
 	if Acquire.IsAccess() || VolatileRead.IsAccess() {
 		t.Error("acq and volatile reads are not plain accesses")
 	}
-	for _, k := range []Kind{Acquire, Release, Fork, Join, VolatileRead, VolatileWrite, Wait, BarrierRelease} {
+	for _, k := range []Kind{Acquire, Release, Fork, Join, VolatileRead, VolatileWrite, Wait, BarrierRelease, ChanSend, ChanRecv, ChanClose} {
 		if !k.IsSync() {
 			t.Errorf("%v must be sync", k)
 		}
@@ -53,6 +53,9 @@ func TestEventString(t *testing.T) {
 		{Event{Kind: TxBegin, Tid: 4}, "txbegin 4"},
 		{Event{Kind: Wait, Tid: 1, Target: 5}, "wait 1 m5"},
 		{Event{Kind: Notify, Tid: 1, Target: 5}, "notify 1 m5"},
+		{ChSend(1, 4, 2), "chsend 1 c4 2"},
+		{ChRecv(0, 4, 2), "chrecv 0 c4 2"},
+		{ChClose(1, 4, 0), "chclose 1 c4 0"},
 	}
 	for _, c := range cases {
 		if got := c.e.String(); got != c.want {
