@@ -51,6 +51,9 @@ type ServerError struct {
 	// (zero when the server gave none). Dial and the resume path fold
 	// it into their backoff.
 	RetryAfter time.Duration
+	// Node is the refusing daemon's fleet identity ("" on unnamed
+	// daemons); fleet routing attributes refusals to nodes with it.
+	Node string
 }
 
 func (e *ServerError) Error() string {
@@ -83,6 +86,35 @@ type config struct {
 	hello        Handshake
 	dial         DialFunc
 	optErr       error
+
+	// Fleet routing hooks (see fleet.go / withRoute). route returns the
+	// candidate dial addresses ranked best-first for this session's key;
+	// nil means single-node (the Dial addr is the only candidate).
+	// observe feeds each candidate's dial+handshake outcome back to the
+	// fleet health tracker. sessionKey is the routing key DialFleet
+	// hashes (set via WithSessionKey).
+	route      func() []string
+	observe    func(addr string, err error)
+	sessionKey string
+}
+
+// candidates returns the dial addresses to sweep, best-first: the fleet
+// route when configured, else just the session's address.
+func (c *config) candidates(addr string) []string {
+	if c.route != nil {
+		if r := c.route(); len(r) > 0 {
+			return r
+		}
+	}
+	return []string{addr}
+}
+
+// observeDial reports one candidate's outcome to the fleet tracker
+// (nil error = successful handshake); a no-op without routing.
+func (c *config) observeDial(addr string, err error) {
+	if c.observe != nil {
+		c.observe(addr, err)
+	}
 }
 
 func defaultConfig() config {
@@ -306,6 +338,7 @@ type Session struct {
 	genDead     chan struct{}
 	replies     chan inFrame
 	id          string
+	node        string // serving daemon's fleet identity (HelloOK.Node)
 	rootID      string // first session id of the lineage
 	epoch       int64  // last handshake epoch sent
 	resumesLeft int
@@ -373,34 +406,16 @@ func Dial(addr string, opts ...Option) (*Session, error) {
 		return nil, cfg.optErr
 	}
 
-	var (
-		conn net.Conn
-		ok   HelloOK
-	)
-	for attempt := 0; ; attempt++ {
-		var err error
-		conn, err = cfg.dial(addr, cfg.dialTimeout)
-		if err == nil {
-			ok, err = handshakeConn(conn, &cfg, cfg.hello)
-			if err == nil {
-				break
-			}
-			conn.Close()
-			var se *ServerError
-			if !errors.As(err, &se) || !se.Temporary() {
-				return nil, err
-			}
-			if attempt >= cfg.retries {
-				return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, err, attempt+1)
-			}
-			time.Sleep(maxDuration(cfg.retryDelay(attempt), se.RetryAfter))
-			continue
-		}
-		if attempt >= cfg.retries {
-			return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, err, attempt+1)
-		}
-		time.Sleep(cfg.retryDelay(attempt))
+	// Each attempt sweeps the candidate list best-first (a single
+	// element without fleet routing): failover to the next node is free,
+	// only an exhausted sweep costs a backoff wait. A permanent server
+	// refusal (bad configuration, protocol violation) fails immediately
+	// — every node would refuse it the same way.
+	conn, ok, dialed, err := sweepDial(&cfg, addr, cfg.hello, nil)
+	if err != nil {
+		return nil, err
 	}
+	addr = dialed
 
 	s := &Session{
 		cfg:         cfg,
@@ -409,6 +424,7 @@ func Dial(addr string, opts ...Option) (*Session, error) {
 		genDead:     make(chan struct{}),
 		replies:     make(chan inFrame, 4),
 		id:          ok.SessionID,
+		node:        ok.Node,
 		rootID:      ok.SessionID,
 		resumesLeft: cfg.reconnects,
 		sendq:       make(chan outFrame, cfg.queueFrames),
@@ -417,9 +433,10 @@ func Dial(addr string, opts ...Option) (*Session, error) {
 	if cfg.hello.Tracing {
 		// Random high bits keep one session's trace IDs from colliding
 		// with another's on the server's shared /debug/trace view; the
-		// low bits count the session's traced frames.
+		// low traceSeqBits count the session's traced frames and wrap
+		// within the session's own ID space (see nextTraceID).
 		s.spans = obs.NewSpanRing(clientTraceSpans)
-		s.traceBase = rand.Uint64() << 20
+		s.traceBase = randTraceBase()
 	}
 	s.traceOK.Store(ok.Tracing)
 	s.enc = trace.NewWriter(&s.buf, trace.Binary)
@@ -428,12 +445,89 @@ func Dial(addr string, opts ...Option) (*Session, error) {
 	return s, nil
 }
 
+// sweepDial opens and handshakes a connection within the retry budget:
+// each attempt sweeps the candidate list best-first (one element
+// without fleet routing), reporting every candidate's outcome to the
+// fleet tracker, and only an exhausted sweep waits out the backoff —
+// stretched to the longest Retry-After hint collected during the sweep.
+// A permanent server refusal (rejected configuration, protocol
+// violation) aborts immediately: every node would refuse it the same
+// way. A non-server handshake failure is fatal on a first single-node
+// dial (the peer does not speak the protocol) but retryable when
+// sweeping a fleet or resuming (one sick node must not kill the
+// session). prep, when non-nil, mutates the hello before each handshake
+// — the resume path advances the epoch per attempt there, so a reply
+// lost after the server registered its epoch cannot stale the next try.
+// Returns the connection, the server's hello reply, and the address
+// that accepted.
+func sweepDial(cfg *config, addr string, hello Handshake, prep func(*Handshake)) (net.Conn, HelloOK, string, error) {
+	hsRetry := cfg.route != nil || prep != nil
+	for attempt := 0; ; attempt++ {
+		var hint time.Duration
+		var lastErr error
+		for _, cand := range cfg.candidates(addr) {
+			conn, err := cfg.dial(cand, cfg.dialTimeout)
+			if err != nil {
+				cfg.observeDial(cand, err)
+				lastErr = err
+				continue
+			}
+			if prep != nil {
+				prep(&hello)
+			}
+			var ok HelloOK
+			ok, err = handshakeConn(conn, cfg, hello)
+			if err == nil {
+				cfg.observeDial(cand, nil)
+				return conn, ok, cand, nil
+			}
+			conn.Close()
+			cfg.observeDial(cand, err)
+			var se *ServerError
+			if errors.As(err, &se) {
+				if !se.Temporary() {
+					return nil, HelloOK{}, "", err
+				}
+				hint = maxDuration(hint, se.RetryAfter)
+				lastErr = err
+				continue
+			}
+			if !hsRetry {
+				return nil, HelloOK{}, "", err
+			}
+			lastErr = err
+		}
+		if attempt >= cfg.retries {
+			return nil, HelloOK{}, "", fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, lastErr, attempt+1)
+		}
+		time.Sleep(maxDuration(cfg.retryDelay(attempt), hint))
+	}
+}
+
 // clientTraceSpans is the capacity of the client-side span ring.
 const clientTraceSpans = 64
 
-// nextTraceID returns a fresh nonzero trace ID for an event frame.
+// traceSeqBits is the width of a trace ID's per-session sequence field:
+// the low bits count traced frames, the remaining high bits are the
+// session's random base. 2^40 frames outlasts any session (a frame is
+// ≥1 event, so that is a trillion events), while 24 random bits per
+// concurrent session keep shared-/debug/trace collisions negligible.
+const (
+	traceSeqBits = 40
+	traceSeqMask = uint64(1)<<traceSeqBits - 1
+)
+
+// randTraceBase draws a session's trace-ID base: random high bits with
+// the sequence field clear, so IDs start at the bottom of the space.
+func randTraceBase() uint64 { return rand.Uint64() &^ traceSeqMask }
+
+// nextTraceID returns a fresh nonzero trace ID for an event frame. The
+// sequence is masked into the low traceSeqBits, so even a session that
+// overflows the field wraps within its own base's ID space instead of
+// walking into another session's (the old addition-based form leaked
+// into the neighboring base after 2^20 frames).
 func (s *Session) nextTraceID() uint64 {
-	id := s.traceBase + s.traceSeq.Add(1)
+	id := s.traceBase | (s.traceSeq.Add(1) & traceSeqMask)
 	if id == 0 {
 		id = 1
 	}
@@ -515,6 +609,24 @@ func (s *Session) ID() string {
 // ResumeOf.
 func (s *Session) RootID() string { return s.rootID }
 
+// Node returns the fleet identity of the daemon currently serving the
+// session (HelloOK.Node; "" from unnamed daemons). It can change across
+// resumes — a fleet-routed session that fails over reports its new
+// home.
+func (s *Session) Node() string {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.node
+}
+
+// Addr returns the address of the daemon currently serving the session;
+// like Node it can change when a fleet-routed session fails over.
+func (s *Session) Addr() string {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.addr
+}
+
 // Err returns the session's sticky error, nil while healthy.
 func (s *Session) Err() error {
 	if e, _ := s.errv.Load().(error); e != nil {
@@ -578,53 +690,43 @@ func (s *Session) lost(gen int64, cause error) {
 }
 
 // redialLocked re-establishes the session under connMu: jittered-backoff
-// redial, then a resume handshake carrying the lineage's root id and a
-// strictly increasing epoch — incremented per attempt, so even if an
-// attempt's reply is lost after the server registered it, the next
-// attempt still presents a newer epoch. While it runs, senderLoop blocks
-// in snapshot and producers back up in the frame queue: reconnect is
+// redial (sweeping the fleet's candidate list when routed, so the
+// session fails over to another node if its own died), then a resume
+// handshake carrying the lineage's root id and a strictly increasing
+// epoch — incremented per handshake attempt, so even if an attempt's
+// reply is lost after the server registered it, the next attempt still
+// presents a newer epoch. A node that never saw the lineage admits any
+// epoch (its high-water mark is zero), which is what makes cross-node
+// failover just another resume. While it runs, senderLoop blocks in
+// snapshot and producers back up in the frame queue: reconnect is
 // backpressure, not loss.
 func (s *Session) redialLocked(cause error) {
 	hello := s.cfg.hello
 	hello.ResumeOf = s.rootID
-	var lastErr error = cause
-	for attempt := 0; ; attempt++ {
-		conn, err := s.cfg.dial(s.addr, s.cfg.dialTimeout)
-		var hint time.Duration
-		if err == nil {
-			s.epoch++
-			hello.Epoch = s.epoch
-			var ok HelloOK
-			ok, err = handshakeConn(conn, &s.cfg, hello)
-			if err == nil {
-				s.conn = conn
-				s.gen++
-				s.genDead = make(chan struct{})
-				s.replies = make(chan inFrame, 4)
-				s.id = ok.SessionID
-				s.traceOK.Store(ok.Tracing)
-				s.resumes.Add(1)
-				go s.readerLoop(conn, s.gen, s.replies)
-				return
-			}
-			conn.Close()
-			var se *ServerError
-			if errors.As(err, &se) && se.Temporary() {
-				hint = se.RetryAfter
-			} else if errors.As(err, &se) {
-				s.fail(fmt.Errorf("client: resume refused: %w (connection lost: %v)", err, cause))
-				s.conn = nil
-				return
-			}
+	conn, ok, dialed, err := sweepDial(&s.cfg, s.addr, hello, func(h *Handshake) {
+		s.epoch++
+		h.Epoch = s.epoch
+	})
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) && !se.Temporary() {
+			s.fail(fmt.Errorf("client: resume refused: %w (connection lost: %v)", err, cause))
+		} else {
+			s.fail(fmt.Errorf("client: resume failed: %w (connection lost: %v)", err, cause))
 		}
-		lastErr = err
-		if attempt >= s.cfg.retries {
-			s.fail(fmt.Errorf("client: resume failed: %w (after %d attempts; connection lost: %v)", lastErr, attempt+1, cause))
-			s.conn = nil
-			return
-		}
-		time.Sleep(maxDuration(s.cfg.retryDelay(attempt), hint))
+		s.conn = nil
+		return
 	}
+	s.addr = dialed
+	s.conn = conn
+	s.gen++
+	s.genDead = make(chan struct{})
+	s.replies = make(chan inFrame, 4)
+	s.id = ok.SessionID
+	s.node = ok.Node
+	s.traceOK.Store(ok.Tracing)
+	s.resumes.Add(1)
+	go s.readerLoop(conn, s.gen, s.replies)
 }
 
 // senderLoop is the only writer of the connection(s) after the
@@ -724,6 +826,7 @@ func wireErr(payload []byte) error {
 		Code:       we.Code,
 		Msg:        we.Msg,
 		RetryAfter: time.Duration(we.RetryAfterMillis) * time.Millisecond,
+		Node:       we.Node,
 	}
 }
 

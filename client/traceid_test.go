@@ -1,0 +1,61 @@
+package client
+
+import "testing"
+
+// The sequence field must wrap within the session's own base space: the
+// old addition-based form (base = rand<<20; id = base + seq) walked
+// into the numerically adjacent session's ID range after only 2^20
+// frames, cross-attributing /debug/trace spans between sessions.
+func TestTraceIDWrapsWithinBase(t *testing.T) {
+	const base = 0x4242_4200_0000_0000 &^ traceSeqMask
+	s := &Session{traceBase: base}
+	// Park the sequence two steps before the field's top.
+	s.traceSeq.Store(traceSeqMask - 2)
+
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		ids = append(ids, s.nextTraceID())
+	}
+	for i, id := range ids {
+		if id == 0 {
+			t.Fatalf("id[%d] = 0 (zero means untraced on the wire)", i)
+		}
+		if id&^traceSeqMask != base {
+			t.Errorf("id[%d] = %#x escaped base space %#x (neighbor session's range starts at %#x)",
+				i, id, base, base+traceSeqMask+1)
+		}
+	}
+	// The boundary really was crossed inside the window: the top value
+	// then the wrap back to the bottom of the same space.
+	if ids[1] != base|traceSeqMask {
+		t.Errorf("id[1] = %#x, want top of field %#x", ids[1], base|traceSeqMask)
+	}
+	if ids[2] != base {
+		t.Errorf("id[2] = %#x, want wrap to %#x", ids[2], base)
+	}
+	if ids[3] != base|1 {
+		t.Errorf("id[3] = %#x, want %#x", ids[3], base|1)
+	}
+}
+
+// A session that drew the all-zero base must still never emit trace ID
+// 0, which the wire format reserves for "untraced frame".
+func TestTraceIDNeverZero(t *testing.T) {
+	s := &Session{traceBase: 0}
+	s.traceSeq.Store(traceSeqMask) // next Add wraps the masked field to 0
+	if id := s.nextTraceID(); id != 1 {
+		t.Errorf("zero-base wrap id = %#x, want 1", id)
+	}
+}
+
+// Dial seeds the base with the low sequence bits clear, so the first
+// frames of a fresh session cannot collide with the late frames of a
+// long-lived one that shares the random high bits.
+func TestTraceBaseAligned(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		base := randTraceBase()
+		if base&traceSeqMask != 0 {
+			t.Fatalf("base %#x has sequence bits set", base)
+		}
+	}
+}

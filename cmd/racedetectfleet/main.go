@@ -1,0 +1,92 @@
+// Command racedetectfleet serves one merged HTTP view of a racedetectd
+// fleet: it polls every node's /readyz for health and steering state
+// and fans read queries out to the nodes' own HTTP surfaces.
+//
+// Usage:
+//
+//	racedetectfleet -nodes a:7766=a:7767,b:7766=b:7767 [-addr 127.0.0.1:7768]
+//	                [-probe 1s]
+//
+// Each -nodes entry is "dialaddr=httpaddr": the TCP ingestion address
+// clients route sessions to, and the HTTP address this aggregator
+// queries. The HTTP listener serves:
+//
+//	/fleet/nodes     per-node health: ready/draining, active vs max
+//	                 sessions, soft-limit and shed pressure, refusal
+//	                 backoffs, probe errors
+//	/fleet/sessions  every node's /sessions merged into one list, each
+//	                 entry attributed to its node
+//	/fleet/metrics   every node's /metrics merged (counters/gauges
+//	                 summed, histograms bucket-merged) plus the raw
+//	                 per-node snapshots
+//	/healthz         the aggregator's own liveness
+//
+// The aggregator is read-only and off the data path: clients stream
+// directly to the nodes (racedetect -servers / client.DialFleet do
+// their own routing), so restarting or losing the aggregator never
+// affects a running analysis. A node that cannot be reached shows up
+// with an error in the merged views instead of silently vanishing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fasttrack/internal/fleet"
+)
+
+func main() {
+	nodesSpec := flag.String("nodes", "", "comma-separated fleet nodes, each dialaddr=httpaddr (required)")
+	addr := flag.String("addr", "127.0.0.1:7768", "HTTP listen address for the merged fleet views")
+	probe := flag.Duration("probe", time.Second, "per-node /readyz probe interval")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "racedetectfleet: ", log.LstdFlags)
+	if *nodesSpec == "" {
+		logger.Fatal("missing -nodes (want a:7766=a:7767,b:7766=b:7767,...)")
+	}
+	nodes, err := fleet.ParseNodes(*nodesSpec)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	agg, err := fleet.NewAggregator(nodes, *probe)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer agg.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// Ready line on stdout so supervisors (and CI) can wait for it; with
+	// -addr :0 it carries the chosen port.
+	fmt.Printf("racedetectfleet: http on %s (%d nodes)\n", ln.Addr(), len(nodes))
+	os.Stdout.Sync()
+
+	srv := &http.Server{Handler: agg.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			logger.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fasttrack/internal/obs"
+)
+
+// Aggregator serves one merged HTTP view of a racedetectd fleet:
+//
+//	/fleet/nodes    — the tracker's per-node health/steering view
+//	/fleet/sessions — every node's /sessions, node-attributed, one list
+//	/fleet/metrics  — per-node /metrics merged via obs.MergeSnapshots,
+//	                  with the per-node snapshots alongside
+//
+// The aggregator is a read-side fan-out, deliberately not a data-path
+// proxy: sessions stream directly to their nodes (the client routes),
+// so the aggregator can die, lag, or restart without touching a single
+// analysis. It holds no state beyond the tracker's last probe — every
+// request re-queries the live nodes, and a node that cannot be reached
+// appears under "errors" with its last known health rather than
+// silently vanishing from the merged view.
+//
+// Session payloads are merged as raw JSON objects, not typed structs:
+// the daemon's SessionInfo schema belongs to internal/svc (which this
+// package must not import — it sits below the client), and re-encoding
+// through a local copy of the struct would silently drop fields added
+// by newer daemons. The aggregator only injects a "node" attribution
+// key when the daemon did not stamp one itself.
+type Aggregator struct {
+	tracker *Tracker
+	nodes   []Node
+	httpc   *http.Client
+}
+
+// NewAggregator builds an aggregator over the given nodes; every node
+// needs an HTTP address (there is nothing to aggregate from a node
+// without one). The tracker starts probing at probe intervals (<=0
+// picks 1s); Close stops it.
+func NewAggregator(nodes []Node, probe time.Duration) (*Aggregator, error) {
+	for _, n := range nodes {
+		if n.HTTP == "" {
+			return nil, fmt.Errorf("fleet: aggregated node %s has no HTTP address (want addr=httpaddr)", n.Addr)
+		}
+	}
+	if probe <= 0 {
+		probe = time.Second
+	}
+	a := &Aggregator{
+		tracker: New(nodes),
+		nodes:   nodes,
+		httpc:   &http.Client{Timeout: 3 * time.Second},
+	}
+	a.tracker.Start(probe)
+	return a, nil
+}
+
+// Close stops the aggregator's health poller.
+func (a *Aggregator) Close() { a.tracker.Stop() }
+
+// Tracker exposes the aggregator's health tracker.
+func (a *Aggregator) Tracker() *Tracker { return a.tracker }
+
+// nodeGet fetches one path from one node's HTTP surface and decodes the
+// JSON body into v. Non-2xx statuses with a decodable body still decode
+// (the daemon's /readyz answers 503 with its state); transport and
+// decode failures return the error.
+func (a *Aggregator) nodeGet(ctx context.Context, httpAddr, path string, v any) error {
+	url := httpAddr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := a.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// nodeLabel is the attribution key for one node: its reported identity
+// when the last probe captured one, else its dial address.
+func nodeLabel(st Status) string {
+	if st.NodeID != "" {
+		return st.NodeID
+	}
+	return st.Addr
+}
+
+// fanOut queries one path on every node concurrently, delivering each
+// node's decoded payload (or error) to collect under a lock.
+func (a *Aggregator) fanOut(ctx context.Context, path string, decode func() any,
+	collect func(st Status, payload any, err error)) {
+	statuses := a.tracker.Nodes()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, st := range statuses {
+		wg.Add(1)
+		go func(st Status) {
+			defer wg.Done()
+			v := decode()
+			err := a.nodeGet(ctx, st.HTTP, path, v)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				collect(st, nil, err)
+				return
+			}
+			collect(st, v, nil)
+		}(st)
+	}
+	wg.Wait()
+}
+
+// Handler returns the aggregator's HTTP surface.
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Nodes []Status `json:"nodes"`
+		}{a.tracker.Nodes()})
+	})
+	mux.HandleFunc("GET /fleet/sessions", func(w http.ResponseWriter, r *http.Request) {
+		type nodeErr struct {
+			Node string `json:"node"`
+			Err  string `json:"err"`
+		}
+		var (
+			sessions []map[string]json.RawMessage
+			errs     []nodeErr
+		)
+		a.fanOut(r.Context(), "/sessions", func() any { return &[]map[string]json.RawMessage{} },
+			func(st Status, payload any, err error) {
+				if err != nil {
+					errs = append(errs, nodeErr{nodeLabel(st), err.Error()})
+					return
+				}
+				for _, sess := range *payload.(*[]map[string]json.RawMessage) {
+					if _, ok := sess["node"]; !ok {
+						lbl, _ := json.Marshal(nodeLabel(st))
+						sess["node"] = lbl
+					}
+					sessions = append(sessions, sess)
+				}
+			})
+		sort.Slice(sessions, func(i, j int) bool {
+			if n := strings.Compare(string(sessions[i]["node"]), string(sessions[j]["node"])); n != 0 {
+				return n < 0
+			}
+			return string(sessions[i]["id"]) < string(sessions[j]["id"])
+		})
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Node < errs[j].Node })
+		if sessions == nil {
+			sessions = []map[string]json.RawMessage{}
+		}
+		writeJSON(w, struct {
+			Sessions []map[string]json.RawMessage `json:"sessions"`
+			Errors   []nodeErr                    `json:"errors,omitempty"`
+		}{sessions, errs})
+	})
+	mux.HandleFunc("GET /fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
+		perNode := map[string]obs.Snapshot{}
+		nodeErrs := map[string]string{}
+		a.fanOut(r.Context(), "/metrics", func() any { return &obs.Snapshot{} },
+			func(st Status, payload any, err error) {
+				if err != nil {
+					nodeErrs[nodeLabel(st)] = err.Error()
+					return
+				}
+				perNode[nodeLabel(st)] = *payload.(*obs.Snapshot)
+			})
+		merged := make([]obs.Snapshot, 0, len(perNode))
+		// Deterministic merge order (map iteration is not): by label.
+		labels := make([]string, 0, len(perNode))
+		for l := range perNode {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			merged = append(merged, perNode[l])
+		}
+		writeJSON(w, struct {
+			Fleet  obs.Snapshot            `json:"fleet"`
+			Nodes  map[string]obs.Snapshot `json:"nodes"`
+			Errors map[string]string       `json:"errors,omitempty"`
+		}{obs.MergeSnapshots(merged...), perNode, nodeErrs})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Status string `json:"status"`
+			Nodes  int    `json:"nodes"`
+		}{"ok", len(a.nodes)})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

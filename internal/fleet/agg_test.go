@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fasttrack/internal/obs"
+)
+
+// stubDaemon mimics the slice of racedetectd's HTTP surface the
+// aggregator consumes.
+type stubDaemon struct {
+	node     string
+	sessions []map[string]any
+	reg      *obs.Registry
+}
+
+func (d *stubDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch r.URL.Path {
+	case "/readyz":
+		json.NewEncoder(w).Encode(Readyz{Ready: true, MaxSessions: 8, Node: d.node})
+	case "/sessions":
+		json.NewEncoder(w).Encode(d.sessions)
+	case "/metrics":
+		d.reg.WriteJSON(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	daemons := make([]*stubDaemon, 3)
+	nodes := make([]Node, 3)
+	for i := range daemons {
+		reg := obs.NewRegistry()
+		reg.Counter("svc.eventsTotal").Add(int64(100 * (i + 1)))
+		reg.Gauge("svc.sessionsActive").Set(int64(i))
+		// n0's daemon stamps its node id in SessionInfo (new daemon);
+		// n1/n2's entries are unstamped (old daemon) — the aggregator
+		// must attribute both.
+		sess := map[string]any{"id": fmt.Sprintf("s%06d", i+1), "state": "streaming"}
+		if i == 0 {
+			sess["node"] = "n0"
+		}
+		daemons[i] = &stubDaemon{
+			node:     fmt.Sprintf("n%d", i),
+			sessions: []map[string]any{sess},
+			reg:      reg,
+		}
+		srv := httptest.NewServer(daemons[i])
+		defer srv.Close()
+		nodes[i] = Node{
+			Addr: fmt.Sprintf("dial-%d:7766", i),
+			HTTP: strings.TrimPrefix(srv.URL, "http://"),
+		}
+	}
+	agg, err := NewAggregator(nodes, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	hs := httptest.NewServer(agg.Handler())
+	defer hs.Close()
+
+	get := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+
+	// Wait for the first probe round to land.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		all := true
+		for _, st := range agg.Tracker().Nodes() {
+			if !st.Probed || st.NodeID == "" {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probes never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var nv struct {
+		Nodes []Status `json:"nodes"`
+	}
+	get("/fleet/nodes", &nv)
+	if len(nv.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(nv.Nodes))
+	}
+	for _, st := range nv.Nodes {
+		if !st.Ready || st.MaxSessions != 8 {
+			t.Errorf("node view lost probe state: %+v", st)
+		}
+	}
+
+	var sv struct {
+		Sessions []map[string]any `json:"sessions"`
+		Errors   []any            `json:"errors"`
+	}
+	get("/fleet/sessions", &sv)
+	if len(sv.Sessions) != 3 {
+		t.Fatalf("got %d sessions, want 3: %+v", len(sv.Sessions), sv)
+	}
+	if len(sv.Errors) != 0 {
+		t.Fatalf("unexpected errors: %+v", sv.Errors)
+	}
+	seen := map[string]string{}
+	for _, sess := range sv.Sessions {
+		seen[sess["id"].(string)] = sess["node"].(string)
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("s%06d", i+1)
+		if seen[id] != fmt.Sprintf("n%d", i) {
+			t.Errorf("session %s attributed to %q, want n%d", id, seen[id], i)
+		}
+	}
+
+	var mv struct {
+		Fleet  obs.Snapshot            `json:"fleet"`
+		Nodes  map[string]obs.Snapshot `json:"nodes"`
+		Errors map[string]string       `json:"errors"`
+	}
+	get("/fleet/metrics", &mv)
+	if got := mv.Fleet.Counter("svc.eventsTotal"); got != 600 {
+		t.Errorf("merged eventsTotal = %d, want 600", got)
+	}
+	if got := mv.Fleet.Gauge("svc.sessionsActive"); got != 3 {
+		t.Errorf("merged sessionsActive = %d, want 3", got)
+	}
+	if len(mv.Nodes) != 3 {
+		t.Fatalf("per-node snapshots = %d, want 3", len(mv.Nodes))
+	}
+	if got := mv.Nodes["n1"].Counter("svc.eventsTotal"); got != 200 {
+		t.Errorf("n1 eventsTotal = %d, want 200", got)
+	}
+}
+
+// A node that cannot be reached lands in errors, not silently absent.
+func TestAggregatorNodeFailure(t *testing.T) {
+	live := &stubDaemon{node: "alive", sessions: []map[string]any{{"id": "s1", "node": "alive"}}, reg: obs.NewRegistry()}
+	liveSrv := httptest.NewServer(live)
+	defer liveSrv.Close()
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := strings.TrimPrefix(deadSrv.URL, "http://")
+	deadSrv.Close()
+
+	agg, err := NewAggregator([]Node{
+		{Addr: "a:1", HTTP: strings.TrimPrefix(liveSrv.URL, "http://")},
+		{Addr: "b:1", HTTP: deadAddr},
+	}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	hs := httptest.NewServer(agg.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/fleet/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sv struct {
+		Sessions []map[string]any `json:"sessions"`
+		Errors   []struct {
+			Node string `json:"node"`
+			Err  string `json:"err"`
+		} `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Sessions) != 1 || sv.Sessions[0]["id"] != "s1" {
+		t.Fatalf("live node's sessions lost: %+v", sv)
+	}
+	if len(sv.Errors) != 1 {
+		t.Fatalf("dead node not reported in errors: %+v", sv)
+	}
+
+	// NewAggregator refuses nodes without an HTTP address.
+	if _, err := NewAggregator([]Node{{Addr: "a:1"}}, 0); err == nil {
+		t.Fatal("aggregator accepted a node without an HTTP address")
+	}
+}

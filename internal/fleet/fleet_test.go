@@ -1,0 +1,350 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := ParseNodes("a:1, b:2=b:3 ,c:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{{Addr: "a:1"}, {Addr: "b:2", HTTP: "b:3"}, {Addr: "c:4"}}
+	if len(nodes) != len(want) {
+		t.Fatalf("got %d nodes, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d: got %+v want %+v", i, nodes[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "  ,  ", "=x:1", "a:1,a:1"} {
+		if _, err := ParseNodes(bad); err == nil {
+			t.Errorf("ParseNodes(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func addrs(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = Node{Addr: fmt.Sprintf("node-%d:7766", i)}
+	}
+	return out
+}
+
+// Rendezvous placement must spread keys roughly evenly: with 4 nodes
+// and 4000 keys each node should own within [15%, 35%].
+func TestRendezvousBalance(t *testing.T) {
+	tr := New(addrs(4))
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		owner, ok := tr.Owner(fmt.Sprintf("session-%d", i))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[owner]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("keys landed on %d nodes, want 4: %v", len(counts), counts)
+	}
+	for a, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("node %s owns %.1f%% of keys, want 15%%..35%% (%v)", a, frac*100, counts)
+		}
+	}
+}
+
+// The rendezvous property: removing one node moves only the keys it
+// owned; every other key keeps its owner. Adding it back restores the
+// original placement exactly.
+func TestRendezvousStableUnderJoinLeave(t *testing.T) {
+	all := addrs(5)
+	tr5 := New(all)
+	tr4 := New(all[:4]) // node-4 left
+	const keys = 3000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		before, _ := tr5.Owner(key)
+		after, _ := tr4.Owner(key)
+		if before == all[4].Addr {
+			if after == before {
+				t.Fatalf("key %s still routed to removed node", key)
+			}
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %s moved %s -> %s though its owner never left", key, before, after)
+		}
+	}
+	// ~1/5 of keys lived on the removed node; allow slack.
+	if frac := float64(moved) / keys; frac < 0.10 || frac > 0.30 {
+		t.Errorf("%.1f%% of keys moved on leave, want ~20%%", frac*100)
+	}
+	// Re-join: placement identical to the original 5-node ring.
+	tr5b := New(all)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		a, _ := tr5.Owner(key)
+		b, _ := tr5b.Owner(key)
+		if a != b {
+			t.Fatalf("placement not deterministic for %s: %s vs %s", key, a, b)
+		}
+	}
+}
+
+// Route must rank every node exactly once, with the rendezvous owner
+// first when everyone is healthy.
+func TestRouteRanksAllNodes(t *testing.T) {
+	tr := New(addrs(4))
+	r := tr.Route("some-session")
+	if len(r) != 4 {
+		t.Fatalf("Route returned %d nodes, want 4", len(r))
+	}
+	seen := map[string]bool{}
+	for _, a := range r {
+		if seen[a] {
+			t.Fatalf("Route repeated %s", a)
+		}
+		seen[a] = true
+	}
+	owner, _ := tr.Owner("some-session")
+	if r[0] != owner {
+		t.Fatalf("Route[0]=%s, Owner=%s", r[0], owner)
+	}
+}
+
+// A refusal demotes the owner behind healthy nodes until the
+// Retry-After window expires, then the original ranking returns.
+func TestRefusalSteersThenExpires(t *testing.T) {
+	tr := New(addrs(3))
+	now := time.Unix(1000, 0)
+	tr.now = func() time.Time { return now }
+
+	key := "hot-session"
+	owner, _ := tr.Owner(key)
+	tr.MarkRefused(owner, 500*time.Millisecond)
+
+	r := tr.Route(key)
+	if r[0] == owner {
+		t.Fatalf("refused node still ranked first")
+	}
+	if r[len(r)-1] != owner {
+		t.Fatalf("refused node should rank behind healthy nodes: %v", r)
+	}
+	st := tr.Nodes()
+	found := false
+	for _, s := range st {
+		if s.Addr == owner {
+			found = true
+			if s.RefusedUntil.IsZero() {
+				t.Error("Status.RefusedUntil not set on refused node")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("refused node missing from Nodes()")
+	}
+
+	now = now.Add(time.Second) // backoff expired
+	if got, _ := tr.Owner(key); got != owner {
+		t.Fatalf("after backoff expiry owner=%s, want %s", got, owner)
+	}
+}
+
+// MarkRefused with no hint applies the default backoff.
+func TestRefusalDefaultBackoff(t *testing.T) {
+	tr := New(addrs(2))
+	now := time.Unix(1000, 0)
+	tr.now = func() time.Time { return now }
+	owner, _ := tr.Owner("k")
+	tr.MarkRefused(owner, 0)
+	if got, _ := tr.Owner("k"); got == owner {
+		t.Fatal("refusal without hint did not steer")
+	}
+	now = now.Add(DefaultRefusalBackoff + time.Millisecond)
+	if got, _ := tr.Owner("k"); got != owner {
+		t.Fatal("default backoff never expired")
+	}
+}
+
+// Down nodes rank last; MarkUp restores them.
+func TestMarkDownUp(t *testing.T) {
+	tr := New(addrs(3))
+	key := "k"
+	owner, _ := tr.Owner(key)
+	tr.MarkDown(owner)
+	r := tr.Route(key)
+	if r[len(r)-1] != owner {
+		t.Fatalf("down node not ranked last: %v", r)
+	}
+	tr.MarkUp(owner)
+	if got, _ := tr.Owner(key); got != owner {
+		t.Fatal("MarkUp did not restore the owner")
+	}
+}
+
+// Even with every node unhealthy, Route still returns all of them
+// (degrade to "any node that will have us", never fail closed).
+func TestRouteNeverFailsClosed(t *testing.T) {
+	tr := New(addrs(3))
+	for _, n := range addrs(3) {
+		tr.MarkDown(n.Addr)
+	}
+	if r := tr.Route("k"); len(r) != 3 {
+		t.Fatalf("all-down Route returned %d nodes, want 3", len(r))
+	}
+}
+
+// readyzStub serves a mutable Readyz payload like racedetectd does,
+// including the not-ready 503 status.
+type readyzStub struct {
+	mu sync.Mutex
+	rz Readyz
+}
+
+func (s *readyzStub) set(f func(*Readyz)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.rz)
+}
+
+func (s *readyzStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/readyz" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	rz := s.rz
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if !rz.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(rz)
+}
+
+// Control-plane probing: draining and soft-limited nodes are steered
+// away from while still reachable, and an unreachable node is marked
+// down.
+func TestProbeSteering(t *testing.T) {
+	stubs := make([]*readyzStub, 3)
+	nodes := make([]Node, 3)
+	servers := make([]*httptest.Server, 3)
+	for i := range stubs {
+		stubs[i] = &readyzStub{rz: Readyz{Ready: true, MaxSessions: 8, Node: fmt.Sprintf("n%d", i)}}
+		servers[i] = httptest.NewServer(stubs[i])
+		defer servers[i].Close()
+		nodes[i] = Node{
+			Addr: fmt.Sprintf("dial-%d:7766", i),
+			HTTP: strings.TrimPrefix(servers[i].URL, "http://"),
+		}
+	}
+	tr := New(nodes)
+	tr.PollOnce(context.Background())
+
+	for _, st := range tr.Nodes() {
+		if !st.Probed || st.Down || !st.Ready {
+			t.Fatalf("healthy node misreported: %+v", st)
+		}
+		if st.NodeID == "" {
+			t.Fatalf("node identity not captured: %+v", st)
+		}
+	}
+
+	key := "steered-session"
+	owner, _ := tr.Owner(key)
+	var ownerIdx int
+	for i, n := range nodes {
+		if n.Addr == owner {
+			ownerIdx = i
+		}
+	}
+
+	// Owner drains: it must fall to the back of the ranking.
+	stubs[ownerIdx].set(func(rz *Readyz) { rz.Ready = false; rz.Draining = true })
+	tr.PollOnce(context.Background())
+	r := tr.Route(key)
+	if r[0] == owner || r[len(r)-1] != owner {
+		t.Fatalf("draining owner not steered to last: %v", r)
+	}
+
+	// Recovery: back to first.
+	stubs[ownerIdx].set(func(rz *Readyz) { rz.Ready = true; rz.Draining = false })
+	tr.PollOnce(context.Background())
+	if got, _ := tr.Owner(key); got != owner {
+		t.Fatal("recovered owner not restored")
+	}
+
+	// Soft-limited owner is demoted behind unpressured nodes but stays
+	// ahead of a refused node.
+	stubs[ownerIdx].set(func(rz *Readyz) { rz.SoftLimited = true; rz.Shedding = true; rz.ShedSessions = 2 })
+	tr.PollOnce(context.Background())
+	other := ""
+	for _, a := range tr.Route(key) {
+		if a != owner {
+			other = a
+			break
+		}
+	}
+	tr.MarkRefused(other, time.Minute)
+	r = tr.Route(key)
+	pos := map[string]int{}
+	for i, a := range r {
+		pos[a] = i
+	}
+	if pos[owner] == 0 {
+		t.Fatalf("soft-limited owner still first: %v", r)
+	}
+	if pos[owner] > pos[other] {
+		t.Fatalf("soft-limited node ranked behind refused node: %v", r)
+	}
+	st := tr.Nodes()
+	for _, s := range st {
+		if s.Addr == owner && (!s.SoftLimited || !s.Shedding || s.ShedSessions != 2) {
+			t.Fatalf("shed state not captured: %+v", s)
+		}
+	}
+
+	// Kill one server entirely: probe marks it down.
+	servers[ownerIdx].Close()
+	tr.PollOnce(context.Background())
+	for _, s := range tr.Nodes() {
+		if s.Addr == owner && !s.Down {
+			t.Fatalf("unreachable node not marked down: %+v", s)
+		}
+	}
+}
+
+// Start/Stop runs the poller in the background without leaking.
+func TestStartStop(t *testing.T) {
+	stub := &readyzStub{rz: Readyz{Ready: true}}
+	srv := httptest.NewServer(stub)
+	defer srv.Close()
+	tr := New([]Node{{Addr: "a:1", HTTP: strings.TrimPrefix(srv.URL, "http://")}})
+	tr.Start(10 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if sts := tr.Nodes(); sts[0].Probed && sts[0].Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("poller never probed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.Stop()
+	tr.Stop() // idempotent
+}

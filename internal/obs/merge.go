@@ -1,0 +1,62 @@
+package obs
+
+import "sort"
+
+// MergeSnapshots folds several registries' snapshots into one fleet
+// view: counters and gauges sum by name, histograms merge bucket-wise.
+// Summing gauges is the right aggregation for the gauges this module
+// publishes (active sessions, queue depths, live bytes — all "how much
+// is in flight here" quantities where the fleet total is the meaningful
+// number); a gauge that is a per-node level rather than an amount
+// should be read per node, not merged.
+//
+// Histogram buckets are aligned by their Hi bound. All of this module's
+// histograms share the power-of-two bucket layout, so in practice the
+// merge is bucket-for-bucket; differing layouts still merge soundly —
+// every count lands in the union bucket with its own Hi — but quantile
+// estimates then interpolate over the union's (coarser) grid.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, h := range s.Histograms {
+			out.Histograms[k] = mergeHistograms(out.Histograms[k], h)
+		}
+	}
+	if len(out.Histograms) == 0 {
+		out.Histograms = nil
+	}
+	return out
+}
+
+// mergeHistograms combines two histogram snapshots bucket-wise by Hi
+// bound, keeping the bucket list sorted the way Histogram.Snapshot
+// emits it.
+func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	m := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	byHi := map[int64]int64{}
+	for _, bk := range a.Buckets {
+		byHi[bk.Hi] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byHi[bk.Hi] += bk.Count
+	}
+	if len(byHi) == 0 {
+		return m
+	}
+	m.Buckets = make([]Bucket, 0, len(byHi))
+	for hi, c := range byHi {
+		m.Buckets = append(m.Buckets, Bucket{Hi: hi, Count: c})
+	}
+	sort.Slice(m.Buckets, func(i, j int) bool { return m.Buckets[i].Hi < m.Buckets[j].Hi })
+	return m
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSnapshots(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("events").Add(10)
+	r1.Counter("only1").Add(3)
+	r1.Gauge("active").Set(2)
+	r2.Counter("events").Add(32)
+	r2.Gauge("active").Set(5)
+	r2.Gauge("only2").Set(-1)
+	for i := int64(1); i <= 100; i++ {
+		r1.Histogram("lat").Observe(i)
+		r2.Histogram("lat").Observe(i * 1000)
+	}
+
+	m := MergeSnapshots(r1.Snapshot(), r2.Snapshot())
+	if got := m.Counter("events"); got != 42 {
+		t.Errorf("events = %d, want 42", got)
+	}
+	if got := m.Counter("only1"); got != 3 {
+		t.Errorf("only1 = %d, want 3", got)
+	}
+	if got := m.Gauge("active"); got != 7 {
+		t.Errorf("active = %d, want 7", got)
+	}
+	if got := m.Gauge("only2"); got != -1 {
+		t.Errorf("only2 = %d, want -1", got)
+	}
+	h := m.Histograms["lat"]
+	if h.Count != 200 {
+		t.Errorf("lat count = %d, want 200", h.Count)
+	}
+	wantSum := int64(0)
+	for i := int64(1); i <= 100; i++ {
+		wantSum += i + i*1000
+	}
+	if h.Sum != wantSum {
+		t.Errorf("lat sum = %d, want %d", h.Sum, wantSum)
+	}
+	// Bucket counts must be conserved and stay sorted by bound.
+	total := int64(0)
+	for i, b := range h.Buckets {
+		total += b.Count
+		if i > 0 && h.Buckets[i-1].Hi >= b.Hi {
+			t.Fatalf("buckets not sorted: %v", h.Buckets)
+		}
+	}
+	if total != 200 {
+		t.Errorf("bucket mass = %d, want 200", total)
+	}
+	// The merged quantile grid covers both nodes' ranges: the median
+	// sits between the two clusters' bounds.
+	if q := h.Quantile(0.25); q > 128 {
+		t.Errorf("q25 = %d, want within the small cluster", q)
+	}
+	if q := h.Quantile(0.99); q < 1000 {
+		t.Errorf("q99 = %d, want within the large cluster", q)
+	}
+
+	// Merging nothing yields an empty, usable snapshot.
+	empty := MergeSnapshots()
+	if len(empty.Counters) != 0 || len(empty.Gauges) != 0 || empty.Histograms != nil {
+		t.Errorf("empty merge not empty: %+v", empty)
+	}
+	// Merging one snapshot is identity for counters/gauges.
+	one := MergeSnapshots(r1.Snapshot())
+	if !reflect.DeepEqual(one.Counters, r1.Snapshot().Counters) {
+		t.Errorf("single merge changed counters")
+	}
+}

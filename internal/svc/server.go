@@ -119,6 +119,12 @@ type Config struct {
 	SlowFrameThreshold time.Duration
 	// TraceSpans caps the recent-span ring (default 256).
 	TraceSpans int
+	// NodeID names this daemon in a fleet: it is published in /readyz
+	// and /healthz, stamped on admission refusals and HelloOK replies
+	// (so clients and the fleet aggregator can attribute state to a
+	// node), and attached to every SessionInfo. Empty is fine for a
+	// single-node deployment; the fields are simply omitted.
+	NodeID string
 }
 
 // Event is one structured lifecycle event for Config.EventLog. Kind is
@@ -293,6 +299,11 @@ type Server struct {
 	sessions map[string]*session
 	finished []string // finalized session ids, oldest first, for retention
 	active   int
+	// activeN mirrors active for lock-free readers: /healthz must stay
+	// answerable even when s.mu is wedged (a stalled Serve/Shutdown
+	// path must not turn a live process into a probe-dead one). Written
+	// only under s.mu, wherever active changes.
+	activeN atomic.Int64
 	// epochs maps a resume lineage's root session id to the highest epoch
 	// admitted for it; a resume handshake must beat it or is refused as
 	// stale. epochOrder bounds the map (oldest lineage evicted first).
@@ -497,11 +508,13 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	forced := s.softLimitedLocked()
 	s.active++ // reserved; released in finalize
+	s.activeN.Store(int64(s.active))
 	s.mu.Unlock()
 
 	release := func() {
 		s.mu.Lock()
 		s.active--
+		s.activeN.Store(int64(s.active))
 		s.mu.Unlock()
 	}
 
@@ -576,6 +589,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		SampleRate:    sess.rateFor(plan.start),
 		ForcedSampled: plan.forced,
 		Tracing:       sess.traced,
+		Node:          s.cfg.NodeID,
 	}
 	if err := sess.reply(client.FrameHelloOK, ok); err != nil {
 		// The client never saw a session; don't read from it.
@@ -617,7 +631,7 @@ func (s *Server) refuse(conn net.Conn, fw *trace.FrameWriter, code, msg string) 
 func (s *Server) refuseRetry(conn net.Conn, fw *trace.FrameWriter, code, msg string, retryAfter time.Duration) {
 	s.sm.errorsTotal.Inc()
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	we := client.WireError{Code: code, Msg: msg}
+	we := client.WireError{Code: code, Msg: msg, Node: s.cfg.NodeID}
 	if retryAfter > 0 {
 		we.RetryAfterMillis = retryAfter.Milliseconds()
 	}
@@ -649,6 +663,7 @@ func (s *Server) recordEpochLocked(root string, epoch int64) {
 func (s *Server) finalized(sess *session) {
 	s.mu.Lock()
 	s.active--
+	s.activeN.Store(int64(s.active))
 	s.finished = append(s.finished, sess.id)
 	for len(s.finished) > s.cfg.RetainFinished {
 		delete(s.sessions, s.finished[0])
@@ -663,7 +678,7 @@ func (s *Server) finalized(sess *session) {
 		}
 	}
 	s.cfg.Logf("svc: session %s %s (events=%d frames=%d races=%d)",
-		sess.id, sess.stateName(), sess.events.Load(), sess.frames.Load(), sess.raceCount())
+		sess.id, sess.stateName(), sess.events.Load(), sess.frames.Load(), sess.raceCount(statsBudget))
 	kind := "end"
 	if sess.state.Load() == stateEvicted {
 		kind = "eviction"
@@ -704,6 +719,9 @@ type SessionInfo struct {
 	Epoch                int64   `json:"epoch,omitempty"`
 	ResumeOf             string  `json:"resumeOf,omitempty"`
 	Err                  string  `json:"err,omitempty"`
+	// Node is the serving daemon's identity (Config.NodeID), so a
+	// fleet-merged session listing attributes each session to its node.
+	Node string `json:"node,omitempty"`
 }
 
 // Handler returns the server's HTTP surface: the live metrics registry
@@ -735,17 +753,13 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "no such session", http.StatusNotFound)
 			return
 		}
-		// A quarantined session's monitor is off-limits: its wedged
-		// worker may hold the monitor lock forever.
-		var st fasttrack.Stats
-		var hl client.Health
-		if sess.state.Load() == stateQuarantined {
-			msg, _ := sess.errMsg.Load().(string)
-			hl = client.Health{Err: "quarantined: " + msg}
-		} else {
-			st = sess.mon.Stats()
-			hl = client.HealthFrom(sess.mon.Health())
-		}
+		// tryStats re-checks the quarantine state around a non-blocking
+		// lock acquisition, so the watchdog quarantining this session
+		// concurrently can never leave the handler blocked on the wedged
+		// worker's monitor lock (the old check-then-Stats() sequence
+		// could: quarantine landing between the check and the acquire
+		// parked the handler behind a lock that is never released).
+		st, hl, _ := sess.tryStats(statsBudget)
 		writeJSON(w, struct {
 			SessionInfo
 			Stats  fasttrack.Stats `json:"stats"`
@@ -771,23 +785,37 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		// Liveness: the process is up and serving; governor state is
-		// reported but never fails the probe.
-		s.mu.Lock()
-		active := s.active
-		s.mu.Unlock()
+		// reported but never fails the probe. Reads atomics ONLY — no
+		// s.mu — so a stalled Serve/Shutdown path holding the server
+		// mutex cannot turn a live process into a probe-dead one (a
+		// liveness probe that can deadlock gets the process killed for
+		// the exact condition it should survive).
 		writeJSON(w, struct {
 			Status      string `json:"status"`
+			Node        string `json:"node,omitempty"`
 			Draining    bool   `json:"draining"`
-			Sessions    int    `json:"sessions"`
+			Sessions    int64  `json:"sessions"`
 			Quarantined int64  `json:"quarantined"`
-		}{"ok", s.draining.Load(), active, s.quarantined.Load()})
+		}{"ok", s.cfg.NodeID, s.draining.Load(), s.activeN.Load(), s.quarantined.Load()})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		// Readiness: a draining or hard-capped node should get no new
-		// work routed to it.
+		// work routed to it. Unlike /healthz this deliberately holds
+		// s.mu: readiness pairs active with the soft-limit predicate and
+		// the shed census as one consistent admission snapshot (the
+		// fleet tracker steers on the combination, and a torn read could
+		// report ready=false with no pressure flag set), and a probe
+		// timing out because the mutex is wedged is the right answer for
+		// "should new sessions route here".
 		s.mu.Lock()
 		active := s.active
 		soft := s.softLimitedLocked()
+		shed := 0
+		for _, sess := range s.sessions {
+			if sess.state.Load() == stateStreaming && sess.rung.Load() == rungShed {
+				shed++
+			}
+		}
 		s.mu.Unlock()
 		draining := s.draining.Load()
 		ready := !draining && active < s.cfg.MaxSessions
@@ -795,13 +823,16 @@ func (s *Server) Handler() http.Handler {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		writeJSON(w, struct {
-			Ready          bool  `json:"ready"`
-			Draining       bool  `json:"draining"`
-			ActiveSessions int   `json:"activeSessions"`
-			MaxSessions    int   `json:"maxSessions"`
-			SoftLimited    bool  `json:"softLimited"`
-			Quarantined    int64 `json:"quarantined"`
-		}{ready, draining, active, s.cfg.MaxSessions, soft, s.quarantined.Load()})
+			Ready          bool   `json:"ready"`
+			Node           string `json:"node,omitempty"`
+			Draining       bool   `json:"draining"`
+			ActiveSessions int    `json:"activeSessions"`
+			MaxSessions    int    `json:"maxSessions"`
+			SoftLimited    bool   `json:"softLimited"`
+			Shedding       bool   `json:"shedding"`
+			ShedSessions   int    `json:"shedSessions"`
+			Quarantined    int64  `json:"quarantined"`
+		}{ready, s.cfg.NodeID, draining, active, s.cfg.MaxSessions, soft, shed > 0, shed, s.quarantined.Load()})
 	})
 	return mux
 }

@@ -112,6 +112,7 @@ type session struct {
 	toolDisabled atomic.Bool
 	working      atomic.Bool  // worker is between dequeue and completion of an item
 	progress     atomic.Int64 // items the worker has fully processed
+	raceN        atomic.Int64 // last race count successfully read off the monitor
 	fidGauge     *obs.Gauge
 
 	abortCh chan struct{} // closed by quarantine; unblocks the reader
@@ -465,11 +466,61 @@ func (sess *session) results(seq int64) client.Results {
 	return res
 }
 
-func (sess *session) raceCount() int {
-	if sess.state.Load() == stateQuarantined {
-		return 0
+// statsBudget bounds how long an HTTP stats read will retry a contended
+// monitor lock before answering with a busy placeholder. Normal
+// contention (a worker mid-batch) clears in microseconds; a wedged
+// worker never clears, and the budget is what keeps the handler from
+// inheriting the wedge.
+const statsBudget = 100 * time.Millisecond
+
+// tryStats snapshots the monitor's stats and health without ever
+// blocking on its lock. The quarantine check and the lock acquisition
+// race against the watchdog: a session can be quarantined between any
+// state check and a blocking Stats() call, leaving the caller parked
+// behind a monitor lock the wedged worker never releases. So the loop
+// re-checks the state before every non-blocking TryStats attempt — if
+// the watchdog wins the race at any point, the next iteration sees
+// stateQuarantined and answers from the lock-free counters; if the lock
+// is merely busy, it retries until the budget runs out. ok is false on
+// the quarantined and budget-exhausted fallbacks.
+func (sess *session) tryStats(budget time.Duration) (fasttrack.Stats, client.Health, bool) {
+	deadline := time.Now().Add(budget)
+	for {
+		if sess.state.Load() == stateQuarantined {
+			msg, _ := sess.errMsg.Load().(string)
+			return fasttrack.Stats{}, client.Health{Err: "quarantined: " + msg}, false
+		}
+		if st, hl, ok := sess.mon.TryStats(); ok {
+			return st, client.HealthFrom(hl), true
+		}
+		if !time.Now().Before(deadline) {
+			return fasttrack.Stats{}, client.Health{Err: "stats unavailable: monitor lock busy"}, false
+		}
+		time.Sleep(time.Millisecond)
 	}
-	return len(sess.mon.Races())
+}
+
+// raceCount reports the warning count without ever blocking on the
+// monitor lock — the same watchdog/wedge race as tryStats (a plain
+// Races() call from a listing parked the whole /sessions response
+// behind a wedged worker's lock). A quarantined session or a lock still
+// busy at the budget answers the last successfully observed count:
+// slightly stale data instead of an unbounded hang.
+func (sess *session) raceCount(budget time.Duration) int {
+	deadline := time.Now().Add(budget)
+	for {
+		if sess.state.Load() == stateQuarantined {
+			return int(sess.raceN.Load())
+		}
+		if rs, ok := sess.mon.TryRaces(); ok {
+			sess.raceN.Store(int64(len(rs)))
+			return len(rs)
+		}
+		if !time.Now().Before(deadline) {
+			return int(sess.raceN.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // reply serializes one frame onto the connection.
@@ -535,16 +586,19 @@ func (sess *session) info() SessionInfo {
 		Events:     sess.events.Load(),
 		Frames:     sess.frames.Load(),
 		Bytes:      sess.bytes.Load(),
-		Races:      sess.raceCount(),
+		Races:      sess.raceCount(statsBudget),
 		QueueDepth: len(sess.queue),
 		StartedAt:  sess.started.UTC().Format(time.RFC3339Nano),
 		Fidelity:   sess.fidelityString(rung),
 		SampleRate: sess.rateFor(rung),
 		Epoch:      sess.epoch,
 		ResumeOf:   sess.resumeOf,
+		Node:       sess.srv.cfg.NodeID,
 	}
-	if sess.state.Load() != stateQuarantined {
-		inf.DetectionProbability = sess.mon.Stats().DetectionProbability()
+	// Same watchdog race as the stats endpoint: bound the monitor read
+	// so a listing never hangs on a session quarantined mid-call.
+	if st, _, ok := sess.tryStats(statsBudget); ok {
+		inf.DetectionProbability = st.DetectionProbability()
 	}
 	if e, _ := sess.errMsg.Load().(string); e != "" {
 		inf.Err = e

@@ -479,6 +479,41 @@ func (m *Monitor) Stats() Stats {
 	return st
 }
 
+// TryStats returns the Stats and Health snapshots as one non-blocking
+// acquisition: ok is false, with zero-value snapshots, when the monitor
+// lock is contended at the instant of the call. It exists for
+// out-of-band observers (the daemon's HTTP stats endpoint) that must
+// stay responsive even when an ingesting goroutine has wedged inside
+// the detector while holding the lock — a plain Stats() call would
+// inherit the wedge.
+func (m *Monitor) TryStats() (Stats, Health, bool) {
+	if !m.mu.TryLock() {
+		return Stats{}, Health{}, false
+	}
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.final.stats, m.final.health, true
+	}
+	st := m.tool().Stats()
+	m.disp.FillStats(&st)
+	return st, m.disp.Health(), true
+}
+
+// TryRaces is the non-blocking Races(): ok is false, with a nil
+// snapshot, when the monitor lock is contended at the instant of the
+// call. Like TryStats it exists for out-of-band observers that must not
+// inherit a wedged ingester's lock.
+func (m *Monitor) TryRaces() ([]Report, bool) {
+	if !m.mu.TryLock() {
+		return nil, false
+	}
+	defer m.mu.Unlock()
+	if m.closed {
+		return append([]Report(nil), m.final.races...), true
+	}
+	return append([]Report(nil), m.tool().Races()...), true
+}
+
 // Health returns a degradation snapshot of the monitor's pipeline: a
 // crashed (panicking) detector, quarantined shadow locations, and
 // stream-validation accounting all surface here instead of aborting the
